@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Device authentication with the CODIC-sig PUF (paper Section 5.1).
+ *
+ * Scenario: an IoT fleet operator enrolls devices at manufacturing
+ * time by storing challenge-response pairs. In the field, a device
+ * proves its identity by answering a random enrolled challenge. A
+ * counterfeit device (different silicon) cannot answer correctly,
+ * even with full knowledge of the protocol. The demo also verifies a
+ * device operating at +55 C, using a Jaccard-similarity threshold.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "puf/experiments.h"
+#include "puf/latency_puf.h"
+#include "puf/sig_puf.h"
+
+using namespace codic;
+
+namespace {
+
+struct EnrolledDevice
+{
+    std::string id;
+    const SimulatedChip *chip;
+    std::map<uint64_t, Response> crps; //!< challenge -> response.
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto chips = buildPaperPopulation();
+    const CodicSigPuf puf;
+    Rng rng(2026);
+
+    std::printf("== Enrollment (manufacturing) ==\n");
+    std::vector<EnrolledDevice> fleet;
+    for (int d = 0; d < 4; ++d) {
+        EnrolledDevice dev;
+        dev.id = "device-" + std::to_string(d);
+        dev.chip = &chips[static_cast<size_t>(d * 7)];
+        for (int k = 0; k < 8; ++k) {
+            const uint64_t challenge = rng.below(dev.chip->segments());
+            dev.crps[challenge] = puf.evaluateFiltered(
+                *dev.chip, {challenge, 65536}, {30.0, false, 1});
+        }
+        std::printf("%s: enrolled %zu challenge-response pairs "
+                    "(flip-cell fraction %.3f%%)\n",
+                    dev.id.c_str(), dev.crps.size(),
+                    dev.chip->sigFlipFraction() * 100.0);
+        fleet.push_back(std::move(dev));
+    }
+
+    // Authentication accepts when the Jaccard similarity of the
+    // fresh response to the enrolled one clears a threshold. With
+    // CODIC-sig, intra-similarity is ~1.0 even at +55 C while
+    // impostors score ~0.0 (Figs. 5/6), so 0.75 leaves huge margin
+    // in both directions.
+    const double threshold = 0.75;
+    auto authenticate = [&](const EnrolledDevice &claimed,
+                            const SimulatedChip &actual_silicon,
+                            double temperature) {
+        const auto it = std::next(claimed.crps.begin(),
+                                  static_cast<long>(rng.below(
+                                      claimed.crps.size())));
+        const Response fresh = puf.evaluateFiltered(
+            actual_silicon, {it->first, 65536},
+            {temperature, false, rng.next64()});
+        return jaccard(it->second, fresh) >= threshold;
+    };
+
+    std::printf("\n== Field verification ==\n");
+    int ok = 0;
+    for (const auto &dev : fleet)
+        ok += authenticate(dev, *dev.chip, 30.0) ? 1 : 0;
+    std::printf("genuine devices accepted: %d/4\n", ok);
+
+    std::printf("\n== Hot environment (+55 C) ==\n");
+    ok = 0;
+    for (const auto &dev : fleet)
+        ok += authenticate(dev, *dev.chip, 85.0) ? 1 : 0;
+    std::printf("genuine devices accepted at 85 C: %d/4 "
+                "(CODIC-sig is temperature-robust, Fig. 6)\n", ok);
+
+    std::printf("\n== Counterfeit attempt ==\n");
+    const SimulatedChip &fake = chips[99];
+    int rejected = 0;
+    for (const auto &dev : fleet)
+        rejected += authenticate(dev, fake, 30.0) ? 0 : 1;
+    std::printf("counterfeits rejected: %d/4 (responses are unique "
+                "per silicon)\n", rejected);
+
+    std::printf("\n== Why this is fast (paper Table 4) ==\n");
+    std::printf("one CODIC-sig evaluation needs %d segment passes; "
+                "the DRAM Latency PUF\nneeds %d - a 20x evaluation-"
+                "latency advantage with a more stable response.\n",
+                puf.passesPerEvaluation(true),
+                DramLatencyPuf().passesPerEvaluation(true));
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Exploring the CODIC design space (paper Section 4.1.3): the
+ * substrate exposes 300^4 possible commands; only the relative order
+ * of the four signals determines the functionality. This example
+ * samples the space uniformly, classifies every sampled schedule,
+ * validates each class's behaviour at circuit level, and summarizes
+ * the functional landscape a researcher would explore.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "circuit/analog.h"
+#include "codic/variant.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "power/energy_model.h"
+
+using namespace codic;
+
+namespace {
+
+SignalSchedule
+randomSchedule(Rng &rng)
+{
+    SignalSchedule s;
+    for (size_t i = 0; i < kNumSignals; ++i) {
+        if (!rng.chance(0.8))
+            continue; // Some signals stay unused.
+        const int start = static_cast<int>(rng.below(24));
+        const int end =
+            start + 1 +
+            static_cast<int>(
+                rng.below(static_cast<uint64_t>(24 - start)));
+        s.set(static_cast<Signal>(i), start, end);
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== The CODIC design space ==\n");
+    std::printf("pulses per signal: %llu; total variants: %llu "
+                "(300^4, Section 4.1.3)\n\n",
+                static_cast<unsigned long long>(
+                    SignalSchedule::pulsesPerSignal()),
+                static_cast<unsigned long long>(
+                    SignalSchedule::totalVariants()));
+
+    std::printf("== Sampling 100,000 random schedules ==\n");
+    Rng rng(4);
+    std::map<VariantClass, uint64_t> census;
+    std::map<VariantClass, SignalSchedule> witness;
+    for (int i = 0; i < 100000; ++i) {
+        const SignalSchedule s = randomSchedule(rng);
+        const VariantClass c = classifySchedule(s);
+        if (++census[c] == 1)
+            witness[c] = s;
+    }
+    TextTable t({"Class", "Frequency", "Latency (ns)", "Energy (nJ)",
+                 "Example schedule"});
+    for (const auto &[cls, count] : census) {
+        const auto &w = witness[cls];
+        t.addRow({variantClassName(cls),
+                  fmt(static_cast<double>(count) / 1000.0, 2) + " %",
+                  fmt(variantLatencyNs(w), 0),
+                  fmt(variantEnergyNj(w), 1), w.str()});
+    }
+    std::printf("%s", t.render().c_str());
+
+    std::printf("\n== Circuit-level validation of one sampled variant "
+                "per class ==\n");
+    const CircuitParams params = CircuitParams::ddr3();
+    for (const auto &[cls, sched] : witness) {
+        if (cls == VariantClass::Noop || cls == VariantClass::Custom)
+            continue;
+        CellCircuit cell(params, VariationDraw{});
+        cell.setCellVoltage(params.vdd);
+        cell.run(sched, 32.0);
+        std::printf("  %-14s %-34s -> cell %.2f V, bitline %.2f V\n",
+                    variantClassName(cls), sched.str().c_str(),
+                    cell.cellVoltage(), cell.bitlineVoltage());
+    }
+
+    std::printf("\nTakeaway: a handful of functional classes span the "
+                "8.1e9-variant space;\neverything else is timing "
+                "headroom a vendor can use to tune reliability,\n"
+                "latency, and energy per device (paper Section "
+                "5.3.2).\n");
+    return 0;
+}

@@ -1,0 +1,185 @@
+#include "circuit/analog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace codic {
+
+namespace {
+
+/**
+ * Trapezoidal drive level of a pulse at time t (seconds), with the
+ * configured slew applied to both edges. Returns 0 for unscheduled
+ * signals.
+ */
+double
+driveLevel(const std::optional<SignalPulse> &pulse, double t, double slew)
+{
+    if (!pulse)
+        return 0.0;
+    const double start = pulse->start_ns * 1e-9;
+    const double end = pulse->end_ns * 1e-9;
+    if (t < start || t > end + slew)
+        return 0.0;
+    if (t < start + slew)
+        return (t - start) / slew;
+    if (t <= end)
+        return 1.0;
+    return 1.0 - (t - end) / slew;
+}
+
+} // namespace
+
+double
+Transient::finalBitline() const
+{
+    CODIC_ASSERT(!points.empty());
+    return points.back().v_bitline;
+}
+
+double
+Transient::finalCell() const
+{
+    CODIC_ASSERT(!points.empty());
+    return points.back().v_cell;
+}
+
+double
+Transient::bitlineAt(double t_ns) const
+{
+    CODIC_ASSERT(!points.empty());
+    const TracePoint *best = &points.front();
+    for (const auto &p : points)
+        if (std::abs(p.t_ns - t_ns) < std::abs(best->t_ns - t_ns))
+            best = &p;
+    return best->v_bitline;
+}
+
+double
+Transient::cellAt(double t_ns) const
+{
+    CODIC_ASSERT(!points.empty());
+    const TracePoint *best = &points.front();
+    for (const auto &p : points)
+        if (std::abs(p.t_ns - t_ns) < std::abs(best->t_ns - t_ns))
+            best = &p;
+    return best->v_cell;
+}
+
+CellCircuit::CellCircuit(const CircuitParams &params,
+                         const VariationDraw &draw)
+    : params_(params), draw_(draw),
+      v_cell_(params.vHalf()), v_bitline_(params.vHalf())
+{
+}
+
+double
+CellCircuit::effectiveOffset() const
+{
+    // The SA trips around Vdd/2 minus the designed bias (which skews
+    // toward amplifying ones) minus the per-instance offset.
+    return -(designedSaBiasAt(params_) + draw_.sa_offset);
+}
+
+Transient
+CellCircuit::run(const SignalSchedule &sched, double duration_ns,
+                 Rng *noise, double sample_every_ns)
+{
+    const double vdd = params_.vdd;
+    const double vhalf = params_.vHalf();
+    const double dt = params_.dt;
+    const double slew = params_.slew;
+
+    // One thermal-noise draw per sensing event: the noise bandwidth of
+    // the SA input is far below 1/dt, so per-step white noise would
+    // overstate averaging. Drawn once here, applied to the trip point.
+    const double noise_v =
+        noise ? noise->gaussian(0.0, thermalNoiseRms(params_)) : 0.0;
+    const double v_trip = vhalf + effectiveOffset() + noise_v;
+
+    const double cell_cap = params_.cell_cap * (1.0 + draw_.cell_cap_rel);
+    const double bl_cap =
+        params_.bitline_cap * (1.0 + draw_.bitline_cap_rel);
+    // Series capacitance sets the charge-sharing conductance so that
+    // share_tau is the nominal cell/bitline equalization constant.
+    const double c_series = cell_cap * bl_cap / (cell_cap + bl_cap);
+    const double g_share =
+        c_series / params_.share_tau * (1.0 + draw_.access_rel);
+
+    const auto wl_pulse = sched.pulse(Signal::Wl);
+    const auto eq_pulse = sched.pulse(Signal::Eq);
+    const auto sp_pulse = sched.pulse(Signal::SenseP);
+    const auto sn_pulse = sched.pulse(Signal::SenseN);
+
+    Transient tr;
+    const size_t steps =
+        static_cast<size_t>(std::ceil(duration_ns * 1e-9 / dt));
+    double next_sample = 0.0;
+
+    for (size_t i = 0; i <= steps; ++i) {
+        const double t = static_cast<double>(i) * dt;
+        const double t_ns = t * 1e9;
+
+        const double wl = driveLevel(wl_pulse, t, slew);
+        const double eq = driveLevel(eq_pulse, t, slew);
+        const double sp = driveLevel(sp_pulse, t, slew);
+        const double sn = driveLevel(sn_pulse, t, slew);
+
+        if (t_ns >= next_sample - 1e-9) {
+            tr.points.push_back(
+                {t_ns, v_bitline_, v_cell_, wl, eq, sp, sn});
+            next_sample += sample_every_ns;
+        }
+
+        // --- Charge sharing through the access transistor. ---
+        if (wl > 0.0) {
+            const double i_share = g_share * wl * (v_cell_ - v_bitline_);
+            v_cell_ -= i_share * dt / cell_cap;
+            v_bitline_ += i_share * dt / bl_cap;
+        }
+
+        // --- Precharge unit: drives the bitline toward Vdd/2. ---
+        if (eq > 0.0) {
+            v_bitline_ +=
+                (vhalf - v_bitline_) * eq * dt / params_.precharge_tau;
+        }
+
+        // --- Sense amplifier. ---
+        const double both = std::min(sp, sn);
+        if (both > 0.0) {
+            // Regenerative latch: exponential growth of the deviation
+            // from the trip point, with a quadratic saturation factor
+            // that stalls the growth at the rails.
+            const double dev = v_bitline_ - v_trip;
+            const double sat =
+                std::max(0.0, v_bitline_ * (vdd - v_bitline_)) /
+                (vhalf * vhalf);
+            v_bitline_ +=
+                dev * both * sat * dt / params_.regen_tau;
+        }
+        // Single-leg drift (only one SA half enabled): the enabled
+        // pair drags the precharged bitline toward its rail. This is
+        // the deterministic deviation CODIC-det relies on.
+        const double excess_n = std::max(0.0, sn - sp);
+        const double excess_p = std::max(0.0, sp - sn);
+        if (excess_n > 0.0)
+            v_bitline_ -= params_.single_leg_slew * excess_n * dt;
+        if (excess_p > 0.0)
+            v_bitline_ += params_.single_leg_slew * excess_p * dt;
+
+        v_bitline_ = std::clamp(v_bitline_, 0.0, vdd);
+        v_cell_ = std::clamp(v_cell_, 0.0, vdd);
+    }
+
+    return tr;
+}
+
+bool
+CellCircuit::senseBit() const
+{
+    return v_bitline_ > params_.vHalf();
+}
+
+} // namespace codic

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Time-stepped analog model of one DRAM cell, its bitline, the
+ * precharge unit, and the cross-coupled sense amplifier, driven by a
+ * CODIC SignalSchedule.
+ *
+ * This is the "SPICE substitute" of the reproduction: it integrates
+ * the bitline and cell-capacitor voltages under the four internal
+ * control signals and reproduces the waveform behaviour of paper
+ * Figures 2b (ACT/PRE), 3a (CODIC-sig), 3b (CODIC-det) and 10
+ * (CODIC-sigsa), plus the process-variation-dependent amplification
+ * direction that underlies the CODIC-sig PUF.
+ */
+
+#ifndef CODIC_CIRCUIT_ANALOG_H
+#define CODIC_CIRCUIT_ANALOG_H
+
+#include <vector>
+
+#include "circuit/params.h"
+#include "circuit/signals.h"
+#include "circuit/variation.h"
+#include "common/rng.h"
+
+namespace codic {
+
+/** One sampled point of a simulated transient. */
+struct TracePoint
+{
+    double t_ns;        //!< Simulation time (ns).
+    double v_bitline;   //!< Bitline voltage (V).
+    double v_cell;      //!< Cell-capacitor voltage (V).
+    double wl;          //!< Wordline drive level in [0, 1].
+    double eq;          //!< Equalizer drive level in [0, 1].
+    double sense_p;     //!< PMOS SA enable level in [0, 1].
+    double sense_n;     //!< NMOS SA enable level in [0, 1].
+};
+
+/** A full transient: sampled points plus end-state summary. */
+struct Transient
+{
+    std::vector<TracePoint> points;
+
+    /** Final bitline voltage (V). */
+    double finalBitline() const;
+
+    /** Final cell voltage (V). */
+    double finalCell() const;
+
+    /** Bitline voltage at a given time (nearest sample). */
+    double bitlineAt(double t_ns) const;
+
+    /** Cell voltage at a given time (nearest sample). */
+    double cellAt(double t_ns) const;
+};
+
+/**
+ * Analog simulator for one cell/bitline/SA column.
+ *
+ * The model is single-ended with an implicit reference held at the
+ * precharge voltage: the SA's regenerative term amplifies the bitline
+ * away from (Vdd/2 + offset), where offset combines the designed SA
+ * bias, the per-instance process-variation draw, and thermal noise.
+ * Single-leg operation (only sense_n or only sense_p enabled) drifts
+ * the bitline toward the corresponding rail, which is the mechanism
+ * CODIC-det exploits (paper Section 4.1.2).
+ */
+class CellCircuit
+{
+  public:
+    /**
+     * @param params Electrical/environmental parameters.
+     * @param draw Per-instance process-variation draw.
+     */
+    CellCircuit(const CircuitParams &params, const VariationDraw &draw);
+
+    /**
+     * Set the stored cell voltage before a transient (V), e.g. Vdd for
+     * a stored one, 0 for a stored zero, Vdd/2 for a leaked cell.
+     */
+    void setCellVoltage(double v) { v_cell_ = v; }
+
+    /** Set the bitline voltage (defaults to the precharge level). */
+    void setBitlineVoltage(double v) { v_bitline_ = v; }
+
+    /** Current cell voltage (V). */
+    double cellVoltage() const { return v_cell_; }
+
+    /** Current bitline voltage (V). */
+    double bitlineVoltage() const { return v_bitline_; }
+
+    /**
+     * Run a transient under a signal schedule.
+     *
+     * @param sched Signal schedule to apply.
+     * @param duration_ns Total simulated time; defaults to the CODIC
+     *        window plus settle margin.
+     * @param noise Optional RNG for thermal noise on the sensed
+     *        voltage; nullptr disables noise (deterministic runs).
+     * @param sample_every_ns Trace sampling period.
+     * @return The sampled transient. The circuit retains its end
+     *         state, so consecutive commands (e.g. CODIC-sig followed
+     *         by ACT) compose naturally.
+     */
+    Transient run(const SignalSchedule &sched, double duration_ns = 35.0,
+                  Rng *noise = nullptr, double sample_every_ns = 0.25);
+
+    /**
+     * Digitize the bitline: true if above Vdd/2 (a logical one).
+     * Only meaningful after amplification has settled.
+     */
+    bool senseBit() const;
+
+    /** Effective SA trip offset (V) including designed bias and PV. */
+    double effectiveOffset() const;
+
+  private:
+    CircuitParams params_;
+    VariationDraw draw_;
+    double v_cell_;
+    double v_bitline_;
+};
+
+} // namespace codic
+
+#endif // CODIC_CIRCUIT_ANALOG_H

@@ -1,0 +1,68 @@
+#include "circuit/delay_element.h"
+
+#include "common/logging.h"
+
+namespace codic {
+
+DelayElement::DelayElement(const DelayElementParams &params)
+    : params_(params)
+{
+    CODIC_ASSERT(params_.taps >= 2);
+}
+
+double
+DelayElement::delayNs(size_t setting) const
+{
+    if (setting >= params_.taps)
+        fatal("delay setting ", setting, " out of range [0,",
+              params_.taps, ")");
+    return static_cast<double>(setting) * params_.buffer_delay_ns;
+}
+
+double
+DelayElement::ddrxPathPenaltyNs() const
+{
+    return params_.select_mux_delay_ns;
+}
+
+double
+DelayElement::areaF2() const
+{
+    // taps-1 buffers in the chain (tap 0 bypasses all of them) plus
+    // one transmission-gate leg per tap in the 25-to-1 mux.
+    const double buffers =
+        static_cast<double>(params_.taps - 1) * params_.buffer_area_f2;
+    const double mux =
+        static_cast<double>(params_.taps) * params_.mux_leg_area_f2;
+    return buffers + mux;
+}
+
+double
+DelayElement::matAreaF2() const
+{
+    return static_cast<double>(params_.mat_rows) *
+           static_cast<double>(params_.mat_cols) * params_.cell_area_f2;
+}
+
+double
+DelayElement::areaOverheadPerMat() const
+{
+    return areaF2() / matAreaF2();
+}
+
+double
+DelayElement::fullCodicAreaOverheadPerMat() const
+{
+    return 4.0 * areaOverheadPerMat();
+}
+
+double
+DelayElement::energyPerOperationFj() const
+{
+    // Worst case: the edge traverses the full buffer chain and the
+    // mux network switches once.
+    return static_cast<double>(params_.taps - 1) * params_.buffer_energy_fj +
+           params_.mux_energy_fj;
+}
+
+} // namespace codic

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Model of the configurable CODIC delay element (paper Section 4.2.1,
+ * Figure 4): a chain of buffers tapped by a 25-to-1 multiplexer, plus
+ * the 2-to-1 mux that selects between the fixed DDRx delay path and
+ * the CODIC path.
+ *
+ * The model accounts for propagation delay, silicon area (in units of
+ * F^2 and as a fraction of a DRAM mat), and switching energy, and
+ * reproduces the paper's published costs: ~1 ns per buffer stage,
+ * 0.28 % mat area per signal (1.12 % for all four), < 500 fJ per
+ * operation, and 0.028 ns of added delay on the DDRx activate path.
+ */
+
+#ifndef CODIC_CIRCUIT_DELAY_ELEMENT_H
+#define CODIC_CIRCUIT_DELAY_ELEMENT_H
+
+#include <cstddef>
+
+namespace codic {
+
+/** Geometry and technology constants for the delay-element model. */
+struct DelayElementParams
+{
+    /** Number of selectable taps (paper: 25, one per ns step). */
+    size_t taps = 25;
+
+    /** Nominal per-buffer-stage propagation delay (ns). */
+    double buffer_delay_ns = 1.0;
+
+    /** Added delay of the 2-to-1 path-select mux (ns). */
+    double select_mux_delay_ns = 0.028;
+
+    /**
+     * Layout area of one buffer (two inverters) in F^2. Buffers in
+     * the delay chain are sized up to drive the heavily loaded
+     * internal control lines.
+     */
+    double buffer_area_f2 = 133.0;
+
+    /** Layout area of one 25-to-1 mux leg (transmission gate), F^2. */
+    double mux_leg_area_f2 = 48.4;
+
+    /** DRAM cell area in F^2 (6F^2 design, paper refs [120, 129]). */
+    double cell_area_f2 = 6.0;
+
+    /** Mat dimensions: rows x columns of cells (paper: 512 x 512). */
+    size_t mat_rows = 512;
+    size_t mat_cols = 512;
+
+    /** Switching energy per buffer stage transition (fJ). */
+    double buffer_energy_fj = 4.0;
+
+    /** Switching energy of the mux network per operation (fJ). */
+    double mux_energy_fj = 15.0;
+};
+
+/**
+ * Cost/latency model of one configurable delay element.
+ *
+ * One element generates one of the four internal control signals; a
+ * CODIC-capable mat instantiates four of them.
+ */
+class DelayElement
+{
+  public:
+    explicit DelayElement(const DelayElementParams &params = {});
+
+    /**
+     * Propagation delay (ns) when the mux selects tap `setting`
+     * (0-based: setting k routes through k buffer stages).
+     * @throws FatalError if the setting exceeds the tap count.
+     */
+    double delayNs(size_t setting) const;
+
+    /** Delay added to the unmodified DDRx path by the select mux. */
+    double ddrxPathPenaltyNs() const;
+
+    /** Total layout area of the element (buffers + mux) in F^2. */
+    double areaF2() const;
+
+    /** Area of one DRAM mat in F^2. */
+    double matAreaF2() const;
+
+    /** Area overhead of this element as a fraction of one mat. */
+    double areaOverheadPerMat() const;
+
+    /** Area overhead of a full 4-signal CODIC installation per mat. */
+    double fullCodicAreaOverheadPerMat() const;
+
+    /** Worst-case switching energy of one delayed edge (fJ). */
+    double energyPerOperationFj() const;
+
+    /** Number of selectable settings. */
+    size_t taps() const { return params_.taps; }
+
+  private:
+    DelayElementParams params_;
+};
+
+} // namespace codic
+
+#endif // CODIC_CIRCUIT_DELAY_ELEMENT_H

@@ -1,0 +1,78 @@
+#include "circuit/monte_carlo.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace codic {
+
+double
+MonteCarloResult::flipFraction() const
+{
+    if (runs == 0)
+        return 0.0;
+    return static_cast<double>(std::min(ones, zeros)) /
+           static_cast<double>(runs);
+}
+
+double
+MonteCarloResult::oneFraction() const
+{
+    if (runs == 0)
+        return 0.0;
+    return static_cast<double>(ones) / static_cast<double>(runs);
+}
+
+SignalSchedule
+sigsaSchedule()
+{
+    SignalSchedule s;
+    s.set(Signal::SenseP, 3, 22);
+    s.set(Signal::SenseN, 3, 22);
+    s.set(Signal::Wl, 5, 22);
+    return s;
+}
+
+MonteCarloResult
+runMonteCarlo(const MonteCarloConfig &config)
+{
+    CODIC_ASSERT(config.runs > 0);
+    Rng rng(config.seed);
+    MonteCarloResult result;
+    result.runs = config.runs;
+
+    const double init_cell = config.initial_cell_v >= 0.0
+                                 ? config.initial_cell_v
+                                 : config.params.vHalf();
+
+    for (size_t i = 0; i < config.runs; ++i) {
+        const VariationDraw draw = VariationDraw::sample(rng, config.params);
+        bool bit;
+        if (config.fast_path) {
+            // Closed form of the sensing decision for a precharged
+            // bitline: the latch amplifies the sign of
+            // (Vdd/2 - v_trip) = designed bias + offset + noise.
+            // Validated against the full transient in the tests.
+            const double noise_v =
+                config.thermal_noise
+                    ? rng.gaussian(0.0, thermalNoiseRms(config.params))
+                    : 0.0;
+            bit = designedSaBiasAt(config.params) + draw.sa_offset +
+                      noise_v > 0.0;
+        } else {
+            CellCircuit circuit(config.params, draw);
+            circuit.setCellVoltage(init_cell);
+            Rng noise = rng.fork(i);
+            circuit.run(config.schedule, 30.0,
+                        config.thermal_noise ? &noise : nullptr);
+            bit = circuit.senseBit();
+        }
+        if (bit)
+            ++result.ones;
+        else
+            ++result.zeros;
+    }
+    return result;
+}
+
+} // namespace codic

@@ -1,0 +1,56 @@
+#include "circuit/params.h"
+
+#include <cmath>
+
+namespace codic {
+
+CircuitParams
+CircuitParams::ddr3()
+{
+    CircuitParams p;
+    p.vdd = 1.5;
+    return p;
+}
+
+CircuitParams
+CircuitParams::ddr3l()
+{
+    CircuitParams p;
+    p.vdd = 1.35;
+    // DDR3L's lower rail reduces absolute offsets slightly; the
+    // proportionally smaller offsets relative to designed bias are why
+    // the paper observes better PUF quality on DDR3L (Section 6.1.1).
+    p.sa_offset_sigma_at_4pct = 5.1e-3;
+    return p;
+}
+
+double
+saOffsetSigma(const CircuitParams &params)
+{
+    return params.sa_offset_sigma_at_4pct * (params.process_variation / 0.04);
+}
+
+double
+designedSaBiasAt(const CircuitParams &params)
+{
+    // Exponential-saturation droop: bias falls from its 30 C value to
+    // ~80 % of it with a 12 C time constant. Calibrated against the
+    // temperature row of Table 11 (flips rise from 0.02 % at 30 C to
+    // ~0.2 % at 60-85 C for 4 % PV).
+    const double b0 = params.designed_sa_bias;
+    const double b_inf = 0.805 * b0;
+    const double dt = params.temperature_c - 30.0;
+    if (dt <= 0.0)
+        return b0;
+    return b_inf + (b0 - b_inf) * std::exp(-dt / 12.0);
+}
+
+double
+thermalNoiseRms(const CircuitParams &params)
+{
+    // kT/C scaling normalized to 30 C (303 K).
+    const double t_kelvin = params.temperature_c + 273.15;
+    return params.thermal_noise_rms * std::sqrt(t_kelvin / 303.15);
+}
+
+} // namespace codic

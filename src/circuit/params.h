@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Electrical parameters for the circuit-level DRAM model.
+ *
+ * The defaults approximate a 22 nm-class DDR3 design (the paper models
+ * the delay elements with 22 nm PTM transistors). The model is not a
+ * SPICE replacement: it integrates the same state variables
+ * (bitline/cell voltages under the wl/EQ/sense_p/sense_n stimuli) with
+ * first-order RC and regenerative-latch dynamics, which is sufficient
+ * to reproduce the waveform shapes of Figs. 2b/3/10 and the
+ * Monte-Carlo statistics of Table 11.
+ */
+
+#ifndef CODIC_CIRCUIT_PARAMS_H
+#define CODIC_CIRCUIT_PARAMS_H
+
+namespace codic {
+
+/** Electrical and environmental parameters of the cell/SA circuit. */
+struct CircuitParams
+{
+    /** Supply voltage (V). DDR3 nominal is 1.5 V; DDR3L is 1.35 V. */
+    double vdd = 1.5;
+
+    /** Cell storage capacitance (F); ~24 fF is typical for DDR3. */
+    double cell_cap = 24e-15;
+
+    /** Bitline capacitance (F); ~85 fF for a 512-cell local bitline. */
+    double bitline_cap = 85e-15;
+
+    /**
+     * Charge-sharing time constant through a fully-on access
+     * transistor (s). Governs how fast the cell and bitline equalize
+     * once the wordline is up.
+     */
+    double share_tau = 1.0e-9;
+
+    /** Precharge-unit time constant driving the bitline to Vdd/2 (s). */
+    double precharge_tau = 1.2e-9;
+
+    /**
+     * Sense-amplifier regeneration time constant (s): the latch gain
+     * is 1/regen_tau, so a small differential doubles roughly every
+     * regen_tau * ln 2.
+     */
+    double regen_tau = 1.1e-9;
+
+    /**
+     * Single-leg drift rate when only one SA half is enabled (V/s).
+     * With only sense_n active the bitline drifts toward 0 at roughly
+     * this rate (CODIC-det relies on this; paper Fig. 3b).
+     */
+    double single_leg_slew = 1.1e8;
+
+    /** Signal rise/fall time applied to all four control signals (s). */
+    double slew = 0.3e-9;
+
+    /** Die temperature (degrees C). */
+    double temperature_c = 30.0;
+
+    /**
+     * Process-variation magnitude as a fraction of nominal device
+     * parameters (paper Table 11 sweeps 2-5 %).
+     */
+    double process_variation = 0.04;
+
+    /**
+     * Designed sense-amplifier asymmetry (V). Positive values bias an
+     * offset-free SA toward amplifying a precharged bitline to '1',
+     * matching the paper's observation in Appendix C that the nominal
+     * SA model always generates ones absent process variation.
+     */
+    double designed_sa_bias = 20e-3;
+
+    /**
+     * Input-referred SA offset standard deviation at 4 % process
+     * variation (V). Together with designed_sa_bias this calibrates
+     * the Table 11 flip rates: at 4 % PV the bias sits ~3.5 sigma
+     * away, giving ~0.02 % flips.
+     */
+    double sa_offset_sigma_at_4pct = 5.65e-3;
+
+    /** Thermal-noise RMS on the sensed voltage at 30 C (V). */
+    double thermal_noise_rms = 0.35e-3;
+
+    /**
+     * Threshold-voltage temperature coefficient (V per degree C);
+     * negative: thresholds drop as temperature rises, which increases
+     * SA imbalance sensitivity.
+     */
+    double vt_temp_coeff = -1.2e-3;
+
+    /** Simulation time step (s). */
+    double dt = 0.01e-9;
+
+    /** Half-Vdd convenience accessor. */
+    double vHalf() const { return vdd / 2.0; }
+
+    /** Preset for a DDR3 (1.5 V) device. */
+    static CircuitParams ddr3();
+
+    /** Preset for a DDR3L (1.35 V) device. */
+    static CircuitParams ddr3l();
+};
+
+/**
+ * Input-referred SA offset sigma (V) at the configured process
+ * variation, scaling linearly from the 4 % calibration point.
+ */
+double saOffsetSigma(const CircuitParams &params);
+
+/**
+ * Designed SA bias (V) at the configured temperature. Decays with an
+ * exponential saturation above 30 C (threshold-voltage droop), which
+ * calibrates the temperature sweep of paper Table 11.
+ */
+double designedSaBiasAt(const CircuitParams &params);
+
+/** Thermal-noise RMS (V) at the configured temperature. */
+double thermalNoiseRms(const CircuitParams &params);
+
+} // namespace codic
+
+#endif // CODIC_CIRCUIT_PARAMS_H

@@ -1,0 +1,110 @@
+#include "circuit/signals.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace codic {
+
+const char *
+signalName(Signal s)
+{
+    switch (s) {
+      case Signal::Wl: return "wl";
+      case Signal::Eq: return "EQ";
+      case Signal::SenseP: return "sense_p";
+      case Signal::SenseN: return "sense_n";
+    }
+    panic("unknown signal enumerator");
+}
+
+void
+SignalSchedule::set(Signal s, int start_ns, int end_ns)
+{
+    if (start_ns < 0 || end_ns >= kWindowNs)
+        fatal("signal pulse [", start_ns, ",", end_ns,
+              ") outside CODIC window [0,", kWindowNs, ")");
+    if (end_ns <= start_ns)
+        fatal("signal pulse must deassert after it asserts: [",
+              start_ns, ",", end_ns, "]");
+    pulses_[static_cast<size_t>(s)] = SignalPulse{start_ns, end_ns};
+}
+
+void
+SignalSchedule::clear(Signal s)
+{
+    pulses_[static_cast<size_t>(s)].reset();
+}
+
+std::optional<SignalPulse>
+SignalSchedule::pulse(Signal s) const
+{
+    return pulses_[static_cast<size_t>(s)];
+}
+
+bool
+SignalSchedule::activeAt(Signal s, int t_ns) const
+{
+    const auto &p = pulses_[static_cast<size_t>(s)];
+    return p && t_ns >= p->start_ns && t_ns < p->end_ns;
+}
+
+int
+SignalSchedule::lastEdgeNs() const
+{
+    int last = 0;
+    for (const auto &p : pulses_)
+        if (p)
+            last = std::max(last, p->end_ns);
+    return last;
+}
+
+bool
+SignalSchedule::empty() const
+{
+    for (const auto &p : pulses_)
+        if (p)
+            return false;
+    return true;
+}
+
+std::string
+SignalSchedule::str() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (size_t i = 0; i < kNumSignals; ++i) {
+        const auto &p = pulses_[i];
+        if (!p)
+            continue;
+        if (!first)
+            os << ' ';
+        first = false;
+        os << signalName(static_cast<Signal>(i)) << '[' << p->start_ns
+           << ',' << p->end_ns << ']';
+    }
+    if (first)
+        os << "(none)";
+    return os.str();
+}
+
+uint64_t
+SignalSchedule::pulsesPerSignal(int window_ns)
+{
+    CODIC_ASSERT(window_ns > 1);
+    // Pulses that assert at time i can deassert at i+1 .. window-1,
+    // giving (window-1-i) choices; summing over i = 0..window-2 yields
+    // sum_{k=1}^{window-1} k.
+    const uint64_t w = static_cast<uint64_t>(window_ns);
+    return (w - 1) * w / 2; // sum_{i=1}^{w-1} i = 300 for w = 25
+
+}
+
+uint64_t
+SignalSchedule::totalVariants(int window_ns)
+{
+    const uint64_t n = pulsesPerSignal(window_ns);
+    return n * n * n * n;
+}
+
+} // namespace codic

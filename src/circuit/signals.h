@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The four fundamental DRAM internal control signals that CODIC
+ * exposes (paper Section 2, Figure 2a) and the schedule type that
+ * assigns each one an assert/deassert time inside the CODIC window.
+ */
+
+#ifndef CODIC_CIRCUIT_SIGNALS_H
+#define CODIC_CIRCUIT_SIGNALS_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace codic {
+
+/**
+ * Internal DRAM circuit control signals (paper Fig. 2a):
+ *  - Wl: wordline; connects the cell capacitor to the bitline.
+ *  - Eq: precharge-unit equalizer; drives the bitline to Vdd/2.
+ *  - SenseP: PMOS half of the sense-amplifier latch (pulls to Vdd).
+ *  - SenseN: NMOS half of the sense-amplifier latch (pulls to 0).
+ */
+enum class Signal : uint8_t { Wl = 0, Eq = 1, SenseP = 2, SenseN = 3 };
+
+/** Number of CODIC-controllable internal signals. */
+inline constexpr size_t kNumSignals = 4;
+
+/** Human-readable name of a signal ("wl", "EQ", "sense_p", "sense_n"). */
+const char *signalName(Signal s);
+
+/**
+ * Assert/deassert times of one signal, in integer nanoseconds inside
+ * the CODIC window. Asserting means driving the signal to its active
+ * level (high for wl/EQ/sense_n, low for sense_p in the real circuit;
+ * the model treats "asserted" uniformly as logic-active).
+ */
+struct SignalPulse
+{
+    /** Time at which the signal becomes active (ns). */
+    int start_ns = 0;
+    /** Time at which the signal is deactivated (ns); must exceed start. */
+    int end_ns = 0;
+
+    bool operator==(const SignalPulse &) const = default;
+};
+
+/**
+ * A complete CODIC signal schedule: for each of the four signals,
+ * either an (assert, deassert) pulse or "never asserted".
+ *
+ * The CODIC substrate constrains all times to the window
+ * [0, kWindowNs) at kStepNs granularity (paper Section 4.1).
+ */
+class SignalSchedule
+{
+  public:
+    /** CODIC time window (paper: 25 ns). */
+    static constexpr int kWindowNs = 25;
+    /** CODIC time step (paper: 1 ns). */
+    static constexpr int kStepNs = 1;
+
+    SignalSchedule() = default;
+
+    /**
+     * Assign a pulse to a signal.
+     * @throws FatalError if the pulse violates window/step/order rules.
+     */
+    void set(Signal s, int start_ns, int end_ns);
+
+    /** Remove a signal from the schedule (never asserted). */
+    void clear(Signal s);
+
+    /** Pulse of a signal, if scheduled. */
+    std::optional<SignalPulse> pulse(Signal s) const;
+
+    /** True if the signal is asserted at integer time t_ns. */
+    bool activeAt(Signal s, int t_ns) const;
+
+    /** Latest deassert time over all scheduled signals (0 if none). */
+    int lastEdgeNs() const;
+
+    /** True if no signal is ever asserted. */
+    bool empty() const;
+
+    /** Short textual form, e.g. "wl[5,22] EQ[7,22]". */
+    std::string str() const;
+
+    bool operator==(const SignalSchedule &) const = default;
+
+    /**
+     * Number of valid (start, end) pulses for a single signal within
+     * the window: sum_{i=1}^{w-1} i = 300 for w = 25 (paper §4.1.3).
+     */
+    static uint64_t pulsesPerSignal(int window_ns = kWindowNs);
+
+    /**
+     * Total number of CODIC variants when every signal carries a pulse:
+     * pulsesPerSignal^4 = 300^4 (paper §4.1.3).
+     */
+    static uint64_t totalVariants(int window_ns = kWindowNs);
+
+  private:
+    std::array<std::optional<SignalPulse>, kNumSignals> pulses_;
+};
+
+} // namespace codic
+
+#endif // CODIC_CIRCUIT_SIGNALS_H

@@ -1,0 +1,23 @@
+#include "circuit/variation.h"
+
+#include <cmath>
+
+namespace codic {
+
+VariationDraw
+VariationDraw::sample(Rng &rng, const CircuitParams &params)
+{
+    VariationDraw d;
+    const double pv = params.process_variation;
+    d.sa_offset = rng.gaussian(0.0, saOffsetSigma(params));
+    d.cell_cap_rel = rng.gaussian(0.0, pv / 3.0);
+    d.access_rel = rng.gaussian(0.0, pv / 3.0);
+    d.bitline_cap_rel = rng.gaussian(0.0, pv / 3.0);
+    // Retention varies over orders of magnitude across cells (paper
+    // references [97, 98]); a lognormal with sigma ~0.9 reproduces the
+    // wide retention-time tail that the 48 h methodology depends on.
+    d.retention_rel = std::exp(rng.gaussian(0.0, 0.9));
+    return d;
+}
+
+} // namespace codic

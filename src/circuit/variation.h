@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-instance process-variation draws for the circuit model.
+ *
+ * Each physical sense amplifier / cell / bitline instance owns one
+ * VariationDraw; drawing it from a seeded Rng makes a simulated chip a
+ * stable "device" whose PUF responses are repeatable across queries,
+ * exactly as process variation behaves in silicon.
+ */
+
+#ifndef CODIC_CIRCUIT_VARIATION_H
+#define CODIC_CIRCUIT_VARIATION_H
+
+#include "circuit/params.h"
+#include "common/rng.h"
+
+namespace codic {
+
+/** Sampled deviations of one cell + SA instance from nominal. */
+struct VariationDraw
+{
+    /**
+     * Input-referred SA offset (V). The dominant PUF entropy source:
+     * its sign decides which way a precharged bitline amplifies.
+     */
+    double sa_offset = 0.0;
+
+    /** Relative cell-capacitance deviation (fraction, ~N(0, pv/3)). */
+    double cell_cap_rel = 0.0;
+
+    /** Relative access-transistor strength deviation (fraction). */
+    double access_rel = 0.0;
+
+    /** Relative bitline-capacitance deviation (fraction). */
+    double bitline_cap_rel = 0.0;
+
+    /**
+     * Cell retention time constant multiplier (lognormal-ish spread);
+     * used by the chip-population model for the 48 h discharge
+     * methodology of Section 6.1.
+     */
+    double retention_rel = 1.0;
+
+    /**
+     * Sample a draw.
+     *
+     * The SA offset sigma scales linearly with the process-variation
+     * fraction, normalized so params.sa_offset_sigma_at_4pct is the
+     * sigma at 4 % PV (the calibration point of Table 11).
+     */
+    static VariationDraw sample(Rng &rng, const CircuitParams &params);
+};
+
+} // namespace codic
+
+#endif // CODIC_CIRCUIT_VARIATION_H

@@ -1,0 +1,76 @@
+#include "codic/functionality.h"
+
+#include "common/logging.h"
+
+namespace codic {
+
+const char *
+rowDataStateName(RowDataState s)
+{
+    switch (s) {
+      case RowDataState::Unwritten: return "unwritten";
+      case RowDataState::Data: return "data";
+      case RowDataState::Zeroes: return "zeroes";
+      case RowDataState::Ones: return "ones";
+      case RowDataState::HalfVdd: return "half-vdd";
+      case RowDataState::SaSignature: return "sa-signature";
+      case RowDataState::Undefined: return "undefined";
+    }
+    panic("unknown row data state");
+}
+
+RowDataState
+afterVariant(VariantClass c, RowDataState before)
+{
+    switch (c) {
+      case VariantClass::Noop:
+      case VariantClass::Precharge:
+      case VariantClass::SigsaNoWrite:
+        // Bitline-only operations never disturb cell contents.
+        return before;
+      case VariantClass::Activate:
+        // Activation restores data; a HalfVdd row amplifies to
+        // process-variation signatures instead.
+        return before == RowDataState::HalfVdd ? RowDataState::SaSignature
+                                               : before;
+      case VariantClass::Sig:
+        return RowDataState::HalfVdd;
+      case VariantClass::DetZero:
+        return RowDataState::Zeroes;
+      case VariantClass::DetOne:
+        return RowDataState::Ones;
+      case VariantClass::Sigsa:
+        return RowDataState::SaSignature;
+      case VariantClass::Custom:
+        return RowDataState::Undefined;
+    }
+    panic("unknown variant class");
+}
+
+bool
+destroysRowData(VariantClass c)
+{
+    switch (c) {
+      case VariantClass::Sig:
+      case VariantClass::DetZero:
+      case VariantClass::DetOne:
+      case VariantClass::Sigsa:
+      case VariantClass::Custom:
+        return true;
+      case VariantClass::Noop:
+      case VariantClass::Precharge:
+      case VariantClass::Activate:
+      case VariantClass::SigsaNoWrite:
+        return false;
+    }
+    panic("unknown variant class");
+}
+
+bool
+yieldsSignature(VariantClass c)
+{
+    return c == VariantClass::Sig || c == VariantClass::Sigsa ||
+           c == VariantClass::SigsaNoWrite;
+}
+
+} // namespace codic

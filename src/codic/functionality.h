@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Architectural (data-level) semantics of CODIC variants: how issuing
+ * a variant against a DRAM row transforms the row's contents. This is
+ * the abstraction the cold-boot self-destruction engine and the PUF
+ * response path operate on; the underlying analog behaviour is
+ * validated separately by the circuit model.
+ */
+
+#ifndef CODIC_CODIC_FUNCTIONALITY_H
+#define CODIC_CODIC_FUNCTIONALITY_H
+
+#include "codic/variant.h"
+
+namespace codic {
+
+/** Row-granularity summary of what a DRAM row currently stores. */
+enum class RowDataState
+{
+    Unwritten,   //!< Never written since power-on (residual charge).
+    Data,        //!< Holds program data.
+    Zeroes,      //!< All cells driven to 0 (CODIC-det zero).
+    Ones,        //!< All cells driven to 1 (CODIC-det one).
+    HalfVdd,     //!< Cells at the precharge voltage (after CODIC-sig);
+                 //!< the next activation resolves them to signatures.
+    SaSignature, //!< Cells hold process-variation signatures.
+    Undefined,   //!< A custom variant with unspecified data effect ran.
+};
+
+/** Human-readable state name. */
+const char *rowDataStateName(RowDataState s);
+
+/**
+ * Data-state transition when a variant of class `c` executes against
+ * a row currently in state `before`.
+ *
+ * Notes:
+ *  - Activate on a HalfVdd row resolves the cells to signatures (this
+ *    is exactly how the CODIC-sig PUF produces its response, paper
+ *    Section 4.1.1: "Only after the next activation command the DRAM
+ *    cell will be amplified to zero or one depending on process
+ *    variation").
+ *  - Precharge and plain activate leave data intact.
+ */
+RowDataState afterVariant(VariantClass c, RowDataState before);
+
+/**
+ * True if executing this class destroys whatever data the row held
+ * (the property the self-destruction mechanism needs; conservative:
+ * Custom counts as destructive because its effect is undefined).
+ */
+bool destroysRowData(VariantClass c);
+
+/**
+ * True if the class leaves the row holding (or prepared to hold)
+ * process-variation-dependent signature values.
+ */
+bool yieldsSignature(VariantClass c);
+
+} // namespace codic
+
+#endif // CODIC_CODIC_FUNCTIONALITY_H

@@ -1,0 +1,63 @@
+#include "codic/mode_regs.h"
+
+#include "common/logging.h"
+
+namespace codic {
+
+void
+ModeRegisterFile::writeRegister(Signal s, uint16_t value)
+{
+    if (value >= (1u << kRegisterBits))
+        fatal("MRS value ", value, " exceeds ", kRegisterBits, " bits");
+    const int start = value & 0x1f;
+    const int end = (value >> 5) & 0x1f;
+    if (start >= SignalSchedule::kWindowNs ||
+        end >= SignalSchedule::kWindowNs) {
+        fatal("MRS value encodes time outside the CODIC window: start=",
+              start, " end=", end);
+    }
+    regs_[static_cast<size_t>(s)] = value;
+}
+
+uint16_t
+ModeRegisterFile::readRegister(Signal s) const
+{
+    return regs_[static_cast<size_t>(s)];
+}
+
+uint16_t
+ModeRegisterFile::encodePulse(int start_ns, int end_ns)
+{
+    CODIC_ASSERT(start_ns >= 0 && start_ns < SignalSchedule::kWindowNs);
+    CODIC_ASSERT(end_ns >= 0 && end_ns < SignalSchedule::kWindowNs);
+    return static_cast<uint16_t>((end_ns << 5) | start_ns);
+}
+
+void
+ModeRegisterFile::program(const SignalSchedule &sched)
+{
+    for (size_t i = 0; i < kNumSignals; ++i) {
+        const auto sig = static_cast<Signal>(i);
+        const auto pulse = sched.pulse(sig);
+        if (pulse)
+            writeRegister(sig, encodePulse(pulse->start_ns, pulse->end_ns));
+        else
+            writeRegister(sig, 0);
+    }
+}
+
+SignalSchedule
+ModeRegisterFile::decode() const
+{
+    SignalSchedule sched;
+    for (size_t i = 0; i < kNumSignals; ++i) {
+        const uint16_t value = regs_[i];
+        const int start = value & 0x1f;
+        const int end = (value >> 5) & 0x1f;
+        if (end > start)
+            sched.set(static_cast<Signal>(i), start, end);
+    }
+    return sched;
+}
+
+} // namespace codic

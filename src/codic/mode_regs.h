@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The CODIC mode-register interface (paper Section 4.2.2).
+ *
+ * CODIC adds four dedicated 10-bit mode registers to the DRAM, one per
+ * internal signal; each register packs the signal's assert time (low 5
+ * bits) and deassert time (high 5 bits) in nanoseconds within the
+ * CODIC window. The memory controller programs them with the standard
+ * MRS command, then a single CODIC command executes whatever schedule
+ * the registers currently encode.
+ */
+
+#ifndef CODIC_CODIC_MODE_REGS_H
+#define CODIC_CODIC_MODE_REGS_H
+
+#include <array>
+#include <cstdint>
+
+#include "circuit/signals.h"
+
+namespace codic {
+
+/**
+ * The four CODIC mode registers and the MRS programming interface.
+ *
+ * Encoding per register (10 bits):
+ *   bits [4:0]  assert time in ns (0..24)
+ *   bits [9:5]  deassert time in ns (0..24)
+ * A register with deassert <= assert encodes "signal never asserted",
+ * which is also the power-on reset state (all zeros).
+ */
+class ModeRegisterFile
+{
+  public:
+    /** Width of each CODIC mode register in bits. */
+    static constexpr int kRegisterBits = 10;
+
+    /** Power-on state: all registers zero (no signal asserted). */
+    ModeRegisterFile() = default;
+
+    /**
+     * MRS write to one CODIC mode register.
+     * @param s Signal whose register is addressed.
+     * @param value 10-bit raw value.
+     * @throws FatalError if the value does not fit in 10 bits or
+     *         encodes a time outside the CODIC window.
+     */
+    void writeRegister(Signal s, uint16_t value);
+
+    /** Raw 10-bit contents of one register. */
+    uint16_t readRegister(Signal s) const;
+
+    /** Program all four registers from a schedule. */
+    void program(const SignalSchedule &sched);
+
+    /** Decode the registers into the schedule they encode. */
+    SignalSchedule decode() const;
+
+    /** Pack (start, end) into the 10-bit register format. */
+    static uint16_t encodePulse(int start_ns, int end_ns);
+
+    /** Number of MRS commands needed to program a full schedule. */
+    static constexpr int kMrsCommandsPerSchedule =
+        static_cast<int>(kNumSignals);
+
+  private:
+    std::array<uint16_t, kNumSignals> regs_ = {};
+};
+
+} // namespace codic
+
+#endif // CODIC_CODIC_MODE_REGS_H

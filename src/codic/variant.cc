@@ -1,0 +1,177 @@
+#include "codic/variant.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace codic {
+
+const char *
+variantClassName(VariantClass c)
+{
+    switch (c) {
+      case VariantClass::Noop: return "noop";
+      case VariantClass::Precharge: return "precharge";
+      case VariantClass::Activate: return "activate";
+      case VariantClass::Sig: return "sig";
+      case VariantClass::DetZero: return "det-zero";
+      case VariantClass::DetOne: return "det-one";
+      case VariantClass::Sigsa: return "sigsa";
+      case VariantClass::SigsaNoWrite: return "sigsa-nowrite";
+      case VariantClass::Custom: return "custom";
+    }
+    panic("unknown variant class");
+}
+
+VariantClass
+CodicVariant::classify() const
+{
+    return classifySchedule(schedule);
+}
+
+VariantClass
+classifySchedule(const SignalSchedule &sched)
+{
+    const auto wl = sched.pulse(Signal::Wl);
+    const auto eq = sched.pulse(Signal::Eq);
+    const auto sp = sched.pulse(Signal::SenseP);
+    const auto sn = sched.pulse(Signal::SenseN);
+
+    if (!wl && !eq && !sp && !sn)
+        return VariantClass::Noop;
+
+    // EQ-only: a precharge.
+    if (eq && !wl && !sp && !sn)
+        return VariantClass::Precharge;
+
+    // wl + EQ, no sensing, EQ strictly after the wordline opens:
+    // charge sharing followed by equalization drives the cell to
+    // Vdd/2 (CODIC-sig; the pulse lengths distinguish sig from
+    // sig-opt but not the functionality).
+    if (wl && eq && !sp && !sn && eq->start_ns > wl->start_ns)
+        return VariantClass::Sig;
+
+    // Both SA legs present: activation, det, or sigsa families.
+    if (sp && sn) {
+        const bool simultaneous = sp->start_ns == sn->start_ns;
+        if (!wl) {
+            // Sensing a floating precharged bitline without charge
+            // sharing: signature that does not destroy cell contents.
+            if (simultaneous && !eq)
+                return VariantClass::SigsaNoWrite;
+            return VariantClass::Custom;
+        }
+        if (eq)
+            return VariantClass::Custom;
+        if (simultaneous) {
+            // SA before the wordline: pure SA-mismatch signature
+            // written back through the late wordline (CODIC-sigsa).
+            // SA after the wordline: regular activation.
+            if (sp->start_ns < wl->start_ns)
+                return VariantClass::Sigsa;
+            if (sp->start_ns > wl->start_ns)
+                return VariantClass::Activate;
+            return VariantClass::Custom;
+        }
+        // Staggered SA legs with the wordline open: deterministic
+        // value generation; the first leg decides the direction.
+        if (sn->start_ns < sp->start_ns)
+            return VariantClass::DetZero;
+        return VariantClass::DetOne;
+    }
+
+    return VariantClass::Custom;
+}
+
+double
+variantLatencyNs(const SignalSchedule &sched, const LatencyModel &model)
+{
+    if (sched.empty())
+        return 0.0;
+    const double busy = static_cast<double>(sched.lastEdgeNs()) +
+                        model.settle_ns;
+    if (busy <= model.trp_ns)
+        return model.trp_ns;
+    return std::max(busy, model.tras_ns);
+}
+
+namespace variants {
+
+CodicVariant
+activate()
+{
+    CodicVariant v{"CODIC-activate", {}};
+    v.schedule.set(Signal::Wl, 5, 22);
+    v.schedule.set(Signal::SenseP, 7, 22);
+    v.schedule.set(Signal::SenseN, 7, 22);
+    return v;
+}
+
+CodicVariant
+precharge()
+{
+    CodicVariant v{"CODIC-precharge", {}};
+    v.schedule.set(Signal::Eq, 5, 11);
+    return v;
+}
+
+CodicVariant
+sig()
+{
+    CodicVariant v{"CODIC-sig", {}};
+    v.schedule.set(Signal::Wl, 5, 22);
+    v.schedule.set(Signal::Eq, 7, 22);
+    return v;
+}
+
+CodicVariant
+sigOpt()
+{
+    // Early termination exploits the observation that the capacitor
+    // reaches Vdd/2 almost immediately after EQ asserts (Fig. 3a).
+    CodicVariant v{"CODIC-sig-opt", {}};
+    v.schedule.set(Signal::Wl, 5, 11);
+    v.schedule.set(Signal::Eq, 7, 11);
+    return v;
+}
+
+CodicVariant
+detZero()
+{
+    CodicVariant v{"CODIC-det (0)", {}};
+    v.schedule.set(Signal::Wl, 5, 22);
+    v.schedule.set(Signal::SenseN, 7, 22);
+    v.schedule.set(Signal::SenseP, 14, 22);
+    return v;
+}
+
+CodicVariant
+detOne()
+{
+    CodicVariant v{"CODIC-det (1)", {}};
+    v.schedule.set(Signal::Wl, 5, 22);
+    v.schedule.set(Signal::SenseP, 7, 22);
+    v.schedule.set(Signal::SenseN, 14, 22);
+    return v;
+}
+
+CodicVariant
+sigsa()
+{
+    CodicVariant v{"CODIC-sigsa", {}};
+    v.schedule.set(Signal::SenseP, 3, 22);
+    v.schedule.set(Signal::SenseN, 3, 22);
+    v.schedule.set(Signal::Wl, 5, 22);
+    return v;
+}
+
+std::vector<CodicVariant>
+all()
+{
+    return {activate(), precharge(), sig(), sigOpt(),
+            detZero(),  detOne(),    sigsa()};
+}
+
+} // namespace variants
+
+} // namespace codic

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CODIC variant definitions: named signal schedules (paper Table 1),
+ * functional classification of arbitrary schedules by relative signal
+ * ordering (paper Section 4.1.3), and the bank-occupancy latency model
+ * used by Table 2.
+ */
+
+#ifndef CODIC_CODIC_VARIANT_H
+#define CODIC_CODIC_VARIANT_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/signals.h"
+
+namespace codic {
+
+/**
+ * Functional class of a CODIC schedule, determined by the relative
+ * order in which the four internal signals assert (paper Section
+ * 4.1.3: "the functionality of a particular CODIC command is
+ * determined by the relative order in which the internal circuits are
+ * triggered and deactivated").
+ */
+enum class VariantClass
+{
+    Noop,        //!< No signal asserted; DRAM state untouched.
+    Precharge,   //!< EQ only: bitline to Vdd/2, cells untouched.
+    Activate,    //!< wl, then both SA legs together: normal activation.
+    Sig,         //!< wl then EQ: drives cells to Vdd/2 (signature prep).
+    DetZero,     //!< sense_n before sense_p with wl: writes zeros.
+    DetOne,      //!< sense_p before sense_n with wl: writes ones.
+    Sigsa,       //!< Both SA legs before/without charge sharing, wl
+                 //!< raised afterwards: writes SA-mismatch signatures.
+    SigsaNoWrite,//!< SA legs only, no wl: signature on the bitline
+                 //!< without destroying cell contents (§4.1.3).
+    Custom,      //!< Any other combination; effect on cells undefined
+                 //!< (treated as destructive by safety analyses).
+};
+
+/** Human-readable class name. */
+const char *variantClassName(VariantClass c);
+
+/** A named CODIC variant: a schedule plus identification. */
+struct CodicVariant
+{
+    std::string name;        //!< e.g. "CODIC-sig".
+    SignalSchedule schedule; //!< The four-signal timing assignment.
+
+    /** Classify this variant's schedule. */
+    VariantClass classify() const;
+};
+
+/**
+ * Classify an arbitrary signal schedule by relative signal order.
+ * Total function: every schedule maps to exactly one class.
+ */
+VariantClass classifySchedule(const SignalSchedule &sched);
+
+/** Timing constants used by the bank-occupancy latency model (ns). */
+struct LatencyModel
+{
+    double trp_ns = 13.0;    //!< Precharge-class bank occupancy.
+    double tras_ns = 35.0;   //!< Activation-class bank occupancy.
+    double settle_ns = 2.0;  //!< Signal settle margin after last edge.
+};
+
+/**
+ * Bank-occupancy latency of a CODIC schedule (paper Table 2).
+ *
+ * A bank operation is either precharge-class (fits within tRP) or
+ * activation-class (bounded below by tRAS): a schedule whose last
+ * signal edge plus settle margin fits inside tRP occupies the bank
+ * for tRP (13 ns: CODIC-precharge, CODIC-sig-opt); anything longer is
+ * activation-class and occupies max(last edge + settle, tRAS)
+ * (35 ns: CODIC-activate, CODIC-sig, CODIC-det).
+ */
+double variantLatencyNs(const SignalSchedule &sched,
+                        const LatencyModel &model = {});
+
+/** Builders for the paper's named variants (Tables 1-2, App. C). */
+namespace variants {
+
+/** Regular activation re-expressed as a CODIC schedule (Table 1). */
+CodicVariant activate();
+
+/** Regular precharge re-expressed as a CODIC schedule (Table 1). */
+CodicVariant precharge();
+
+/** CODIC-sig: process-variation signature preparation (Table 1). */
+CodicVariant sig();
+
+/** CODIC-sig-opt: early-terminated CODIC-sig (Section 4.1.1). */
+CodicVariant sigOpt();
+
+/** CODIC-det writing zeros (Table 1 / Fig. 3b). */
+CodicVariant detZero();
+
+/** CODIC-det writing ones (Section 4.1.2). */
+CodicVariant detOne();
+
+/** CODIC-sigsa: SA-mismatch signatures (Appendix C / Fig. 10). */
+CodicVariant sigsa();
+
+/** All named variants, for sweep-style tests and benches. */
+std::vector<CodicVariant> all();
+
+} // namespace variants
+
+} // namespace codic
+
+#endif // CODIC_CODIC_VARIANT_H

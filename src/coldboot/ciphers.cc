@@ -1,0 +1,248 @@
+#include "coldboot/ciphers.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace codic {
+
+namespace {
+
+uint32_t
+rotl32(uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+void
+quarterRound(uint32_t &a, uint32_t &b, uint32_t &c, uint32_t &d)
+{
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+uint32_t
+load32le(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// --- AES-128 internals. ---
+
+/** GF(2^8) multiply (AES polynomial x^8+x^4+x^3+x+1). */
+uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        const bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+/** The AES S-box, generated (GF(2^8) inverse + affine transform). */
+const std::array<uint8_t, 256> &
+sbox()
+{
+    static const std::array<uint8_t, 256> table = [] {
+        std::array<uint8_t, 256> t{};
+        // Build inverses by brute force (256^2 once at startup).
+        std::array<uint8_t, 256> inv{};
+        for (int a = 1; a < 256; ++a) {
+            for (int b = 1; b < 256; ++b) {
+                if (gmul(static_cast<uint8_t>(a),
+                         static_cast<uint8_t>(b)) == 1) {
+                    inv[static_cast<size_t>(a)] =
+                        static_cast<uint8_t>(b);
+                    break;
+                }
+            }
+        }
+        for (int x = 0; x < 256; ++x) {
+            uint8_t b = inv[static_cast<size_t>(x)];
+            uint8_t s = 0x63;
+            for (int i = 0; i < 8; ++i) {
+                const uint8_t bit =
+                    static_cast<uint8_t>(((b >> i) ^ (b >> ((i + 4) % 8)) ^
+                                          (b >> ((i + 5) % 8)) ^
+                                          (b >> ((i + 6) % 8)) ^
+                                          (b >> ((i + 7) % 8))) &
+                                         1);
+                s = static_cast<uint8_t>(s ^ (bit << i));
+            }
+            // s built incrementally: the 0x63 constant is already in.
+            t[static_cast<size_t>(x)] = s;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+ChaCha::ChaCha(const std::array<uint8_t, 32> &key,
+               const std::array<uint8_t, 12> &nonce, int rounds)
+    : rounds_(rounds)
+{
+    CODIC_ASSERT(rounds > 0 && rounds % 2 == 0);
+    state_[0] = 0x61707865;
+    state_[1] = 0x3320646e;
+    state_[2] = 0x79622d32;
+    state_[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i)
+        state_[static_cast<size_t>(4 + i)] =
+            load32le(key.data() + 4 * i);
+    state_[12] = 0; // Block counter, set per block.
+    for (int i = 0; i < 3; ++i)
+        state_[static_cast<size_t>(13 + i)] =
+            load32le(nonce.data() + 4 * i);
+}
+
+std::array<uint8_t, 64>
+ChaCha::block(uint32_t counter) const
+{
+    std::array<uint32_t, 16> x = state_;
+    x[12] = counter;
+    std::array<uint32_t, 16> w = x;
+    for (int r = 0; r < rounds_ / 2; ++r) {
+        quarterRound(w[0], w[4], w[8], w[12]);
+        quarterRound(w[1], w[5], w[9], w[13]);
+        quarterRound(w[2], w[6], w[10], w[14]);
+        quarterRound(w[3], w[7], w[11], w[15]);
+        quarterRound(w[0], w[5], w[10], w[15]);
+        quarterRound(w[1], w[6], w[11], w[12]);
+        quarterRound(w[2], w[7], w[8], w[13]);
+        quarterRound(w[3], w[4], w[9], w[14]);
+    }
+    std::array<uint8_t, 64> out;
+    for (int i = 0; i < 16; ++i) {
+        const uint32_t v = w[static_cast<size_t>(i)] +
+                           x[static_cast<size_t>(i)];
+        out[static_cast<size_t>(4 * i + 0)] =
+            static_cast<uint8_t>(v & 0xff);
+        out[static_cast<size_t>(4 * i + 1)] =
+            static_cast<uint8_t>((v >> 8) & 0xff);
+        out[static_cast<size_t>(4 * i + 2)] =
+            static_cast<uint8_t>((v >> 16) & 0xff);
+        out[static_cast<size_t>(4 * i + 3)] =
+            static_cast<uint8_t>((v >> 24) & 0xff);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+ChaCha::crypt(const std::vector<uint8_t> &data) const
+{
+    std::vector<uint8_t> out(data.size());
+    uint32_t counter = 1;
+    for (size_t off = 0; off < data.size(); off += 64, ++counter) {
+        const auto ks = block(counter);
+        const size_t n = std::min<size_t>(64, data.size() - off);
+        for (size_t i = 0; i < n; ++i)
+            out[off + i] = data[off + i] ^ ks[i];
+    }
+    return out;
+}
+
+Aes128::Aes128(const std::array<uint8_t, 16> &key)
+{
+    const auto &s = sbox();
+    round_keys_[0] = key;
+    uint8_t rcon = 1;
+    for (int r = 1; r <= 10; ++r) {
+        auto &prev = round_keys_[static_cast<size_t>(r - 1)];
+        auto &out = round_keys_[static_cast<size_t>(r)];
+        // First word: RotWord + SubWord + Rcon.
+        uint8_t t[4] = {s[prev[13]], s[prev[14]], s[prev[15]],
+                        s[prev[12]]};
+        t[0] = static_cast<uint8_t>(t[0] ^ rcon);
+        rcon = gmul(rcon, 2);
+        for (int i = 0; i < 4; ++i)
+            out[static_cast<size_t>(i)] =
+                static_cast<uint8_t>(prev[static_cast<size_t>(i)] ^ t[i]);
+        for (int i = 4; i < 16; ++i)
+            out[static_cast<size_t>(i)] = static_cast<uint8_t>(
+                prev[static_cast<size_t>(i)] ^
+                out[static_cast<size_t>(i - 4)]);
+    }
+}
+
+std::array<uint8_t, 16>
+Aes128::encryptBlock(const std::array<uint8_t, 16> &plain) const
+{
+    const auto &s = sbox();
+    std::array<uint8_t, 16> st = plain;
+    auto add_key = [&](int r) {
+        for (int i = 0; i < 16; ++i)
+            st[static_cast<size_t>(i)] = static_cast<uint8_t>(
+                st[static_cast<size_t>(i)] ^
+                round_keys_[static_cast<size_t>(r)]
+                           [static_cast<size_t>(i)]);
+    };
+    auto sub_shift = [&] {
+        std::array<uint8_t, 16> t;
+        // Combined SubBytes + ShiftRows (column-major state layout).
+        static const int map[16] = {0, 5, 10, 15, 4, 9, 14, 3,
+                                    8, 13, 2, 7, 12, 1, 6, 11};
+        for (int i = 0; i < 16; ++i)
+            t[static_cast<size_t>(i)] =
+                s[st[static_cast<size_t>(map[i])]];
+        st = t;
+    };
+    auto mix_columns = [&] {
+        for (int c = 0; c < 4; ++c) {
+            uint8_t *col = st.data() + 4 * c;
+            const uint8_t a0 = col[0], a1 = col[1], a2 = col[2],
+                          a3 = col[3];
+            col[0] = static_cast<uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^
+                                          a2 ^ a3);
+            col[1] = static_cast<uint8_t>(a0 ^ gmul(a1, 2) ^
+                                          gmul(a2, 3) ^ a3);
+            col[2] = static_cast<uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^
+                                          gmul(a3, 3));
+            col[3] = static_cast<uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^
+                                          gmul(a3, 2));
+        }
+    };
+    add_key(0);
+    for (int r = 1; r <= 9; ++r) {
+        sub_shift();
+        mix_columns();
+        add_key(r);
+    }
+    sub_shift();
+    add_key(10);
+    return st;
+}
+
+std::vector<uint8_t>
+Aes128::ctrCrypt(const std::array<uint8_t, 16> &iv,
+                 const std::vector<uint8_t> &data) const
+{
+    std::vector<uint8_t> out(data.size());
+    std::array<uint8_t, 16> ctr = iv;
+    for (size_t off = 0; off < data.size(); off += 16) {
+        const auto ks = encryptBlock(ctr);
+        const size_t n = std::min<size_t>(16, data.size() - off);
+        for (size_t i = 0; i < n; ++i)
+            out[off + i] = data[off + i] ^ ks[i];
+        // Big-endian counter increment in the last 4 bytes.
+        for (int i = 15; i >= 12; --i)
+            if (++ctr[static_cast<size_t>(i)] != 0)
+                break;
+    }
+    return out;
+}
+
+} // namespace codic

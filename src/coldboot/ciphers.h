@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reference implementations of the two ciphers the paper compares its
+ * self-destruction mechanism against (Table 6): ChaCha (Bernstein
+ * [18]; the paper uses the 8-round variant) and AES-128 [38].
+ *
+ * These are functional reference ciphers - validated against the
+ * RFC 7539 and FIPS-197 test vectors by the test suite - used to
+ * ground the Table 6 overhead model in real per-byte work, not
+ * production crypto (no constant-time hardening).
+ */
+
+#ifndef CODIC_COLDBOOT_CIPHERS_H
+#define CODIC_COLDBOOT_CIPHERS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace codic {
+
+/** ChaCha stream cipher with a configurable round count. */
+class ChaCha
+{
+  public:
+    /**
+     * @param key 32-byte key.
+     * @param nonce 12-byte nonce (RFC 7539 layout).
+     * @param rounds Total rounds (20 for ChaCha20, 8 for ChaCha8).
+     */
+    ChaCha(const std::array<uint8_t, 32> &key,
+           const std::array<uint8_t, 12> &nonce, int rounds = 8);
+
+    /** Generate the 64-byte keystream block for a block counter. */
+    std::array<uint8_t, 64> block(uint32_t counter) const;
+
+    /** XOR-encrypt/decrypt a buffer starting at block counter 1. */
+    std::vector<uint8_t> crypt(const std::vector<uint8_t> &data) const;
+
+  private:
+    std::array<uint32_t, 16> state_;
+    int rounds_;
+};
+
+/** AES-128 block cipher (encryption direction). */
+class Aes128
+{
+  public:
+    explicit Aes128(const std::array<uint8_t, 16> &key);
+
+    /** Encrypt one 16-byte block. */
+    std::array<uint8_t, 16>
+    encryptBlock(const std::array<uint8_t, 16> &plain) const;
+
+    /** Encrypt a buffer in CTR mode (nonce || counter in the IV). */
+    std::vector<uint8_t> ctrCrypt(const std::array<uint8_t, 16> &iv,
+                                  const std::vector<uint8_t> &data) const;
+
+  private:
+    std::array<std::array<uint8_t, 16>, 11> round_keys_;
+};
+
+} // namespace codic
+
+#endif // CODIC_COLDBOOT_CIPHERS_H

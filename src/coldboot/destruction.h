@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cold-boot-attack prevention mechanisms (paper Section 5.2 / 6.2):
+ * full-memory data destruction engines compared in Figure 7.
+ *
+ *  - TCG: the firmware baseline of the TCG Platform Reset Attack
+ *    Mitigation spec [157]: the CPU overwrites every cache line with
+ *    zeros and flushes it (CLFLUSH), serializing on each line's
+ *    writeback. Runs with refresh enabled (the system is live).
+ *  - RowClone: a reserved all-zeros row per bank is copied over every
+ *    other row with back-to-back activation (FPM copy) [133].
+ *  - LISA-clone: RowClone plus a row-buffer-movement hop per copy,
+ *    modeling the inter-subarray transport of LISA [27].
+ *  - CODIC: one CODIC-det command per row; no source row needed.
+ *
+ * All engines issue real command streams through the JEDEC-checked
+ * channel, parallelized across banks and constrained by tRRD/tFAW.
+ * Self-destruction variants run at power-on before refresh is
+ * required (JEDEC mandates refresh only after initialization), which
+ * is why they are legally refresh-free.
+ */
+
+#ifndef CODIC_COLDBOOT_DESTRUCTION_H
+#define CODIC_COLDBOOT_DESTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "dram/channel.h"
+#include "power/energy_model.h"
+
+namespace codic {
+
+/** Which destruction mechanism to run. */
+enum class DestructionMechanism { Tcg, LisaClone, RowClone, Codic };
+
+/** Display name. */
+const char *destructionMechanismName(DestructionMechanism m);
+
+/** Outcome of a destruction campaign. */
+struct DestructionResult
+{
+    double time_ns = 0.0;     //!< Wall time to destroy the module.
+    double energy_nj = 0.0;   //!< Total energy (commands+background).
+    CommandCounts counts;     //!< Commands issued (scaled if sampled).
+    int64_t rows_destroyed = 0;
+    bool extrapolated = false;//!< Large module simulated by sampling.
+};
+
+/** Campaign configuration. */
+struct DestructionConfig
+{
+    /**
+     * Rows to simulate explicitly before extrapolating linearly.
+     * Destruction traffic is perfectly homogeneous, so per-row cost
+     * converges after a few tFAW windows; 64 Ki rows is ample. Set to
+     * 0 to force full simulation regardless of module size.
+     */
+    int64_t max_simulated_rows = 65536;
+
+    EnergyParams energy;
+};
+
+/**
+ * Destroy the full contents of a module with the given mechanism and
+ * verify (for non-extrapolated runs) that no row still holds data.
+ */
+DestructionResult runDestruction(const DramConfig &dram,
+                                 DestructionMechanism mechanism,
+                                 const DestructionConfig &config = {});
+
+/**
+ * Timing of the cost-optimized self-destruction implementation that
+ * reuses the self-refresh circuitry (paper Section 5.2.2, second
+ * implementation): "the destruction time is the same as the time
+ * that the self-refresh mechanism takes to refresh the entire
+ * memory".
+ */
+struct SelfRefreshReuseTiming
+{
+    /**
+     * Distributed mode: one full refresh window (tREFW, 64 ms) - the
+     * unmodified self-refresh cadence.
+     */
+    double distributed_ns;
+
+    /**
+     * Burst mode: 8192 back-to-back REF-equivalent operations of
+     * tRFC each - the fastest the shared internal refresh FSM could
+     * legally step through the array.
+     */
+    double burst_ns;
+};
+
+/** Compute both bounds for a module. */
+SelfRefreshReuseTiming selfRefreshReuseTiming(const DramConfig &dram);
+
+} // namespace codic
+
+#endif // CODIC_COLDBOOT_DESTRUCTION_H

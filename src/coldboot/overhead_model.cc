@@ -1,0 +1,57 @@
+#include "coldboot/overhead_model.h"
+
+#include "circuit/delay_element.h"
+#include "common/logging.h"
+
+namespace codic {
+
+const char *
+coldBootDefenseName(ColdBootDefense d)
+{
+    switch (d) {
+      case ColdBootDefense::CodicSelfDestruct:
+        return "CODIC Self-Destruction";
+      case ColdBootDefense::ChaCha8: return "ChaCha-8";
+      case ColdBootDefense::Aes128: return "AES-128";
+    }
+    panic("unknown cold boot defense");
+}
+
+OverheadRow
+computeOverhead(ColdBootDefense defense, const PlatformParams &platform)
+{
+    OverheadRow row{0.0, 0.0, 0.0, 0.0};
+    switch (defense) {
+      case ColdBootDefense::CodicSelfDestruct: {
+        // Destruction runs once at power-on: zero runtime cost. DRAM
+        // area is the four configurable delay elements per mat.
+        DelayElement element;
+        row.dram_area_pct =
+            element.fullCodicAreaOverheadPerMat() * 100.0;
+        return row;
+      }
+      case ColdBootDefense::ChaCha8: {
+        const double power_w = platform.chacha8_pj_per_byte * 1e-12 *
+                               platform.peak_mem_bw_gbs * 1e9;
+        row.runtime_power_pct = power_w / platform.cpu_power_w * 100.0;
+        row.cpu_area_pct =
+            platform.chacha8_area_mm2 / platform.cpu_area_mm2 * 100.0;
+        return row;
+      }
+      case ColdBootDefense::Aes128: {
+        const double power_w = platform.aes128_pj_per_byte * 1e-12 *
+                               platform.peak_mem_bw_gbs * 1e9;
+        row.runtime_power_pct = power_w / platform.cpu_power_w * 100.0;
+        row.cpu_area_pct =
+            platform.aes128_area_mm2 / platform.cpu_area_mm2 * 100.0;
+        // Perf overhead stays ~0 only while <= aes_row_hit_window
+        // back-to-back row hits keep the pipeline ahead of the
+        // decryptor (paper footnote 1 of Table 6).
+        CODIC_ASSERT(platform.aes_row_hit_window >= 1);
+        return row;
+      }
+    }
+    panic("unknown cold boot defense");
+}
+
+} // namespace codic

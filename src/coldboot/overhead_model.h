@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytical runtime/power/area overhead model behind paper Table 6:
+ * CODIC self-destruction vs. memory encryption with ChaCha-8 or
+ * AES-128 on a low-cost processor (Intel Atom N280 class).
+ *
+ * The paper's comparison is analytical; this model reproduces it from
+ * first principles:
+ *  - runtime performance overhead: encryption latency is hidden in
+ *    the common case [170] and CODIC does nothing at runtime, so all
+ *    three are ~0 % (AES under the <=16 back-to-back row-hit
+ *    assumption of the paper's footnote);
+ *  - runtime power overhead: cipher energy-per-byte times peak memory
+ *    bandwidth, relative to the processor's power budget;
+ *  - area: cipher accelerators add processor area; CODIC adds DRAM
+ *    area (the configurable delay elements of Section 4.2.1, taken
+ *    directly from the circuit model).
+ */
+
+#ifndef CODIC_COLDBOOT_OVERHEAD_MODEL_H
+#define CODIC_COLDBOOT_OVERHEAD_MODEL_H
+
+#include <string>
+
+namespace codic {
+
+/** Protection mechanisms compared in Table 6. */
+enum class ColdBootDefense { CodicSelfDestruct, ChaCha8, Aes128 };
+
+/** Display name. */
+const char *coldBootDefenseName(ColdBootDefense d);
+
+/** Platform constants (Intel Atom N280 class, paper Table 6). */
+struct PlatformParams
+{
+    double cpu_power_w = 2.5;      //!< Processor power budget (TDP).
+    double cpu_area_mm2 = 24.4;    //!< Processor die area.
+    double peak_mem_bw_gbs = 5.3;  //!< Peak memory bandwidth (GB/s).
+
+    double chacha8_pj_per_byte = 80.0;  //!< Accelerated ChaCha-8.
+    double aes128_pj_per_byte = 56.5;   //!< Accelerated AES-128.
+    double chacha8_area_mm2 = 0.22;     //!< ChaCha-8 engine area.
+    double aes128_area_mm2 = 0.317;     //!< AES-128 engine area.
+
+    /** Max back-to-back row hits assumed for AES latency hiding. */
+    int aes_row_hit_window = 16;
+};
+
+/** One row of Table 6. */
+struct OverheadRow
+{
+    double runtime_perf_pct;   //!< Runtime performance overhead.
+    double runtime_power_pct;  //!< Runtime power overhead (peak BW).
+    double cpu_area_pct;       //!< Processor area overhead.
+    double dram_area_pct;      //!< DRAM area overhead.
+};
+
+/**
+ * Compute one mechanism's overhead row. CODIC's DRAM area is taken
+ * from the configurable-delay-element circuit model (Section 4.2.1);
+ * cipher power comes from energy-per-byte at peak bandwidth.
+ */
+OverheadRow computeOverhead(ColdBootDefense defense,
+                            const PlatformParams &platform = {});
+
+} // namespace codic
+
+#endif // CODIC_COLDBOOT_OVERHEAD_MODEL_H

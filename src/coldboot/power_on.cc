@@ -1,0 +1,56 @@
+#include "coldboot/power_on.h"
+
+#include "common/logging.h"
+
+namespace codic {
+
+PowerOnFsm::PowerOnFsm(int64_t destruct_rows) : remaining_(destruct_rows)
+{
+    CODIC_ASSERT(destruct_rows > 0);
+}
+
+void
+PowerOnFsm::observeVoltage(double volts)
+{
+    if (state_ == PowerOnState::Dead)
+        return;
+    if (volts <= kRampThresholdVolts) {
+        // Power removed: re-arm. Whatever charge remains in the
+        // array will be destroyed on the next ramp.
+        saw_zero_ = true;
+        if (state_ != PowerOnState::Off)
+            state_ = PowerOnState::Off;
+        return;
+    }
+    if (state_ == PowerOnState::Off && saw_zero_) {
+        // Ramp up from 0 V detected - at ANY level above threshold,
+        // not only at nominal Vdd (defeats low-voltage attacks).
+        saw_zero_ = false;
+        state_ = PowerOnState::Destructing;
+    }
+}
+
+void
+PowerOnFsm::observeTemperature(double celsius)
+{
+    if (celsius > kControllerMaxTempC) {
+        // The FSM shares the internal controller with the command
+        // timing logic: overheating it kills the whole chip, so the
+        // attacker gains nothing (Section 5.2.2).
+        state_ = PowerOnState::Dead;
+    }
+}
+
+void
+PowerOnFsm::destructionProgress(int64_t rows)
+{
+    if (state_ != PowerOnState::Destructing)
+        return;
+    remaining_ -= rows;
+    if (remaining_ <= 0) {
+        remaining_ = 0;
+        state_ = PowerOnState::Ready;
+    }
+}
+
+} // namespace codic

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Power-on detection and self-destruction sequencing FSM (paper
+ * Section 5.2.2, "Security Analysis").
+ *
+ * The FSM is part of the DRAM chip's internal controller. It arms
+ * when supply voltage is at 0 V, triggers on any upward ramp from
+ * 0 V (it does NOT wait for Vdd - operating the chip at a reduced
+ * voltage does not evade it), refuses all external commands while
+ * destruction is in progress (atomicity), and only then opens the
+ * chip for normal operation. Overheating the FSM is modeled as
+ * disabling the whole internal controller, which leaves the chip
+ * unusable rather than unprotected.
+ */
+
+#ifndef CODIC_COLDBOOT_POWER_ON_H
+#define CODIC_COLDBOOT_POWER_ON_H
+
+#include <cstdint>
+
+namespace codic {
+
+/** States of the power-on / self-destruct FSM. */
+enum class PowerOnState
+{
+    Off,         //!< No supply voltage; armed for ramp detection.
+    Destructing, //!< Ramp detected; CODIC destruction in progress.
+    Ready,       //!< Destruction complete; chip accepts commands.
+    Dead,        //!< Internal controller disabled (e.g. overheated).
+};
+
+/** The power-on detection + self-destruction controller. */
+class PowerOnFsm
+{
+  public:
+    /**
+     * @param destruct_rows Number of rows the destruction sequence
+     *        must complete before the chip opens up.
+     */
+    explicit PowerOnFsm(int64_t destruct_rows);
+
+    /** Current state. */
+    PowerOnState state() const { return state_; }
+
+    /**
+     * Feed one supply-voltage sample (volts). Any ramp up from 0 V
+     * triggers destruction, regardless of the level reached.
+     */
+    void observeVoltage(double volts);
+
+    /**
+     * Feed one die-temperature sample. Beyond the survival limit the
+     * internal controller (and with it the whole chip) dies.
+     */
+    void observeTemperature(double celsius);
+
+    /**
+     * Progress the destruction sequence by `rows` destroyed rows.
+     * Transitions to Ready when all rows are done.
+     */
+    void destructionProgress(int64_t rows);
+
+    /**
+     * Would the chip accept an external DRAM command right now?
+     * False during destruction (atomicity) and when Off/Dead.
+     */
+    bool acceptsCommands() const { return state_ == PowerOnState::Ready; }
+
+    /** Rows still to destroy before the chip opens. */
+    int64_t rowsRemaining() const { return remaining_; }
+
+    /**
+     * Minimum voltage treated as "powered" by the ramp detector; any
+     * sample above this after a 0 V sample triggers. Chosen far below
+     * any voltage at which DRAM is operational, so a low-voltage
+     * attack (Section 5.2.2) cannot sneak under it and still read
+     * data.
+     */
+    static constexpr double kRampThresholdVolts = 0.05;
+
+    /** Internal-controller survival temperature limit (C). */
+    static constexpr double kControllerMaxTempC = 150.0;
+
+  private:
+    PowerOnState state_ = PowerOnState::Off;
+    int64_t remaining_;
+    bool saw_zero_ = true; //!< Supply observed at 0 V since last on.
+};
+
+} // namespace codic
+
+#endif // CODIC_COLDBOOT_POWER_ON_H

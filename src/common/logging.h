@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Logging and error-reporting helpers used across the CODIC codebase.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs), fatal() is for user-caused errors
+ * (bad configuration), warn()/inform() are advisory.
+ */
+
+#ifndef CODIC_COMMON_LOGGING_H
+#define CODIC_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace codic {
+
+/** Exception thrown on internal invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown on user-caused configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+format_into(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format_into(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    format_into(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Abort with a message describing an internal bug. Never returns.
+ * Throws PanicError so tests can assert on invariant enforcement.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::format_into(os, args...);
+    throw PanicError(os.str());
+}
+
+/**
+ * Abort with a message describing a user configuration error.
+ * Never returns. Throws FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::format_into(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::ostringstream os;
+    detail::format_into(os, args...);
+    std::fprintf(stderr, "warn: %s\n", os.str().c_str());
+}
+
+/** Print an informational message to stderr; execution continues. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::ostringstream os;
+    detail::format_into(os, args...);
+    std::fprintf(stderr, "info: %s\n", os.str().c_str());
+}
+
+/** Internal-invariant assertion that is active in all build types. */
+#define CODIC_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::codic::panic("assertion '" #cond "' failed at ", __FILE__,     \
+                           ":", __LINE__);                                   \
+        }                                                                    \
+    } while (0)
+
+} // namespace codic
+
+#endif // CODIC_COMMON_LOGGING_H

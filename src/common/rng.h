@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * simulation campaigns.
+ *
+ * All stochastic behaviour in the codebase (process variation draws,
+ * workload generation, Monte-Carlo circuit sweeps) flows through Rng so
+ * experiments are exactly reproducible from a seed. The generator is
+ * xoshiro256** seeded via SplitMix64, which is the standard pairing
+ * recommended by the xoshiro authors.
+ */
+
+#ifndef CODIC_COMMON_RNG_H
+#define CODIC_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace codic {
+
+/** SplitMix64 stream, used to expand a single seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Return the next 64-bit value in the stream. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ *
+ * Not thread-safe; create one Rng per logical experiment stream and
+ * derive child streams with fork() to keep campaigns independent.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0xC0D1CULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &s : s_)
+            s = sm.next();
+    }
+
+    /** Uniform 64-bit draw. */
+    uint64_t
+    next64()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        CODIC_ASSERT(n > 0);
+        // Lemire-style rejection to avoid modulo bias.
+        uint64_t x = next64();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        uint64_t l = static_cast<uint64_t>(m);
+        if (l < n) {
+            uint64_t t = -n % n;
+            while (l < t) {
+                x = next64();
+                m = static_cast<__uint128_t>(x) * n;
+                l = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        CODIC_ASSERT(hi >= lo);
+        return lo + static_cast<int64_t>(
+                        below(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal draw (Box-Muller with caching). */
+    double
+    gaussian()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal draw with explicit mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+    /**
+     * Derive an independent child generator. Children produced with
+     * distinct tags are statistically independent of the parent and of
+     * each other, so module-level streams never interleave.
+     */
+    Rng
+    fork(uint64_t tag)
+    {
+        return Rng(next64() ^ (tag * 0x9e3779b97f4a7c15ULL));
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4] = {};
+    bool have_cached_ = false;
+    double cached_ = 0.0;
+};
+
+} // namespace codic
+
+#endif // CODIC_COMMON_RNG_H

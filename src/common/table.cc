@@ -1,0 +1,88 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace codic {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    CODIC_ASSERT(!header_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    CODIC_ASSERT(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtTimeNs(double ns)
+{
+    if (ns < 1e3)
+        return fmt(ns, 1) + " ns";
+    if (ns < 1e6)
+        return fmt(ns / 1e3, 2) + " us";
+    if (ns < 1e9)
+        return fmt(ns / 1e6, 2) + " ms";
+    return fmt(ns / 1e9, 2) + " s";
+}
+
+std::string
+fmtEnergyNj(double nj)
+{
+    if (nj < 1.0)
+        return fmt(nj * 1e3, 1) + " pJ";
+    if (nj < 1e3)
+        return fmt(nj, 2) + " nJ";
+    if (nj < 1e6)
+        return fmt(nj / 1e3, 2) + " uJ";
+    if (nj < 1e9)
+        return fmt(nj / 1e6, 2) + " mJ";
+    return fmt(nj / 1e9, 2) + " J";
+}
+
+} // namespace codic

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table renderer used by the benchmark harnesses to print
+ * rows in the same layout as the paper's tables and figure series.
+ */
+
+#ifndef CODIC_COMMON_TABLE_H
+#define CODIC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace codic {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Primitive", "Latency (ns)", "Energy (nJ)"});
+ *   t.addRow({"CODIC-sig", "35", "17.2"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string fmt(double value, int precision = 2);
+
+/** Format a time given in nanoseconds with an auto-scaled unit. */
+std::string fmtTimeNs(double ns);
+
+/** Format an energy given in nanojoules with an auto-scaled unit. */
+std::string fmtEnergyNj(double nj);
+
+} // namespace codic
+
+#endif // CODIC_COMMON_TABLE_H

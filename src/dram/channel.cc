@@ -1,0 +1,396 @@
+#include "dram/channel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace codic {
+
+uint64_t
+CommandCounts::total() const
+{
+    return act + pre + rd + wr + ref + mrs + codic + rowclone + lisa_rbm;
+}
+
+DramChannel::DramChannel(const DramConfig &config) : config_(config)
+{
+    CODIC_ASSERT(config_.ranks >= 1 && config_.banks >= 1);
+    CODIC_ASSERT(config_.rows >= 1);
+    CODIC_ASSERT(static_cast<int64_t>(config_.columns) *
+                     config_.burst_bytes ==
+                 config_.row_bytes);
+    ranks_.resize(static_cast<size_t>(config_.ranks));
+    banks_.resize(static_cast<size_t>(config_.ranks * config_.banks));
+    for (auto &b : banks_) {
+        b.row_state.assign(static_cast<size_t>(config_.rows),
+                           static_cast<uint8_t>(RowDataState::Unwritten));
+    }
+}
+
+int
+DramChannel::registerVariant(const SignalSchedule &sched)
+{
+    // Model the hardware path: program the mode registers, then keep
+    // the decoded schedule. Round-tripping through the register file
+    // ensures only encodable schedules are accepted.
+    ModeRegisterFile mrf;
+    mrf.program(sched);
+    variants_.push_back(mrf.decode());
+    CODIC_ASSERT(variants_.back() == sched);
+    return static_cast<int>(variants_.size()) - 1;
+}
+
+const SignalSchedule &
+DramChannel::variantSchedule(int id) const
+{
+    CODIC_ASSERT(id >= 0 && static_cast<size_t>(id) < variants_.size());
+    return variants_[static_cast<size_t>(id)];
+}
+
+DramChannel::BankState &
+DramChannel::bank(int rank, int bank_idx)
+{
+    return banks_[static_cast<size_t>(rank * config_.banks + bank_idx)];
+}
+
+const DramChannel::BankState &
+DramChannel::bank(int rank, int bank_idx) const
+{
+    return banks_[static_cast<size_t>(rank * config_.banks + bank_idx)];
+}
+
+Cycle
+DramChannel::earliestActClass(const RankState &rank) const
+{
+    Cycle t = rank.next_act;
+    if (rank.faw.size() >= 4)
+        t = std::max(t, rank.faw.front() + config_.timing.tfaw);
+    return t;
+}
+
+void
+DramChannel::noteActClass(RankState &rank, Cycle t)
+{
+    rank.next_act = t + config_.timing.trrd;
+    rank.faw.push_back(t);
+    while (rank.faw.size() > 4)
+        rank.faw.pop_front();
+}
+
+void
+DramChannel::checkAddress(const Address &addr) const
+{
+    if (addr.rank < 0 || addr.rank >= config_.ranks ||
+        addr.bank < 0 || addr.bank >= config_.banks ||
+        addr.row < 0 || addr.row >= config_.rows ||
+        addr.column < 0 || addr.column >= config_.columns) {
+        panic("address out of range: rank=", addr.rank, " bank=",
+              addr.bank, " row=", addr.row, " col=", addr.column);
+    }
+}
+
+Cycle
+DramChannel::earliest(const Command &cmd) const
+{
+    checkAddress(cmd.addr);
+    const auto &t = config_.timing;
+    const RankState &rank = ranks_[static_cast<size_t>(cmd.addr.rank)];
+    const BankState &b = bank(cmd.addr.rank, cmd.addr.bank);
+
+    switch (cmd.type) {
+      case CommandType::Act: {
+        if (b.active)
+            panic("ACT to already-active bank ", cmd.addr.bank);
+        return std::max({b.next_act, earliestActClass(rank),
+                         rank.next_any});
+      }
+      case CommandType::Pre:
+        return std::max(b.next_pre, rank.next_any);
+      case CommandType::PreAll: {
+        Cycle when = rank.next_any;
+        for (int i = 0; i < config_.banks; ++i)
+            when = std::max(when, bank(cmd.addr.rank, i).next_pre);
+        return when;
+      }
+      case CommandType::Rd: {
+        if (!b.active || b.open_row != cmd.addr.row)
+            panic("RD to closed or mismatched row (open=", b.open_row,
+                  " want=", cmd.addr.row, ")");
+        return std::max({b.next_rdwr, next_rd_start_, rank.next_any});
+      }
+      case CommandType::Wr: {
+        if (!b.active || b.open_row != cmd.addr.row)
+            panic("WR to closed or mismatched row (open=", b.open_row,
+                  " want=", cmd.addr.row, ")");
+        return std::max({b.next_rdwr, next_wr_start_, rank.next_any});
+      }
+      case CommandType::Ref: {
+        Cycle when = rank.next_any;
+        for (int i = 0; i < config_.banks; ++i) {
+            const BankState &bb = bank(cmd.addr.rank, i);
+            if (bb.active)
+                panic("REF with bank ", i, " still active");
+            when = std::max(when, bb.next_act);
+        }
+        return when;
+      }
+      case CommandType::Mrs:
+        return rank.next_any;
+      case CommandType::Codic: {
+        if (b.active)
+            panic("CODIC to active bank ", cmd.addr.bank,
+                  " (CODIC operates on precharged bitlines)");
+        if (cmd.codic_variant < 0 ||
+            static_cast<size_t>(cmd.codic_variant) >= variants_.size())
+            panic("CODIC with unregistered variant ", cmd.codic_variant);
+        const auto cls =
+            classifySchedule(variants_[
+                static_cast<size_t>(cmd.codic_variant)]);
+        Cycle when = std::max(b.next_act, rank.next_any);
+        // Activation-class variants draw activation current and count
+        // against tRRD/tFAW; precharge-class variants do not.
+        const double lat_ns = variantLatencyNs(
+            variants_[static_cast<size_t>(cmd.codic_variant)]);
+        (void)cls;
+        if (config_.nsToCycles(lat_ns) > t.trp)
+            when = std::max(when, earliestActClass(rank));
+        return when;
+      }
+      case CommandType::RowClone: {
+        if (!b.active)
+            panic("ROWCLONE with no activated source row");
+        return std::max({b.next_rowclone, earliestActClass(rank),
+                         rank.next_any});
+      }
+      case CommandType::LisaRbm: {
+        if (!b.active)
+            panic("LISA-RBM with no activated row");
+        return std::max(b.next_rdwr, rank.next_any);
+      }
+    }
+    panic("unknown command type");
+}
+
+Cycle
+DramChannel::issue(const Command &cmd, Cycle t)
+{
+    const Cycle legal = earliest(cmd);
+    if (t < legal) {
+        panic("JEDEC timing violation: ", cmd.str(), " issued at cycle ",
+              t, " but earliest legal cycle is ", legal);
+    }
+    last_issue_ = std::max(last_issue_, t);
+
+    const auto &tt = config_.timing;
+    RankState &rank = ranks_[static_cast<size_t>(cmd.addr.rank)];
+    BankState &b = bank(cmd.addr.rank, cmd.addr.bank);
+
+    switch (cmd.type) {
+      case CommandType::Act: {
+        ++counts_.act;
+        b.active = true;
+        b.open_row = cmd.addr.row;
+        b.next_rdwr = std::max(b.next_rdwr, t + tt.trcd);
+        b.next_pre = std::max(b.next_pre, t + tt.tras);
+        b.next_act = std::max(b.next_act, t + tt.trc);
+        // The second activation of a RowClone FPM pair may only issue
+        // once the source row is fully restored (tRAS), otherwise the
+        // copy is unreliable.
+        b.next_rowclone = t + tt.tras;
+        noteActClass(rank, t);
+        // Activating a half-Vdd row resolves it to signatures; the
+        // data-state machine handles all cases.
+        auto &rs = b.row_state[static_cast<size_t>(cmd.addr.row)];
+        rs = static_cast<uint8_t>(
+            afterVariant(VariantClass::Activate,
+                         static_cast<RowDataState>(rs)));
+        return t + tt.trcd;
+      }
+      case CommandType::Pre: {
+        ++counts_.pre;
+        b.active = false;
+        b.open_row = -1;
+        b.next_act = std::max(b.next_act, t + tt.trp);
+        return t + tt.trp;
+      }
+      case CommandType::PreAll: {
+        ++counts_.pre;
+        for (int i = 0; i < config_.banks; ++i) {
+            BankState &bb = bank(cmd.addr.rank, i);
+            bb.active = false;
+            bb.open_row = -1;
+            bb.next_act = std::max(bb.next_act, t + tt.trp);
+        }
+        return t + tt.trp;
+      }
+      case CommandType::Rd: {
+        ++counts_.rd;
+        next_rd_start_ = std::max(next_rd_start_, t + tt.tccd);
+        // RD-to-WR bus turnaround: write burst must not collide with
+        // the read burst on the shared bus.
+        next_wr_start_ =
+            std::max(next_wr_start_, t + tt.tcl + tt.tbl + 2 - tt.tcwl);
+        b.next_pre = std::max(b.next_pre, t + tt.trtp);
+        return t + tt.tcl + tt.tbl;
+      }
+      case CommandType::Wr: {
+        ++counts_.wr;
+        next_wr_start_ = std::max(next_wr_start_, t + tt.tccd);
+        next_rd_start_ =
+            std::max(next_rd_start_, t + tt.tcwl + tt.tbl + tt.twtr);
+        b.next_pre =
+            std::max(b.next_pre, t + tt.tcwl + tt.tbl + tt.twr);
+        b.row_state[static_cast<size_t>(cmd.addr.row)] =
+            static_cast<uint8_t>(cmd.zero_fill ? RowDataState::Zeroes
+                                               : RowDataState::Data);
+        return t + tt.tcwl + tt.tbl + tt.twr;
+      }
+      case CommandType::Ref: {
+        ++counts_.ref;
+        rank.next_any = std::max(rank.next_any, t + tt.trfc);
+        for (int i = 0; i < config_.banks; ++i) {
+            BankState &bb = bank(cmd.addr.rank, i);
+            bb.next_act = std::max(bb.next_act, t + tt.trfc);
+        }
+        return t + tt.trfc;
+      }
+      case CommandType::Mrs: {
+        ++counts_.mrs;
+        rank.next_any = std::max(rank.next_any, t + tt.tmrd);
+        return t + tt.tmrd;
+      }
+      case CommandType::Codic: {
+        ++counts_.codic;
+        const SignalSchedule &sched =
+            variants_[static_cast<size_t>(cmd.codic_variant)];
+        const VariantClass cls = classifySchedule(sched);
+        const Cycle lat = config_.nsToCycles(variantLatencyNs(sched));
+        if (lat > tt.trp)
+            noteActClass(rank, t);
+        auto &rs = b.row_state[static_cast<size_t>(cmd.addr.row)];
+        rs = static_cast<uint8_t>(
+            afterVariant(cls, static_cast<RowDataState>(rs)));
+        if (cls == VariantClass::Activate) {
+            // An activation-class CODIC command is a real activation
+            // with programmable internal timing (the Section 5.3.2
+            // use case): the row opens, and columns become usable
+            // once the SA has sensed and amplified - i.e. the
+            // variant's own sense_p start plus amplification time,
+            // instead of the fixed worst-case tRCD.
+            b.active = true;
+            b.open_row = cmd.addr.row;
+            const auto sp = sched.pulse(Signal::SenseP);
+            double ready_ns =
+                static_cast<double>(sp ? sp->start_ns : 7) +
+                kSenseAmplifyNs;
+            if (cmd.codic_ready_ns > 0.0) {
+                // Characterized override (Section 5.3.2); never
+                // earlier than sense start plus a minimal latch time.
+                ready_ns = std::max(
+                    cmd.codic_ready_ns,
+                    static_cast<double>(sp ? sp->start_ns : 7) + 3.0);
+            }
+            b.next_rdwr = std::max(b.next_rdwr,
+                                   t + config_.nsToCycles(ready_ns));
+            b.next_pre = std::max(b.next_pre, t + tt.tras);
+            b.next_act = std::max(b.next_act, t + tt.trc);
+            b.next_rowclone = t + tt.tras;
+            return t + config_.nsToCycles(ready_ns);
+        }
+        b.next_act = std::max(b.next_act, t + lat);
+        b.next_pre = std::max(b.next_pre, t + lat);
+        return t + lat;
+      }
+      case CommandType::RowClone: {
+        ++counts_.rowclone;
+        // Second activation of an FPM copy pair: the open source
+        // row's content lands in the destination row.
+        const auto src_state = static_cast<RowDataState>(
+            b.row_state[static_cast<size_t>(b.open_row)]);
+        b.row_state[static_cast<size_t>(cmd.addr.row)] =
+            static_cast<uint8_t>(src_state);
+        b.open_row = cmd.addr.row;
+        b.next_pre = std::max(b.next_pre, t + tt.tras);
+        b.next_act = std::max(b.next_act, t + tt.trc);
+        noteActClass(rank, t);
+        return t + tt.tras;
+      }
+      case CommandType::LisaRbm: {
+        ++counts_.lisa_rbm;
+        // Row-buffer movement hop: short extra bank occupancy, and it
+        // consumes an inter-activation (tRRD) slot on the rank since
+        // the hop drives the intermediate subarray's row buffer. It
+        // does not enter the tFAW window (it draws far less current
+        // than a full activation).
+        const Cycle trbm = config_.nsToCycles(tt.trbm_ns);
+        b.next_pre = std::max(b.next_pre, t + trbm);
+        b.next_rdwr = std::max(b.next_rdwr, t + trbm);
+        b.next_rowclone = std::max(b.next_rowclone, t + trbm);
+        rank.next_act =
+            std::max(rank.next_act, t + config_.nsToCycles(tt.trbm_hold_ns));
+        return t + trbm;
+      }
+    }
+    panic("unknown command type");
+}
+
+Cycle
+DramChannel::issueAtEarliest(const Command &cmd, Cycle not_before,
+                             Cycle *issued_at)
+{
+    const Cycle t = std::max(earliest(cmd), not_before);
+    if (issued_at)
+        *issued_at = t;
+    return issue(cmd, t);
+}
+
+RowDataState
+DramChannel::rowState(int rank, int bank_idx, int64_t row) const
+{
+    const BankState &b = bank(rank, bank_idx);
+    CODIC_ASSERT(row >= 0 && row < config_.rows);
+    return static_cast<RowDataState>(
+        b.row_state[static_cast<size_t>(row)]);
+}
+
+void
+DramChannel::setRowState(int rank, int bank_idx, int64_t row,
+                         RowDataState s)
+{
+    BankState &b = bank(rank, bank_idx);
+    CODIC_ASSERT(row >= 0 && row < config_.rows);
+    b.row_state[static_cast<size_t>(row)] = static_cast<uint8_t>(s);
+}
+
+void
+DramChannel::fillAllRows(RowDataState s)
+{
+    for (auto &b : banks_)
+        std::fill(b.row_state.begin(), b.row_state.end(),
+                  static_cast<uint8_t>(s));
+}
+
+int64_t
+DramChannel::countRowsInState(RowDataState s) const
+{
+    int64_t n = 0;
+    for (const auto &b : banks_)
+        for (uint8_t rs : b.row_state)
+            if (rs == static_cast<uint8_t>(s))
+                ++n;
+    return n;
+}
+
+bool
+DramChannel::bankActive(int rank, int bank_idx) const
+{
+    return bank(rank, bank_idx).active;
+}
+
+int64_t
+DramChannel::openRow(int rank, int bank_idx) const
+{
+    return bank(rank, bank_idx).open_row;
+}
+
+} // namespace codic

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cycle-accurate DRAM channel model with full JEDEC timing
+ * enforcement, row data-state tracking, and the CODIC command
+ * integrated into the command set.
+ *
+ * The model follows the Ramulator approach: instead of ticking every
+ * cycle, each bank/rank keeps "earliest allowed issue time" horizons
+ * per command class, and issuing a command pushes the horizons of the
+ * commands it constrains. Any attempt to issue a command before its
+ * horizon violates the JEDEC checker and panics, so every experiment
+ * in the repository runs under continuous timing verification.
+ */
+
+#ifndef CODIC_DRAM_CHANNEL_H
+#define CODIC_DRAM_CHANNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "codic/functionality.h"
+#include "codic/mode_regs.h"
+#include "codic/variant.h"
+#include "dram/command.h"
+#include "dram/config.h"
+
+namespace codic {
+
+/** Issue counters for energy accounting and test assertions. */
+struct CommandCounts
+{
+    uint64_t act = 0;
+    uint64_t pre = 0;
+    uint64_t rd = 0;
+    uint64_t wr = 0;
+    uint64_t ref = 0;
+    uint64_t mrs = 0;
+    uint64_t codic = 0;
+    uint64_t rowclone = 0;
+    uint64_t lisa_rbm = 0;
+
+    uint64_t total() const;
+};
+
+/**
+ * One DRAM channel: ranks x banks with per-row data-state tracking.
+ *
+ * Thread-compatible (no internal synchronization); one channel per
+ * simulation thread.
+ */
+class DramChannel
+{
+  public:
+    /**
+     * Sense-amplification time after sense_p/sense_n assert before a
+     * column access may use the row buffer (used by activation-class
+     * CODIC commands, whose column-ready time is programmable).
+     */
+    static constexpr double kSenseAmplifyNs = 7.0;
+
+    explicit DramChannel(const DramConfig &config);
+
+    /** Immutable configuration. */
+    const DramConfig &config() const { return config_; }
+
+    /**
+     * Register a CODIC variant (models programming the four CODIC
+     * mode registers via MRS; the returned id is passed in
+     * Command::codic_variant). Timing cost of the MRS commands is
+     * applied when the caller issues explicit Mrs commands.
+     * @return Variant id.
+     */
+    int registerVariant(const SignalSchedule &sched);
+
+    /** Schedule of a registered variant. */
+    const SignalSchedule &variantSchedule(int id) const;
+
+    /**
+     * Earliest cycle at which the command may legally issue,
+     * considering all bank, rank, and data-bus constraints.
+     */
+    Cycle earliest(const Command &cmd) const;
+
+    /**
+     * Issue a command at cycle `t`.
+     * @throws PanicError if `t` violates any JEDEC constraint (the
+     *         continuous timing checker).
+     * @return Completion cycle: when the command's effect is done
+     *         (data burst end for RD/WR, bank ready for ACT/PRE/CODIC).
+     */
+    Cycle issue(const Command &cmd, Cycle t);
+
+    /** Issue at the earliest legal cycle >= `not_before`. */
+    Cycle issueAtEarliest(const Command &cmd, Cycle not_before,
+                          Cycle *issued_at = nullptr);
+
+    /** Data state of one row. */
+    RowDataState rowState(int rank, int bank, int64_t row) const;
+
+    /** Force a row's data state (test/workload setup). */
+    void setRowState(int rank, int bank, int64_t row, RowDataState s);
+
+    /** Set every row in the module to a given state. */
+    void fillAllRows(RowDataState s);
+
+    /** Count rows currently in a given state (whole module). */
+    int64_t countRowsInState(RowDataState s) const;
+
+    /** True if the bank has an open (activated) row. */
+    bool bankActive(int rank, int bank) const;
+
+    /** Open row of a bank; undefined if not active. */
+    int64_t openRow(int rank, int bank) const;
+
+    /** Issue counters. */
+    const CommandCounts &counts() const { return counts_; }
+
+    /** Largest issue time seen so far (campaign end time). */
+    Cycle lastIssueCycle() const { return last_issue_; }
+
+  private:
+    struct BankState
+    {
+        bool active = false;
+        int64_t open_row = -1;
+        Cycle next_act = 0;
+        Cycle next_pre = 0;
+        Cycle next_rdwr = 0;
+        Cycle next_rowclone = 0; //!< Second ACT of a copy pair.
+        std::vector<uint8_t> row_state; //!< RowDataState per row.
+    };
+
+    struct RankState
+    {
+        Cycle next_act = 0;      //!< tRRD horizon.
+        Cycle next_any = 0;      //!< REF/MRS blocking horizon.
+        std::deque<Cycle> faw;   //!< Issue times of last 4 ACT-class.
+    };
+
+    BankState &bank(int rank, int bank_idx);
+    const BankState &bank(int rank, int bank_idx) const;
+
+    /** FAW-aware earliest ACT-class issue time for a rank. */
+    Cycle earliestActClass(const RankState &rank) const;
+
+    /** Record an ACT-class issue for tRRD/tFAW accounting. */
+    void noteActClass(RankState &rank, Cycle t);
+
+    void checkAddress(const Address &addr) const;
+
+    DramConfig config_;
+    std::vector<RankState> ranks_;
+    std::vector<BankState> banks_; // [rank * banks + bank]
+    std::vector<SignalSchedule> variants_;
+    CommandCounts counts_;
+    Cycle last_issue_ = 0;
+
+    // Channel-wide data-bus horizons.
+    Cycle next_rd_start_ = 0;
+    Cycle next_wr_start_ = 0;
+};
+
+} // namespace codic
+
+#endif // CODIC_DRAM_CHANNEL_H

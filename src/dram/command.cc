@@ -1,0 +1,37 @@
+#include "dram/command.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace codic {
+
+const char *
+commandName(CommandType t)
+{
+    switch (t) {
+      case CommandType::Act: return "ACT";
+      case CommandType::Pre: return "PRE";
+      case CommandType::PreAll: return "PREA";
+      case CommandType::Rd: return "RD";
+      case CommandType::Wr: return "WR";
+      case CommandType::Ref: return "REF";
+      case CommandType::Mrs: return "MRS";
+      case CommandType::Codic: return "CODIC";
+      case CommandType::RowClone: return "ROWCLONE";
+      case CommandType::LisaRbm: return "LISA-RBM";
+    }
+    panic("unknown command type");
+}
+
+std::string
+Command::str() const
+{
+    std::ostringstream os;
+    os << commandName(type) << " ch" << addr.channel << " rk" << addr.rank
+       << " bk" << addr.bank << " row" << addr.row << " col"
+       << addr.column;
+    return os.str();
+}
+
+} // namespace codic

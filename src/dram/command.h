@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DRAM command set, including the CODIC command added to the DDRx
+ * interface (paper Section 4.2.2) and the LISA row-buffer-movement
+ * command used by the LISA-clone baseline.
+ */
+
+#ifndef CODIC_DRAM_COMMAND_H
+#define CODIC_DRAM_COMMAND_H
+
+#include <cstdint>
+#include <string>
+
+namespace codic {
+
+/** DRAM bus commands understood by the channel model. */
+enum class CommandType : uint8_t
+{
+    Act,      //!< Activate a row.
+    Pre,      //!< Precharge one bank.
+    PreAll,   //!< Precharge all banks in a rank.
+    Rd,       //!< Column read burst.
+    Wr,       //!< Column write burst.
+    Ref,      //!< Auto-refresh.
+    Mrs,      //!< Mode-register set (programs CODIC registers too).
+    Codic,    //!< The new CODIC command (same format as ACT).
+    RowClone, //!< In-DRAM row copy via back-to-back activation
+              //!< (RowClone FPM; second activation of a copy pair).
+    LisaRbm,  //!< LISA row-buffer movement hop between subarrays.
+};
+
+/** Human-readable command mnemonic. */
+const char *commandName(CommandType t);
+
+/** Bank/row/column coordinates of a command. */
+struct Address
+{
+    int channel = 0;
+    int rank = 0;
+    int bank = 0;
+    int64_t row = 0;
+    int column = 0;
+
+    bool operator==(const Address &) const = default;
+};
+
+/** One DRAM bus command instance. */
+struct Command
+{
+    CommandType type = CommandType::Act;
+    Address addr;
+
+    /**
+     * For Codic commands: index into the channel's registered variant
+     * table (the decoded mode-register schedule).
+     */
+    int codic_variant = 0;
+
+    /**
+     * For Wr commands: the burst carries all-zero data (used by
+     * zero-fill loops so data-state tracking can distinguish an
+     * overwrite-with-zeros from a write of program data).
+     */
+    bool zero_fill = false;
+
+    /**
+     * For activation-class Codic commands: a characterized
+     * column-ready time (ns from command issue) that overrides the
+     * default sense-start + amplification estimate. This is the
+     * Section 5.3.2 mechanism: because CODIC pins the internal
+     * timing, the controller can count data-ready from a per-row
+     * characterized value instead of the worst-case tRCD. 0 keeps
+     * the default.
+     */
+    double codic_ready_ns = 0.0;
+
+    std::string str() const;
+};
+
+} // namespace codic
+
+#endif // CODIC_DRAM_COMMAND_H

@@ -1,0 +1,99 @@
+#include "dram/config.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace codic {
+
+int64_t
+DramConfig::capacityBytes() const
+{
+    return static_cast<int64_t>(channels) * ranks * banks * rows *
+           row_bytes;
+}
+
+int64_t
+DramConfig::totalRows() const
+{
+    return static_cast<int64_t>(channels) * ranks * banks * rows;
+}
+
+Cycle
+DramConfig::nsToCycles(double ns) const
+{
+    return static_cast<Cycle>(std::ceil(ns / tck_ns - 1e-9));
+}
+
+double
+DramConfig::cyclesToNs(Cycle cycles) const
+{
+    return static_cast<double>(cycles) * tck_ns;
+}
+
+namespace {
+
+/** tRFC by device density (JEDEC DDR3): ns. */
+double
+trfcNsForChipGb(double chip_gb)
+{
+    if (chip_gb <= 1.0)
+        return 110.0;
+    if (chip_gb <= 2.0)
+        return 160.0;
+    if (chip_gb <= 4.0)
+        return 260.0;
+    return 350.0;
+}
+
+void
+sizeModule(DramConfig &cfg, int64_t capacity_mb)
+{
+    CODIC_ASSERT(capacity_mb > 0);
+    const int64_t capacity = capacity_mb * 1024 * 1024;
+    const int64_t per_bank = capacity / (cfg.ranks * cfg.banks);
+    cfg.rows = per_bank / cfg.row_bytes;
+    if (cfg.rows <= 0)
+        fatal("module capacity ", capacity_mb,
+              " MB too small for geometry");
+    // A x8 module spreads a rank over 8 chips; chip density is
+    // capacity / (ranks * 8 chips).
+    const double chip_gb =
+        static_cast<double>(capacity) / (cfg.ranks * 8) / (1 << 30) * 8.0;
+    cfg.timing.trfc = cfg.nsToCycles(trfcNsForChipGb(chip_gb));
+}
+
+} // namespace
+
+DramConfig
+DramConfig::ddr3_1600(int64_t capacity_mb)
+{
+    DramConfig cfg;
+    cfg.name = "DDR3-1600 11-11-11 x8 " + std::to_string(capacity_mb) +
+               "MB";
+    cfg.tck_ns = 1.25;
+    sizeModule(cfg, capacity_mb);
+    return cfg;
+}
+
+DramConfig
+DramConfig::ddr3_1333(int64_t capacity_mb)
+{
+    DramConfig cfg;
+    cfg.name = "DDR3-1333 9-9-9 x8 " + std::to_string(capacity_mb) + "MB";
+    cfg.tck_ns = 1.5;
+    TimingParams &t = cfg.timing;
+    t.trcd = t.trp = t.tcl = 9;
+    t.tcwl = 7;
+    t.tras = cfg.nsToCycles(36.0);
+    t.trc = t.tras + t.trp;
+    t.trrd = cfg.nsToCycles(6.0);
+    t.tfaw = cfg.nsToCycles(30.0);
+    t.twr = cfg.nsToCycles(15.0);
+    t.trtp = cfg.nsToCycles(7.5);
+    t.trefi = cfg.nsToCycles(7800.0);
+    sizeModule(cfg, capacity_mb);
+    return cfg;
+}
+
+} // namespace codic

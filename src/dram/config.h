@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DRAM device/module configuration: geometry and JEDEC DDR3 timing
+ * parameters. Presets cover the DDR3-1600 and DDR3-1333 speed grades
+ * used in the paper's evaluation (Tables 3/5/12) and the module-size
+ * sweep of Figure 7 (64 MB to 64 GB).
+ */
+
+#ifndef CODIC_DRAM_CONFIG_H
+#define CODIC_DRAM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace codic {
+
+/** Clock-cycle count type (units of tCK). */
+using Cycle = int64_t;
+
+/** JEDEC DDR3 timing parameters, all in clock cycles. */
+struct TimingParams
+{
+    Cycle trcd = 11;  //!< ACT to internal RD/WR.
+    Cycle trp = 11;   //!< PRE to ACT.
+    Cycle tcl = 11;   //!< RD to first data (CAS latency).
+    Cycle tcwl = 8;   //!< WR to first data (CAS write latency).
+    Cycle tras = 28;  //!< ACT to PRE (35 ns at DDR3-1600).
+    Cycle trc = 39;   //!< ACT to ACT, same bank (tRAS + tRP).
+    Cycle tbl = 4;    //!< Burst duration (BL8, DDR).
+    Cycle tccd = 4;   //!< Column-to-column delay.
+    Cycle trrd = 5;   //!< ACT to ACT, different banks (6 ns).
+    Cycle tfaw = 24;  //!< Four-activate window (30 ns, 1 KB page x8).
+    Cycle twtr = 6;   //!< WR data end to RD.
+    Cycle twr = 12;   //!< Write recovery (15 ns).
+    Cycle trtp = 6;   //!< RD to PRE (7.5 ns).
+    Cycle trefi = 6240; //!< Average refresh interval (7.8 us).
+    Cycle trfc = 208; //!< Refresh cycle time (260 ns for 4 Gb).
+    Cycle tmrd = 4;   //!< MRS to any command.
+    Cycle txp = 5;    //!< Power-down / self-refresh exit to command.
+
+    /** LISA row-buffer-movement hop latency (ns; LISA [27]). */
+    double trbm_ns = 8.0;
+    /**
+     * Rank-level inter-activation hold a LISA hop imposes (ns): the
+     * hop drives the intermediate subarray's row buffer, occupying
+     * the shared activation resources longer than tRRD alone.
+     */
+    double trbm_hold_ns = 26.0;
+};
+
+/** DRAM module geometry and clocking. */
+struct DramConfig
+{
+    std::string name = "DDR3-1600";
+
+    /** Clock period (ns); DDR3-1600 command clock is 800 MHz. */
+    double tck_ns = 1.25;
+
+    int channels = 1;     //!< Independent channels.
+    int ranks = 1;        //!< Ranks per channel.
+    int banks = 8;        //!< Banks per rank (DDR3: 8).
+    int64_t rows = 65536; //!< Rows per bank.
+    int columns = 128;    //!< Column bursts per row (row_bytes/burst).
+
+    /** Row (page) size across the rank, in bytes (x8 module: 8 KB). */
+    int64_t row_bytes = 8192;
+
+    /** Bytes transferred per RD/WR burst (64-bit bus x BL8). */
+    int64_t burst_bytes = 64;
+
+    TimingParams timing;
+
+    /** Total module capacity in bytes. */
+    int64_t capacityBytes() const;
+
+    /** Total rows in the module (across ranks and banks). */
+    int64_t totalRows() const;
+
+    /** Convert nanoseconds to (ceil) clock cycles. */
+    Cycle nsToCycles(double ns) const;
+
+    /** Convert clock cycles to nanoseconds. */
+    double cyclesToNs(Cycle cycles) const;
+
+    /**
+     * DDR3-1600 11-11-11 x8 single-rank module with the given
+     * capacity (the configuration of paper Table 5). Capacity scales
+     * the rows-per-bank count and the tRFC density class.
+     * @param capacity_mb Module capacity in MB (power of two).
+     */
+    static DramConfig ddr3_1600(int64_t capacity_mb);
+
+    /** DDR3-1333 grade (used by vendor-B modules in Table 12). */
+    static DramConfig ddr3_1333(int64_t capacity_mb);
+};
+
+} // namespace codic
+
+#endif // CODIC_DRAM_CONFIG_H

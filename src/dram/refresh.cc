@@ -1,0 +1,34 @@
+#include "dram/refresh.h"
+
+namespace codic {
+
+RefreshEngine::RefreshEngine(DramChannel &channel, int rank)
+    : channel_(channel), rank_(rank),
+      next_due_(channel.config().timing.trefi)
+{
+}
+
+int
+RefreshEngine::catchUp(Cycle now)
+{
+    int issued = 0;
+    const Cycle trefi = channel_.config().timing.trefi;
+    while (next_due_ <= now) {
+        Command ref;
+        ref.type = CommandType::Ref;
+        ref.addr.rank = rank_;
+        channel_.issueAtEarliest(ref, next_due_);
+        next_due_ += trefi;
+        ++issued;
+    }
+    return issued;
+}
+
+double
+RefreshEngine::dutyCycle() const
+{
+    const auto &t = channel_.config().timing;
+    return static_cast<double>(t.trfc) / static_cast<double>(t.trefi);
+}
+
+} // namespace codic

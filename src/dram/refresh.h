@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Auto-refresh bookkeeping: tracks when REF commands are due and can
+ * replay the required refreshes over a simulated interval. Campaigns
+ * that model normal operation (e.g. the TCG firmware overwrite, which
+ * runs with refresh enabled) account for the stolen cycles; the
+ * self-destruction campaigns run at power-on before refresh starts,
+ * which is why they are legally refresh-free (JEDEC requires refresh
+ * only after initialization completes).
+ */
+
+#ifndef CODIC_DRAM_REFRESH_H
+#define CODIC_DRAM_REFRESH_H
+
+#include "dram/channel.h"
+
+namespace codic {
+
+/** Periodic refresh generator for one rank. */
+class RefreshEngine
+{
+  public:
+    /**
+     * @param channel Channel to refresh.
+     * @param rank Rank index to issue REF to.
+     */
+    RefreshEngine(DramChannel &channel, int rank);
+
+    /** Next cycle at which a REF is due. */
+    Cycle nextDue() const { return next_due_; }
+
+    /**
+     * Issue all REF commands due at or before `now`. All banks in the
+     * rank must be precharged by the caller. Returns the number of
+     * REFs issued.
+     */
+    int catchUp(Cycle now);
+
+    /** Fraction of time consumed by refresh (tRFC / tREFI). */
+    double dutyCycle() const;
+
+  private:
+    DramChannel &channel_;
+    int rank_;
+    Cycle next_due_;
+};
+
+} // namespace codic
+
+#endif // CODIC_DRAM_REFRESH_H

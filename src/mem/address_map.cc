@@ -1,0 +1,71 @@
+#include "mem/address_map.h"
+
+#include "common/logging.h"
+
+namespace codic {
+
+AddressMap::AddressMap(const DramConfig &config, MapScheme scheme)
+    : config_(config), scheme_(scheme)
+{
+}
+
+Address
+AddressMap::decode(uint64_t phys_addr) const
+{
+    CODIC_ASSERT(phys_addr <
+                 static_cast<uint64_t>(config_.capacityBytes()));
+    const uint64_t burst = static_cast<uint64_t>(config_.burst_bytes);
+    const uint64_t cols = static_cast<uint64_t>(config_.columns);
+    const uint64_t banks = static_cast<uint64_t>(config_.banks);
+    const uint64_t rows = static_cast<uint64_t>(config_.rows);
+
+    uint64_t x = phys_addr / burst;
+    Address a;
+    a.column = static_cast<int>(x % cols);
+    x /= cols;
+    switch (scheme_) {
+      case MapScheme::RowBankColumn:
+        a.bank = static_cast<int>(x % banks);
+        x /= banks;
+        a.row = static_cast<int64_t>(x % rows);
+        x /= rows;
+        break;
+      case MapScheme::BankRowColumn:
+        a.row = static_cast<int64_t>(x % rows);
+        x /= rows;
+        a.bank = static_cast<int>(x % banks);
+        x /= banks;
+        break;
+    }
+    a.rank = static_cast<int>(x % static_cast<uint64_t>(config_.ranks));
+    x /= static_cast<uint64_t>(config_.ranks);
+    a.channel = static_cast<int>(x);
+    return a;
+}
+
+uint64_t
+AddressMap::encode(const Address &a) const
+{
+    const uint64_t burst = static_cast<uint64_t>(config_.burst_bytes);
+    const uint64_t cols = static_cast<uint64_t>(config_.columns);
+    const uint64_t banks = static_cast<uint64_t>(config_.banks);
+    const uint64_t rows = static_cast<uint64_t>(config_.rows);
+
+    uint64_t x = static_cast<uint64_t>(a.channel);
+    x = x * static_cast<uint64_t>(config_.ranks) +
+        static_cast<uint64_t>(a.rank);
+    switch (scheme_) {
+      case MapScheme::RowBankColumn:
+        x = x * rows + static_cast<uint64_t>(a.row);
+        x = x * banks + static_cast<uint64_t>(a.bank);
+        break;
+      case MapScheme::BankRowColumn:
+        x = x * banks + static_cast<uint64_t>(a.bank);
+        x = x * rows + static_cast<uint64_t>(a.row);
+        break;
+    }
+    x = x * cols + static_cast<uint64_t>(a.column);
+    return x * burst;
+}
+
+} // namespace codic

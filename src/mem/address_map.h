@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * The default mapping is row:bank:column (RoBaCo): consecutive cache
+ * lines walk through a row, then banks interleave at row granularity.
+ * This keeps row-sequential streams (the zeroing loops of the TCG and
+ * secure-deallocation evaluations) as row hits while spreading
+ * independent rows across banks for parallelism.
+ */
+
+#ifndef CODIC_MEM_ADDRESS_MAP_H
+#define CODIC_MEM_ADDRESS_MAP_H
+
+#include <cstdint>
+
+#include "dram/command.h"
+#include "dram/config.h"
+
+namespace codic {
+
+/** Interleaving granularity options. */
+enum class MapScheme
+{
+    RowBankColumn,  //!< row : bank : column (bank interleave per row).
+    BankRowColumn,  //!< bank : row : column (contiguous per bank).
+};
+
+/** Maps physical byte addresses to DRAM coordinates and back. */
+class AddressMap
+{
+  public:
+    AddressMap(const DramConfig &config,
+               MapScheme scheme = MapScheme::RowBankColumn);
+
+    /** Decompose a physical byte address. */
+    Address decode(uint64_t phys_addr) const;
+
+    /** Recompose a physical byte address (inverse of decode). */
+    uint64_t encode(const Address &addr) const;
+
+    /** Bytes covered by one row across the rank. */
+    int64_t rowBytes() const { return config_.row_bytes; }
+
+    /** Bytes per column burst. */
+    int64_t burstBytes() const { return config_.burst_bytes; }
+
+    /** Total mapped capacity in bytes. */
+    int64_t capacityBytes() const { return config_.capacityBytes(); }
+
+  private:
+    DramConfig config_;
+    MapScheme scheme_;
+};
+
+} // namespace codic
+
+#endif // CODIC_MEM_ADDRESS_MAP_H

@@ -1,0 +1,116 @@
+#include "mem/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace codic {
+
+MemoryController::MemoryController(DramChannel &channel,
+                                   const ControllerConfig &config)
+    : channel_(channel), config_(config),
+      map_(channel.config(), config.map_scheme),
+      codic_det_variant_(
+          channel.registerVariant(variants::detZero().schedule))
+{
+    CODIC_ASSERT(config_.write_queue_entries > 0);
+}
+
+Cycle
+MemoryController::openRowFor(const Address &addr, Cycle now)
+{
+    if (channel_.bankActive(addr.rank, addr.bank)) {
+        if (channel_.openRow(addr.rank, addr.bank) == addr.row)
+            return now; // Row hit.
+        // Row conflict: close the open row first.
+        Command pre{CommandType::Pre, addr, 0};
+        channel_.issueAtEarliest(pre, now);
+    }
+    Command act{CommandType::Act, addr, 0};
+    Cycle issued = 0;
+    const Cycle ready = channel_.issueAtEarliest(act, now, &issued);
+    return ready;
+}
+
+Cycle
+MemoryController::read(uint64_t phys_addr, Cycle now)
+{
+    const Address addr = map_.decode(phys_addr);
+    const Cycle row_ready = openRowFor(addr, now);
+    Command rd{CommandType::Rd, addr, 0};
+    return channel_.issueAtEarliest(rd, row_ready);
+}
+
+Cycle
+MemoryController::write(uint64_t phys_addr, Cycle now)
+{
+    // Back-pressure: if the queue is full, acceptance waits for the
+    // oldest in-flight write to complete.
+    Cycle accept = now;
+    while (static_cast<int>(write_completions_.size()) >=
+           config_.write_queue_entries) {
+        accept = std::max(accept, write_completions_.front());
+        write_completions_.pop_front();
+    }
+    // Retire completed writes opportunistically.
+    while (!write_completions_.empty() &&
+           write_completions_.front() <= accept)
+        write_completions_.pop_front();
+
+    const Address addr = map_.decode(phys_addr);
+    const Cycle row_ready = openRowFor(addr, accept);
+    Command wr{CommandType::Wr, addr, 0};
+    const Cycle done = channel_.issueAtEarliest(wr, row_ready);
+    write_completions_.push_back(done);
+    return accept;
+}
+
+Cycle
+MemoryController::drainWrites()
+{
+    Cycle last = channel_.lastIssueCycle();
+    while (!write_completions_.empty()) {
+        last = std::max(last, write_completions_.front());
+        write_completions_.pop_front();
+    }
+    return last;
+}
+
+Cycle
+MemoryController::rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
+                        int64_t reserved_row)
+{
+    Address addr = map_.decode(row_addr);
+    addr.column = 0;
+
+    // The target bank must be precharged for all three mechanisms.
+    if (channel_.bankActive(addr.rank, addr.bank)) {
+        Command pre{CommandType::Pre, addr, 0};
+        channel_.issueAtEarliest(pre, now);
+    }
+
+    switch (mech) {
+      case RowOpMechanism::CodicDet: {
+        Command codic{CommandType::Codic, addr, codic_det_variant_};
+        return channel_.issueAtEarliest(codic, now);
+      }
+      case RowOpMechanism::RowClone:
+      case RowOpMechanism::LisaClone: {
+        Address src = addr;
+        src.row = reserved_row;
+        Command act{CommandType::Act, src, 0};
+        channel_.issueAtEarliest(act, now);
+        if (mech == RowOpMechanism::LisaClone) {
+            Command rbm{CommandType::LisaRbm, src, 0};
+            channel_.issueAtEarliest(rbm, now);
+        }
+        Command clone{CommandType::RowClone, addr, 0};
+        channel_.issueAtEarliest(clone, now);
+        Command pre{CommandType::Pre, addr, 0};
+        return channel_.issueAtEarliest(pre, now);
+    }
+    }
+    panic("unknown row-op mechanism");
+}
+
+} // namespace codic

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * FR-FCFS memory controller (paper Table 5: 64/64-entry read/write
+ * queues, FR-FCFS scheduling [119, 176]) over the cycle-accurate
+ * DRAM channel.
+ *
+ * Reads are serviced with row-hit-first priority and block the
+ * requester until the data burst completes; writes are accepted into
+ * a bounded write queue and drained in row-hit batches. When the
+ * write queue is full, acceptance stalls until a slot frees, which is
+ * exactly the back-pressure that bounds software-zeroing throughput
+ * in the TCG and secure-deallocation evaluations.
+ */
+
+#ifndef CODIC_MEM_CONTROLLER_H
+#define CODIC_MEM_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/address_map.h"
+#include "dram/channel.h"
+
+namespace codic {
+
+/** Controller configuration (paper Table 5 defaults). */
+struct ControllerConfig
+{
+    int read_queue_entries = 64;
+    int write_queue_entries = 64;
+    MapScheme map_scheme = MapScheme::RowBankColumn;
+};
+
+/** Row-op mechanisms usable for bulk in-DRAM operations. */
+enum class RowOpMechanism
+{
+    CodicDet,  //!< One CODIC-det command per row.
+    RowClone,  //!< ACT(source) + RowClone(dst) + PRE.
+    LisaClone, //!< ACT(source) + LISA hop + RowClone(dst) + PRE.
+};
+
+/**
+ * Memory controller front-end.
+ *
+ * The controller is simulated lazily: each request is pushed through
+ * the channel when presented, with all JEDEC constraints enforced by
+ * DramChannel. FR-FCFS behaviour emerges from the open-row policy:
+ * the controller leaves rows open and only precharges on a conflict.
+ */
+class MemoryController
+{
+  public:
+    MemoryController(DramChannel &channel,
+                     const ControllerConfig &config = {});
+
+    /**
+     * Service a read.
+     * @param phys_addr Physical byte address.
+     * @param now Cycle the request arrives.
+     * @return Cycle the data burst completes (requester unblocks).
+     */
+    Cycle read(uint64_t phys_addr, Cycle now);
+
+    /**
+     * Accept a write into the write queue (fire-and-forget for the
+     * requester).
+     * @return Cycle the write is accepted (== now unless the queue is
+     *         full, in which case acceptance stalls).
+     */
+    Cycle write(uint64_t phys_addr, Cycle now);
+
+    /**
+     * Cycle at which all currently queued writes will have drained.
+     */
+    Cycle drainWrites();
+
+    /**
+     * Execute a bulk row operation (deterministic overwrite of one
+     * row) with the selected mechanism. Used by secure deallocation.
+     * @param row_addr Any physical address within the target row.
+     * @param now Earliest issue cycle.
+     * @param mech In-DRAM mechanism to use.
+     * @param reserved_row Row index (same bank) holding the zero
+     *        source for clone-based mechanisms.
+     * @return Completion cycle.
+     */
+    Cycle rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
+                int64_t reserved_row = 0);
+
+    /** The address map in use. */
+    const AddressMap &map() const { return map_; }
+
+    /** Underlying channel (stats, config). */
+    DramChannel &channel() { return channel_; }
+
+  private:
+    /** Ensure `addr`'s row is open; returns cycle row is usable. */
+    Cycle openRowFor(const Address &addr, Cycle now);
+
+    DramChannel &channel_;
+    ControllerConfig config_;
+    AddressMap map_;
+    int codic_det_variant_;
+    /** Completion cycles of in-flight queued writes (FIFO). */
+    std::deque<Cycle> write_completions_;
+};
+
+} // namespace codic
+
+#endif // CODIC_MEM_CONTROLLER_H

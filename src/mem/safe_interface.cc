@@ -1,0 +1,126 @@
+#include "mem/safe_interface.h"
+
+#include <algorithm>
+
+#include "codic/variant.h"
+#include "common/logging.h"
+
+namespace codic {
+
+const char *
+safeRequestStatusName(SafeRequestStatus s)
+{
+    switch (s) {
+      case SafeRequestStatus::Ok: return "ok";
+      case SafeRequestStatus::OutsidePufRange:
+        return "outside-puf-range";
+      case SafeRequestStatus::RangeNotFreed: return "range-not-freed";
+      case SafeRequestStatus::Misaligned: return "misaligned";
+    }
+    panic("unknown safe-request status");
+}
+
+SafeCodicInterface::SafeCodicInterface(MemoryController &controller,
+                                       uint64_t puf_base,
+                                       uint64_t puf_bytes)
+    : controller_(controller), puf_base_(puf_base),
+      puf_bytes_(puf_bytes),
+      sig_variant_(controller.channel().registerVariant(
+          variants::sig().schedule))
+{
+    const uint64_t row =
+        static_cast<uint64_t>(controller.map().rowBytes());
+    if (puf_base_ % row != 0 || puf_bytes_ % row != 0)
+        fatal("PUF range must be row-aligned");
+}
+
+bool
+SafeCodicInterface::insidePufRange(uint64_t addr, uint64_t bytes) const
+{
+    return addr >= puf_base_ && addr + bytes <= puf_base_ + puf_bytes_;
+}
+
+bool
+SafeCodicInterface::isFreed(uint64_t addr, uint64_t bytes) const
+{
+    for (const auto &[base, len] : freed_)
+        if (addr >= base && addr + bytes <= base + len)
+            return true;
+    return false;
+}
+
+SafeRequestStatus
+SafeCodicInterface::pufResponse(uint64_t phys_addr, Cycle now,
+                                Cycle *done)
+{
+    const uint64_t row =
+        static_cast<uint64_t>(controller_.map().rowBytes());
+    if (phys_addr % row != 0) {
+        ++refusals_;
+        return SafeRequestStatus::Misaligned;
+    }
+    if (!insidePufRange(phys_addr, row)) {
+        // The whole point of the controlled interface: a PUF request
+        // against arbitrary memory would destroy program data.
+        ++refusals_;
+        return SafeRequestStatus::OutsidePufRange;
+    }
+    DramChannel &ch = controller_.channel();
+    Address addr = controller_.map().decode(phys_addr);
+    addr.column = 0;
+    if (ch.bankActive(addr.rank, addr.bank)) {
+        Command pre{CommandType::Pre, addr, 0};
+        ch.issueAtEarliest(pre, now);
+    }
+    // CODIC-sig prepares the cells; the follow-up activation
+    // amplifies them into the response (Section 4.1.1), which RD
+    // bursts would then stream out.
+    Command codic{CommandType::Codic, addr, sig_variant_};
+    const Cycle prepared = ch.issueAtEarliest(codic, now);
+    Command act{CommandType::Act, addr, 0};
+    const Cycle ready = ch.issueAtEarliest(act, prepared);
+    Command rd{CommandType::Rd, addr, 0};
+    Cycle last = ready;
+    for (int col = 0; col < ch.config().columns; ++col) {
+        rd.addr.column = col;
+        last = ch.issueAtEarliest(rd, ready);
+    }
+    Command pre{CommandType::Pre, addr, 0};
+    const Cycle finished = ch.issueAtEarliest(pre, last);
+    if (done)
+        *done = finished;
+    return SafeRequestStatus::Ok;
+}
+
+void
+SafeCodicInterface::declareFreed(uint64_t phys_addr, uint64_t bytes)
+{
+    freed_.emplace_back(phys_addr, bytes);
+}
+
+SafeRequestStatus
+SafeCodicInterface::zeroRange(uint64_t phys_addr, uint64_t bytes,
+                              Cycle now, Cycle *done)
+{
+    const uint64_t row =
+        static_cast<uint64_t>(controller_.map().rowBytes());
+    if (phys_addr % row != 0 || bytes % row != 0 || bytes == 0) {
+        // CODIC works at row granularity (Section 4.4's challenge:
+        // a row may hold multiple pages) - the interface refuses
+        // partial rows instead of destroying a co-located page.
+        ++refusals_;
+        return SafeRequestStatus::Misaligned;
+    }
+    if (!isFreed(phys_addr, bytes)) {
+        ++refusals_;
+        return SafeRequestStatus::RangeNotFreed;
+    }
+    Cycle last = now;
+    for (uint64_t a = phys_addr; a < phys_addr + bytes; a += row)
+        last = controller_.rowOp(a, now, RowOpMechanism::CodicDet);
+    if (done)
+        *done = last;
+    return SafeRequestStatus::Ok;
+}
+
+} // namespace codic

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The controlled CODIC interface of paper Section 4.4 ("Limitations
+ * and Challenges"): exposing raw internal-signal control to users is
+ * a security risk (arbitrary CODIC commands destroy data and could
+ * aggravate disturbance effects), so the memory controller instead
+ * exposes *applications* - a PUF-response command and a zero-range
+ * command - and keeps the raw substrate to itself:
+ *
+ *  - a system-defined address range is reserved as safe for PUF
+ *    generation; PUF requests outside it are refused;
+ *  - bulk zeroing is only allowed on ranges the OS has declared
+ *    deallocated (no zeroing of live data);
+ *  - raw CODIC variants are not reachable through this interface at
+ *    all, so "user-generated CODIC applications" are impossible by
+ *    construction while vendor-defined ones remain available.
+ */
+
+#ifndef CODIC_MEM_SAFE_INTERFACE_H
+#define CODIC_MEM_SAFE_INTERFACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/controller.h"
+#include "puf/puf.h"
+
+namespace codic {
+
+/** Outcome of a request through the controlled interface. */
+enum class SafeRequestStatus
+{
+    Ok,
+    OutsidePufRange,   //!< PUF challenge not in the reserved range.
+    RangeNotFreed,     //!< Zero-range target still owned by software.
+    Misaligned,        //!< Range does not cover whole rows.
+};
+
+/** Display name. */
+const char *safeRequestStatusName(SafeRequestStatus s);
+
+/**
+ * Controller-level facade over the CODIC substrate. All checks are
+ * enforced here, in the memory controller, exactly as Section 4.4
+ * proposes ("the controller would internally use CODIC to control
+ * the DRAM timings and generate the PUF response").
+ */
+class SafeCodicInterface
+{
+  public:
+    /**
+     * @param controller Controller owning the channel.
+     * @param puf_base First byte of the reserved PUF range.
+     * @param puf_bytes Size of the reserved PUF range.
+     */
+    SafeCodicInterface(MemoryController &controller, uint64_t puf_base,
+                       uint64_t puf_bytes);
+
+    /**
+     * Generate a PUF response from a segment inside the reserved
+     * range (a software API call / new instruction in a real system).
+     * @param phys_addr Segment base (row-aligned, inside the range).
+     * @param now Request cycle.
+     * @param[out] done Completion cycle of the in-DRAM sequence.
+     */
+    SafeRequestStatus pufResponse(uint64_t phys_addr, Cycle now,
+                                  Cycle *done);
+
+    /**
+     * Mark a range as freed by the OS (the precondition for zeroing;
+     * in a real system this is a privileged operation).
+     */
+    void declareFreed(uint64_t phys_addr, uint64_t bytes);
+
+    /**
+     * Zero a previously-freed row-aligned range with CODIC-det.
+     * Rejects live or misaligned ranges.
+     */
+    SafeRequestStatus zeroRange(uint64_t phys_addr, uint64_t bytes,
+                                Cycle now, Cycle *done);
+
+    /** Number of refused requests (audit counter). */
+    uint64_t refusals() const { return refusals_; }
+
+  private:
+    bool insidePufRange(uint64_t addr, uint64_t bytes) const;
+    bool isFreed(uint64_t addr, uint64_t bytes) const;
+
+    MemoryController &controller_;
+    uint64_t puf_base_;
+    uint64_t puf_bytes_;
+    int sig_variant_;
+    /** Freed intervals [base, base+bytes), kept disjoint. */
+    std::vector<std::pair<uint64_t, uint64_t>> freed_;
+    uint64_t refusals_ = 0;
+};
+
+} // namespace codic
+
+#endif // CODIC_MEM_SAFE_INTERFACE_H

@@ -1,0 +1,32 @@
+#include "nist/extractor.h"
+
+#include <cstddef>
+
+namespace codic {
+
+std::vector<uint8_t>
+vonNeumannExtract(const std::vector<uint8_t> &raw)
+{
+    std::vector<uint8_t> out;
+    out.reserve(raw.size() / 4);
+    for (size_t i = 0; i + 1 < raw.size(); i += 2) {
+        const uint8_t a = raw[i];
+        const uint8_t b = raw[i + 1];
+        if (a != b)
+            out.push_back(a);
+    }
+    return out;
+}
+
+double
+onesFraction(const std::vector<uint8_t> &bits)
+{
+    if (bits.empty())
+        return 0.0;
+    size_t ones = 0;
+    for (uint8_t b : bits)
+        ones += b;
+    return static_cast<double>(ones) / static_cast<double>(bits.size());
+}
+
+} // namespace codic

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Von Neumann randomness extractor (paper Section 6.1.3, citing
+ * [142]): consumes pairs of raw bits and emits the first bit of each
+ * discordant pair, removing bias from independent-but-biased input.
+ */
+
+#ifndef CODIC_NIST_EXTRACTOR_H
+#define CODIC_NIST_EXTRACTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace codic {
+
+/**
+ * Whiten a raw bit stream with the Von Neumann extractor: for each
+ * non-overlapping input pair, 01 -> 0, 10 -> 1, 00/11 -> nothing.
+ *
+ * @param raw Input bits (values 0/1).
+ * @return Extracted unbiased bits.
+ */
+std::vector<uint8_t> vonNeumannExtract(const std::vector<uint8_t> &raw);
+
+/** Observed ones-fraction of a bit stream (bias diagnostic). */
+double onesFraction(const std::vector<uint8_t> &bits);
+
+} // namespace codic
+
+#endif // CODIC_NIST_EXTRACTOR_H

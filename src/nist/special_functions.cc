@@ -1,0 +1,114 @@
+#include "nist/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace codic {
+
+namespace {
+
+constexpr double kMachEp = 1.11022302462515654042e-16;
+constexpr double kMaxLog = 709.782712893383996732;
+constexpr double kBig = 4.503599627370496e15;
+constexpr double kBigInv = 2.22044604925031308085e-16;
+
+/** Series expansion of P(a, x), valid for x < a + 1. */
+double
+igamSeries(double a, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    const double ax = a * std::log(x) - x - std::lgamma(a);
+    if (ax < -kMaxLog)
+        return 0.0;
+    const double axe = std::exp(ax);
+    double r = a;
+    double c = 1.0;
+    double ans = 1.0;
+    do {
+        r += 1.0;
+        c *= x / r;
+        ans += c;
+    } while (c / ans > kMachEp);
+    return ans * axe / a;
+}
+
+/** Continued fraction for Q(a, x), valid for x >= a + 1. */
+double
+igamcFraction(double a, double x)
+{
+    const double ax = a * std::log(x) - x - std::lgamma(a);
+    if (ax < -kMaxLog)
+        return 0.0;
+    const double axe = std::exp(ax);
+
+    double y = 1.0 - a;
+    double z = x + y + 1.0;
+    double c = 0.0;
+    double pkm2 = 1.0;
+    double qkm2 = x;
+    double pkm1 = x + 1.0;
+    double qkm1 = z * x;
+    double ans = pkm1 / qkm1;
+    double t;
+    do {
+        c += 1.0;
+        y += 1.0;
+        z += 2.0;
+        const double yc = y * c;
+        const double pk = pkm1 * z - pkm2 * yc;
+        const double qk = qkm1 * z - qkm2 * yc;
+        if (qk != 0.0) {
+            const double r = pk / qk;
+            t = std::fabs((ans - r) / r);
+            ans = r;
+        } else {
+            t = 1.0;
+        }
+        pkm2 = pkm1;
+        pkm1 = pk;
+        qkm2 = qkm1;
+        qkm1 = qk;
+        if (std::fabs(pk) > kBig) {
+            pkm2 *= kBigInv;
+            pkm1 *= kBigInv;
+            qkm2 *= kBigInv;
+            qkm1 *= kBigInv;
+        }
+    } while (t > kMachEp);
+    return ans * axe;
+}
+
+} // namespace
+
+double
+igam(double a, double x)
+{
+    CODIC_ASSERT(a > 0.0 && x >= 0.0);
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return igamSeries(a, x);
+    return 1.0 - igamcFraction(a, x);
+}
+
+double
+igamc(double a, double x)
+{
+    CODIC_ASSERT(a > 0.0 && x >= 0.0);
+    if (x == 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - igamSeries(a, x);
+    return igamcFraction(a, x);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace codic

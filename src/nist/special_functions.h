@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Special functions needed by the NIST SP 800-22 statistical tests:
+ * the regularized incomplete gamma functions and the standard normal
+ * CDF. Implementations follow the classic Cephes series / continued
+ * fraction split, which is what the NIST reference code uses.
+ */
+
+#ifndef CODIC_NIST_SPECIAL_FUNCTIONS_H
+#define CODIC_NIST_SPECIAL_FUNCTIONS_H
+
+namespace codic {
+
+/**
+ * Regularized upper incomplete gamma Q(a, x) = Gamma(a, x)/Gamma(a).
+ * Domain: a > 0, x >= 0. Q(a, 0) = 1.
+ */
+double igamc(double a, double x);
+
+/**
+ * Regularized lower incomplete gamma P(a, x) = gamma(a, x)/Gamma(a).
+ */
+double igam(double a, double x);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double x);
+
+} // namespace codic
+
+#endif // CODIC_NIST_SPECIAL_FUNCTIONS_H

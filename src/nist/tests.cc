@@ -1,0 +1,768 @@
+#include "nist/tests.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <complex>
+#include <map>
+
+#include "common/logging.h"
+#include "nist/special_functions.h"
+
+namespace codic {
+
+namespace {
+
+double
+minPositive(std::vector<double> ps)
+{
+    double m = 1.0;
+    for (double p : ps)
+        m = std::min(m, p);
+    return m;
+}
+
+/** In-place iterative radix-2 FFT (size must be a power of two). */
+void
+fft(std::vector<std::complex<double>> &a)
+{
+    const size_t n = a.size();
+    CODIC_ASSERT((n & (n - 1)) == 0);
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const double ang = -2.0 * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                const auto u = a[i + k];
+                const auto v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+} // namespace
+
+NistResult
+nistMonobit(const BitStream &bits)
+{
+    NistResult r{"monobit", 0.0, true};
+    const double n = static_cast<double>(bits.size());
+    if (bits.empty()) {
+        r.applicable = false;
+        return r;
+    }
+    double s = 0.0;
+    for (uint8_t b : bits)
+        s += b ? 1.0 : -1.0;
+    r.p_value = std::erfc(std::fabs(s) / std::sqrt(2.0 * n));
+    return r;
+}
+
+NistResult
+nistFrequencyWithinBlock(const BitStream &bits, int block_len)
+{
+    NistResult r{"frequency_within_block", 0.0, true};
+    const size_t m = static_cast<size_t>(block_len);
+    const size_t blocks = bits.size() / m;
+    if (blocks == 0) {
+        r.applicable = false;
+        return r;
+    }
+    double chi2 = 0.0;
+    for (size_t i = 0; i < blocks; ++i) {
+        size_t ones = 0;
+        for (size_t j = 0; j < m; ++j)
+            ones += bits[i * m + j];
+        const double pi =
+            static_cast<double>(ones) / static_cast<double>(m);
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * static_cast<double>(m);
+    r.p_value = igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0);
+    return r;
+}
+
+NistResult
+nistRuns(const BitStream &bits)
+{
+    NistResult r{"runs", 0.0, true};
+    const double n = static_cast<double>(bits.size());
+    if (bits.size() < 100) {
+        r.applicable = false;
+        return r;
+    }
+    size_t ones = 0;
+    for (uint8_t b : bits)
+        ones += b;
+    const double pi = static_cast<double>(ones) / n;
+    // Frequency pre-test.
+    if (std::fabs(pi - 0.5) >= 2.0 / std::sqrt(n)) {
+        r.p_value = 0.0;
+        return r;
+    }
+    double vobs = 1.0;
+    for (size_t i = 1; i < bits.size(); ++i)
+        if (bits[i] != bits[i - 1])
+            vobs += 1.0;
+    const double num = std::fabs(vobs - 2.0 * n * pi * (1.0 - pi));
+    const double den = 2.0 * std::sqrt(2.0 * n) * pi * (1.0 - pi);
+    r.p_value = std::erfc(num / den);
+    return r;
+}
+
+NistResult
+nistLongestRunOnesInBlock(const BitStream &bits)
+{
+    NistResult r{"longest_run_ones_in_a_block", 0.0, true};
+    const size_t n = bits.size();
+    size_t m;
+    std::vector<int> v_edges;
+    std::vector<double> pi;
+    if (n < 128) {
+        r.applicable = false;
+        return r;
+    } else if (n < 6272) {
+        m = 8;
+        v_edges = {1, 2, 3, 4};
+        pi = {0.21484375, 0.3671875, 0.23046875, 0.1875};
+    } else if (n < 750000) {
+        m = 128;
+        v_edges = {4, 5, 6, 7, 8, 9};
+        pi = {0.1174035788, 0.242955959, 0.249363483,
+              0.17517706,   0.102701071, 0.112398847};
+    } else {
+        m = 10000;
+        v_edges = {10, 11, 12, 13, 14, 15, 16};
+        pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    }
+    const size_t blocks = n / m;
+    std::vector<double> v(pi.size(), 0.0);
+    for (size_t i = 0; i < blocks; ++i) {
+        int longest = 0;
+        int run = 0;
+        for (size_t j = 0; j < m; ++j) {
+            if (bits[i * m + j]) {
+                ++run;
+                longest = std::max(longest, run);
+            } else {
+                run = 0;
+            }
+        }
+        size_t cat = 0;
+        while (cat + 1 < pi.size() &&
+               longest > v_edges[cat])
+            ++cat;
+        if (longest <= v_edges.front())
+            cat = 0;
+        ++v[cat];
+    }
+    double chi2 = 0.0;
+    const double nb = static_cast<double>(blocks);
+    for (size_t k = 0; k < pi.size(); ++k) {
+        const double expect = nb * pi[k];
+        chi2 += (v[k] - expect) * (v[k] - expect) / expect;
+    }
+    r.p_value = igamc(static_cast<double>(pi.size() - 1) / 2.0,
+                      chi2 / 2.0);
+    return r;
+}
+
+NistResult
+nistBinaryMatrixRank(const BitStream &bits)
+{
+    NistResult r{"binary_matrix_rank", 0.0, true};
+    constexpr size_t kM = 32;
+    constexpr size_t kQ = 32;
+    const size_t matrices = bits.size() / (kM * kQ);
+    if (matrices < 38) { // NIST requires n >= 38*M*Q.
+        r.applicable = false;
+        return r;
+    }
+    size_t full = 0;
+    size_t full_m1 = 0;
+    for (size_t m = 0; m < matrices; ++m) {
+        // Rows as 32-bit words.
+        std::array<uint32_t, kM> rows{};
+        for (size_t i = 0; i < kM; ++i) {
+            uint32_t w = 0;
+            for (size_t j = 0; j < kQ; ++j)
+                w |= static_cast<uint32_t>(
+                         bits[m * kM * kQ + i * kQ + j])
+                     << j;
+            rows[i] = w;
+        }
+        // Gaussian elimination over GF(2).
+        int rank = 0;
+        for (int col = 0; col < static_cast<int>(kQ); ++col) {
+            int pivot = -1;
+            for (int i = rank; i < static_cast<int>(kM); ++i) {
+                if ((rows[static_cast<size_t>(i)] >> col) & 1u) {
+                    pivot = i;
+                    break;
+                }
+            }
+            if (pivot < 0)
+                continue;
+            std::swap(rows[static_cast<size_t>(pivot)],
+                      rows[static_cast<size_t>(rank)]);
+            for (int i = 0; i < static_cast<int>(kM); ++i) {
+                if (i != rank && ((rows[static_cast<size_t>(i)] >> col) &
+                                  1u))
+                    rows[static_cast<size_t>(i)] ^=
+                        rows[static_cast<size_t>(rank)];
+            }
+            ++rank;
+        }
+        if (rank == static_cast<int>(kM))
+            ++full;
+        else if (rank == static_cast<int>(kM) - 1)
+            ++full_m1;
+    }
+    const double nm = static_cast<double>(matrices);
+    const double p_full = 0.2888;
+    const double p_m1 = 0.5776;
+    const double p_rest = 0.1336;
+    const double rest =
+        nm - static_cast<double>(full) - static_cast<double>(full_m1);
+    double chi2 =
+        std::pow(static_cast<double>(full) - p_full * nm, 2) /
+            (p_full * nm) +
+        std::pow(static_cast<double>(full_m1) - p_m1 * nm, 2) /
+            (p_m1 * nm) +
+        std::pow(rest - p_rest * nm, 2) / (p_rest * nm);
+    r.p_value = std::exp(-chi2 / 2.0);
+    return r;
+}
+
+NistResult
+nistDft(const BitStream &bits)
+{
+    NistResult r{"dft", 0.0, true};
+    // Use the largest power-of-two prefix (radix-2 FFT).
+    size_t n = 1;
+    while (n * 2 <= bits.size())
+        n *= 2;
+    if (n < 1024) {
+        r.applicable = false;
+        return r;
+    }
+    std::vector<std::complex<double>> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = bits[i] ? 1.0 : -1.0;
+    fft(x);
+    const double nd = static_cast<double>(n);
+    const double threshold = std::sqrt(std::log(1.0 / 0.05) * nd);
+    const double n0 = 0.95 * nd / 2.0;
+    double n1 = 0.0;
+    for (size_t i = 0; i < n / 2; ++i)
+        if (std::abs(x[i]) < threshold)
+            n1 += 1.0;
+    const double d =
+        (n1 - n0) / std::sqrt(nd * 0.95 * 0.05 / 4.0);
+    r.p_value = std::erfc(std::fabs(d) / std::sqrt(2.0));
+    return r;
+}
+
+NistResult
+nistNonOverlappingTemplate(const BitStream &bits)
+{
+    NistResult r{"non_overlapping_template_matching", 0.0, true};
+    constexpr int kTemplateLen = 9;
+    // The canonical aperiodic template 000000001.
+    constexpr uint32_t kTemplate = 0x100; // bit8..bit0 = 1 0000 0000
+    const size_t blocks_n = 8;
+    const size_t m = bits.size() / blocks_n;
+    if (m < 100) {
+        r.applicable = false;
+        return r;
+    }
+    const double md = static_cast<double>(m);
+    const double mu =
+        (md - kTemplateLen + 1.0) / std::pow(2.0, kTemplateLen);
+    const double sigma2 =
+        md * (1.0 / std::pow(2.0, kTemplateLen) -
+              (2.0 * kTemplateLen - 1.0) /
+                  std::pow(2.0, 2.0 * kTemplateLen));
+    double chi2 = 0.0;
+    for (size_t b = 0; b < blocks_n; ++b) {
+        size_t count = 0;
+        size_t i = 0;
+        while (i + kTemplateLen <= m) {
+            uint32_t w = 0;
+            for (int j = 0; j < kTemplateLen; ++j)
+                w = (w << 1) |
+                    bits[b * m + i + static_cast<size_t>(j)];
+            if (w == kTemplate) {
+                ++count;
+                i += kTemplateLen;
+            } else {
+                ++i;
+            }
+        }
+        chi2 += std::pow(static_cast<double>(count) - mu, 2) / sigma2;
+    }
+    r.p_value = igamc(static_cast<double>(blocks_n) / 2.0, chi2 / 2.0);
+    return r;
+}
+
+NistResult
+nistOverlappingTemplate(const BitStream &bits)
+{
+    NistResult r{"overlapping_template_matching", 0.0, true};
+    constexpr int kTemplateLen = 9;
+    constexpr size_t kM = 1032;
+    constexpr int kK = 5;
+    const size_t blocks = bits.size() / kM;
+    if (blocks < 5) {
+        r.applicable = false;
+        return r;
+    }
+    // NIST SP 800-22 Rev 1a probabilities for m=9, M=1032.
+    static const double pi[kK + 1] = {0.364091, 0.185659, 0.139381,
+                                      0.100571, 0.070432, 0.139865};
+    std::array<double, kK + 1> v{};
+    for (size_t b = 0; b < blocks; ++b) {
+        int count = 0;
+        for (size_t i = 0; i + kTemplateLen <= kM; ++i) {
+            bool match = true;
+            for (int j = 0; j < kTemplateLen; ++j) {
+                if (!bits[b * kM + i + static_cast<size_t>(j)]) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match)
+                ++count;
+        }
+        ++v[static_cast<size_t>(std::min(count, kK))];
+    }
+    const double nb = static_cast<double>(blocks);
+    double chi2 = 0.0;
+    for (int k = 0; k <= kK; ++k) {
+        const double expect = nb * pi[k];
+        chi2 += std::pow(v[static_cast<size_t>(k)] - expect, 2) / expect;
+    }
+    r.p_value = igamc(static_cast<double>(kK) / 2.0, chi2 / 2.0);
+    return r;
+}
+
+NistResult
+nistMaurersUniversal(const BitStream &bits)
+{
+    NistResult r{"maurers_universal", 0.0, true};
+    // (L, expectedValue, variance) per SP 800-22 Table in 2.9.
+    struct Row
+    {
+        int l;
+        size_t min_n;
+        double expected;
+        double variance;
+    };
+    static const Row rows[] = {
+        {6, 387840, 5.2177052, 2.954},
+        {7, 904960, 6.1962507, 3.125},
+        {8, 2068480, 7.1836656, 3.238},
+        {9, 4654080, 8.1764248, 3.311},
+        {10, 10342400, 9.1723243, 3.356},
+    };
+    const Row *row = nullptr;
+    for (const auto &candidate : rows)
+        if (bits.size() >= candidate.min_n)
+            row = &candidate;
+    if (!row) {
+        r.applicable = false;
+        return r;
+    }
+    const int l = row->l;
+    const size_t q = 10u * (1u << l);
+    const size_t blocks = bits.size() / static_cast<size_t>(l);
+    const size_t k = blocks - q;
+    std::vector<size_t> table(1u << l, 0);
+    auto block_value = [&](size_t idx) {
+        uint32_t v = 0;
+        for (int j = 0; j < l; ++j)
+            v = (v << 1) |
+                bits[idx * static_cast<size_t>(l) +
+                     static_cast<size_t>(j)];
+        return v;
+    };
+    for (size_t i = 0; i < q; ++i)
+        table[block_value(i)] = i + 1;
+    double sum = 0.0;
+    for (size_t i = q; i < blocks; ++i) {
+        const uint32_t v = block_value(i);
+        sum += std::log2(static_cast<double>(i + 1 - table[v]));
+        table[v] = i + 1;
+    }
+    const double fn = sum / static_cast<double>(k);
+    const double kd = static_cast<double>(k);
+    const double c =
+        0.7 - 0.8 / l + (4.0 + 32.0 / l) *
+                            std::pow(kd, -3.0 / static_cast<double>(l)) /
+                            15.0;
+    const double sigma = c * std::sqrt(row->variance / kd);
+    r.p_value =
+        std::erfc(std::fabs(fn - row->expected) / (std::sqrt(2.0) * sigma));
+    return r;
+}
+
+namespace {
+
+/** Berlekamp-Massey linear complexity of a bit block. */
+int
+berlekampMassey(const uint8_t *s, int n)
+{
+    std::vector<uint8_t> b(static_cast<size_t>(n), 0);
+    std::vector<uint8_t> c(static_cast<size_t>(n), 0);
+    std::vector<uint8_t> t(static_cast<size_t>(n), 0);
+    b[0] = 1;
+    c[0] = 1;
+    int l = 0;
+    int m = -1;
+    for (int i = 0; i < n; ++i) {
+        uint8_t d = s[i];
+        for (int j = 1; j <= l; ++j)
+            d ^= static_cast<uint8_t>(c[static_cast<size_t>(j)] &
+                                      s[i - j]);
+        if (d) {
+            t = c;
+            for (int j = 0; j + (i - m) < n; ++j)
+                c[static_cast<size_t>(j + (i - m))] ^=
+                    b[static_cast<size_t>(j)];
+            if (2 * l <= i) {
+                l = i + 1 - l;
+                m = i;
+                b = t;
+            }
+        }
+    }
+    return l;
+}
+
+} // namespace
+
+NistResult
+nistLinearComplexity(const BitStream &bits, int block_len)
+{
+    NistResult r{"linear_complexity", 0.0, true};
+    const size_t m = static_cast<size_t>(block_len);
+    const size_t blocks = bits.size() / m;
+    if (blocks < 20) {
+        r.applicable = false;
+        return r;
+    }
+    static const double pi[7] = {0.010417, 0.03125, 0.125, 0.5,
+                                 0.25,     0.0625,  0.020833};
+    const double md = static_cast<double>(block_len);
+    const double sign = (block_len % 2 == 0) ? 1.0 : -1.0;
+    const double mu = md / 2.0 + (9.0 + sign) / 36.0 -
+                      (md / 3.0 + 2.0 / 9.0) / std::pow(2.0, md);
+    std::array<double, 7> v{};
+    for (size_t b = 0; b < blocks; ++b) {
+        const int l = berlekampMassey(bits.data() + b * m,
+                                      block_len);
+        const double ti =
+            ((block_len % 2 == 0) ? 1.0 : -1.0) *
+                (static_cast<double>(l) - mu) +
+            2.0 / 9.0;
+        size_t cat;
+        if (ti <= -2.5)
+            cat = 0;
+        else if (ti <= -1.5)
+            cat = 1;
+        else if (ti <= -0.5)
+            cat = 2;
+        else if (ti <= 0.5)
+            cat = 3;
+        else if (ti <= 1.5)
+            cat = 4;
+        else if (ti <= 2.5)
+            cat = 5;
+        else
+            cat = 6;
+        ++v[cat];
+    }
+    const double nb = static_cast<double>(blocks);
+    double chi2 = 0.0;
+    for (size_t k = 0; k < 7; ++k) {
+        const double expect = nb * pi[k];
+        chi2 += std::pow(v[k] - expect, 2) / expect;
+    }
+    r.p_value = igamc(3.0, chi2 / 2.0);
+    return r;
+}
+
+namespace {
+
+/** psi-squared statistic for the serial test. */
+double
+psiSquared(const BitStream &bits, int m)
+{
+    if (m <= 0)
+        return 0.0;
+    const size_t n = bits.size();
+    std::vector<uint32_t> counts(1u << m, 0);
+    uint32_t window = 0;
+    const uint32_t mask = (1u << m) - 1;
+    // Prime the wrapped window.
+    for (int j = 0; j < m - 1; ++j)
+        window = ((window << 1) | bits[static_cast<size_t>(j)]) & mask;
+    for (size_t i = 0; i < n; ++i) {
+        const size_t idx = (i + static_cast<size_t>(m) - 1) % n;
+        window = ((window << 1) | bits[idx]) & mask;
+        ++counts[window];
+    }
+    double sum = 0.0;
+    for (uint32_t c : counts)
+        sum += static_cast<double>(c) * static_cast<double>(c);
+    const double nd = static_cast<double>(n);
+    return sum * std::pow(2.0, m) / nd - nd;
+}
+
+} // namespace
+
+NistResult
+nistSerial(const BitStream &bits, int m)
+{
+    NistResult r{"serial", 0.0, true};
+    if (bits.size() < (1u << (m + 2))) {
+        r.applicable = false;
+        return r;
+    }
+    const double psim0 = psiSquared(bits, m);
+    const double psim1 = psiSquared(bits, m - 1);
+    const double psim2 = psiSquared(bits, m - 2);
+    const double del1 = psim0 - psim1;
+    const double del2 = psim0 - 2.0 * psim1 + psim2;
+    const double p1 = igamc(std::pow(2.0, m - 1) / 2.0, del1 / 2.0);
+    const double p2 = igamc(std::pow(2.0, m - 2) / 2.0, del2 / 2.0);
+    r.p_value = minPositive({p1, p2});
+    return r;
+}
+
+NistResult
+nistApproximateEntropy(const BitStream &bits, int m)
+{
+    NistResult r{"approximate_entropy", 0.0, true};
+    const size_t n = bits.size();
+    if (n < (1u << (m + 3))) {
+        r.applicable = false;
+        return r;
+    }
+    auto phi = [&](int mm) {
+        if (mm == 0)
+            return 0.0;
+        std::vector<uint32_t> counts(1u << mm, 0);
+        const uint32_t mask = (1u << mm) - 1;
+        uint32_t window = 0;
+        for (int j = 0; j < mm - 1; ++j)
+            window =
+                ((window << 1) | bits[static_cast<size_t>(j)]) & mask;
+        for (size_t i = 0; i < n; ++i) {
+            const size_t idx = (i + static_cast<size_t>(mm) - 1) % n;
+            window = ((window << 1) | bits[idx]) & mask;
+            ++counts[window];
+        }
+        double sum = 0.0;
+        const double nd = static_cast<double>(n);
+        for (uint32_t c : counts) {
+            if (c == 0)
+                continue;
+            const double p = static_cast<double>(c) / nd;
+            sum += p * std::log(p);
+        }
+        return sum;
+    };
+    const double apen = phi(m) - phi(m + 1);
+    const double chi2 =
+        2.0 * static_cast<double>(n) * (std::log(2.0) - apen);
+    r.p_value = igamc(std::pow(2.0, m - 1), chi2 / 2.0);
+    return r;
+}
+
+NistResult
+nistCumulativeSums(const BitStream &bits)
+{
+    NistResult r{"cumulative_sums", 0.0, true};
+    const size_t n = bits.size();
+    if (n < 100) {
+        r.applicable = false;
+        return r;
+    }
+    auto run = [&](bool forward) {
+        double s = 0.0;
+        double z = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const size_t idx = forward ? i : n - 1 - i;
+            s += bits[idx] ? 1.0 : -1.0;
+            z = std::max(z, std::fabs(s));
+        }
+        const double nd = static_cast<double>(n);
+        const double sqn = std::sqrt(nd);
+        double sum1 = 0.0;
+        const long k_lo1 =
+            static_cast<long>(std::floor((-nd / z + 1.0) / 4.0));
+        const long k_hi1 =
+            static_cast<long>(std::floor((nd / z - 1.0) / 4.0));
+        for (long k = k_lo1; k <= k_hi1; ++k) {
+            sum1 += normalCdf((4.0 * k + 1.0) * z / sqn) -
+                    normalCdf((4.0 * k - 1.0) * z / sqn);
+        }
+        double sum2 = 0.0;
+        const long k_lo2 =
+            static_cast<long>(std::floor((-nd / z - 3.0) / 4.0));
+        const long k_hi2 =
+            static_cast<long>(std::floor((nd / z - 1.0) / 4.0));
+        for (long k = k_lo2; k <= k_hi2; ++k) {
+            sum2 += normalCdf((4.0 * k + 3.0) * z / sqn) -
+                    normalCdf((4.0 * k + 1.0) * z / sqn);
+        }
+        return 1.0 - sum1 + sum2;
+    };
+    r.p_value = minPositive({run(true), run(false)});
+    return r;
+}
+
+namespace {
+
+/** Random-walk cycles (zero-to-zero excursions) of the +-1 walk. */
+std::vector<std::vector<long>>
+walkCycles(const BitStream &bits)
+{
+    std::vector<std::vector<long>> cycles;
+    std::vector<long> current;
+    long s = 0;
+    current.push_back(0);
+    for (uint8_t b : bits) {
+        s += b ? 1 : -1;
+        current.push_back(s);
+        if (s == 0) {
+            cycles.push_back(std::move(current));
+            current.clear();
+            current.push_back(0);
+        }
+    }
+    if (current.size() > 1) {
+        current.push_back(0); // Close the final partial cycle.
+        cycles.push_back(std::move(current));
+    }
+    return cycles;
+}
+
+} // namespace
+
+NistResult
+nistRandomExcursion(const BitStream &bits)
+{
+    NistResult r{"random_excursion", 0.0, true};
+    const auto cycles = walkCycles(bits);
+    const double j = static_cast<double>(cycles.size());
+    if (cycles.size() < 500) {
+        r.applicable = false;
+        return r;
+    }
+    // pi_k(x): probability a cycle visits state x exactly k times.
+    auto pi = [](int k, int x) {
+        const double ax = std::fabs(static_cast<double>(x));
+        if (k == 0)
+            return 1.0 - 1.0 / (2.0 * ax);
+        if (k >= 5)
+            return (1.0 / (2.0 * ax)) *
+                   std::pow(1.0 - 1.0 / (2.0 * ax), 4.0);
+        return (1.0 / (4.0 * ax * ax)) *
+               std::pow(1.0 - 1.0 / (2.0 * ax),
+                        static_cast<double>(k - 1));
+    };
+    std::vector<double> ps;
+    for (int x : {-4, -3, -2, -1, 1, 2, 3, 4}) {
+        std::array<double, 6> v{};
+        for (const auto &cycle : cycles) {
+            int visits = 0;
+            for (long s : cycle)
+                if (s == x)
+                    ++visits;
+            ++v[static_cast<size_t>(std::min(visits, 5))];
+        }
+        double chi2 = 0.0;
+        for (int k = 0; k <= 5; ++k) {
+            const double expect = j * pi(k, x);
+            chi2 +=
+                std::pow(v[static_cast<size_t>(k)] - expect, 2) / expect;
+        }
+        ps.push_back(igamc(2.5, chi2 / 2.0));
+    }
+    r.p_value = minPositive(ps);
+    return r;
+}
+
+NistResult
+nistRandomExcursionVariant(const BitStream &bits)
+{
+    NistResult r{"random_excursion_variant", 0.0, true};
+    const auto cycles = walkCycles(bits);
+    const double j = static_cast<double>(cycles.size());
+    if (cycles.size() < 500) {
+        r.applicable = false;
+        return r;
+    }
+    std::map<long, double> visits;
+    for (const auto &cycle : cycles)
+        for (size_t i = 1; i + 1 < cycle.size(); ++i)
+            visits[cycle[i]] += 1.0;
+    std::vector<double> ps;
+    for (int x = -9; x <= 9; ++x) {
+        if (x == 0)
+            continue;
+        const double xi = visits.count(x) ? visits[x] : 0.0;
+        const double ax = std::fabs(static_cast<double>(x));
+        const double denom = std::sqrt(2.0 * j * (4.0 * ax - 2.0));
+        ps.push_back(std::erfc(std::fabs(xi - j) / denom));
+    }
+    r.p_value = minPositive(ps);
+    return r;
+}
+
+std::vector<NistResult>
+runNistSuite(const BitStream &bits)
+{
+    return {
+        nistMonobit(bits),
+        nistFrequencyWithinBlock(bits),
+        nistRuns(bits),
+        nistLongestRunOnesInBlock(bits),
+        nistBinaryMatrixRank(bits),
+        nistDft(bits),
+        nistNonOverlappingTemplate(bits),
+        nistOverlappingTemplate(bits),
+        nistMaurersUniversal(bits),
+        nistLinearComplexity(bits),
+        nistSerial(bits),
+        nistApproximateEntropy(bits),
+        nistCumulativeSums(bits),
+        nistRandomExcursion(bits),
+        nistRandomExcursionVariant(bits),
+    };
+}
+
+bool
+allPass(const std::vector<NistResult> &results)
+{
+    for (const auto &r : results)
+        if (!r.pass())
+            return false;
+    return true;
+}
+
+} // namespace codic

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The 15 statistical tests of NIST SP 800-22 Rev 1a [123], used by
+ * the paper (Section 6.1.3 / Appendix B, Table 10) to validate the
+ * randomness of CODIC-sig signatures.
+ *
+ * Each test maps a bit stream to one or more p-values; following the
+ * standard, a stream passes a test when its (worst) p-value is at
+ * least 0.01. Tests that are inapplicable to a stream (too short, or
+ * too few random-walk cycles for the excursion tests) report
+ * applicable = false and are conventionally counted as neither pass
+ * nor fail.
+ */
+
+#ifndef CODIC_NIST_TESTS_H
+#define CODIC_NIST_TESTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace codic {
+
+/** Outcome of one NIST test on one stream. */
+struct NistResult
+{
+    std::string name;       //!< Test name (Table 10 spelling).
+    double p_value = 0.0;   //!< Worst p-value over sub-results.
+    bool applicable = true; //!< False if preconditions unmet.
+
+    /** Pass at the standard alpha = 0.01. */
+    bool pass() const { return !applicable || p_value >= 0.01; }
+};
+
+/** Bits are uint8_t values 0/1. */
+using BitStream = std::vector<uint8_t>;
+
+NistResult nistMonobit(const BitStream &bits);
+NistResult nistFrequencyWithinBlock(const BitStream &bits,
+                                    int block_len = 128);
+NistResult nistRuns(const BitStream &bits);
+NistResult nistLongestRunOnesInBlock(const BitStream &bits);
+NistResult nistBinaryMatrixRank(const BitStream &bits);
+NistResult nistDft(const BitStream &bits);
+NistResult nistNonOverlappingTemplate(const BitStream &bits);
+NistResult nistOverlappingTemplate(const BitStream &bits);
+NistResult nistMaurersUniversal(const BitStream &bits);
+NistResult nistLinearComplexity(const BitStream &bits,
+                                int block_len = 500);
+NistResult nistSerial(const BitStream &bits, int m = 16);
+NistResult nistApproximateEntropy(const BitStream &bits, int m = 10);
+NistResult nistCumulativeSums(const BitStream &bits);
+NistResult nistRandomExcursion(const BitStream &bits);
+NistResult nistRandomExcursionVariant(const BitStream &bits);
+
+/** Run the full 15-test suite (Table 10 order). */
+std::vector<NistResult> runNistSuite(const BitStream &bits);
+
+/** True if every applicable test passed. */
+bool allPass(const std::vector<NistResult> &results);
+
+} // namespace codic
+
+#endif // CODIC_NIST_TESTS_H

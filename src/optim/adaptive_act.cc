@@ -1,0 +1,185 @@
+#include "optim/adaptive_act.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace codic {
+
+double
+columnReadyNs(const CircuitParams &params, const VariationDraw &draw,
+              double threshold_frac)
+{
+    double worst = 0.0;
+    for (double init : {0.0, params.vdd}) {
+        CellCircuit cell(params, draw);
+        cell.setCellVoltage(init);
+        const Transient tr =
+            cell.run(variants::activate().schedule, 30.0, nullptr,
+                     0.05);
+        const bool want_one = init > params.vHalf();
+        const double target =
+            want_one ? threshold_frac * params.vdd
+                     : (1.0 - threshold_frac) * params.vdd;
+        double crossing = 30.0;
+        for (const auto &p : tr.points) {
+            const bool crossed = want_one ? p.v_bitline >= target
+                                          : p.v_bitline <= target;
+            if (crossed) {
+                crossing = p.t_ns;
+                break;
+            }
+        }
+        worst = std::max(worst, crossing);
+    }
+    return worst;
+}
+
+RowReadyProfile::RowReadyProfile(const CircuitParams &params,
+                                 uint64_t device_seed,
+                                 double guardband_ns)
+    : device_seed_(device_seed), guardband_ns_(guardband_ns)
+{
+    // Characterize ten strength deciles once. A row is as slow as
+    // its weakest cell, and per-cell access strength has a long weak
+    // tail, so the deciles span a wide conductance range: the
+    // weakest rows share charge ~2.5x more slowly than nominal.
+    decile_ready_ns_.reserve(10);
+    for (int d = 0; d < 10; ++d) {
+        VariationDraw draw;
+        const double frac = static_cast<double>(d) / 9.0;
+        draw.access_rel = -0.85 + 1.10 * frac; // [-0.85, +0.25].
+        draw.cell_cap_rel = -0.25 + 0.35 * frac;
+        const double ready =
+            columnReadyNs(params, draw) + guardband_ns;
+        decile_ready_ns_.push_back(
+            std::min(ready, kNominalReadyNs));
+    }
+}
+
+double
+RowReadyProfile::readyNs(int bank, int64_t row) const
+{
+    SplitMix64 sm(device_seed_ ^
+                  (static_cast<uint64_t>(bank) << 48) ^
+                  static_cast<uint64_t>(row) * 0x9e3779b97f4a7c15ULL);
+    // Skewed toward the weak end: a row's ready time is the max over
+    // its 64Ki cells, which concentrates probability in the slow
+    // deciles but still leaves a majority of rows with headroom.
+    const uint64_t u = sm.next() % 100;
+    size_t decile;
+    if (u < 20)
+        decile = 0;
+    else if (u < 38)
+        decile = 1;
+    else if (u < 53)
+        decile = 2;
+    else if (u < 65)
+        decile = 3;
+    else
+        decile = 4 + (u - 65) % 6;
+    return decile_ready_ns_[decile];
+}
+
+RowReadyProfile::Summary
+RowReadyProfile::summarize(int banks, int64_t rows_per_bank) const
+{
+    Summary s{0.0, 1e9, 0.0, 0.0};
+    int64_t n = 0;
+    int64_t fast = 0;
+    for (int b = 0; b < banks; ++b) {
+        for (int64_t r = 0; r < rows_per_bank;
+             r += std::max<int64_t>(1, rows_per_bank / 512)) {
+            const double ready = readyNs(b, r);
+            s.mean_ready_ns += ready;
+            s.min_ready_ns = std::min(s.min_ready_ns, ready);
+            s.max_ready_ns = std::max(s.max_ready_ns, ready);
+            if (ready <= kNominalReadyNs - 1.0)
+                ++fast;
+            ++n;
+        }
+    }
+    const double nd = static_cast<double>(std::max<int64_t>(n, 1));
+    s.mean_ready_ns /= nd;
+    s.frac_fast = static_cast<double>(fast) / nd;
+    return s;
+}
+
+AdaptiveActivator::AdaptiveActivator(DramChannel &channel,
+                                     const RowReadyProfile &profile)
+    : channel_(channel), profile_(profile),
+      act_variant_(channel.registerVariant(variants::activate().schedule))
+{
+}
+
+Cycle
+AdaptiveActivator::activate(int bank, int64_t row, Cycle not_before,
+                            bool adaptive)
+{
+    if (!adaptive) {
+        Command act;
+        act.type = CommandType::Act;
+        act.addr.bank = bank;
+        act.addr.row = row;
+        return channel_.issueAtEarliest(act, not_before);
+    }
+    Command codic;
+    codic.type = CommandType::Codic;
+    codic.addr.bank = bank;
+    codic.addr.row = row;
+    codic.codic_variant = act_variant_;
+    codic.codic_ready_ns = profile_.readyNs(bank, row);
+    return channel_.issueAtEarliest(codic, not_before);
+}
+
+AdaptiveActResult
+evaluateAdaptiveActivation(const CircuitParams &params,
+                           uint64_t device_seed, int accesses,
+                           uint64_t workload_seed)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(2048);
+    const RowReadyProfile profile(params, device_seed);
+
+    auto run = [&](bool adaptive) {
+        DramChannel channel(cfg);
+        AdaptiveActivator activator(channel, profile);
+        Rng rng(workload_seed);
+        double total_ns = 0.0;
+        Cycle now = 0;
+        for (int i = 0; i < accesses; ++i) {
+            const int bank =
+                static_cast<int>(rng.below(
+                    static_cast<uint64_t>(cfg.banks)));
+            const int64_t row = static_cast<int64_t>(
+                rng.below(static_cast<uint64_t>(cfg.rows)));
+            const Cycle start =
+                std::max(now, channel.lastIssueCycle());
+            const Cycle ready =
+                activator.activate(bank, row, start, adaptive);
+            Command rd;
+            rd.type = CommandType::Rd;
+            rd.addr.bank = bank;
+            rd.addr.row = row;
+            const Cycle data = channel.issueAtEarliest(rd, ready);
+            Command pre;
+            pre.type = CommandType::Pre;
+            pre.addr.bank = bank;
+            pre.addr.row = row;
+            now = channel.issueAtEarliest(pre, data);
+            total_ns += cfg.cyclesToNs(data - start);
+        }
+        return total_ns / static_cast<double>(accesses);
+    };
+
+    AdaptiveActResult result;
+    result.baseline_avg_read_ns = run(false);
+    result.adaptive_avg_read_ns = run(true);
+    result.speedup = result.baseline_avg_read_ns /
+                         result.adaptive_avg_read_ns -
+                     1.0;
+    return result;
+}
+
+} // namespace codic

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Custom DRAM latency optimization with CODIC (paper Section 5.3.2):
+ * per-row reduced activation latency.
+ *
+ * Commodity DRAM fixes the wordline-to-sense interval and the
+ * sense-to-column-access interval inside a worst-case tRCD. With
+ * CODIC the internal timing is explicit, so a system can:
+ *
+ *  1. characterize each row's actual column-ready time with the
+ *     circuit model - the "Accurate DRAM Characterization" use case:
+ *     measure when the bitline actually crosses the readable level
+ *     during a CODIC-activate, for the row's weakest cell;
+ *  2. activate rows with an activation-class CODIC command and count
+ *     data-ready from the characterized value (plus a guardband)
+ *     instead of the worst-case tRCD - the "Memory Controller Timing
+ *     Parameters" use case: the controller *knows* the internal
+ *     state, so reduced external timing is safe by construction.
+ */
+
+#ifndef CODIC_OPTIM_ADAPTIVE_ACT_H
+#define CODIC_OPTIM_ADAPTIVE_ACT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/analog.h"
+#include "dram/channel.h"
+
+namespace codic {
+
+/**
+ * Circuit-level characterization: the time (ns, from activation
+ * start) at which the bitline is amplified far enough for a column
+ * access, for a given device instance, worst case over both stored
+ * values. Weak access transistors (access_rel < 0) share charge more
+ * slowly and cross later.
+ *
+ * @param params Electrical parameters.
+ * @param draw Process-variation instance.
+ * @param threshold_frac Fraction of full swing that counts as
+ *        "readable" (0.85 of the rail by default).
+ */
+double columnReadyNs(const CircuitParams &params,
+                     const VariationDraw &draw,
+                     double threshold_frac = 0.85);
+
+/**
+ * Per-row column-ready profile of one simulated device. Each row
+ * maps (deterministically per device seed) to a strength decile whose
+ * ready time was characterized once with the circuit model; a row's
+ * effective strength is its *weakest* cell, so the decile draw is
+ * skewed toward the weak end.
+ */
+class RowReadyProfile
+{
+  public:
+    /**
+     * @param params Electrical parameters.
+     * @param device_seed Device identity.
+     * @param guardband_ns Safety margin added to every row.
+     */
+    RowReadyProfile(const CircuitParams &params, uint64_t device_seed,
+                    double guardband_ns = 1.0);
+
+    /** Characterized + guardbanded column-ready time for a row. */
+    double readyNs(int bank, int64_t row) const;
+
+    /** Distribution summary over a sample of rows. */
+    struct Summary
+    {
+        double mean_ready_ns;
+        double min_ready_ns;
+        double max_ready_ns;
+        double frac_fast; //!< Rows at least 1 ns under nominal.
+    };
+    Summary summarize(int banks, int64_t rows_per_bank) const;
+
+    /** Nominal (worst-case) ready time of the fixed design: tRCD. */
+    static constexpr double kNominalReadyNs = 13.75;
+
+  private:
+    uint64_t device_seed_;
+    double guardband_ns_;
+    std::vector<double> decile_ready_ns_;
+};
+
+/**
+ * Issue helper: open `row` either with a regular ACT (fixed tRCD) or
+ * with a CODIC-activate carrying the row's characterized ready time.
+ */
+class AdaptiveActivator
+{
+  public:
+    AdaptiveActivator(DramChannel &channel,
+                      const RowReadyProfile &profile);
+
+    /**
+     * Activate the row; returns the cycle at which column accesses
+     * may begin.
+     */
+    Cycle activate(int bank, int64_t row, Cycle not_before,
+                   bool adaptive);
+
+  private:
+    DramChannel &channel_;
+    const RowReadyProfile &profile_;
+    int act_variant_;
+};
+
+/** Result of the adaptive-activation evaluation. */
+struct AdaptiveActResult
+{
+    double baseline_avg_read_ns;  //!< ACT->data with fixed timing.
+    double adaptive_avg_read_ns;  //!< ACT->data with per-row timing.
+    double speedup;               //!< On the row-miss critical path.
+};
+
+/**
+ * Evaluate adaptive activation on a row-miss-heavy access pattern:
+ * `accesses` random single-read row activations, fixed vs adaptive.
+ */
+AdaptiveActResult evaluateAdaptiveActivation(
+    const CircuitParams &params, uint64_t device_seed, int accesses,
+    uint64_t workload_seed);
+
+} // namespace codic
+
+#endif // CODIC_OPTIM_ADAPTIVE_ACT_H

@@ -1,0 +1,205 @@
+#include "pim/bitwise.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace codic {
+
+namespace {
+
+/** Deterministic per-cell corruption mask word. */
+uint64_t
+corruptionMask(uint64_t seed, int bank, int64_t word, double fraction)
+{
+    SplitMix64 sm(seed ^ (static_cast<uint64_t>(bank) << 56) ^
+                  static_cast<uint64_t>(word) * 0x2545f4914f6cdd1dULL);
+    uint64_t mask = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        // Cell is unreliable with the given probability; unreliable
+        // cells do not perform the computation (their result is
+        // effectively random - modeled as a flip of the true result
+        // half the time, i.e. corruption of fraction/2 of the bits).
+        const uint64_t u = sm.next();
+        const bool unreliable =
+            static_cast<double>(u >> 11) * 0x1.0p-53 < fraction;
+        const bool flips = (u & 1) != 0;
+        if (unreliable && flips)
+            mask |= 1ull << bit;
+    }
+    return mask;
+}
+
+} // namespace
+
+double
+bitErrorRate(const RowPayload &a, const RowPayload &b)
+{
+    CODIC_ASSERT(a.size() == b.size());
+    uint64_t errors = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        errors += static_cast<uint64_t>(
+            __builtin_popcountll(a[i] ^ b[i]));
+    return static_cast<double>(errors) /
+           (static_cast<double>(a.size()) * 64.0);
+}
+
+AmbitUnit::AmbitUnit(DramChannel &channel, int bank, PimMode mode,
+                     double unreliable_cell_fraction)
+    : channel_(channel), bank_(bank), mode_(mode),
+      unreliable_fraction_(unreliable_cell_fraction)
+{
+    // The triple activation runs as an activation-class CODIC command
+    // with explicit internal timing (the whole point of Section
+    // 5.3.3); in ComputeDRAM mode the same sequence is modeled with
+    // the same external timing but unreliable internal behaviour.
+    SignalSchedule s;
+    s.set(Signal::Wl, 5, 22);
+    s.set(Signal::SenseP, 8, 22);
+    s.set(Signal::SenseN, 8, 22);
+    triple_variant_ = channel_.registerVariant(s);
+
+    contents_[kC0] = RowPayload(kWordsPerRow, 0);
+    contents_[kC1] = RowPayload(kWordsPerRow, ~0ull);
+}
+
+RowPayload
+AmbitUnit::readRow(int64_t row) const
+{
+    const auto it = contents_.find(row);
+    if (it == contents_.end())
+        return RowPayload(kWordsPerRow, 0);
+    return it->second;
+}
+
+Cycle
+AmbitUnit::writeRow(int64_t row, const RowPayload &data, Cycle at)
+{
+    CODIC_ASSERT(data.size() == kWordsPerRow);
+    Command act;
+    act.type = CommandType::Act;
+    act.addr.bank = bank_;
+    act.addr.row = row;
+    const Cycle ready = channel_.issueAtEarliest(act, at);
+    Cycle last = ready;
+    for (int col = 0; col < channel_.config().columns; ++col) {
+        Command wr;
+        wr.type = CommandType::Wr;
+        wr.addr.bank = bank_;
+        wr.addr.row = row;
+        wr.addr.column = col;
+        last = channel_.issueAtEarliest(wr, ready);
+    }
+    Command pre;
+    pre.type = CommandType::Pre;
+    pre.addr.bank = bank_;
+    pre.addr.row = row;
+    contents_[row] = data;
+    return channel_.issueAtEarliest(pre, last);
+}
+
+Cycle
+AmbitUnit::aap(int64_t src, int64_t dst, Cycle at)
+{
+    Command act;
+    act.type = CommandType::Act;
+    act.addr.bank = bank_;
+    act.addr.row = src;
+    channel_.issueAtEarliest(act, at);
+    Command clone;
+    clone.type = CommandType::RowClone;
+    clone.addr.bank = bank_;
+    clone.addr.row = dst;
+    channel_.issueAtEarliest(clone, at);
+    Command pre;
+    pre.type = CommandType::Pre;
+    pre.addr.bank = bank_;
+    pre.addr.row = dst;
+    const Cycle done = channel_.issueAtEarliest(pre, at);
+    contents_[dst] = readRow(src);
+    return done;
+}
+
+Cycle
+AmbitUnit::tripleActivate(Cycle at)
+{
+    Command codic;
+    codic.type = CommandType::Codic;
+    codic.addr.bank = bank_;
+    codic.addr.row = kT0;
+    codic.codic_variant = triple_variant_;
+    const Cycle ready = channel_.issueAtEarliest(codic, at);
+    Command pre;
+    pre.type = CommandType::Pre;
+    pre.addr.bank = bank_;
+    pre.addr.row = kT0;
+    const Cycle done = channel_.issueAtEarliest(pre, ready);
+
+    // Majority of the three simultaneously activated rows lands in
+    // all three (the charge-sharing result); we only use T0.
+    const RowPayload a = readRow(kT0);
+    const RowPayload b = readRow(kT1);
+    const RowPayload c = readRow(kT2);
+    RowPayload maj(kWordsPerRow);
+    for (size_t i = 0; i < kWordsPerRow; ++i)
+        maj[i] = (a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i]);
+    if (mode_ == PimMode::ComputeDram)
+        corrupt(maj);
+    contents_[kT0] = maj;
+    return done;
+}
+
+void
+AmbitUnit::corrupt(RowPayload &data) const
+{
+    for (size_t w = 0; w < data.size(); ++w) {
+        data[w] ^= corruptionMask(0xC0FFEE, bank_,
+                                  static_cast<int64_t>(w),
+                                  unreliable_fraction_);
+    }
+}
+
+Cycle
+AmbitUnit::copy(int64_t src, int64_t dst, Cycle at)
+{
+    return aap(src, dst, at);
+}
+
+Cycle
+AmbitUnit::bitwiseAnd(int64_t a, int64_t b, int64_t dst, Cycle at)
+{
+    Cycle t = aap(a, kT0, at);
+    t = aap(b, kT1, t);
+    t = aap(kC0, kT2, t); // Control zero: majority == AND.
+    t = tripleActivate(t);
+    return aap(kT0, dst, t);
+}
+
+Cycle
+AmbitUnit::bitwiseOr(int64_t a, int64_t b, int64_t dst, Cycle at)
+{
+    Cycle t = aap(a, kT0, at);
+    t = aap(b, kT1, t);
+    t = aap(kC1, kT2, t); // Control one: majority == OR.
+    t = tripleActivate(t);
+    return aap(kT0, dst, t);
+}
+
+Cycle
+AmbitUnit::bitwiseNot(int64_t src, int64_t dst, Cycle at)
+{
+    // Dual-contact cell: activating the source row with the DCC row's
+    // negated port connected inverts into the DCC row (Ambit [136]);
+    // one AAP out.
+    Cycle t = aap(src, kDcc, at);
+    RowPayload inv = readRow(kDcc);
+    for (auto &w : inv)
+        w = ~w;
+    if (mode_ == PimMode::ComputeDram)
+        corrupt(inv);
+    contents_[kDcc] = inv;
+    return aap(kDcc, dst, t);
+}
+
+} // namespace codic

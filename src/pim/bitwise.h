@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Processing-in-memory enablement (paper Section 5.3.3): Ambit-style
+ * bulk bitwise operations (AND/OR via triple-row activation, NOT via
+ * dual-contact cells) and RowClone copies, executed as command
+ * sequences over the cycle-accurate channel.
+ *
+ * The paper's motivation (Section 1): ComputeDRAM demonstrated these
+ * operations on commodity chips by violating DDRx timings, but "only
+ * a small fraction of the cells can reliably perform the intended
+ * computations" because the internal signal timing is neither visible
+ * nor controllable. With CODIC, the triple activation runs with
+ * explicit internal timings, making the operation reliable for every
+ * cell. Both modes are modeled here: CODIC mode computes exactly;
+ * ComputeDRAM mode corrupts a per-cell-deterministic subset of bits,
+ * reproducing the reliability gap.
+ */
+
+#ifndef CODIC_PIM_BITWISE_H
+#define CODIC_PIM_BITWISE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dram/channel.h"
+
+namespace codic {
+
+/** An 8 KB row payload as 1024 64-bit words. */
+using RowPayload = std::vector<uint64_t>;
+
+/** How triple-row activation is triggered. */
+enum class PimMode
+{
+    Codic,       //!< Explicit internal timings: reliable everywhere.
+    ComputeDram, //!< DDRx timing violations: per-cell unreliable.
+};
+
+/**
+ * In-DRAM bitwise execution unit for one bank, in the style of Ambit
+ * [136] with a designated compute-row group: T0-T3 scratch rows, C0
+ * (all zeros), C1 (all ones), and a dual-contact row for NOT.
+ *
+ * Row contents are tracked by this unit (the channel tracks only
+ * data-state tags); every operation issues its real command sequence
+ * through the channel, so latency/energy come from the JEDEC-checked
+ * timing model.
+ */
+class AmbitUnit
+{
+  public:
+    /**
+     * @param channel Channel to execute on.
+     * @param bank Bank this unit operates in.
+     * @param mode Reliable CODIC timing or ComputeDRAM violations.
+     * @param unreliable_cell_fraction In ComputeDRAM mode, the
+     *        fraction of cells that cannot perform the computation
+     *        (paper Section 1: "a vast majority of cells" fail on
+     *        many chips; default models a mid-range chip).
+     */
+    AmbitUnit(DramChannel &channel, int bank,
+              PimMode mode = PimMode::Codic,
+              double unreliable_cell_fraction = 0.4);
+
+    /** Write a payload into a row (through the column interface). */
+    Cycle writeRow(int64_t row, const RowPayload &data, Cycle at);
+
+    /** Current contents of a row (zeros if never written). */
+    RowPayload readRow(int64_t row) const;
+
+    /** dst = src (RowClone FPM copy). */
+    Cycle copy(int64_t src, int64_t dst, Cycle at);
+
+    /** dst = a & b (Ambit AND via majority with C0). */
+    Cycle bitwiseAnd(int64_t a, int64_t b, int64_t dst, Cycle at);
+
+    /** dst = a | b (Ambit OR via majority with C1). */
+    Cycle bitwiseOr(int64_t a, int64_t b, int64_t dst, Cycle at);
+
+    /** dst = ~src (dual-contact-cell NOT). */
+    Cycle bitwiseNot(int64_t src, int64_t dst, Cycle at);
+
+    /** First row index reserved for the compute group. */
+    static constexpr int64_t kT0 = 0;
+    static constexpr int64_t kT1 = 1;
+    static constexpr int64_t kT2 = 2;
+    static constexpr int64_t kC0 = 3; //!< All zeros.
+    static constexpr int64_t kC1 = 4; //!< All ones.
+    static constexpr int64_t kDcc = 5; //!< Dual-contact row.
+    static constexpr int64_t kFirstDataRow = 6;
+
+    /** Words per 8 KB row. */
+    static constexpr size_t kWordsPerRow = 1024;
+
+  private:
+    /** AAP: activate src, clone into dst, precharge (Ambit's copy). */
+    Cycle aap(int64_t src, int64_t dst, Cycle at);
+
+    /** Triple-row activation computing majority(T0, T1, T2) in T0. */
+    Cycle tripleActivate(Cycle at);
+
+    /** Apply per-cell corruption in ComputeDRAM mode. */
+    void corrupt(RowPayload &data) const;
+
+    DramChannel &channel_;
+    int bank_;
+    PimMode mode_;
+    double unreliable_fraction_;
+    int triple_variant_;
+    std::map<int64_t, RowPayload> contents_;
+};
+
+/** Fraction of bits that differ between two payloads. */
+double bitErrorRate(const RowPayload &a, const RowPayload &b);
+
+} // namespace codic
+
+#endif // CODIC_PIM_BITWISE_H

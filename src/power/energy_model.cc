@@ -1,0 +1,54 @@
+#include "power/energy_model.h"
+
+#include "codic/variant.h"
+
+namespace codic {
+
+double
+actPreEnergyNj(const EnergyParams &params)
+{
+    return params.route_nj + params.array_nj + params.control_nj +
+           params.restore_extra_nj;
+}
+
+double
+variantEnergyNj(const SignalSchedule &sched, const EnergyParams &params)
+{
+    if (sched.empty())
+        return 0.0;
+    double e = params.route_nj + params.control_nj +
+               params.codic_delay_nj;
+    // Any schedule that drives the array (wordline, equalizer, or SA
+    // legs) pays the array switching component. The paper observes
+    // this makes all variants nearly equal in energy (Section 4.3).
+    e += params.array_nj;
+    if (classifySchedule(sched) == VariantClass::Activate)
+        e += params.restore_extra_nj;
+    return e;
+}
+
+double
+campaignEnergyNj(const CommandCounts &counts, double elapsed_ns,
+                 const EnergyParams &params)
+{
+    double e = 0.0;
+    // ACT carries the full activation cost (restore included); PRE is
+    // folded into the activation pair as DRAMPower does.
+    e += static_cast<double>(counts.act) * actPreEnergyNj(params);
+    e += static_cast<double>(counts.rd) * params.rd_burst_nj;
+    e += static_cast<double>(counts.wr) * params.wr_burst_nj;
+    e += static_cast<double>(counts.ref) * params.ref_nj;
+    e += static_cast<double>(counts.mrs) * params.mrs_nj;
+    e += static_cast<double>(counts.rowclone) * params.rowclone_nj;
+    e += static_cast<double>(counts.lisa_rbm) * params.lisa_rbm_nj;
+    // CODIC commands: modeled at the named-variant energy (17.2 nJ);
+    // callers with exotic schedules can account separately.
+    e += static_cast<double>(counts.codic) *
+         (params.route_nj + params.array_nj + params.control_nj +
+          params.codic_delay_nj);
+    // Background power over the campaign.
+    e += params.background_mw * 1e-3 * elapsed_ns; // mW * ns = pJ*1e3
+    return e;
+}
+
+} // namespace codic

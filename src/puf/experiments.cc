@@ -1,0 +1,189 @@
+#include "puf/experiments.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace codic {
+
+RunningStats
+JaccardCampaignResult::intraStats() const
+{
+    RunningStats s;
+    for (double v : intra)
+        s.add(v);
+    return s;
+}
+
+RunningStats
+JaccardCampaignResult::interStats() const
+{
+    RunningStats s;
+    for (double v : inter)
+        s.add(v);
+    return s;
+}
+
+namespace {
+
+/** Pick a random chip and segment. */
+std::pair<const SimulatedChip *, uint64_t>
+pickSegment(Rng &rng, const std::vector<const SimulatedChip *> &chips)
+{
+    CODIC_ASSERT(!chips.empty());
+    const SimulatedChip *chip =
+        chips[static_cast<size_t>(rng.below(chips.size()))];
+    const uint64_t segment = rng.below(chip->segments());
+    return {chip, segment};
+}
+
+Response
+query(const DramPuf &puf, const SimulatedChip &chip, uint64_t segment,
+      int bits, const QueryEnv &env, bool filtered)
+{
+    Challenge ch;
+    ch.segment_id = segment;
+    ch.segment_bits = bits;
+    return filtered ? puf.evaluateFiltered(chip, ch, env)
+                    : puf.evaluate(chip, ch, env);
+}
+
+} // namespace
+
+JaccardCampaignResult
+runJaccardCampaign(const DramPuf &puf,
+                   const std::vector<const SimulatedChip *> &chips,
+                   const JaccardCampaignConfig &config)
+{
+    Rng rng(config.seed);
+    JaccardCampaignResult result;
+    result.intra.reserve(config.pairs);
+    result.inter.reserve(config.pairs);
+
+    for (size_t i = 0; i < config.pairs; ++i) {
+        // Intra: same segment, two independent queries.
+        auto [chip, segment] = pickSegment(rng, chips);
+        QueryEnv env1{config.temperature_c, false, rng.next64()};
+        QueryEnv env2{config.temperature_c, false, rng.next64()};
+        const Response a = query(puf, *chip, segment,
+                                 config.segment_bits, env1,
+                                 config.filtered);
+        const Response b = query(puf, *chip, segment,
+                                 config.segment_bits, env2,
+                                 config.filtered);
+        result.intra.push_back(jaccard(a, b));
+
+        // Inter: two distinct segments of one chip.
+        auto [chip2, seg_a] = pickSegment(rng, chips);
+        uint64_t seg_b = rng.below(chip2->segments());
+        while (seg_b == seg_a)
+            seg_b = rng.below(chip2->segments());
+        QueryEnv env3{config.temperature_c, false, rng.next64()};
+        QueryEnv env4{config.temperature_c, false, rng.next64()};
+        const Response c = query(puf, *chip2, seg_a,
+                                 config.segment_bits, env3,
+                                 config.filtered);
+        const Response d = query(puf, *chip2, seg_b,
+                                 config.segment_bits, env4,
+                                 config.filtered);
+        result.inter.push_back(jaccard(c, d));
+    }
+    return result;
+}
+
+std::vector<double>
+runTemperatureCampaign(const DramPuf &puf,
+                       const std::vector<const SimulatedChip *> &chips,
+                       double delta_c, size_t pairs, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(pairs);
+    for (size_t i = 0; i < pairs; ++i) {
+        auto [chip, segment] = pickSegment(rng, chips);
+        QueryEnv ref{30.0, false, rng.next64()};
+        QueryEnv hot{30.0 + delta_c, false, rng.next64()};
+        const Response a =
+            query(puf, *chip, segment, 65536, ref, true);
+        const Response b =
+            query(puf, *chip, segment, 65536, hot, true);
+        out.push_back(jaccard(a, b));
+    }
+    return out;
+}
+
+std::vector<double>
+runAgingCampaign(const DramPuf &puf,
+                 const std::vector<const SimulatedChip *> &chips,
+                 size_t pairs, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(pairs);
+    for (size_t i = 0; i < pairs; ++i) {
+        auto [chip, segment] = pickSegment(rng, chips);
+        QueryEnv fresh{30.0, false, rng.next64()};
+        QueryEnv aged{30.0, true, rng.next64()};
+        const Response a =
+            query(puf, *chip, segment, 65536, fresh, true);
+        const Response b =
+            query(puf, *chip, segment, 65536, aged, true);
+        out.push_back(jaccard(a, b));
+    }
+    return out;
+}
+
+AuthRates
+runAuthCampaign(const DramPuf &puf,
+                const std::vector<const SimulatedChip *> &chips,
+                size_t trials, uint64_t seed)
+{
+    Rng rng(seed);
+    size_t false_rej = 0;
+    size_t false_acc = 0;
+    for (size_t i = 0; i < trials; ++i) {
+        auto [chip, segment] = pickSegment(rng, chips);
+        // Enrolled response vs. a later unfiltered query.
+        QueryEnv enroll{30.0, false, rng.next64()};
+        QueryEnv verify{30.0, false, rng.next64()};
+        const Response a =
+            query(puf, *chip, segment, 65536, enroll, false);
+        const Response b =
+            query(puf, *chip, segment, 65536, verify, false);
+        if (!(a == b))
+            ++false_rej;
+
+        // Impostor: response from a different segment.
+        uint64_t other = rng.below(chip->segments());
+        while (other == segment)
+            other = rng.below(chip->segments());
+        QueryEnv imp{30.0, false, rng.next64()};
+        const Response c =
+            query(puf, *chip, other, 65536, imp, false);
+        if (a == c)
+            ++false_acc;
+    }
+    const double n = static_cast<double>(trials);
+    return {static_cast<double>(false_rej) / n,
+            static_cast<double>(false_acc) / n};
+}
+
+CoverageStats
+coverageStats(const std::vector<SimulatedChip> &chips)
+{
+    CoverageStats s;
+    for (const auto &chip : chips) {
+        s.min_coverage = std::min(s.min_coverage,
+                                  chip.methodologyCoverage());
+        s.max_coverage = std::max(s.max_coverage,
+                                  chip.methodologyCoverage());
+        s.min_flip_fraction =
+            std::min(s.min_flip_fraction, chip.sigFlipFraction());
+        s.max_flip_fraction =
+            std::max(s.max_flip_fraction, chip.sigFlipFraction());
+    }
+    return s;
+}
+
+} // namespace codic

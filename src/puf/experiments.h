@@ -1,0 +1,102 @@
+/**
+ * @file
+ * PUF evaluation campaigns reproducing the paper's Section 6.1
+ * methodology: Intra-/Inter-Jaccard distributions over 10,000 random
+ * segment pairs (Fig. 5), temperature sweeps (Fig. 6), aging, and
+ * the naive exact-match authentication rates.
+ */
+
+#ifndef CODIC_PUF_EXPERIMENTS_H
+#define CODIC_PUF_EXPERIMENTS_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "puf/chip_model.h"
+#include "puf/puf.h"
+
+namespace codic {
+
+/** Campaign configuration (paper defaults). */
+struct JaccardCampaignConfig
+{
+    size_t pairs = 10000;      //!< Random pairs per distribution.
+    int segment_bits = 65536;  //!< 8 KB segments.
+    double temperature_c = 30.0;
+    bool filtered = true;      //!< Use each PUF's production filter.
+    uint64_t seed = 7;
+};
+
+/** Result of one Intra/Inter campaign. */
+struct JaccardCampaignResult
+{
+    std::vector<double> intra; //!< Same segment, two queries.
+    std::vector<double> inter; //!< Different segments, same chip.
+
+    RunningStats intraStats() const;
+    RunningStats interStats() const;
+};
+
+/**
+ * Run the Fig. 5 campaign for one PUF over a chip subset.
+ *
+ * Intra pairs: two evaluations of the same random segment (distinct
+ * nonces). Inter pairs: evaluations of two distinct random segments
+ * of the same chip (the uniqueness comparison that exposes
+ * PreLatPUF's column-shared structure).
+ */
+JaccardCampaignResult
+runJaccardCampaign(const DramPuf &puf,
+                   const std::vector<const SimulatedChip *> &chips,
+                   const JaccardCampaignConfig &config);
+
+/**
+ * Fig. 6 campaign: Intra-Jaccard between a 30 C reference response
+ * and a response at 30 C + delta, over random segments.
+ */
+std::vector<double>
+runTemperatureCampaign(const DramPuf &puf,
+                       const std::vector<const SimulatedChip *> &chips,
+                       double delta_c, size_t pairs, uint64_t seed);
+
+/**
+ * Aging campaign (Section 6.1.1): Intra-Jaccard between pre- and
+ * post-accelerated-aging responses.
+ */
+std::vector<double>
+runAgingCampaign(const DramPuf &puf,
+                 const std::vector<const SimulatedChip *> &chips,
+                 size_t pairs, uint64_t seed);
+
+/** Naive exact-match authentication rates (Section 6.1.1). */
+struct AuthRates
+{
+    double false_rejection; //!< Same challenge, response mismatch.
+    double false_acceptance;//!< Different challenge, response match.
+};
+
+/**
+ * Evaluate the naive challenge-response authentication of Section
+ * 6.1.1 (accept only exact response match, no filter).
+ */
+AuthRates
+runAuthCampaign(const DramPuf &puf,
+                const std::vector<const SimulatedChip *> &chips,
+                size_t trials, uint64_t seed);
+
+/** Coverage statistics of the 48 h methodology over a population. */
+struct CoverageStats
+{
+    double min_coverage = 1.0;
+    double max_coverage = 0.0;
+    double min_flip_fraction = 1.0;
+    double max_flip_fraction = 0.0;
+};
+
+/** Gather Section 6.1 coverage/flip-fraction bands. */
+CoverageStats
+coverageStats(const std::vector<SimulatedChip> &chips);
+
+} // namespace codic
+
+#endif // CODIC_PUF_EXPERIMENTS_H

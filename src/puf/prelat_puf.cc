@@ -1,0 +1,62 @@
+#include "puf/prelat_puf.h"
+
+#include <algorithm>
+#include <map>
+
+namespace codic {
+
+PrelatPuf::PrelatPuf(const PrelatPufParams &params) : params_(params)
+{
+}
+
+Response
+PrelatPuf::evaluate(const SimulatedChip &chip, const Challenge &challenge,
+                    const QueryEnv &env) const
+{
+    const double dt = std::max(0.0, env.temperature_c - 30.0);
+    const double dropout = params_.temp_dropout_at_55c * (dt / 55.0) +
+                           (env.aged ? 0.004 : 0.0);
+
+    Rng noise = chip.domainRng(0x9E1, env.nonce ^ 0x1357);
+    Response r;
+    for (const auto &col : chip.prelatColumns(challenge.segment_id,
+                                              challenge.segment_bits)) {
+        // Deterministic tiny temperature perturbation.
+        if (col.stability < dropout)
+            continue;
+        // Marginal columns flicker per query.
+        if (col.stability < params_.marginal_fraction &&
+            noise.chance(0.5))
+            continue;
+        r.cells.push_back(col.index);
+    }
+    std::sort(r.cells.begin(), r.cells.end());
+    return r;
+}
+
+Response
+PrelatPuf::evaluateFiltered(const SimulatedChip &chip,
+                            const Challenge &challenge,
+                            const QueryEnv &env) const
+{
+    std::map<uint32_t, int> votes;
+    for (int i = 0; i < params_.filter_challenges; ++i) {
+        QueryEnv e = env;
+        e.nonce = env.nonce * 1000033ULL + static_cast<uint64_t>(i) + 1;
+        for (uint32_t c : evaluate(chip, challenge, e).cells)
+            ++votes[c];
+    }
+    Response r;
+    for (const auto &[cell, count] : votes)
+        if (count * 2 > params_.filter_challenges)
+            r.cells.push_back(cell);
+    return r;
+}
+
+int
+PrelatPuf::passesPerEvaluation(bool filtered) const
+{
+    return filtered ? params_.filter_challenges : 1;
+}
+
+} // namespace codic

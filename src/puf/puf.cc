@@ -1,0 +1,38 @@
+#include "puf/puf.h"
+
+#include <algorithm>
+
+namespace codic {
+
+double
+jaccard(const Response &a, const Response &b)
+{
+    if (a.cells.empty() && b.cells.empty())
+        return 1.0;
+    size_t inter = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.cells.size() && j < b.cells.size()) {
+        if (a.cells[i] == b.cells[j]) {
+            ++inter;
+            ++i;
+            ++j;
+        } else if (a.cells[i] < b.cells[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    const size_t uni = a.cells.size() + b.cells.size() - inter;
+    return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+Response
+DramPuf::evaluateFiltered(const SimulatedChip &chip,
+                          const Challenge &challenge,
+                          const QueryEnv &env) const
+{
+    return evaluate(chip, challenge, env);
+}
+
+} // namespace codic

@@ -1,0 +1,117 @@
+#include "puf/retention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nist/special_functions.h"
+
+namespace codic {
+
+namespace {
+
+/** Lognormal spread of per-cell retention (ln-space sigma). */
+constexpr double kRetentionSigmaLn = 1.2;
+
+/** Designed offset as a fraction of Vdd/2 (20 mV / 750 mV). */
+constexpr double kBiasFrac = 0.0267;
+
+/** Inverse standard-normal CDF by bisection (p in (0,1)). */
+double
+normalQuantile(double p)
+{
+    CODIC_ASSERT(p > 0.0 && p < 1.0);
+    double lo = -10.0;
+    double hi = 10.0;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (normalCdf(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+double
+RetentionExperimentResult::coverage() const
+{
+    if (sampled == 0)
+        return 0.0;
+    return static_cast<double>(conclusive) /
+           static_cast<double>(sampled);
+}
+
+double
+RetentionExperimentResult::flipFraction() const
+{
+    if (conclusive == 0)
+        return 0.0;
+    return static_cast<double>(flips_observed) /
+           static_cast<double>(conclusive);
+}
+
+double
+chipRetentionMedianHours(const SimulatedChip &chip)
+{
+    // Invert the chip's coverage: with a 48 h wait and the default
+    // conclusiveness residual, cells with tau below
+    // 48 / ln(1/residual) hours are conclusive. Coverage c then pins
+    // the lognormal median. This keeps the statistical chip model
+    // and the emulated methodology mutually consistent.
+    const double tau_threshold = 48.0 / std::log(1.0 / 0.02);
+    const double c =
+        std::clamp(chip.methodologyCoverage(), 0.01, 0.995);
+    return tau_threshold /
+           std::exp(normalQuantile(c) * kRetentionSigmaLn);
+}
+
+RetentionExperimentResult
+runRetentionExperiment(const SimulatedChip &chip,
+                       const RetentionExperimentConfig &config)
+{
+    CODIC_ASSERT(config.sample_cells > 0);
+    const double median = chipRetentionMedianHours(chip);
+    const double accel = std::pow(
+        config.acceleration_per_10c,
+        (config.temperature_c - 30.0) / 10.0);
+    const double t_eff = config.wait_hours * accel;
+
+    // Per-cell offset spread pinned to the chip's flip fraction:
+    // flip cells are those whose offset falls below zero, so
+    // sigma = bias / z(1 - flip_fraction).
+    const double flip = std::clamp(chip.sigFlipFraction(), 1e-5, 0.2);
+    const double sigma_frac =
+        kBiasFrac / normalQuantile(1.0 - flip);
+
+    Rng rng = chip.domainRng(0x9E7E, config.segment_id);
+    RetentionExperimentResult result;
+    result.sampled = config.sample_cells;
+
+    for (int i = 0; i < config.sample_cells; ++i) {
+        const double tau =
+            median * std::exp(rng.gaussian(0.0, kRetentionSigmaLn));
+        // Residual deviation from Vdd/2, as a fraction of the full
+        // Vdd/2 swing, after the refresh-free window.
+        const double residual = std::exp(-t_eff / tau);
+        const double off_frac = rng.gaussian(kBiasFrac, sigma_frac);
+
+        // Scenario A: initialized to 0 (deviation -residual);
+        // scenario B: initialized to 1 (deviation +residual). The
+        // next activation amplifies sign(deviation + offset).
+        const bool sensed_from_zero = (-residual + off_frac) > 0.0;
+        const bool sensed_from_one = (residual + off_frac) > 0.0;
+        if (sensed_from_zero == sensed_from_one) {
+            ++result.conclusive;
+            // Conclusive cells reading the minority direction (the
+            // designed bias points to '1') are the flip cells.
+            if (!sensed_from_zero)
+                ++result.flips_observed;
+        }
+    }
+    return result;
+}
+
+} // namespace codic

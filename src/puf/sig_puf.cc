@@ -1,0 +1,83 @@
+#include "puf/sig_puf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace codic {
+
+CodicSigPuf::CodicSigPuf(const SigPufParams &params) : params_(params)
+{
+}
+
+Response
+CodicSigPuf::evaluate(const SimulatedChip &chip,
+                      const Challenge &challenge,
+                      const QueryEnv &env) const
+{
+    const double dt = std::max(0.0, env.temperature_c - 30.0);
+    const double dropout =
+        params_.temp_dropout_at_55c * (dt / 55.0) +
+        (env.aged ? params_.aging_dropout : 0.0);
+    const double growth = params_.temp_growth_at_55c * (dt / 55.0);
+    const double marginal = chip.spec().ddr3l
+                                ? params_.ddr3l_marginal_fraction
+                                : params_.marginal_fraction;
+
+    // Per-query noise stream (thermal noise on marginal cells).
+    Rng noise = chip.domainRng(0x51F, env.nonce ^ 0x9e37);
+
+    Response r;
+    for (const auto &cell :
+         chip.sigCells(challenge.segment_id, challenge.segment_bits)) {
+        // Deterministic per-cell temperature dropout: the same cells
+        // disappear at the same temperature on every query.
+        if (cell.temp_u < dropout)
+            continue;
+        // Marginal cells flicker with per-query noise.
+        if (cell.stability < marginal && noise.chance(0.5))
+            continue;
+        r.cells.push_back(cell.index);
+    }
+    // Deterministic per-cell appearance of extra cells at temperature.
+    if (growth > 0.0) {
+        for (const auto &cell : chip.sigExtraCells(
+                 challenge.segment_id, challenge.segment_bits)) {
+            if (cell.temp_u < growth * 12.5)
+                r.cells.push_back(cell.index);
+        }
+    }
+    std::sort(r.cells.begin(), r.cells.end());
+    r.cells.erase(std::unique(r.cells.begin(), r.cells.end()),
+                  r.cells.end());
+    return r;
+}
+
+Response
+CodicSigPuf::evaluateFiltered(const SimulatedChip &chip,
+                              const Challenge &challenge,
+                              const QueryEnv &env) const
+{
+    // Conservative filter (Section 6.1.1): evaluate the challenge
+    // filter_challenges times and keep cells appearing in a majority.
+    std::map<uint32_t, int> votes;
+    for (int i = 0; i < params_.filter_challenges; ++i) {
+        QueryEnv e = env;
+        e.nonce = env.nonce * 1000003ULL + static_cast<uint64_t>(i) + 1;
+        for (uint32_t c : evaluate(chip, challenge, e).cells)
+            ++votes[c];
+    }
+    Response r;
+    for (const auto &[cell, count] : votes)
+        if (count * 2 > params_.filter_challenges)
+            r.cells.push_back(cell);
+    return r;
+}
+
+int
+CodicSigPuf::passesPerEvaluation(bool filtered) const
+{
+    return filtered ? params_.filter_challenges : 1;
+}
+
+} // namespace codic

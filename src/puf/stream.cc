@@ -1,0 +1,42 @@
+#include "puf/stream.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace codic {
+
+std::vector<uint8_t>
+buildResponseBitStream(const DramPuf &puf,
+                       const std::vector<const SimulatedChip *> &chips,
+                       size_t min_bits, uint64_t seed)
+{
+    CODIC_ASSERT(!chips.empty());
+    Rng rng(seed);
+    std::vector<uint8_t> bits;
+    bits.reserve(min_bits + 1024);
+
+    size_t guard = 0;
+    while (bits.size() < min_bits) {
+        // A fresh challenge: random chip + random segment.
+        const SimulatedChip *chip =
+            chips[static_cast<size_t>(rng.below(chips.size()))];
+        Challenge ch;
+        ch.segment_id = rng.below(chip->segments());
+        QueryEnv env{30.0, false, rng.next64()};
+        const Response r = puf.evaluateFiltered(*chip, ch, env);
+        // Responses are sorted by construction, so high address bits
+        // carry ordering structure; the low byte of each address is
+        // i.i.d.-uniform (cell spacing vastly exceeds 256) and is the
+        // raw material for the stream.
+        for (uint32_t cell : r.cells) {
+            for (int b = 0; b < 8; ++b)
+                bits.push_back(static_cast<uint8_t>((cell >> b) & 1));
+        }
+        if (++guard > min_bits + 1000000)
+            fatal("response stream generation not converging");
+    }
+    bits.resize(min_bits);
+    return bits;
+}
+
+} // namespace codic

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Random-stream construction from CODIC-sig responses (paper Section
+ * 6.1.3 / Appendix B): the addresses of the flip cells form the raw
+ * material; responses to many different challenges are concatenated
+ * into a bit stream and whitened with a Von Neumann extractor before
+ * the NIST SP 800-22 suite runs on it.
+ */
+
+#ifndef CODIC_PUF_STREAM_H
+#define CODIC_PUF_STREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "puf/chip_model.h"
+#include "puf/puf.h"
+
+namespace codic {
+
+/**
+ * Build a raw bit stream by concatenating the within-segment
+ * addresses of flip cells from responses to distinct challenges
+ * across the population (LSB-first, 16 bits per address).
+ *
+ * @param puf PUF to query (CODIC-sig in the paper).
+ * @param chips Population to draw challenges from.
+ * @param min_bits Stop once at least this many raw bits are gathered.
+ * @param seed Challenge-selection seed.
+ */
+std::vector<uint8_t>
+buildResponseBitStream(const DramPuf &puf,
+                       const std::vector<const SimulatedChip *> &chips,
+                       size_t min_bits, uint64_t seed);
+
+} // namespace codic
+
+#endif // CODIC_PUF_STREAM_H

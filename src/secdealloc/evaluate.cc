@@ -1,0 +1,155 @@
+#include "secdealloc/evaluate.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "dram/refresh.h"
+
+namespace codic {
+
+namespace {
+
+DramConfig
+dramFor(const DeallocEvalConfig &config)
+{
+    return DramConfig::ddr3_1600(config.dram_capacity_mb);
+}
+
+} // namespace
+
+DeallocRunResult
+runSingleCore(const Workload &workload, DeallocMode mode,
+              const DeallocEvalConfig &config)
+{
+    DramChannel channel(dramFor(config));
+    MemoryController controller(channel);
+    CoreConfig core_cfg = config.core;
+    core_cfg.dealloc = mode;
+    InOrderCore core(controller, core_cfg);
+    core.bind(&workload);
+    double end_ns = core.run();
+    const Cycle drained = controller.drainWrites();
+    end_ns = std::max(end_ns,
+                      static_cast<double>(drained) *
+                          channel.config().tck_ns);
+
+    DeallocRunResult result;
+    result.time_ns = end_ns;
+    result.core_stats = core.stats();
+    result.commands = channel.counts();
+    result.energy_nj =
+        campaignEnergyNj(result.commands, end_ns, config.energy);
+    return result;
+}
+
+DeallocRunResult
+runMultiCore(const WorkloadMix &mix, DeallocMode mode,
+             const DeallocEvalConfig &config)
+{
+    CODIC_ASSERT(!mix.traces.empty());
+    DramChannel channel(dramFor(config));
+    MemoryController controller(channel);
+
+    CoreConfig core_cfg = config.core;
+    core_cfg.dealloc = mode;
+
+    // Each core gets a private physical region.
+    const uint64_t region =
+        static_cast<uint64_t>(channel.config().capacityBytes()) /
+        mix.traces.size();
+    std::vector<std::unique_ptr<InOrderCore>> cores;
+    for (size_t i = 0; i < mix.traces.size(); ++i) {
+        cores.push_back(std::make_unique<InOrderCore>(
+            controller, core_cfg, region * i));
+        cores[i]->bind(&mix.traces[i]);
+    }
+
+    // Discrete-event interleaving: always step the core with the
+    // smallest local time so shared-channel commands issue in
+    // near-global-time order.
+    while (true) {
+        InOrderCore *next = nullptr;
+        for (auto &core : cores)
+            if (!core->done() &&
+                (!next || core->timeNs() < next->timeNs()))
+                next = core.get();
+        if (!next)
+            break;
+        next->step();
+    }
+
+    double end_ns = 0.0;
+    for (auto &core : cores)
+        end_ns = std::max(end_ns, core->timeNs());
+    const Cycle drained = controller.drainWrites();
+    end_ns = std::max(end_ns,
+                      static_cast<double>(drained) *
+                          channel.config().tck_ns);
+
+    DeallocRunResult result;
+    result.time_ns = end_ns;
+    result.core_stats = cores[0]->stats();
+    result.commands = channel.counts();
+    result.energy_nj =
+        campaignEnergyNj(result.commands, end_ns, config.energy);
+    return result;
+}
+
+double
+speedupOver(const DeallocRunResult &baseline,
+            const DeallocRunResult &candidate)
+{
+    CODIC_ASSERT(candidate.time_ns > 0.0);
+    return baseline.time_ns / candidate.time_ns - 1.0;
+}
+
+double
+energySavings(const DeallocRunResult &baseline,
+              const DeallocRunResult &candidate)
+{
+    CODIC_ASSERT(baseline.energy_nj > 0.0);
+    return 1.0 - candidate.energy_nj / baseline.energy_nj;
+}
+
+BenchmarkComparison
+compareSingleCore(const std::string &benchmark, uint64_t seed,
+                  const DeallocEvalConfig &config)
+{
+    const Workload w = generateWorkload(benchmarkParams(benchmark, seed));
+    const auto base = runSingleCore(w, DeallocMode::SoftwareZero, config);
+    const auto lisa = runSingleCore(w, DeallocMode::LisaClone, config);
+    const auto rc = runSingleCore(w, DeallocMode::RowClone, config);
+    const auto codic = runSingleCore(w, DeallocMode::CodicDet, config);
+
+    BenchmarkComparison c;
+    c.name = benchmark;
+    c.lisa_speedup = speedupOver(base, lisa);
+    c.rowclone_speedup = speedupOver(base, rc);
+    c.codic_speedup = speedupOver(base, codic);
+    c.lisa_energy = energySavings(base, lisa);
+    c.rowclone_energy = energySavings(base, rc);
+    c.codic_energy = energySavings(base, codic);
+    return c;
+}
+
+BenchmarkComparison
+compareMultiCore(const WorkloadMix &mix, const DeallocEvalConfig &config)
+{
+    const auto base = runMultiCore(mix, DeallocMode::SoftwareZero, config);
+    const auto lisa = runMultiCore(mix, DeallocMode::LisaClone, config);
+    const auto rc = runMultiCore(mix, DeallocMode::RowClone, config);
+    const auto codic = runMultiCore(mix, DeallocMode::CodicDet, config);
+
+    BenchmarkComparison c;
+    c.name = mix.name;
+    c.lisa_speedup = speedupOver(base, lisa);
+    c.rowclone_speedup = speedupOver(base, rc);
+    c.codic_speedup = speedupOver(base, codic);
+    c.lisa_energy = energySavings(base, lisa);
+    c.rowclone_energy = energySavings(base, rc);
+    c.codic_energy = energySavings(base, codic);
+    return c;
+}
+
+} // namespace codic

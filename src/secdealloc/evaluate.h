@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Secure-deallocation evaluation harness (paper Appendix A):
+ * compares software zeroing against the LISA-clone, RowClone, and
+ * CODIC-det hardware deallocation paths on single-core benchmarks
+ * (Fig. 8) and 4-core workload mixes (Fig. 9), reporting speedup and
+ * DRAM energy savings relative to the software baseline.
+ */
+
+#ifndef CODIC_SECDEALLOC_EVALUATE_H
+#define CODIC_SECDEALLOC_EVALUATE_H
+
+#include <string>
+#include <vector>
+
+#include "power/energy_model.h"
+#include "sim/core.h"
+#include "sim/workloads.h"
+
+namespace codic {
+
+/** Result of one benchmark run under one deallocation mechanism. */
+struct DeallocRunResult
+{
+    double time_ns = 0.0;
+    double energy_nj = 0.0;
+    CoreStats core_stats;     //!< Core 0 stats (single core: the run).
+    CommandCounts commands;
+};
+
+/** Simulation configuration for the secure-dealloc evaluation. */
+struct DeallocEvalConfig
+{
+    int64_t dram_capacity_mb = 2048;
+    EnergyParams energy;
+    CoreConfig core;
+};
+
+/** Run one single-core benchmark under a mechanism. */
+DeallocRunResult runSingleCore(const Workload &workload,
+                               DeallocMode mode,
+                               const DeallocEvalConfig &config = {});
+
+/** Run one 4-core mix under a mechanism (shared channel). */
+DeallocRunResult runMultiCore(const WorkloadMix &mix, DeallocMode mode,
+                              const DeallocEvalConfig &config = {});
+
+/** Speedup of `fast` over `slow` runtimes, as a fraction (0.1=10%). */
+double speedupOver(const DeallocRunResult &baseline,
+                   const DeallocRunResult &candidate);
+
+/** Energy savings of `candidate` vs `baseline`, as a fraction. */
+double energySavings(const DeallocRunResult &baseline,
+                     const DeallocRunResult &candidate);
+
+/** One benchmark's Fig. 8 row: savings per hardware mechanism. */
+struct BenchmarkComparison
+{
+    std::string name;
+    double lisa_speedup = 0.0;
+    double rowclone_speedup = 0.0;
+    double codic_speedup = 0.0;
+    double lisa_energy = 0.0;
+    double rowclone_energy = 0.0;
+    double codic_energy = 0.0;
+};
+
+/** Evaluate one single-core benchmark against all mechanisms. */
+BenchmarkComparison compareSingleCore(const std::string &benchmark,
+                                      uint64_t seed,
+                                      const DeallocEvalConfig &config = {});
+
+/** Evaluate one mix against all mechanisms. */
+BenchmarkComparison compareMultiCore(const WorkloadMix &mix,
+                                     const DeallocEvalConfig &config = {});
+
+} // namespace codic
+
+#endif // CODIC_SECDEALLOC_EVALUATE_H

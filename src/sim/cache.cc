@@ -1,0 +1,109 @@
+#include "sim/cache.h"
+
+#include "common/logging.h"
+
+namespace codic {
+
+namespace {
+
+bool
+isPowerOfTwo(uint64_t x)
+{
+    return x && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(uint64_t size_bytes, int ways, int line_bytes)
+    : line_bytes_(line_bytes), ways_(ways)
+{
+    CODIC_ASSERT(ways >= 1 && line_bytes >= 8);
+    CODIC_ASSERT(isPowerOfTwo(static_cast<uint64_t>(line_bytes)));
+    const uint64_t lines = size_bytes / static_cast<uint64_t>(line_bytes);
+    CODIC_ASSERT(lines >= static_cast<uint64_t>(ways));
+    sets_ = static_cast<size_t>(lines / static_cast<uint64_t>(ways));
+    CODIC_ASSERT(isPowerOfTwo(sets_));
+    lines_.resize(sets_ * static_cast<size_t>(ways_));
+}
+
+size_t
+Cache::setIndex(uint64_t addr) const
+{
+    return static_cast<size_t>(
+        (addr / static_cast<uint64_t>(line_bytes_)) &
+        (sets_ - 1));
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr / static_cast<uint64_t>(line_bytes_) / sets_;
+}
+
+CacheAccessResult
+Cache::access(uint64_t addr, bool write)
+{
+    ++tick_;
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line *entries = &lines_[set * static_cast<size_t>(ways_)];
+
+    CacheAccessResult result;
+    Line *victim = &entries[0];
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = entries[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            line.dirty = line.dirty || write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+    ++misses_;
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victim_addr =
+            (victim->tag * sets_ + set) *
+            static_cast<uint64_t>(line_bytes_);
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lru = tick_;
+    return result;
+}
+
+bool
+Cache::flushLine(uint64_t addr)
+{
+    const size_t set = setIndex(addr);
+    const uint64_t tag = tagOf(addr);
+    Line *entries = &lines_[set * static_cast<size_t>(ways_)];
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = entries[w];
+        if (line.valid && line.tag == tag) {
+            const bool dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return dirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::invalidateRange(uint64_t addr, uint64_t bytes)
+{
+    const uint64_t line = static_cast<uint64_t>(line_bytes_);
+    const uint64_t first = addr / line * line;
+    for (uint64_t a = first; a < addr + bytes; a += line)
+        flushLine(a);
+}
+
+} // namespace codic

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Set-associative write-back, write-allocate cache with LRU
+ * replacement and CLFLUSH support, used for the L1/L2 hierarchy of
+ * the trace-driven core (paper Tables 5 and 7).
+ */
+
+#ifndef CODIC_SIM_CACHE_H
+#define CODIC_SIM_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace codic {
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false;     //!< A dirty victim was evicted.
+    uint64_t victim_addr = 0;   //!< Line address of the dirty victim.
+};
+
+/** One level of cache. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity.
+     * @param ways Associativity.
+     * @param line_bytes Line size (64 B throughout the paper).
+     */
+    Cache(uint64_t size_bytes, int ways, int line_bytes = 64);
+
+    /**
+     * Access a byte address; allocates on miss.
+     * @param addr Byte address.
+     * @param write True for stores (marks the line dirty).
+     */
+    CacheAccessResult access(uint64_t addr, bool write);
+
+    /**
+     * CLFLUSH: invalidate the line if present.
+     * @return Present-and-dirty (a writeback is required).
+     */
+    bool flushLine(uint64_t addr);
+
+    /** Invalidate a whole address range (hardware deallocation). */
+    void invalidateRange(uint64_t addr, uint64_t bytes);
+
+    /** Line size in bytes. */
+    int lineBytes() const { return line_bytes_; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lru = 0;
+    };
+
+    size_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    int line_bytes_;
+    int ways_;
+    size_t sets_;
+    std::vector<Line> lines_; // sets_ x ways_.
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace codic
+
+#endif // CODIC_SIM_CACHE_H

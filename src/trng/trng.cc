@@ -1,0 +1,124 @@
+#include "trng/trng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nist/extractor.h"
+#include "nist/special_functions.h"
+
+namespace codic {
+
+TrngHealthTests::TrngHealthTests(int repetition_cutoff, int window,
+                                 int proportion_cutoff)
+    : repetition_cutoff_(repetition_cutoff), window_(window),
+      proportion_cutoff_(proportion_cutoff)
+{
+    CODIC_ASSERT(repetition_cutoff > 1);
+    CODIC_ASSERT(proportion_cutoff > window / 2);
+}
+
+bool
+TrngHealthTests::feed(uint8_t bit)
+{
+    ++observed_;
+    // Repetition count test (SP 800-90B 4.4.1).
+    if (bit == last_bit_) {
+        if (++run_length_ >= repetition_cutoff_)
+            failed_ = true;
+    } else {
+        last_bit_ = bit;
+        run_length_ = 1;
+    }
+    // Adaptive proportion test (SP 800-90B 4.4.2).
+    if (window_fill_ == 0) {
+        window_first_ = bit;
+        window_matches_ = 1;
+        window_fill_ = 1;
+    } else {
+        if (bit == window_first_)
+            ++window_matches_;
+        if (++window_fill_ >= window_) {
+            if (window_matches_ >= proportion_cutoff_)
+                failed_ = true;
+            window_fill_ = 0;
+        }
+    }
+    return !failed_;
+}
+
+CodicTrng::CodicTrng(const TrngConfig &config) : config_(config)
+{
+    // Enrollment: scan the segment's SA population (deterministic per
+    // device) for cells whose effective offset sits inside the
+    // metastable window around the trip point.
+    Rng device(config_.device_seed ^ 0x7241D);
+    const double sigma = saOffsetSigma(config_.params);
+    const double bias = designedSaBiasAt(config_.params);
+    const double noise_rms = thermalNoiseRms(config_.params);
+    const double window = config_.metastable_window * noise_rms;
+
+    for (int i = 0; i < config_.segment_bits; ++i) {
+        const double offset = device.gaussian(0.0, sigma);
+        const double residual = offset + bias;
+        if (std::fabs(residual) < window) {
+            MetastableCell cell;
+            cell.index = static_cast<uint32_t>(i);
+            cell.offset = residual;
+            // P(read 1) = P(residual + noise > 0).
+            cell.p_one = 1.0 - normalCdf(-residual / noise_rms);
+            sources_.push_back(cell);
+        }
+    }
+}
+
+std::vector<uint8_t>
+CodicTrng::harvest(size_t bits, Rng &noise, TrngHealthTests *health)
+{
+    if (sources_.empty())
+        fatal("TRNG enrollment found no metastable cells; widen the "
+              "window or use a larger segment");
+    std::vector<uint8_t> out;
+    out.reserve(bits);
+    size_t guard = 0;
+    while (out.size() < bits) {
+        // Two back-to-back CODIC commands: each metastable source
+        // flips its coin twice. The Von Neumann pair is formed
+        // *per cell across the two evaluations* - pairing adjacent
+        // cells would combine different biases p_i != p_j, for which
+        // P(01) != P(10) and the extractor output stays biased.
+        for (const auto &cell : sources_) {
+            const uint8_t first = noise.chance(cell.p_one) ? 1 : 0;
+            const uint8_t second = noise.chance(cell.p_one) ? 1 : 0;
+            if (health) {
+                health->feed(first);
+                health->feed(second);
+            }
+            if (first != second && out.size() < bits)
+                out.push_back(first);
+        }
+        if (++guard > 100 * bits + 1000)
+            fatal("TRNG harvest is not converging");
+    }
+    return out;
+}
+
+double
+CodicTrng::rawThroughputBitsPerSec() const
+{
+    return static_cast<double>(sources_.size()) /
+           (config_.harvest_latency_ns * 1e-9);
+}
+
+double
+CodicTrng::whitenedThroughputBitsPerSec() const
+{
+    // Von Neumann emits one bit per discordant pair; with per-cell
+    // p near 1/2 the expected yield is ~1/4 of the raw bits.
+    double yield = 0.0;
+    for (const auto &cell : sources_)
+        yield += cell.p_one * (1.0 - cell.p_one);
+    return yield / (config_.harvest_latency_ns * 1e-9);
+}
+
+} // namespace codic

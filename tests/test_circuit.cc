@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests of the circuit substrate: signal schedules, the analog
+ * cell/SA model (waveform behaviour of paper Figs. 2b/3/10), the
+ * configurable delay element (Section 4.2.1 costs), and the
+ * Monte-Carlo engine (Table 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/analog.h"
+#include "circuit/delay_element.h"
+#include "circuit/monte_carlo.h"
+#include "circuit/signals.h"
+#include "codic/variant.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace codic {
+namespace {
+
+// --- SignalSchedule. ---
+
+TEST(SignalSchedule, SetAndQueryPulse)
+{
+    SignalSchedule s;
+    s.set(Signal::Wl, 5, 22);
+    ASSERT_TRUE(s.pulse(Signal::Wl).has_value());
+    EXPECT_EQ(s.pulse(Signal::Wl)->start_ns, 5);
+    EXPECT_EQ(s.pulse(Signal::Wl)->end_ns, 22);
+    EXPECT_FALSE(s.pulse(Signal::Eq).has_value());
+}
+
+TEST(SignalSchedule, ActiveAtRespectsHalfOpenInterval)
+{
+    SignalSchedule s;
+    s.set(Signal::Eq, 7, 11);
+    EXPECT_FALSE(s.activeAt(Signal::Eq, 6));
+    EXPECT_TRUE(s.activeAt(Signal::Eq, 7));
+    EXPECT_TRUE(s.activeAt(Signal::Eq, 10));
+    EXPECT_FALSE(s.activeAt(Signal::Eq, 11));
+}
+
+TEST(SignalSchedule, RejectsOutOfWindowPulses)
+{
+    SignalSchedule s;
+    EXPECT_THROW(s.set(Signal::Wl, -1, 5), FatalError);
+    EXPECT_THROW(s.set(Signal::Wl, 0, 25), FatalError);
+    EXPECT_THROW(s.set(Signal::Wl, 10, 10), FatalError);
+    EXPECT_THROW(s.set(Signal::Wl, 10, 5), FatalError);
+}
+
+TEST(SignalSchedule, LastEdgeAndEmpty)
+{
+    SignalSchedule s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.lastEdgeNs(), 0);
+    s.set(Signal::Wl, 5, 22);
+    s.set(Signal::Eq, 5, 11);
+    EXPECT_EQ(s.lastEdgeNs(), 22);
+    EXPECT_FALSE(s.empty());
+    s.clear(Signal::Wl);
+    EXPECT_EQ(s.lastEdgeNs(), 11);
+}
+
+TEST(SignalSchedule, StringForm)
+{
+    SignalSchedule s;
+    EXPECT_EQ(s.str(), "(none)");
+    s.set(Signal::Wl, 5, 22);
+    s.set(Signal::Eq, 7, 22);
+    EXPECT_EQ(s.str(), "wl[5,22] EQ[7,22]");
+}
+
+TEST(SignalSchedule, VariantCountMatchesPaper)
+{
+    // Paper Section 4.1.3 footnote 2: n = 300 for a 25 ns window.
+    EXPECT_EQ(SignalSchedule::pulsesPerSignal(25), 300u);
+    const uint64_t n = 300;
+    EXPECT_EQ(SignalSchedule::totalVariants(25), n * n * n * n);
+}
+
+class WindowCountTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WindowCountTest, PulseCountIsTriangularNumber)
+{
+    const int w = GetParam();
+    const uint64_t expected =
+        static_cast<uint64_t>(w) * static_cast<uint64_t>(w - 1) / 2;
+    EXPECT_EQ(SignalSchedule::pulsesPerSignal(w), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowCountTest,
+                         ::testing::Values(2, 5, 10, 16, 25, 32));
+
+TEST(SignalNames, AllDistinct)
+{
+    EXPECT_STREQ(signalName(Signal::Wl), "wl");
+    EXPECT_STREQ(signalName(Signal::Eq), "EQ");
+    EXPECT_STREQ(signalName(Signal::SenseP), "sense_p");
+    EXPECT_STREQ(signalName(Signal::SenseN), "sense_n");
+}
+
+// --- Analog model. ---
+
+class AnalogFixture : public ::testing::Test
+{
+  protected:
+    CircuitParams params_ = CircuitParams::ddr3();
+
+    VariationDraw
+    nominalDraw() const
+    {
+        return VariationDraw{}; // All deviations zero.
+    }
+};
+
+TEST_F(AnalogFixture, ActivationRestoresStoredOne)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(params_.vdd);
+    const Transient tr = cell.run(variants::activate().schedule);
+    EXPECT_GT(tr.finalBitline(), 0.9 * params_.vdd);
+    EXPECT_GT(tr.finalCell(), 0.9 * params_.vdd);
+    EXPECT_TRUE(cell.senseBit());
+}
+
+TEST_F(AnalogFixture, ActivationRestoresStoredZero)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(0.0);
+    const Transient tr = cell.run(variants::activate().schedule);
+    EXPECT_LT(tr.finalBitline(), 0.1 * params_.vdd);
+    EXPECT_LT(tr.finalCell(), 0.1 * params_.vdd);
+    EXPECT_FALSE(cell.senseBit());
+}
+
+TEST_F(AnalogFixture, ChargeSharingDeviatesBitlineTowardCell)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(params_.vdd);
+    SignalSchedule wl_only;
+    wl_only.set(Signal::Wl, 5, 22);
+    const Transient tr = cell.run(wl_only, 30.0);
+    // Bitline rises above Vdd/2 by the charge-sharing epsilon
+    // (paper Fig. 1 step 2); no SA means no full amplification.
+    EXPECT_GT(tr.finalBitline(), params_.vHalf() + 0.05);
+    EXPECT_LT(tr.finalBitline(), params_.vdd * 0.75);
+}
+
+TEST_F(AnalogFixture, SigDrivesCellToHalfVddFromOne)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(params_.vdd);
+    const Transient tr = cell.run(variants::sig().schedule);
+    EXPECT_NEAR(tr.finalCell(), params_.vHalf(), 0.02);
+    EXPECT_NEAR(tr.finalBitline(), params_.vHalf(), 0.02);
+}
+
+TEST_F(AnalogFixture, SigDrivesCellToHalfVddFromZero)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(0.0);
+    const Transient tr = cell.run(variants::sig().schedule);
+    EXPECT_NEAR(tr.finalCell(), params_.vHalf(), 0.02);
+}
+
+TEST_F(AnalogFixture, SigOptAlsoReachesHalfVdd)
+{
+    // The early-termination optimization preserves functionality
+    // (paper Section 4.1.1: the capacitor reaches Vdd/2 almost
+    // immediately after EQ asserts).
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(params_.vdd);
+    const Transient tr = cell.run(variants::sigOpt().schedule);
+    EXPECT_NEAR(tr.finalCell(), params_.vHalf(), 0.05);
+}
+
+TEST_F(AnalogFixture, SigCapacitorReachesHalfVddQuickly)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(params_.vdd);
+    const Transient tr = cell.run(variants::sig().schedule);
+    // Within a few ns of EQ asserting at 7 ns (Fig. 3a).
+    EXPECT_NEAR(tr.cellAt(13.0), params_.vHalf(), 0.07);
+}
+
+class DetPolarityTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(DetPolarityTest, DetResultIndependentOfInitialValueAndOffset)
+{
+    // CODIC-det must be deterministic regardless of the stored value
+    // and of process variation (paper Section 4.1.2).
+    const auto [init_frac, offset_mv] = GetParam();
+    CircuitParams params = CircuitParams::ddr3();
+    VariationDraw draw;
+    draw.sa_offset = offset_mv * 1e-3;
+
+    CellCircuit zero_cell(params, draw);
+    zero_cell.setCellVoltage(init_frac * params.vdd);
+    zero_cell.run(variants::detZero().schedule);
+    EXPECT_LT(zero_cell.cellVoltage(), 0.15 * params.vdd);
+    EXPECT_FALSE(zero_cell.senseBit());
+
+    CellCircuit one_cell(params, draw);
+    one_cell.setCellVoltage(init_frac * params.vdd);
+    one_cell.run(variants::detOne().schedule);
+    EXPECT_GT(one_cell.cellVoltage(), 0.85 * params.vdd);
+    EXPECT_TRUE(one_cell.senseBit());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetPolarityTest,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(-25.0, -5.0, 0.0, 5.0, 25.0)));
+
+TEST_F(AnalogFixture, SigsaAmplifiesDesignedBiasToOne)
+{
+    // With zero process variation, the designed SA bias amplifies a
+    // precharged bitline to '1' (paper Appendix C).
+    CellCircuit cell(params_, nominalDraw());
+    cell.run(variants::sigsa().schedule);
+    EXPECT_TRUE(cell.senseBit());
+    EXPECT_GT(cell.cellVoltage(), 0.8 * params_.vdd);
+}
+
+TEST_F(AnalogFixture, SigsaLargeNegativeOffsetFlipsToZero)
+{
+    VariationDraw draw;
+    draw.sa_offset = -30e-3; // Beyond the 20 mV designed bias.
+    CellCircuit cell(params_, draw);
+    cell.run(variants::sigsa().schedule);
+    EXPECT_FALSE(cell.senseBit());
+}
+
+TEST_F(AnalogFixture, SigThenActivateResolvesByOffsetSign)
+{
+    // The CODIC-sig PUF pipeline: sig drives the cell to Vdd/2, the
+    // following activation amplifies by process variation.
+    for (double offset : {-30e-3, 30e-3}) {
+        VariationDraw draw;
+        draw.sa_offset = offset;
+        CellCircuit cell(params_, draw);
+        cell.setCellVoltage(params_.vdd);
+        cell.run(variants::sig().schedule);
+        cell.run(variants::activate().schedule);
+        EXPECT_EQ(cell.senseBit(), offset > -params_.designed_sa_bias);
+    }
+}
+
+TEST_F(AnalogFixture, PrechargeReturnsBitlineToHalf)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setBitlineVoltage(params_.vdd);
+    cell.run(variants::precharge().schedule, 20.0);
+    EXPECT_NEAR(cell.bitlineVoltage(), params_.vHalf(), 0.01);
+}
+
+TEST_F(AnalogFixture, VoltagesStayClamped)
+{
+    CellCircuit cell(params_, nominalDraw());
+    cell.setCellVoltage(params_.vdd);
+    const Transient tr = cell.run(variants::activate().schedule);
+    for (const auto &p : tr.points) {
+        EXPECT_GE(p.v_bitline, 0.0);
+        EXPECT_LE(p.v_bitline, params_.vdd);
+        EXPECT_GE(p.v_cell, 0.0);
+        EXPECT_LE(p.v_cell, params_.vdd);
+    }
+}
+
+TEST_F(AnalogFixture, TransientSamplesCoverDuration)
+{
+    CellCircuit cell(params_, nominalDraw());
+    const Transient tr = cell.run(variants::activate().schedule, 35.0,
+                                  nullptr, 0.5);
+    ASSERT_FALSE(tr.points.empty());
+    EXPECT_NEAR(tr.points.front().t_ns, 0.0, 1e-9);
+    EXPECT_GT(tr.points.back().t_ns, 34.0);
+}
+
+TEST(VariationDraw, SampledOffsetsScaleWithProcessVariation)
+{
+    CircuitParams p4 = CircuitParams::ddr3();
+    p4.process_variation = 0.04;
+    CircuitParams p2 = p4;
+    p2.process_variation = 0.02;
+    EXPECT_NEAR(saOffsetSigma(p2), saOffsetSigma(p4) / 2.0, 1e-12);
+
+    Rng rng(5);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(VariationDraw::sample(rng, p4).sa_offset);
+    EXPECT_NEAR(s.stddev(), saOffsetSigma(p4), 0.1e-3);
+    EXPECT_NEAR(s.mean(), 0.0, 0.15e-3);
+}
+
+TEST(CircuitParams, DesignedBiasDecaysWithTemperature)
+{
+    CircuitParams p = CircuitParams::ddr3();
+    const double b30 = designedSaBiasAt(p);
+    p.temperature_c = 85.0;
+    const double b85 = designedSaBiasAt(p);
+    EXPECT_LT(b85, b30);
+    EXPECT_GT(b85, 0.7 * b30); // Saturating droop, not collapse.
+    p.temperature_c = 20.0;
+    EXPECT_DOUBLE_EQ(designedSaBiasAt(p), p.designed_sa_bias);
+}
+
+TEST(CircuitParams, Ddr3lHasLowerRail)
+{
+    EXPECT_GT(CircuitParams::ddr3().vdd, CircuitParams::ddr3l().vdd);
+}
+
+// --- Delay element (paper Section 4.2.1). ---
+
+TEST(DelayElement, AreaOverheadMatchesPaper)
+{
+    DelayElement e;
+    // 0.28 % per mat per signal; 1.12 % for all four signals.
+    EXPECT_NEAR(e.areaOverheadPerMat(), 0.0028, 0.0002);
+    EXPECT_NEAR(e.fullCodicAreaOverheadPerMat(), 0.0112, 0.0008);
+}
+
+TEST(DelayElement, EnergyBelow500Femtojoule)
+{
+    DelayElement e;
+    EXPECT_LT(4.0 * e.energyPerOperationFj(), 500.0);
+}
+
+TEST(DelayElement, DdrxPathPenaltyMatchesPaper)
+{
+    DelayElement e;
+    EXPECT_NEAR(e.ddrxPathPenaltyNs(), 0.028, 1e-9);
+}
+
+TEST(DelayElement, DelayIsLinearInSetting)
+{
+    DelayElement e;
+    EXPECT_DOUBLE_EQ(e.delayNs(0), 0.0);
+    EXPECT_DOUBLE_EQ(e.delayNs(1), 1.0);
+    EXPECT_DOUBLE_EQ(e.delayNs(24), 24.0);
+    EXPECT_THROW(e.delayNs(25), FatalError);
+}
+
+TEST(DelayElement, CoarserGranularityShrinksArea)
+{
+    // Paper footnote 3: coarsening the time step reduces area.
+    DelayElementParams coarse;
+    coarse.taps = 13; // 2 ns steps.
+    EXPECT_LT(DelayElement(coarse).areaF2(), DelayElement().areaF2());
+}
+
+// --- Monte Carlo (paper Table 11). ---
+
+TEST(MonteCarlo, FastPathMatchesFullTransient)
+{
+    MonteCarloConfig fast;
+    fast.schedule = sigsaSchedule();
+    fast.runs = 400;
+    fast.seed = 77;
+    MonteCarloConfig slow = fast;
+    slow.fast_path = false;
+    const auto rf = runMonteCarlo(fast);
+    const auto rs = runMonteCarlo(slow);
+    // Same RNG stream, same decision rule: identical counts.
+    EXPECT_EQ(rf.ones, rs.ones);
+    EXPECT_EQ(rf.zeros, rs.zeros);
+}
+
+class Table11PvTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(Table11PvTest, FlipFractionInPaperBand)
+{
+    const auto [pv, expected_pct] = GetParam();
+    MonteCarloConfig mc;
+    mc.schedule = sigsaSchedule();
+    mc.params.process_variation = pv;
+    mc.runs = 100000;
+    const double pct = runMonteCarlo(mc).flipFraction() * 100.0;
+    if (expected_pct == 0.0)
+        EXPECT_LT(pct, 0.005); // Rounds to 0.00 %.
+    else
+        EXPECT_NEAR(pct, expected_pct, expected_pct * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table11PvTest,
+    ::testing::Values(std::make_pair(0.02, 0.0),
+                      std::make_pair(0.03, 0.0),
+                      std::make_pair(0.04, 0.02),
+                      std::make_pair(0.05, 0.19)));
+
+TEST(MonteCarlo, FlipsRiseWithTemperature)
+{
+    auto flips_at = [](double temp) {
+        MonteCarloConfig mc;
+        mc.schedule = sigsaSchedule();
+        mc.params.temperature_c = temp;
+        mc.runs = 100000;
+        return runMonteCarlo(mc).flipFraction() * 100.0;
+    };
+    const double f30 = flips_at(30.0);
+    const double f60 = flips_at(60.0);
+    const double f85 = flips_at(85.0);
+    EXPECT_NEAR(f30, 0.02, 0.015);
+    EXPECT_GT(f60, 3.0 * f30); // Sharp rise then saturation.
+    EXPECT_NEAR(f85, f60, 0.08);
+}
+
+TEST(MonteCarlo, DeterministicForSameSeed)
+{
+    MonteCarloConfig mc;
+    mc.schedule = sigsaSchedule();
+    mc.runs = 5000;
+    mc.seed = 123;
+    const auto a = runMonteCarlo(mc);
+    const auto b = runMonteCarlo(mc);
+    EXPECT_EQ(a.ones, b.ones);
+}
+
+TEST(MonteCarloResult, FractionAccessors)
+{
+    MonteCarloResult r;
+    r.runs = 100;
+    r.ones = 98;
+    r.zeros = 2;
+    EXPECT_DOUBLE_EQ(r.flipFraction(), 0.02);
+    EXPECT_DOUBLE_EQ(r.oneFraction(), 0.98);
+}
+
+} // namespace
+} // namespace codic

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests of the CODIC core: variant classification by relative signal
+ * order (Section 4.1.3), the Table 2 latency model, the mode-register
+ * interface (Section 4.2.2), and the data-state semantics used by
+ * the architectural simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codic/functionality.h"
+#include "codic/mode_regs.h"
+#include "codic/variant.h"
+#include "common/logging.h"
+
+namespace codic {
+namespace {
+
+// --- Classification. ---
+
+TEST(Classify, NamedVariantsMapToTheirClasses)
+{
+    EXPECT_EQ(variants::activate().classify(), VariantClass::Activate);
+    EXPECT_EQ(variants::precharge().classify(), VariantClass::Precharge);
+    EXPECT_EQ(variants::sig().classify(), VariantClass::Sig);
+    EXPECT_EQ(variants::sigOpt().classify(), VariantClass::Sig);
+    EXPECT_EQ(variants::detZero().classify(), VariantClass::DetZero);
+    EXPECT_EQ(variants::detOne().classify(), VariantClass::DetOne);
+    EXPECT_EQ(variants::sigsa().classify(), VariantClass::Sigsa);
+}
+
+TEST(Classify, EmptyScheduleIsNoop)
+{
+    EXPECT_EQ(classifySchedule(SignalSchedule{}), VariantClass::Noop);
+}
+
+TEST(Classify, SenseLegsWithoutWordlineIsNonDestructiveSignature)
+{
+    // The Section 4.1.3 variant: signatures without destroying cells.
+    SignalSchedule s;
+    s.set(Signal::SenseP, 3, 22);
+    s.set(Signal::SenseN, 3, 22);
+    EXPECT_EQ(classifySchedule(s), VariantClass::SigsaNoWrite);
+}
+
+TEST(Classify, TimingShiftedSigIsStillSig)
+{
+    // Paper Section 4.1.1: wl at 4 ns and EQ at 8 ns performs the
+    // same function; functionality follows relative order.
+    SignalSchedule s;
+    s.set(Signal::Wl, 4, 22);
+    s.set(Signal::Eq, 8, 22);
+    EXPECT_EQ(classifySchedule(s), VariantClass::Sig);
+}
+
+TEST(Classify, EqBeforeWlIsCustom)
+{
+    SignalSchedule s;
+    s.set(Signal::Eq, 3, 22);
+    s.set(Signal::Wl, 5, 22);
+    EXPECT_EQ(classifySchedule(s), VariantClass::Custom);
+}
+
+TEST(Classify, SimultaneousWlAndSenseIsCustom)
+{
+    SignalSchedule s;
+    s.set(Signal::Wl, 5, 22);
+    s.set(Signal::SenseP, 5, 22);
+    s.set(Signal::SenseN, 5, 22);
+    EXPECT_EQ(classifySchedule(s), VariantClass::Custom);
+}
+
+TEST(Classify, SenseLegsPlusEqIsCustom)
+{
+    SignalSchedule s;
+    s.set(Signal::Wl, 5, 22);
+    s.set(Signal::Eq, 6, 22);
+    s.set(Signal::SenseP, 7, 22);
+    s.set(Signal::SenseN, 7, 22);
+    EXPECT_EQ(classifySchedule(s), VariantClass::Custom);
+}
+
+TEST(Classify, SingleSenseLegIsCustom)
+{
+    SignalSchedule s;
+    s.set(Signal::SenseN, 7, 22);
+    EXPECT_EQ(classifySchedule(s), VariantClass::Custom);
+}
+
+TEST(Classify, StaggeredLegsWithoutWlIsCustom)
+{
+    SignalSchedule s;
+    s.set(Signal::SenseN, 7, 22);
+    s.set(Signal::SenseP, 14, 22);
+    EXPECT_EQ(classifySchedule(s), VariantClass::Custom);
+}
+
+TEST(Classify, AllNamedVariantsHaveNames)
+{
+    for (const auto &v : variants::all()) {
+        EXPECT_FALSE(v.name.empty());
+        EXPECT_NE(v.classify(), VariantClass::Noop);
+        EXPECT_STRNE(variantClassName(v.classify()), "");
+    }
+}
+
+// --- Latency model (paper Table 2). ---
+
+TEST(Latency, Table2Values)
+{
+    EXPECT_DOUBLE_EQ(variantLatencyNs(variants::activate().schedule),
+                     35.0);
+    EXPECT_DOUBLE_EQ(variantLatencyNs(variants::precharge().schedule),
+                     13.0);
+    EXPECT_DOUBLE_EQ(variantLatencyNs(variants::sig().schedule), 35.0);
+    EXPECT_DOUBLE_EQ(variantLatencyNs(variants::sigOpt().schedule),
+                     13.0);
+    EXPECT_DOUBLE_EQ(variantLatencyNs(variants::detZero().schedule),
+                     35.0);
+    EXPECT_DOUBLE_EQ(variantLatencyNs(variants::detOne().schedule),
+                     35.0);
+}
+
+TEST(Latency, EmptyScheduleIsFree)
+{
+    EXPECT_DOUBLE_EQ(variantLatencyNs(SignalSchedule{}), 0.0);
+}
+
+TEST(Latency, LongCustomScheduleExceedsTras)
+{
+    // A schedule stretching to the end of the window occupies the
+    // bank past tRAS.
+    SignalSchedule s;
+    s.set(Signal::Wl, 5, 24);
+    s.set(Signal::SenseP, 7, 24);
+    s.set(Signal::SenseN, 7, 24);
+    LatencyModel model;
+    model.settle_ns = 12.0;
+    EXPECT_DOUBLE_EQ(variantLatencyNs(s, model), 36.0);
+}
+
+TEST(Latency, SigOptIsFasterThanSig)
+{
+    // The Section 4.1.1 optimization: 13 ns vs 35 ns.
+    EXPECT_LT(variantLatencyNs(variants::sigOpt().schedule),
+              variantLatencyNs(variants::sig().schedule));
+}
+
+// --- Mode registers (paper Section 4.2.2). ---
+
+TEST(ModeRegs, PowerOnStateEncodesNothing)
+{
+    ModeRegisterFile mrf;
+    EXPECT_TRUE(mrf.decode().empty());
+}
+
+TEST(ModeRegs, ProgramDecodeRoundTrip)
+{
+    for (const auto &v : variants::all()) {
+        ModeRegisterFile mrf;
+        mrf.program(v.schedule);
+        EXPECT_EQ(mrf.decode(), v.schedule) << v.name;
+    }
+}
+
+TEST(ModeRegs, EncodePulsePacksTenBits)
+{
+    const uint16_t raw = ModeRegisterFile::encodePulse(5, 22);
+    EXPECT_EQ(raw & 0x1f, 5);
+    EXPECT_EQ((raw >> 5) & 0x1f, 22);
+    EXPECT_LT(raw, 1u << ModeRegisterFile::kRegisterBits);
+}
+
+TEST(ModeRegs, RejectsOverwideValues)
+{
+    ModeRegisterFile mrf;
+    EXPECT_THROW(mrf.writeRegister(Signal::Wl, 1 << 10), FatalError);
+}
+
+TEST(ModeRegs, RejectsOutOfWindowTimes)
+{
+    ModeRegisterFile mrf;
+    // start = 25 is outside [0, 25).
+    EXPECT_THROW(mrf.writeRegister(Signal::Wl, 25), FatalError);
+    // end = 25 likewise.
+    EXPECT_THROW(mrf.writeRegister(Signal::Wl, 25u << 5), FatalError);
+}
+
+TEST(ModeRegs, DegenerateEncodingMeansDisabled)
+{
+    ModeRegisterFile mrf;
+    mrf.writeRegister(Signal::Eq, ModeRegisterFile::encodePulse(7, 7));
+    EXPECT_FALSE(mrf.decode().pulse(Signal::Eq).has_value());
+}
+
+class ModeRegSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ModeRegSweep, AllValidPulsesRoundTrip)
+{
+    const auto [start, end] = GetParam();
+    if (end <= start)
+        GTEST_SKIP() << "not a valid pulse";
+    ModeRegisterFile mrf;
+    mrf.writeRegister(Signal::SenseN,
+                      ModeRegisterFile::encodePulse(start, end));
+    const auto pulse = mrf.decode().pulse(Signal::SenseN);
+    ASSERT_TRUE(pulse.has_value());
+    EXPECT_EQ(pulse->start_ns, start);
+    EXPECT_EQ(pulse->end_ns, end);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModeRegSweep,
+    ::testing::Combine(::testing::Values(0, 1, 5, 12, 23),
+                       ::testing::Values(1, 6, 13, 24)));
+
+// --- Data-state semantics. ---
+
+TEST(Functionality, DestructiveClasses)
+{
+    EXPECT_TRUE(destroysRowData(VariantClass::Sig));
+    EXPECT_TRUE(destroysRowData(VariantClass::DetZero));
+    EXPECT_TRUE(destroysRowData(VariantClass::DetOne));
+    EXPECT_TRUE(destroysRowData(VariantClass::Sigsa));
+    EXPECT_TRUE(destroysRowData(VariantClass::Custom));
+    EXPECT_FALSE(destroysRowData(VariantClass::Noop));
+    EXPECT_FALSE(destroysRowData(VariantClass::Precharge));
+    EXPECT_FALSE(destroysRowData(VariantClass::Activate));
+    EXPECT_FALSE(destroysRowData(VariantClass::SigsaNoWrite));
+}
+
+TEST(Functionality, SignatureClasses)
+{
+    EXPECT_TRUE(yieldsSignature(VariantClass::Sig));
+    EXPECT_TRUE(yieldsSignature(VariantClass::Sigsa));
+    EXPECT_TRUE(yieldsSignature(VariantClass::SigsaNoWrite));
+    EXPECT_FALSE(yieldsSignature(VariantClass::DetZero));
+    EXPECT_FALSE(yieldsSignature(VariantClass::Activate));
+}
+
+TEST(Functionality, ActivateResolvesHalfVddToSignature)
+{
+    // Paper Section 4.1.1: the activation after CODIC-sig amplifies
+    // the cells to process-variation signatures.
+    EXPECT_EQ(afterVariant(VariantClass::Activate, RowDataState::HalfVdd),
+              RowDataState::SaSignature);
+    EXPECT_EQ(afterVariant(VariantClass::Activate, RowDataState::Data),
+              RowDataState::Data);
+}
+
+TEST(Functionality, TransitionsPreserveOrDestroyAsDocumented)
+{
+    for (RowDataState before :
+         {RowDataState::Unwritten, RowDataState::Data,
+          RowDataState::Zeroes, RowDataState::HalfVdd}) {
+        EXPECT_EQ(afterVariant(VariantClass::Precharge, before), before);
+        EXPECT_EQ(afterVariant(VariantClass::Noop, before), before);
+        EXPECT_EQ(afterVariant(VariantClass::SigsaNoWrite, before),
+                  before);
+        EXPECT_EQ(afterVariant(VariantClass::Sig, before),
+                  RowDataState::HalfVdd);
+        EXPECT_EQ(afterVariant(VariantClass::DetZero, before),
+                  RowDataState::Zeroes);
+        EXPECT_EQ(afterVariant(VariantClass::DetOne, before),
+                  RowDataState::Ones);
+        EXPECT_EQ(afterVariant(VariantClass::Sigsa, before),
+                  RowDataState::SaSignature);
+        EXPECT_EQ(afterVariant(VariantClass::Custom, before),
+                  RowDataState::Undefined);
+    }
+}
+
+TEST(Functionality, StateNamesAreDistinct)
+{
+    EXPECT_STREQ(rowDataStateName(RowDataState::Zeroes), "zeroes");
+    EXPECT_STREQ(rowDataStateName(RowDataState::HalfVdd), "half-vdd");
+    EXPECT_STREQ(rowDataStateName(RowDataState::SaSignature),
+                 "sa-signature");
+}
+
+} // namespace
+} // namespace codic

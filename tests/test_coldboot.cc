@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests of the cold-boot module: destruction engines (Fig. 7
+ * behaviour), the power-on FSM security analysis (Section 5.2.2),
+ * the reference ciphers against published test vectors, and the
+ * Table 6 overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coldboot/ciphers.h"
+#include "coldboot/destruction.h"
+#include "coldboot/overhead_model.h"
+#include "coldboot/power_on.h"
+
+namespace codic {
+namespace {
+
+// --- Destruction engines. ---
+
+class DestructionMechanismTest
+    : public ::testing::TestWithParam<DestructionMechanism>
+{
+};
+
+TEST_P(DestructionMechanismTest, DestroysEveryRowOfASmallModule)
+{
+    DestructionConfig cfg;
+    cfg.max_simulated_rows = 0; // Full simulation.
+    const auto r =
+        runDestruction(DramConfig::ddr3_1600(64), GetParam(), cfg);
+    EXPECT_FALSE(r.extrapolated);
+    EXPECT_GT(r.time_ns, 0.0);
+    EXPECT_GT(r.energy_nj, 0.0);
+    EXPECT_EQ(r.rows_destroyed, DramConfig::ddr3_1600(64).totalRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DestructionMechanismTest,
+                         ::testing::Values(DestructionMechanism::Tcg,
+                                           DestructionMechanism::LisaClone,
+                                           DestructionMechanism::RowClone,
+                                           DestructionMechanism::Codic));
+
+TEST(Destruction, NoRowHoldsDataAfterCodic)
+{
+    // Independent check through the channel: replicate the engine on
+    // a tiny module and inspect every row.
+    DramChannel ch(DramConfig::ddr3_1600(64));
+    ch.fillAllRows(RowDataState::Data);
+    const int det = ch.registerVariant(variants::detZero().schedule);
+    for (int64_t row = 0; row < ch.config().rows; ++row) {
+        for (int bank = 0; bank < ch.config().banks; ++bank) {
+            Command c;
+            c.type = CommandType::Codic;
+            c.addr.bank = bank;
+            c.addr.row = row;
+            c.codic_variant = det;
+            ch.issueAtEarliest(c, 0);
+        }
+    }
+    EXPECT_EQ(ch.countRowsInState(RowDataState::Data), 0);
+    EXPECT_EQ(ch.countRowsInState(RowDataState::Zeroes),
+              ch.config().totalRows());
+}
+
+TEST(Destruction, CodicUsesOneCommandPerRow)
+{
+    DestructionConfig cfg;
+    cfg.max_simulated_rows = 0;
+    const DramConfig dram = DramConfig::ddr3_1600(64);
+    const auto r =
+        runDestruction(dram, DestructionMechanism::Codic, cfg);
+    EXPECT_EQ(r.counts.codic,
+              static_cast<uint64_t>(dram.totalRows()));
+    EXPECT_EQ(r.counts.act, 0u);
+}
+
+TEST(Destruction, CloneMechanismsUseActPerRow)
+{
+    DestructionConfig cfg;
+    cfg.max_simulated_rows = 0;
+    const DramConfig dram = DramConfig::ddr3_1600(64);
+    const auto rc =
+        runDestruction(dram, DestructionMechanism::RowClone, cfg);
+    // One clone per destroyed row (all rows except the zero source),
+    // one source ACT per copy plus the source-row initialization.
+    const uint64_t copies =
+        static_cast<uint64_t>(dram.totalRows() - dram.banks);
+    EXPECT_EQ(rc.counts.rowclone, copies);
+    EXPECT_EQ(rc.counts.act,
+              copies + static_cast<uint64_t>(dram.banks));
+    const auto lisa =
+        runDestruction(dram, DestructionMechanism::LisaClone, cfg);
+    EXPECT_EQ(lisa.counts.lisa_rbm, copies);
+}
+
+TEST(Destruction, PaperRatiosAt8GB)
+{
+    const DramConfig dram = DramConfig::ddr3_1600(8192);
+    const auto codic =
+        runDestruction(dram, DestructionMechanism::Codic);
+    const auto rc =
+        runDestruction(dram, DestructionMechanism::RowClone);
+    const auto lisa =
+        runDestruction(dram, DestructionMechanism::LisaClone);
+    const auto tcg = runDestruction(dram, DestructionMechanism::Tcg);
+    // Paper Section 6.2: 552.7x / 2.5x / 2.0x faster than
+    // TCG / LISA-clone / RowClone.
+    EXPECT_NEAR(rc.time_ns / codic.time_ns, 2.0, 0.3);
+    EXPECT_NEAR(lisa.time_ns / codic.time_ns, 2.5, 0.4);
+    EXPECT_GT(tcg.time_ns / codic.time_ns, 300.0);
+    EXPECT_LT(tcg.time_ns / codic.time_ns, 800.0);
+}
+
+TEST(Destruction, PaperEnergyRatiosAt8GB)
+{
+    const DramConfig dram = DramConfig::ddr3_1600(8192);
+    const auto codic =
+        runDestruction(dram, DestructionMechanism::Codic);
+    const auto rc =
+        runDestruction(dram, DestructionMechanism::RowClone);
+    const auto lisa =
+        runDestruction(dram, DestructionMechanism::LisaClone);
+    const auto tcg = runDestruction(dram, DestructionMechanism::Tcg);
+    // Paper Section 6.2: 41.7x / 2.5x / 1.7x less energy.
+    EXPECT_NEAR(tcg.energy_nj / codic.energy_nj, 41.7, 12.0);
+    EXPECT_NEAR(lisa.energy_nj / codic.energy_nj, 2.5, 0.5);
+    EXPECT_NEAR(rc.energy_nj / codic.energy_nj, 1.7, 0.35);
+}
+
+TEST(Destruction, TimeScalesLinearlyWithCapacity)
+{
+    const auto small = runDestruction(DramConfig::ddr3_1600(256),
+                                      DestructionMechanism::Codic);
+    const auto big = runDestruction(DramConfig::ddr3_1600(1024),
+                                    DestructionMechanism::Codic);
+    EXPECT_NEAR(big.time_ns / small.time_ns, 4.0, 0.2);
+}
+
+TEST(Destruction, ExtrapolationMatchesFullSimulation)
+{
+    const DramConfig dram = DramConfig::ddr3_1600(256);
+    DestructionConfig full;
+    full.max_simulated_rows = 0;
+    DestructionConfig sampled;
+    sampled.max_simulated_rows = 4096;
+    const auto a =
+        runDestruction(dram, DestructionMechanism::Codic, full);
+    const auto b =
+        runDestruction(dram, DestructionMechanism::Codic, sampled);
+    EXPECT_FALSE(a.extrapolated);
+    EXPECT_TRUE(b.extrapolated);
+    EXPECT_NEAR(b.time_ns / a.time_ns, 1.0, 0.03);
+    EXPECT_NEAR(b.energy_nj / a.energy_nj, 1.0, 0.03);
+}
+
+TEST(Destruction, CodicAbsoluteTimeNearPaperFor64MB)
+{
+    // Paper Fig. 7: ~60 us for a 64 MB module.
+    const auto r = runDestruction(DramConfig::ddr3_1600(64),
+                                  DestructionMechanism::Codic);
+    EXPECT_NEAR(r.time_ns / 1e3, 60.0, 15.0);
+}
+
+TEST(Destruction, TcgAbsoluteTimeNearPaperFor64MB)
+{
+    // Paper Fig. 7: ~34 ms for a 64 MB module.
+    const auto r = runDestruction(DramConfig::ddr3_1600(64),
+                                  DestructionMechanism::Tcg);
+    EXPECT_NEAR(r.time_ns / 1e6, 34.0, 8.0);
+}
+
+// --- Power-on FSM (Section 5.2.2). ---
+
+TEST(PowerOnFsm, RampFromZeroTriggersDestruction)
+{
+    PowerOnFsm fsm(100);
+    EXPECT_EQ(fsm.state(), PowerOnState::Off);
+    fsm.observeVoltage(0.0);
+    fsm.observeVoltage(1.5);
+    EXPECT_EQ(fsm.state(), PowerOnState::Destructing);
+    EXPECT_FALSE(fsm.acceptsCommands());
+}
+
+TEST(PowerOnFsm, LowVoltageAttackStillTriggers)
+{
+    // Operating at a reduced voltage does not evade the detector:
+    // any ramp from 0 V triggers (paper Security Analysis).
+    PowerOnFsm fsm(10);
+    fsm.observeVoltage(0.0);
+    fsm.observeVoltage(0.3); // Far below Vdd.
+    EXPECT_EQ(fsm.state(), PowerOnState::Destructing);
+}
+
+TEST(PowerOnFsm, SubThresholdVoltageDoesNotPower)
+{
+    // Below the ramp threshold the DRAM is not operational anyway.
+    PowerOnFsm fsm(10);
+    fsm.observeVoltage(0.0);
+    fsm.observeVoltage(0.01);
+    EXPECT_EQ(fsm.state(), PowerOnState::Off);
+}
+
+TEST(PowerOnFsm, AtomicUntilDestructionCompletes)
+{
+    PowerOnFsm fsm(100);
+    fsm.observeVoltage(0.0);
+    fsm.observeVoltage(1.5);
+    fsm.destructionProgress(99);
+    EXPECT_FALSE(fsm.acceptsCommands());
+    EXPECT_EQ(fsm.rowsRemaining(), 1);
+    fsm.destructionProgress(1);
+    EXPECT_TRUE(fsm.acceptsCommands());
+    EXPECT_EQ(fsm.state(), PowerOnState::Ready);
+}
+
+TEST(PowerOnFsm, PowerCycleRearmsTheDetector)
+{
+    PowerOnFsm fsm(1);
+    fsm.observeVoltage(0.0);
+    fsm.observeVoltage(1.5);
+    fsm.destructionProgress(1);
+    EXPECT_TRUE(fsm.acceptsCommands());
+    // Attacker pulls power and re-applies it: destruction re-arms.
+    fsm.observeVoltage(0.0);
+    EXPECT_EQ(fsm.state(), PowerOnState::Off);
+    fsm.observeVoltage(1.0);
+    EXPECT_EQ(fsm.state(), PowerOnState::Destructing);
+}
+
+TEST(PowerOnFsm, OverheatingKillsTheWholeChip)
+{
+    PowerOnFsm fsm(10);
+    fsm.observeTemperature(200.0);
+    EXPECT_EQ(fsm.state(), PowerOnState::Dead);
+    fsm.observeVoltage(0.0);
+    fsm.observeVoltage(1.5);
+    EXPECT_EQ(fsm.state(), PowerOnState::Dead);
+    EXPECT_FALSE(fsm.acceptsCommands());
+}
+
+// --- Ciphers (validated against published vectors). ---
+
+TEST(ChaCha, Rfc7539KeystreamVector)
+{
+    std::array<uint8_t, 32> key;
+    for (int i = 0; i < 32; ++i)
+        key[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+    const std::array<uint8_t, 12> nonce = {0, 0, 0, 9, 0, 0, 0, 0x4a,
+                                           0, 0, 0, 0};
+    ChaCha chacha(key, nonce, 20);
+    const auto block = chacha.block(1);
+    const uint8_t expected[16] = {0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b,
+                                  0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f,
+                                  0xa3, 0x20, 0x71, 0xc4};
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(block[static_cast<size_t>(i)], expected[i])
+            << "byte " << i;
+}
+
+TEST(ChaCha, EncryptDecryptRoundTrip)
+{
+    std::array<uint8_t, 32> key{};
+    key[0] = 0xAB;
+    const std::array<uint8_t, 12> nonce{};
+    ChaCha chacha8(key, nonce, 8);
+    std::vector<uint8_t> msg(1000);
+    for (size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<uint8_t>(i * 7);
+    const auto ct = chacha8.crypt(msg);
+    EXPECT_NE(ct, msg);
+    EXPECT_EQ(chacha8.crypt(ct), msg);
+}
+
+TEST(ChaCha, EightRoundsDiffersFromTwenty)
+{
+    const std::array<uint8_t, 32> key{};
+    const std::array<uint8_t, 12> nonce{};
+    EXPECT_NE(ChaCha(key, nonce, 8).block(1),
+              ChaCha(key, nonce, 20).block(1));
+}
+
+TEST(Aes128, Fips197AppendixBVector)
+{
+    const std::array<uint8_t, 16> key = {0x2b, 0x7e, 0x15, 0x16, 0x28,
+                                         0xae, 0xd2, 0xa6, 0xab, 0xf7,
+                                         0x15, 0x88, 0x09, 0xcf, 0x4f,
+                                         0x3c};
+    const std::array<uint8_t, 16> pt = {0x32, 0x43, 0xf6, 0xa8, 0x88,
+                                        0x5a, 0x30, 0x8d, 0x31, 0x31,
+                                        0x98, 0xa2, 0xe0, 0x37, 0x07,
+                                        0x34};
+    const std::array<uint8_t, 16> expected = {
+        0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+        0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+    EXPECT_EQ(Aes128(key).encryptBlock(pt), expected);
+}
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    std::array<uint8_t, 16> key;
+    std::array<uint8_t, 16> pt;
+    for (int i = 0; i < 16; ++i) {
+        key[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+        pt[static_cast<size_t>(i)] =
+            static_cast<uint8_t>(i * 16 + i); // 00 11 22 ... ff
+    }
+    const std::array<uint8_t, 16> expected = {
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+        0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+    EXPECT_EQ(Aes128(key).encryptBlock(pt), expected);
+}
+
+TEST(Aes128, CtrModeRoundTrip)
+{
+    std::array<uint8_t, 16> key{};
+    key[3] = 0x42;
+    std::array<uint8_t, 16> iv{};
+    Aes128 aes(key);
+    std::vector<uint8_t> msg(333);
+    for (size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<uint8_t>(i);
+    const auto ct = aes.ctrCrypt(iv, msg);
+    EXPECT_NE(ct, msg);
+    EXPECT_EQ(aes.ctrCrypt(iv, ct), msg);
+}
+
+// --- Table 6 overhead model. ---
+
+TEST(Overhead, CodicHasZeroRuntimeAndOnlyDramArea)
+{
+    const auto row = computeOverhead(ColdBootDefense::CodicSelfDestruct);
+    EXPECT_DOUBLE_EQ(row.runtime_perf_pct, 0.0);
+    EXPECT_DOUBLE_EQ(row.runtime_power_pct, 0.0);
+    EXPECT_DOUBLE_EQ(row.cpu_area_pct, 0.0);
+    // Paper: ~1.1 % DRAM area (the Section 4.2.1 delay elements).
+    EXPECT_NEAR(row.dram_area_pct, 1.1, 0.1);
+}
+
+TEST(Overhead, ChaCha8MatchesPaperRow)
+{
+    const auto row = computeOverhead(ColdBootDefense::ChaCha8);
+    EXPECT_NEAR(row.runtime_power_pct, 17.0, 1.0);
+    EXPECT_NEAR(row.cpu_area_pct, 0.9, 0.1);
+    EXPECT_DOUBLE_EQ(row.dram_area_pct, 0.0);
+}
+
+TEST(Overhead, Aes128MatchesPaperRow)
+{
+    const auto row = computeOverhead(ColdBootDefense::Aes128);
+    EXPECT_NEAR(row.runtime_power_pct, 12.0, 1.0);
+    EXPECT_NEAR(row.cpu_area_pct, 1.3, 0.1);
+    EXPECT_DOUBLE_EQ(row.dram_area_pct, 0.0);
+}
+
+TEST(Overhead, AllRuntimePerfOverheadsAreZero)
+{
+    for (auto d : {ColdBootDefense::CodicSelfDestruct,
+                   ColdBootDefense::ChaCha8, ColdBootDefense::Aes128})
+        EXPECT_DOUBLE_EQ(computeOverhead(d).runtime_perf_pct, 0.0);
+}
+
+} // namespace
+} // namespace codic

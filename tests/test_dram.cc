@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Tests of the architectural DRAM model: configuration scaling, the
+ * JEDEC timing checker, bank/rank state, FAW enforcement, row
+ * data-state tracking, the CODIC command, RowClone / LISA commands,
+ * and the refresh engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "dram/channel.h"
+#include "dram/config.h"
+#include "dram/refresh.h"
+
+namespace codic {
+namespace {
+
+DramConfig
+smallConfig()
+{
+    return DramConfig::ddr3_1600(64); // 64 MB: 1024 rows/bank.
+}
+
+Command
+cmd(CommandType t, int bank = 0, int64_t row = 0, int col = 0)
+{
+    Command c;
+    c.type = t;
+    c.addr.bank = bank;
+    c.addr.row = row;
+    c.addr.column = col;
+    return c;
+}
+
+// --- Configuration. ---
+
+TEST(DramConfig, CapacityMatchesGeometry)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(8192);
+    EXPECT_EQ(cfg.capacityBytes(), 8192ll << 20);
+    EXPECT_EQ(cfg.rows * cfg.banks * cfg.row_bytes, 8192ll << 20);
+}
+
+class ConfigSizeTest : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(ConfigSizeTest, RowsScaleLinearlyWithCapacity)
+{
+    const int64_t mb = GetParam();
+    const DramConfig cfg = DramConfig::ddr3_1600(mb);
+    EXPECT_EQ(cfg.capacityBytes(), mb << 20);
+    EXPECT_EQ(cfg.totalRows(), (mb << 20) / cfg.row_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig7Sizes, ConfigSizeTest,
+                         ::testing::Values(64, 256, 1024, 4096, 16384,
+                                           65536));
+
+TEST(DramConfig, CycleConversionRoundsUp)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(64);
+    EXPECT_EQ(cfg.nsToCycles(1.25), 1);
+    EXPECT_EQ(cfg.nsToCycles(1.26), 2);
+    EXPECT_EQ(cfg.nsToCycles(35.0), 28);
+    EXPECT_DOUBLE_EQ(cfg.cyclesToNs(28), 35.0);
+}
+
+TEST(DramConfig, TrfcGrowsWithDensity)
+{
+    EXPECT_LT(DramConfig::ddr3_1600(1024).timing.trfc,
+              DramConfig::ddr3_1600(65536).timing.trfc);
+}
+
+TEST(DramConfig, Ddr3_1333SlowerClock)
+{
+    const DramConfig cfg = DramConfig::ddr3_1333(2048);
+    EXPECT_DOUBLE_EQ(cfg.tck_ns, 1.5);
+    EXPECT_EQ(cfg.timing.trcd, 9);
+}
+
+// --- Basic command legality and the timing checker. ---
+
+TEST(Channel, ActThenReadRespectsTrcd)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    EXPECT_EQ(ch.earliest(cmd(CommandType::Rd)), t.trcd);
+    EXPECT_THROW(ch.issue(cmd(CommandType::Rd), t.trcd - 1), PanicError);
+    EXPECT_NO_THROW(ch.issue(cmd(CommandType::Rd), t.trcd));
+}
+
+TEST(Channel, ActThenPreRespectsTras)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    EXPECT_EQ(ch.earliest(cmd(CommandType::Pre)), t.tras);
+    EXPECT_THROW(ch.issue(cmd(CommandType::Pre), t.tras - 1),
+                 PanicError);
+}
+
+TEST(Channel, PreThenActRespectsTrp)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    ch.issue(cmd(CommandType::Pre), t.tras);
+    EXPECT_EQ(ch.earliest(cmd(CommandType::Act, 0, 1)),
+              t.tras + t.trp);
+}
+
+TEST(Channel, SameBankActToActRespectsTrc)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    ch.issue(cmd(CommandType::Pre), t.tras);
+    // tRC = tRAS + tRP here, so the constraint coincides with
+    // PRE + tRP; both must hold.
+    EXPECT_GE(ch.earliest(cmd(CommandType::Act, 0, 1)), t.trc);
+}
+
+TEST(Channel, DifferentBankActsRespectTrrd)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act, 0), 0);
+    EXPECT_EQ(ch.earliest(cmd(CommandType::Act, 1)), t.trrd);
+}
+
+TEST(Channel, FawLimitsFourActivates)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    Cycle at = 0;
+    for (int b = 0; b < 4; ++b) {
+        Cycle issued;
+        ch.issueAtEarliest(cmd(CommandType::Act, b), at, &issued);
+        at = issued;
+    }
+    // The fifth activate must wait for the FAW window to roll over.
+    EXPECT_GE(ch.earliest(cmd(CommandType::Act, 4)), t.tfaw);
+}
+
+TEST(Channel, ReadToClosedRowPanics)
+{
+    DramChannel ch(smallConfig());
+    EXPECT_THROW(ch.earliest(cmd(CommandType::Rd)), PanicError);
+}
+
+TEST(Channel, ReadToWrongRowPanics)
+{
+    DramChannel ch(smallConfig());
+    ch.issue(cmd(CommandType::Act, 0, 3), 0);
+    EXPECT_THROW(ch.earliest(cmd(CommandType::Rd, 0, 4)), PanicError);
+}
+
+TEST(Channel, DoubleActivatePanics)
+{
+    DramChannel ch(smallConfig());
+    ch.issue(cmd(CommandType::Act), 0);
+    EXPECT_THROW(ch.earliest(cmd(CommandType::Act, 0, 1)), PanicError);
+}
+
+TEST(Channel, WriteRecoveryDelaysPrecharge)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    const Cycle wr_at = t.trcd;
+    ch.issue(cmd(CommandType::Wr), wr_at);
+    EXPECT_GE(ch.earliest(cmd(CommandType::Pre)),
+              wr_at + t.tcwl + t.tbl + t.twr);
+}
+
+TEST(Channel, ReadToPreRespectsTrtp)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    const Cycle rd_at = t.trcd;
+    ch.issue(cmd(CommandType::Rd), rd_at);
+    EXPECT_GE(ch.earliest(cmd(CommandType::Pre)), rd_at + t.trtp);
+}
+
+TEST(Channel, ConsecutiveReadsRespectTccd)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    const Cycle rd_at = t.trcd;
+    ch.issue(cmd(CommandType::Rd, 0, 0, 0), rd_at);
+    EXPECT_EQ(ch.earliest(cmd(CommandType::Rd, 0, 0, 1)),
+              rd_at + t.tccd);
+}
+
+TEST(Channel, WriteToReadTurnaround)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    const Cycle wr_at = t.trcd;
+    ch.issue(cmd(CommandType::Wr), wr_at);
+    EXPECT_GE(ch.earliest(cmd(CommandType::Rd)),
+              wr_at + t.tcwl + t.tbl + t.twtr);
+}
+
+TEST(Channel, RefreshRequiresAllBanksPrecharged)
+{
+    DramChannel ch(smallConfig());
+    ch.issue(cmd(CommandType::Act), 0);
+    EXPECT_THROW(ch.earliest(cmd(CommandType::Ref)), PanicError);
+}
+
+TEST(Channel, RefreshBlocksSubsequentActivates)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Ref), 0);
+    EXPECT_GE(ch.earliest(cmd(CommandType::Act)), t.trfc);
+}
+
+TEST(Channel, PreAllClosesEveryBank)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    Cycle at = 0;
+    for (int b = 0; b < 3; ++b) {
+        Cycle issued;
+        ch.issueAtEarliest(cmd(CommandType::Act, b), at, &issued);
+        at = issued;
+    }
+    ch.issueAtEarliest(cmd(CommandType::PreAll), at + t.tras);
+    for (int b = 0; b < 3; ++b)
+        EXPECT_FALSE(ch.bankActive(0, b));
+}
+
+TEST(Channel, AddressRangeChecked)
+{
+    DramChannel ch(smallConfig());
+    Command bad = cmd(CommandType::Act);
+    bad.addr.row = ch.config().rows; // One past the end.
+    EXPECT_THROW(ch.earliest(bad), PanicError);
+    bad = cmd(CommandType::Act);
+    bad.addr.bank = ch.config().banks;
+    EXPECT_THROW(ch.earliest(bad), PanicError);
+}
+
+// --- Row data-state tracking. ---
+
+TEST(Channel, WriteMarksRowAsData)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act, 0, 5), 0);
+    ch.issue(cmd(CommandType::Wr, 0, 5), t.trcd);
+    EXPECT_EQ(ch.rowState(0, 0, 5), RowDataState::Data);
+}
+
+TEST(Channel, ZeroFillWriteMarksRowAsZeroes)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act, 0, 5), 0);
+    Command wr = cmd(CommandType::Wr, 0, 5);
+    wr.zero_fill = true;
+    ch.issue(wr, t.trcd);
+    EXPECT_EQ(ch.rowState(0, 0, 5), RowDataState::Zeroes);
+}
+
+TEST(Channel, CodicSigThenActivateYieldsSignature)
+{
+    DramChannel ch(smallConfig());
+    const int sig = ch.registerVariant(variants::sig().schedule);
+    ch.setRowState(0, 0, 7, RowDataState::Data);
+
+    Command c = cmd(CommandType::Codic, 0, 7);
+    c.codic_variant = sig;
+    const Cycle done = ch.issue(c, 0);
+    EXPECT_EQ(ch.rowState(0, 0, 7), RowDataState::HalfVdd);
+
+    ch.issueAtEarliest(cmd(CommandType::Act, 0, 7), done);
+    EXPECT_EQ(ch.rowState(0, 0, 7), RowDataState::SaSignature);
+}
+
+TEST(Channel, CodicDetZeroesRow)
+{
+    DramChannel ch(smallConfig());
+    const int det = ch.registerVariant(variants::detZero().schedule);
+    ch.setRowState(0, 0, 9, RowDataState::Data);
+    Command c = cmd(CommandType::Codic, 0, 9);
+    c.codic_variant = det;
+    ch.issue(c, 0);
+    EXPECT_EQ(ch.rowState(0, 0, 9), RowDataState::Zeroes);
+}
+
+TEST(Channel, CodicToActiveBankPanics)
+{
+    DramChannel ch(smallConfig());
+    const int det = ch.registerVariant(variants::detZero().schedule);
+    ch.issue(cmd(CommandType::Act), 0);
+    Command c = cmd(CommandType::Codic, 0, 1);
+    c.codic_variant = det;
+    EXPECT_THROW(ch.earliest(c), PanicError);
+}
+
+TEST(Channel, CodicWithUnregisteredVariantPanics)
+{
+    DramChannel ch(smallConfig());
+    Command c = cmd(CommandType::Codic);
+    c.codic_variant = 42;
+    EXPECT_THROW(ch.earliest(c), PanicError);
+}
+
+TEST(Channel, CodicOccupiesBankForVariantLatency)
+{
+    DramChannel ch(smallConfig());
+    const int det = ch.registerVariant(variants::detZero().schedule);
+    Command c = cmd(CommandType::Codic, 0, 0);
+    c.codic_variant = det;
+    ch.issue(c, 0);
+    // 35 ns at 1.25 ns/cycle = 28 cycles.
+    EXPECT_EQ(ch.earliest(cmd(CommandType::Act, 0, 1)), 28);
+}
+
+TEST(Channel, ActivationClassCodicCountsTowardFaw)
+{
+    DramChannel ch(smallConfig());
+    const int det = ch.registerVariant(variants::detZero().schedule);
+    Cycle at = 0;
+    for (int b = 0; b < 4; ++b) {
+        Command c = cmd(CommandType::Codic, b, 0);
+        c.codic_variant = det;
+        Cycle issued;
+        ch.issueAtEarliest(c, at, &issued);
+        at = issued;
+    }
+    EXPECT_GE(ch.earliest(cmd(CommandType::Act, 4)),
+              ch.config().timing.tfaw);
+}
+
+TEST(Channel, PrechargeClassCodicDoesNotCountTowardFaw)
+{
+    DramChannel ch(smallConfig());
+    const int opt = ch.registerVariant(variants::sigOpt().schedule);
+    Cycle at = 0;
+    for (int b = 0; b < 4; ++b) {
+        Command c = cmd(CommandType::Codic, b, 0);
+        c.codic_variant = opt;
+        Cycle issued;
+        ch.issueAtEarliest(c, at, &issued);
+        at = issued;
+    }
+    EXPECT_LT(ch.earliest(cmd(CommandType::Act, 4)),
+              ch.config().timing.tfaw);
+}
+
+TEST(Channel, RegisterVariantRoundTripsThroughModeRegisters)
+{
+    DramChannel ch(smallConfig());
+    const int id = ch.registerVariant(variants::sigsa().schedule);
+    EXPECT_EQ(ch.variantSchedule(id), variants::sigsa().schedule);
+}
+
+// --- RowClone / LISA. ---
+
+TEST(Channel, RowCloneCopiesRowState)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.setRowState(0, 0, 0, RowDataState::Zeroes);
+    ch.setRowState(0, 0, 5, RowDataState::Data);
+    ch.issue(cmd(CommandType::Act, 0, 0), 0);
+    ch.issueAtEarliest(cmd(CommandType::RowClone, 0, 5), t.tras);
+    EXPECT_EQ(ch.rowState(0, 0, 5), RowDataState::Zeroes);
+    EXPECT_EQ(ch.openRow(0, 0), 5);
+}
+
+TEST(Channel, RowCloneRequiresOpenSourceRow)
+{
+    DramChannel ch(smallConfig());
+    EXPECT_THROW(ch.earliest(cmd(CommandType::RowClone, 0, 5)),
+                 PanicError);
+}
+
+TEST(Channel, RowCloneGatedOnSourceRestore)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act, 0, 0), 0);
+    EXPECT_GE(ch.earliest(cmd(CommandType::RowClone, 0, 5)), t.tras);
+}
+
+TEST(Channel, LisaRbmRequiresOpenRow)
+{
+    DramChannel ch(smallConfig());
+    EXPECT_THROW(ch.earliest(cmd(CommandType::LisaRbm)), PanicError);
+}
+
+TEST(Channel, LisaRbmHoldsRankActivations)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act, 0, 0), 0);
+    const Cycle rbm_at = t.trcd;
+    ch.issueAtEarliest(cmd(CommandType::LisaRbm, 0, 0), rbm_at);
+    EXPECT_GE(ch.earliest(cmd(CommandType::Act, 1)),
+              rbm_at + ch.config().nsToCycles(t.trbm_hold_ns));
+}
+
+// --- Bulk state helpers and counters. ---
+
+TEST(Channel, FillAndCountRows)
+{
+    DramChannel ch(smallConfig());
+    ch.fillAllRows(RowDataState::Data);
+    EXPECT_EQ(ch.countRowsInState(RowDataState::Data),
+              ch.config().totalRows());
+    ch.setRowState(0, 0, 0, RowDataState::Zeroes);
+    EXPECT_EQ(ch.countRowsInState(RowDataState::Data),
+              ch.config().totalRows() - 1);
+}
+
+TEST(Channel, CommandCountersTrackIssues)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Act), 0);
+    ch.issue(cmd(CommandType::Rd), t.trcd);
+    ch.issue(cmd(CommandType::Wr), t.trcd + t.tccd + 20);
+    EXPECT_EQ(ch.counts().act, 1u);
+    EXPECT_EQ(ch.counts().rd, 1u);
+    EXPECT_EQ(ch.counts().wr, 1u);
+    EXPECT_EQ(ch.counts().total(), 3u);
+}
+
+TEST(Channel, MrsBlocksRankBriefly)
+{
+    DramChannel ch(smallConfig());
+    const auto &t = ch.config().timing;
+    ch.issue(cmd(CommandType::Mrs), 0);
+    EXPECT_EQ(ch.earliest(cmd(CommandType::Act)), t.tmrd);
+}
+
+// --- Refresh engine. ---
+
+TEST(Refresh, CatchUpIssuesDueRefreshes)
+{
+    DramChannel ch(smallConfig());
+    RefreshEngine ref(ch, 0);
+    const Cycle trefi = ch.config().timing.trefi;
+    EXPECT_EQ(ref.catchUp(trefi * 3), 3);
+    EXPECT_EQ(ch.counts().ref, 3u);
+    EXPECT_EQ(ref.nextDue(), trefi * 4);
+}
+
+TEST(Refresh, DutyCycleMatchesTimingRatio)
+{
+    DramChannel ch(smallConfig());
+    RefreshEngine ref(ch, 0);
+    const auto &t = ch.config().timing;
+    EXPECT_DOUBLE_EQ(ref.dutyCycle(),
+                     static_cast<double>(t.trfc) /
+                         static_cast<double>(t.trefi));
+}
+
+} // namespace
+} // namespace codic

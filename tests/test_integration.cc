@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cross-module integration tests: full pipelines from the CODIC
+ * substrate through the DRAM model to the security applications.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/analog.h"
+#include "codic/mode_regs.h"
+#include "coldboot/destruction.h"
+#include "coldboot/power_on.h"
+#include "nist/extractor.h"
+#include "nist/tests.h"
+#include "puf/experiments.h"
+#include "puf/sig_puf.h"
+#include "puf/stream.h"
+#include "secdealloc/evaluate.h"
+
+namespace codic {
+namespace {
+
+TEST(Integration, MrsProgramsVariantThatDestroysRowThroughChannel)
+{
+    // The full hardware path of Section 4.2.2: the controller
+    // programs the CODIC mode registers via MRS, issues one CODIC
+    // command, and the row's data is gone.
+    DramChannel ch(DramConfig::ddr3_1600(64));
+    ModeRegisterFile mrf;
+    mrf.program(variants::detZero().schedule);
+    const int id = ch.registerVariant(mrf.decode());
+
+    Cycle t = 0;
+    for (int i = 0; i < ModeRegisterFile::kMrsCommandsPerSchedule; ++i) {
+        Command mrs;
+        mrs.type = CommandType::Mrs;
+        t = ch.issueAtEarliest(mrs, t);
+    }
+    ch.setRowState(0, 0, 12, RowDataState::Data);
+    Command codic;
+    codic.type = CommandType::Codic;
+    codic.addr.row = 12;
+    codic.codic_variant = id;
+    ch.issueAtEarliest(codic, t);
+    EXPECT_EQ(ch.rowState(0, 0, 12), RowDataState::Zeroes);
+}
+
+TEST(Integration, AnalogAndArchitecturalSigPipelinesAgree)
+{
+    // Circuit level: sig then activate amplifies to a PV-dependent
+    // value. Architectural level: the row state machine mirrors it.
+    CircuitParams params = CircuitParams::ddr3();
+    VariationDraw draw;
+    draw.sa_offset = -30e-3; // A flip cell.
+    CellCircuit cell(params, draw);
+    cell.setCellVoltage(params.vdd);
+    cell.run(variants::sig().schedule);
+    cell.run(variants::activate().schedule);
+    EXPECT_FALSE(cell.senseBit()); // Minority (flip) direction.
+
+    DramChannel ch(DramConfig::ddr3_1600(64));
+    const int sig = ch.registerVariant(variants::sig().schedule);
+    ch.setRowState(0, 0, 3, RowDataState::Data);
+    Command c;
+    c.type = CommandType::Codic;
+    c.addr.row = 3;
+    c.codic_variant = sig;
+    const Cycle done = ch.issue(c, 0);
+    Command act;
+    act.type = CommandType::Act;
+    act.addr.row = 3;
+    ch.issueAtEarliest(act, done);
+    EXPECT_EQ(ch.rowState(0, 0, 3), RowDataState::SaSignature);
+}
+
+TEST(Integration, PufEnrollmentAndVerificationAcrossDevices)
+{
+    // Authentication scenario of Section 5.1: enroll one device's
+    // response; the same device verifies, a different one does not.
+    const auto chips = buildPaperPopulation();
+    CodicSigPuf puf;
+    Challenge ch{123, 65536};
+    const Response enrolled =
+        puf.evaluateFiltered(chips[0], ch, {30.0, false, 1});
+    const Response same =
+        puf.evaluateFiltered(chips[0], ch, {30.0, false, 99});
+    const Response other =
+        puf.evaluateFiltered(chips[1], ch, {30.0, false, 1});
+    EXPECT_GT(jaccard(enrolled, same), 0.99);
+    EXPECT_LT(jaccard(enrolled, other), 0.05);
+}
+
+TEST(Integration, PowerOnFsmDrivesDestructionToCompletion)
+{
+    // The self-destruction story of Section 5.2.2 end to end: power
+    // ramp detected, destruction runs row by row, chip opens only
+    // after every row is destroyed.
+    const DramConfig dram = DramConfig::ddr3_1600(64);
+    DramChannel ch(dram);
+    ch.fillAllRows(RowDataState::Data);
+    PowerOnFsm fsm(dram.totalRows());
+    fsm.observeVoltage(0.0);
+    fsm.observeVoltage(1.35);
+    ASSERT_EQ(fsm.state(), PowerOnState::Destructing);
+
+    const int det = ch.registerVariant(variants::detZero().schedule);
+    for (int64_t row = 0; row < dram.rows; ++row) {
+        for (int bank = 0; bank < dram.banks; ++bank) {
+            EXPECT_FALSE(fsm.acceptsCommands());
+            Command c;
+            c.type = CommandType::Codic;
+            c.addr.bank = bank;
+            c.addr.row = row;
+            c.codic_variant = det;
+            ch.issueAtEarliest(c, 0);
+            fsm.destructionProgress(1);
+        }
+    }
+    EXPECT_TRUE(fsm.acceptsCommands());
+    EXPECT_EQ(ch.countRowsInState(RowDataState::Data), 0);
+}
+
+TEST(Integration, SigResponsesFeedNistPassingStream)
+{
+    // Section 6.1.3 end to end on a reduced stream: responses ->
+    // address bits -> Von Neumann -> core NIST battery.
+    const auto chips = buildPaperPopulation();
+    std::vector<const SimulatedChip *> all;
+    for (const auto &c : chips)
+        all.push_back(&c);
+    CodicSigPuf puf;
+    const auto raw = buildResponseBitStream(puf, all, 600000, 4);
+    const auto white = vonNeumannExtract(raw);
+    ASSERT_GT(white.size(), 100000u);
+    EXPECT_TRUE(nistMonobit(white).pass());
+    EXPECT_TRUE(nistRuns(white).pass());
+    EXPECT_TRUE(nistFrequencyWithinBlock(white).pass());
+    EXPECT_TRUE(nistCumulativeSums(white).pass());
+    EXPECT_TRUE(nistApproximateEntropy(white).pass());
+}
+
+TEST(Integration, DestructionFasterThanRetentionWindow)
+{
+    // The mechanism only protects if destruction completes long
+    // before charge decays naturally (seconds to minutes): even a
+    // 16 GB module destroys in well under a second.
+    const auto r = runDestruction(DramConfig::ddr3_1600(16384),
+                                  DestructionMechanism::Codic);
+    EXPECT_LT(r.time_ns, 1e9);
+}
+
+TEST(Integration, EndToEndSecureDeallocImprovesAndDestroysData)
+{
+    // Deallocated rows are zeroed in DRAM, not just faster.
+    DramChannel ch(DramConfig::ddr3_1600(2048));
+    MemoryController mc(ch);
+    CoreConfig cfg;
+    cfg.dealloc = DeallocMode::CodicDet;
+    InOrderCore core(mc, cfg);
+    std::vector<TraceOp> ops;
+    for (uint64_t a = 0; a < 16384; a += 64)
+        ops.push_back({OpType::Store, a, 0});
+    ops.push_back({OpType::DeallocRegion, 0, 16384});
+    Workload w{"demo", ops};
+    core.bind(&w);
+    core.run();
+    const Address a0 = mc.map().decode(0);
+    EXPECT_EQ(ch.rowState(a0.rank, a0.bank, a0.row),
+              RowDataState::Zeroes);
+}
+
+} // namespace
+} // namespace codic

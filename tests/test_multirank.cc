@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multi-rank and cross-speed-grade coverage: rank independence of
+ * timing constraints, destruction on dual-rank modules and on the
+ * DDR3-1333 grade (the vendor-B parts of Table 12), and PUF
+ * evaluation timing across grades.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coldboot/destruction.h"
+#include "dram/channel.h"
+#include "puf/response_time.h"
+
+namespace codic {
+namespace {
+
+DramConfig
+dualRank(int64_t capacity_mb)
+{
+    DramConfig cfg = DramConfig::ddr3_1600(capacity_mb);
+    // Re-slice the same capacity over two ranks.
+    cfg.ranks = 2;
+    cfg.rows /= 2;
+    return cfg;
+}
+
+TEST(MultiRank, RanksHaveIndependentActivationWindows)
+{
+    DramChannel ch(dualRank(256));
+    const auto &t = ch.config().timing;
+    Command act;
+    act.type = CommandType::Act;
+    act.addr.rank = 0;
+    ch.issue(act, 0);
+    // The other rank's tRRD horizon is untouched.
+    Command other = act;
+    other.addr.rank = 1;
+    EXPECT_EQ(ch.earliest(other), 0);
+    // Same rank still honours tRRD.
+    Command same = act;
+    same.addr.bank = 1;
+    EXPECT_EQ(ch.earliest(same), t.trrd);
+}
+
+TEST(MultiRank, FawWindowsArePerRank)
+{
+    DramChannel ch(dualRank(256));
+    Cycle at = 0;
+    for (int b = 0; b < 4; ++b) {
+        Command act;
+        act.type = CommandType::Act;
+        act.addr.rank = 0;
+        act.addr.bank = b;
+        Cycle issued;
+        ch.issueAtEarliest(act, at, &issued);
+        at = issued;
+    }
+    // Rank 0 is FAW-bound; rank 1 is not.
+    Command r0;
+    r0.type = CommandType::Act;
+    r0.addr.bank = 4;
+    Command r1 = r0;
+    r1.addr.rank = 1;
+    EXPECT_GE(ch.earliest(r0), ch.config().timing.tfaw);
+    EXPECT_LT(ch.earliest(r1), ch.config().timing.tfaw);
+}
+
+TEST(MultiRank, RefreshBlocksOnlyItsRank)
+{
+    DramChannel ch(dualRank(256));
+    Command ref;
+    ref.type = CommandType::Ref;
+    ref.addr.rank = 0;
+    ch.issue(ref, 0);
+    Command act;
+    act.type = CommandType::Act;
+    act.addr.rank = 1;
+    EXPECT_EQ(ch.earliest(act), 0);
+}
+
+TEST(MultiRank, DestructionCoversBothRanks)
+{
+    DestructionConfig cfg;
+    cfg.max_simulated_rows = 0;
+    const DramConfig dram = dualRank(64);
+    const auto r =
+        runDestruction(dram, DestructionMechanism::Codic, cfg);
+    EXPECT_EQ(r.counts.codic,
+              static_cast<uint64_t>(dram.totalRows()));
+    EXPECT_EQ(r.rows_destroyed, dram.totalRows());
+}
+
+TEST(MultiRank, DualRankDestructionNoSlowerThanSingle)
+{
+    // Two ranks double the activation resources; destruction is at
+    // least as fast per byte (FAW/tRRD are per rank).
+    const auto single = runDestruction(DramConfig::ddr3_1600(1024),
+                                       DestructionMechanism::Codic);
+    const auto dual =
+        runDestruction(dualRank(1024), DestructionMechanism::Codic);
+    EXPECT_LE(dual.time_ns, single.time_ns * 1.05);
+}
+
+TEST(SpeedGrades, Ddr3_1333DestructionSlightlySlower)
+{
+    const auto fast = runDestruction(DramConfig::ddr3_1600(1024),
+                                     DestructionMechanism::Codic);
+    const auto slow = runDestruction(DramConfig::ddr3_1333(1024),
+                                     DestructionMechanism::Codic);
+    // Same tFAW in ns, coarser clock: within ~15 %.
+    EXPECT_NEAR(slow.time_ns / fast.time_ns, 1.0, 0.15);
+}
+
+TEST(SpeedGrades, PufEvaluationTimeAcrossGrades)
+{
+    const auto fast = evaluationTime(PufKind::CodicSig, true,
+                                     DramConfig::ddr3_1600(2048));
+    const auto slow = evaluationTime(PufKind::CodicSig, true,
+                                     DramConfig::ddr3_1333(2048));
+    EXPECT_GT(slow.native_ns, fast.native_ns);
+    // SoftMC scale is interface-bound, identical across grades.
+    EXPECT_DOUBLE_EQ(slow.softmc_ms, fast.softmc_ms);
+}
+
+TEST(SpeedGrades, CodicVariantsWorkOnBothGrades)
+{
+    for (const DramConfig &cfg : {DramConfig::ddr3_1600(64),
+                                  DramConfig::ddr3_1333(64)}) {
+        DramChannel ch(cfg);
+        const int det =
+            ch.registerVariant(variants::detZero().schedule);
+        Command codic;
+        codic.type = CommandType::Codic;
+        codic.codic_variant = det;
+        ch.issue(codic, 0);
+        EXPECT_EQ(ch.rowState(0, 0, 0), RowDataState::Zeroes)
+            << cfg.name;
+    }
+}
+
+} // namespace
+} // namespace codic

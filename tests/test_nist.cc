@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests of the NIST SP 800-22 suite: special functions against known
+ * identities, each test against good (PRNG) and pathological streams,
+ * the Von Neumann extractor, and the full-suite runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nist/extractor.h"
+#include "nist/special_functions.h"
+#include "nist/tests.h"
+
+namespace codic {
+namespace {
+
+BitStream
+prngStream(size_t n, uint64_t seed = 42)
+{
+    Rng rng(seed);
+    BitStream bits(n);
+    for (auto &b : bits)
+        b = rng.chance(0.5) ? 1 : 0;
+    return bits;
+}
+
+BitStream
+biasedStream(size_t n, double p_one, uint64_t seed = 43)
+{
+    Rng rng(seed);
+    BitStream bits(n);
+    for (auto &b : bits)
+        b = rng.chance(p_one) ? 1 : 0;
+    return bits;
+}
+
+BitStream
+alternatingStream(size_t n)
+{
+    BitStream bits(n);
+    for (size_t i = 0; i < n; ++i)
+        bits[i] = static_cast<uint8_t>(i & 1);
+    return bits;
+}
+
+BitStream
+periodicStream(size_t n, size_t period)
+{
+    BitStream bits(n);
+    for (size_t i = 0; i < n; ++i)
+        bits[i] = static_cast<uint8_t>((i % period) == 0);
+    return bits;
+}
+
+// --- Special functions. ---
+
+TEST(SpecialFunctions, IgamPlusIgamcIsOne)
+{
+    for (double a : {0.5, 1.0, 2.5, 7.0}) {
+        for (double x : {0.1, 1.0, 3.0, 10.0}) {
+            EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-10)
+                << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(SpecialFunctions, IgamcHalfMatchesErfc)
+{
+    // Q(1/2, x) = erfc(sqrt(x)).
+    for (double x : {0.25, 1.0, 4.0}) {
+        EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-10);
+    }
+}
+
+TEST(SpecialFunctions, IgamcOneIsExponential)
+{
+    // Q(1, x) = exp(-x).
+    for (double x : {0.5, 2.0, 5.0})
+        EXPECT_NEAR(igamc(1.0, x), std::exp(-x), 1e-10);
+}
+
+TEST(SpecialFunctions, Boundaries)
+{
+    EXPECT_DOUBLE_EQ(igamc(3.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(igam(3.0, 0.0), 0.0);
+    EXPECT_THROW(igamc(-1.0, 1.0), PanicError);
+}
+
+TEST(SpecialFunctions, NormalCdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+}
+
+// --- Von Neumann extractor. ---
+
+TEST(Extractor, RemovesBiasFromIndependentBits)
+{
+    const BitStream biased = biasedStream(400000, 0.8);
+    const BitStream white = vonNeumannExtract(biased);
+    EXPECT_GT(white.size(), 10000u);
+    EXPECT_NEAR(onesFraction(white), 0.5, 0.02);
+    EXPECT_NEAR(onesFraction(biased), 0.8, 0.01);
+}
+
+TEST(Extractor, DiscardsConcordantPairs)
+{
+    const BitStream all_ones(100, 1);
+    EXPECT_TRUE(vonNeumannExtract(all_ones).empty());
+}
+
+TEST(Extractor, MapsDiscordantPairsToFirstBit)
+{
+    const BitStream in{0, 1, 1, 0, 1, 1, 0, 0};
+    const BitStream out = vonNeumannExtract(in);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[1], 1);
+}
+
+TEST(Extractor, OutputRateNearQuarterForFairInput)
+{
+    const BitStream fair = prngStream(100000);
+    const BitStream white = vonNeumannExtract(fair);
+    EXPECT_NEAR(static_cast<double>(white.size()) / 100000.0, 0.25,
+                0.02);
+}
+
+// --- Individual tests: PRNG passes, pathologies fail. ---
+
+class NistOnPrng
+    : public ::testing::TestWithParam<NistResult (*)(const BitStream &)>
+{
+};
+
+TEST_P(NistOnPrng, PassesOnPrngStream)
+{
+    // Fixed seed chosen to pass the whole battery: any single seed
+    // has a ~1 % chance per test of a legitimate alpha = 0.01
+    // rejection, which would make the suite flaky.
+    const BitStream bits = prngStream(1 << 21, 7);
+    const NistResult r = GetParam()(bits);
+    EXPECT_TRUE(r.pass()) << r.name << " p=" << r.p_value;
+}
+
+NistResult freqBlockDefault(const BitStream &b)
+{ return nistFrequencyWithinBlock(b); }
+NistResult serialDefault(const BitStream &b) { return nistSerial(b); }
+NistResult apenDefault(const BitStream &b)
+{ return nistApproximateEntropy(b); }
+NistResult lcDefault(const BitStream &b)
+{ return nistLinearComplexity(b); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTests, NistOnPrng,
+    ::testing::Values(&nistMonobit, &freqBlockDefault, &nistRuns,
+                      &nistLongestRunOnesInBlock, &nistBinaryMatrixRank,
+                      &nistDft, &nistNonOverlappingTemplate,
+                      &nistOverlappingTemplate, &nistMaurersUniversal,
+                      &lcDefault, &serialDefault, &apenDefault,
+                      &nistCumulativeSums));
+
+TEST(NistMonobit, FailsOnBiasedStream)
+{
+    EXPECT_FALSE(nistMonobit(biasedStream(100000, 0.55)).pass());
+}
+
+TEST(NistMonobit, FailsOnConstantStream)
+{
+    EXPECT_FALSE(nistMonobit(BitStream(10000, 1)).pass());
+}
+
+TEST(NistRuns, FailsOnAlternatingStream)
+{
+    // 0101... is perfectly balanced but has maximal run count.
+    EXPECT_FALSE(nistRuns(alternatingStream(100000)).pass());
+}
+
+TEST(NistFrequencyWithinBlock, FailsOnBlockStructuredStream)
+{
+    // Alternating all-ones / all-zeros blocks of the test's size.
+    BitStream bits(128 * 1000);
+    for (size_t i = 0; i < bits.size(); ++i)
+        bits[i] = static_cast<uint8_t>((i / 128) & 1);
+    EXPECT_FALSE(nistFrequencyWithinBlock(bits).pass());
+}
+
+TEST(NistLongestRun, FailsOnStreamWithoutLongRuns)
+{
+    EXPECT_FALSE(
+        nistLongestRunOnesInBlock(alternatingStream(200000)).pass());
+}
+
+TEST(NistMatrixRank, FailsOnLowRankStream)
+{
+    // Repeating each 32-bit row pattern makes singular matrices.
+    BitStream bits(32 * 32 * 40);
+    for (size_t i = 0; i < bits.size(); ++i)
+        bits[i] = static_cast<uint8_t>((i % 32) & 1);
+    EXPECT_FALSE(nistBinaryMatrixRank(bits).pass());
+}
+
+TEST(NistDft, FailsOnPeriodicStream)
+{
+    EXPECT_FALSE(nistDft(periodicStream(1 << 17, 10)).pass());
+}
+
+TEST(NistLinearComplexity, FailsOnShortLfsrLikeStream)
+{
+    // Period-8 stream: linear complexity far below M/2.
+    EXPECT_FALSE(nistLinearComplexity(periodicStream(200000, 8)).pass());
+}
+
+TEST(NistSerial, FailsOnPeriodicStream)
+{
+    EXPECT_FALSE(nistSerial(periodicStream(1 << 19, 6)).pass());
+}
+
+TEST(NistApproximateEntropy, FailsOnPeriodicStream)
+{
+    EXPECT_FALSE(
+        nistApproximateEntropy(periodicStream(1 << 19, 6)).pass());
+}
+
+TEST(NistCumulativeSums, FailsOnDriftingStream)
+{
+    EXPECT_FALSE(nistCumulativeSums(biasedStream(100000, 0.53)).pass());
+}
+
+TEST(NistExcursions, ApplicabilityRequiresEnoughCycles)
+{
+    // A tiny stream cannot produce 500 random-walk cycles.
+    const NistResult r = nistRandomExcursion(prngStream(1000));
+    EXPECT_FALSE(r.applicable);
+    EXPECT_TRUE(r.pass()); // Inapplicable tests do not fail.
+}
+
+TEST(NistExcursions, RunOnLongPrngStream)
+{
+    // Use a seed whose walk has enough zero crossings.
+    for (uint64_t seed = 1; seed < 20; ++seed) {
+        const BitStream bits = prngStream(1 << 22, seed);
+        const NistResult r = nistRandomExcursion(bits);
+        if (!r.applicable)
+            continue;
+        EXPECT_TRUE(r.pass()) << "seed=" << seed << " p=" << r.p_value;
+        const NistResult rv = nistRandomExcursionVariant(bits);
+        EXPECT_TRUE(rv.pass()) << "seed=" << seed;
+        return;
+    }
+    FAIL() << "no seed produced an applicable excursion stream";
+}
+
+TEST(NistSuite, RunsAll15Tests)
+{
+    const auto results = runNistSuite(prngStream(1 << 20));
+    EXPECT_EQ(results.size(), 15u);
+    std::set<std::string> names;
+    for (const auto &r : results)
+        names.insert(r.name);
+    EXPECT_EQ(names.size(), 15u); // All distinct (Table 10 rows).
+}
+
+TEST(NistSuite, AllPassHelper)
+{
+    std::vector<NistResult> results = {{"a", 0.5, true},
+                                       {"b", 0.2, true}};
+    EXPECT_TRUE(allPass(results));
+    results.push_back({"c", 0.001, true});
+    EXPECT_FALSE(allPass(results));
+    results.back().applicable = false;
+    EXPECT_TRUE(allPass(results));
+}
+
+TEST(NistSuite, ShortStreamMarksTestsInapplicableNotFailed)
+{
+    const auto results = runNistSuite(prngStream(2048));
+    for (const auto &r : results)
+        EXPECT_TRUE(r.pass()) << r.name;
+}
+
+} // namespace
+} // namespace codic

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the energy model: the Table 2 variant energies, the
+ * ~17 nJ activation anchor, campaign-energy additivity, and the
+ * background-power term.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codic/variant.h"
+#include "power/energy_model.h"
+
+namespace codic {
+namespace {
+
+TEST(Energy, ActivationPairIsAbout17nJ)
+{
+    // Paper Section 4.2.1: activation energy ~17 nJ.
+    EXPECT_NEAR(actPreEnergyNj(), 17.3, 0.2);
+}
+
+TEST(Energy, Table2VariantEnergies)
+{
+    // Paper Table 2: activate 17.3 nJ, all others 17.2 nJ.
+    EXPECT_NEAR(variantEnergyNj(variants::activate().schedule), 17.3,
+                0.05);
+    EXPECT_NEAR(variantEnergyNj(variants::precharge().schedule), 17.2,
+                0.05);
+    EXPECT_NEAR(variantEnergyNj(variants::sig().schedule), 17.2, 0.05);
+    EXPECT_NEAR(variantEnergyNj(variants::sigOpt().schedule), 17.2,
+                0.05);
+    EXPECT_NEAR(variantEnergyNj(variants::detZero().schedule), 17.2,
+                0.05);
+    EXPECT_NEAR(variantEnergyNj(variants::sigsa().schedule), 17.2,
+                0.05);
+}
+
+TEST(Energy, VariantEnergiesAreNearlyEqual)
+{
+    // Paper Section 4.3: energy is very similar across variants
+    // because routing (~40 %) and the array operation (~40 %)
+    // dominate every command.
+    double lo = 1e9;
+    double hi = 0.0;
+    for (const auto &v : variants::all()) {
+        const double e = variantEnergyNj(v.schedule);
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+    }
+    EXPECT_LT((hi - lo) / lo, 0.01);
+}
+
+TEST(Energy, RoutingIsAbout40Percent)
+{
+    const EnergyParams p;
+    const double total = variantEnergyNj(variants::sig().schedule, p);
+    EXPECT_NEAR(p.route_nj / total, 0.40, 0.02);
+    EXPECT_NEAR(p.array_nj / total, 0.40, 0.02);
+}
+
+TEST(Energy, DelayElementOverheadIsNegligible)
+{
+    const EnergyParams p;
+    EXPECT_LT(p.codic_delay_nj, 0.0005); // < 500 fJ.
+    EXPECT_LT(p.codic_delay_nj /
+                  variantEnergyNj(variants::sig().schedule, p),
+              1e-4);
+}
+
+TEST(Energy, EmptyScheduleCostsNothing)
+{
+    EXPECT_DOUBLE_EQ(variantEnergyNj(SignalSchedule{}), 0.0);
+}
+
+TEST(Energy, CampaignEnergyIsAdditiveInCommands)
+{
+    CommandCounts a;
+    a.act = 10;
+    CommandCounts b;
+    b.act = 20;
+    const double ea = campaignEnergyNj(a, 0.0);
+    const double eb = campaignEnergyNj(b, 0.0);
+    EXPECT_NEAR(eb, 2.0 * ea, 1e-9);
+}
+
+TEST(Energy, BackgroundTermScalesWithTime)
+{
+    CommandCounts none;
+    EnergyParams p;
+    p.background_mw = 25.0;
+    // 25 mW for 1 ms = 25 uJ = 25000 nJ.
+    EXPECT_NEAR(campaignEnergyNj(none, 1e6, p), 25000.0, 1.0);
+}
+
+TEST(Energy, CloneCommandsCostLessThanFullActivation)
+{
+    const EnergyParams p;
+    EXPECT_LT(p.rowclone_nj, actPreEnergyNj(p));
+    EXPECT_GT(p.rowclone_nj + p.lisa_rbm_nj, actPreEnergyNj(p));
+}
+
+TEST(Energy, MixedCampaignSumsAllTerms)
+{
+    CommandCounts c;
+    c.act = 1;
+    c.rd = 2;
+    c.wr = 3;
+    c.ref = 1;
+    c.codic = 1;
+    EnergyParams p;
+    p.background_mw = 0.0;
+    const double expected =
+        actPreEnergyNj(p) + 2 * p.rd_burst_nj + 3 * p.wr_burst_nj +
+        p.ref_nj +
+        (p.route_nj + p.array_nj + p.control_nj + p.codic_delay_nj);
+    EXPECT_NEAR(campaignEnergyNj(c, 0.0, p), expected, 1e-9);
+}
+
+} // namespace
+} // namespace codic

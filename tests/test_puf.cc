@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests of the PUF framework: the 136-chip population (Table 12),
+ * deterministic per-device behaviour, the three PUF implementations,
+ * Jaccard metrics (Fig. 5), temperature/aging campaigns (Fig. 6),
+ * exact-match authentication rates, and the Table 4 response-time
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "puf/chip_model.h"
+#include "puf/experiments.h"
+#include "puf/latency_puf.h"
+#include "puf/prelat_puf.h"
+#include "puf/response_time.h"
+#include "puf/sig_puf.h"
+
+namespace codic {
+namespace {
+
+class PopulationFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        chips_ = new std::vector<SimulatedChip>(buildPaperPopulation());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete chips_;
+        chips_ = nullptr;
+    }
+
+    static std::vector<const SimulatedChip *>
+    all()
+    {
+        std::vector<const SimulatedChip *> out;
+        for (const auto &c : *chips_)
+            out.push_back(&c);
+        return out;
+    }
+
+    static std::vector<SimulatedChip> *chips_;
+};
+
+std::vector<SimulatedChip> *PopulationFixture::chips_ = nullptr;
+
+// --- Population structure (paper Tables 3 and 12). ---
+
+TEST_F(PopulationFixture, Has136Chips)
+{
+    EXPECT_EQ(chips_->size(), 136u);
+}
+
+TEST_F(PopulationFixture, VendorCountsMatchTable3)
+{
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    for (const auto &chip : *chips_) {
+        switch (chip.spec().vendor) {
+          case Vendor::A: ++a; break;
+          case Vendor::B: ++b; break;
+          case Vendor::C: ++c; break;
+        }
+    }
+    EXPECT_EQ(a, 64);
+    EXPECT_EQ(b, 40);
+    EXPECT_EQ(c, 32);
+}
+
+TEST_F(PopulationFixture, VoltageSplitMatchesFig5)
+{
+    // 64 DDR3 chips at 1.5 V and 72 DDR3L chips at 1.35 V.
+    EXPECT_EQ(filterByVoltage(*chips_, false).size(), 64u);
+    EXPECT_EQ(filterByVoltage(*chips_, true).size(), 72u);
+}
+
+TEST_F(PopulationFixture, FifteenModules)
+{
+    std::set<std::string> modules;
+    for (const auto &chip : *chips_)
+        modules.insert(chip.spec().module);
+    EXPECT_EQ(modules.size(), 15u);
+}
+
+TEST_F(PopulationFixture, CoverageAndFlipBandsMatchSection61)
+{
+    const CoverageStats s = coverageStats(*chips_);
+    // Paper: 34-99 % coverage, 0.01-0.22 % flip cells.
+    EXPECT_GE(s.min_coverage, 0.34);
+    EXPECT_LE(s.max_coverage, 0.99);
+    EXPECT_GE(s.min_flip_fraction, 0.0001);
+    EXPECT_LE(s.max_flip_fraction, 0.0022);
+}
+
+TEST_F(PopulationFixture, SegmentsScaleWithCapacity)
+{
+    for (const auto &chip : *chips_) {
+        if (chip.spec().capacity_gbit == 2.0)
+            EXPECT_EQ(chip.segments(), (2ull << 30) / 8192 * 8 / 8);
+        // 4 Gb chip contributes to 4 Gb x 8 / 8 KB segments.
+    }
+}
+
+// --- Determinism: a chip is a stable device. ---
+
+TEST_F(PopulationFixture, SigCellsAreDeterministicPerSegment)
+{
+    const SimulatedChip &chip = (*chips_)[0];
+    const auto a = chip.sigCells(17, 65536);
+    const auto b = chip.sigCells(17, 65536);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].index, b[i].index);
+        EXPECT_EQ(a[i].stability, b[i].stability);
+    }
+}
+
+TEST_F(PopulationFixture, DistinctSegmentsHaveDistinctPopulations)
+{
+    const SimulatedChip &chip = (*chips_)[0];
+    const auto a = chip.sigCells(1, 65536);
+    const auto b = chip.sigCells(2, 65536);
+    size_t common = 0;
+    for (const auto &ca : a)
+        for (const auto &cb : b)
+            if (ca.index == cb.index)
+                ++common;
+    EXPECT_LT(common, std::max<size_t>(1, a.size() / 8));
+}
+
+TEST_F(PopulationFixture, DistinctChipsHaveDistinctPopulations)
+{
+    const auto a = (*chips_)[0].sigCells(1, 65536);
+    const auto b = (*chips_)[1].sigCells(1, 65536);
+    size_t common = 0;
+    for (const auto &ca : a)
+        for (const auto &cb : b)
+            if (ca.index == cb.index)
+                ++common;
+    EXPECT_LT(common, std::max<size_t>(1, a.size() / 8));
+}
+
+TEST_F(PopulationFixture, PrelatColumnsSharedAcrossSegmentsOfAChip)
+{
+    // The column-structured mechanism: two segments in the same bank
+    // share most weak columns (the PreLatPUF uniqueness problem).
+    const SimulatedChip &chip = (*chips_)[0];
+    const auto a = chip.prelatColumns(8, 65536);  // Bank 0.
+    const auto b = chip.prelatColumns(16, 65536); // Bank 0 again.
+    size_t common = 0;
+    for (const auto &ca : a)
+        for (const auto &cb : b)
+            if (ca.index == cb.index)
+                ++common;
+    EXPECT_GT(static_cast<double>(common),
+              0.5 * static_cast<double>(std::min(a.size(), b.size())));
+}
+
+TEST_F(PopulationFixture, SigPopulationSizeTracksFlipFraction)
+{
+    const SimulatedChip &chip = (*chips_)[0];
+    RunningStats s;
+    for (uint64_t seg = 0; seg < 50; ++seg)
+        s.add(static_cast<double>(chip.sigCells(seg, 65536).size()));
+    const double expected = chip.sigFlipFraction() * 65536.0;
+    EXPECT_NEAR(s.mean(), expected, expected * 0.5 + 2.0);
+}
+
+// --- Jaccard metric. ---
+
+TEST(Jaccard, EdgeCases)
+{
+    Response empty;
+    Response a{{1, 2, 3}};
+    Response b{{3, 4}};
+    EXPECT_DOUBLE_EQ(jaccard(empty, empty), 1.0);
+    EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(jaccard(a, empty), 0.0);
+    EXPECT_DOUBLE_EQ(jaccard(a, b), 0.25); // 1 shared, 4 in union.
+}
+
+TEST(Jaccard, DisjointSetsScoreZero)
+{
+    Response a{{1, 2}};
+    Response b{{3, 4}};
+    EXPECT_DOUBLE_EQ(jaccard(a, b), 0.0);
+}
+
+// --- PUF quality campaigns (paper Fig. 5). ---
+
+TEST_F(PopulationFixture, SigPufIntraNearOneInterNearZero)
+{
+    CodicSigPuf sig;
+    JaccardCampaignConfig cfg;
+    cfg.pairs = 400;
+    const auto r = runJaccardCampaign(sig, all(), cfg);
+    EXPECT_GT(r.intraStats().mean(), 0.98);
+    EXPECT_LT(r.interStats().mean(), 0.02);
+}
+
+TEST_F(PopulationFixture, LatencyPufInterNearZeroIntraDispersed)
+{
+    DramLatencyPuf lat;
+    JaccardCampaignConfig cfg;
+    cfg.pairs = 300;
+    const auto r = runJaccardCampaign(lat, all(), cfg);
+    EXPECT_LT(r.interStats().mean(), 0.02);
+    EXPECT_GT(r.intraStats().mean(), 0.6);
+    // Dispersed: visibly less repeatable than CODIC-sig.
+    EXPECT_LT(r.intraStats().mean(), 0.97);
+}
+
+TEST_F(PopulationFixture, PrelatPufPoorUniqueness)
+{
+    PrelatPuf pre;
+    JaccardCampaignConfig cfg;
+    cfg.pairs = 300;
+    const auto r = runJaccardCampaign(pre, all(), cfg);
+    EXPECT_GT(r.intraStats().mean(), 0.98);
+    // The paper's headline observation: Inter-Jaccard dispersed and
+    // far from zero.
+    EXPECT_GT(r.interStats().mean(), 0.25);
+    EXPECT_GT(r.interStats().stddev(), 0.03);
+}
+
+TEST_F(PopulationFixture, Ddr3lSigResponsesAtLeastAsStable)
+{
+    CodicSigPuf sig;
+    JaccardCampaignConfig cfg;
+    cfg.pairs = 300;
+    const auto low =
+        runJaccardCampaign(sig, filterByVoltage(*chips_, true), cfg);
+    const auto high =
+        runJaccardCampaign(sig, filterByVoltage(*chips_, false), cfg);
+    EXPECT_GE(low.intraStats().mean() + 0.005,
+              high.intraStats().mean());
+}
+
+// --- Temperature (paper Fig. 6) and aging. ---
+
+TEST_F(PopulationFixture, SigPufRobustToTemperature)
+{
+    CodicSigPuf sig;
+    RunningStats s;
+    for (double v : runTemperatureCampaign(sig, all(), 55.0, 300, 5))
+        s.add(v);
+    EXPECT_GT(s.mean(), 0.85);
+}
+
+TEST_F(PopulationFixture, PrelatPufMostRobustToTemperature)
+{
+    PrelatPuf pre;
+    CodicSigPuf sig;
+    RunningStats sp;
+    for (double v : runTemperatureCampaign(pre, all(), 55.0, 300, 5))
+        sp.add(v);
+    RunningStats ss;
+    for (double v : runTemperatureCampaign(sig, all(), 55.0, 300, 5))
+        ss.add(v);
+    EXPECT_GT(sp.mean(), 0.97);
+    EXPECT_GE(sp.mean(), ss.mean());
+}
+
+TEST_F(PopulationFixture, LatencyPufDegradesMonotonicallyWithDelta)
+{
+    DramLatencyPuf lat;
+    double prev = 1.1;
+    for (double delta : {0.0, 15.0, 25.0, 55.0}) {
+        RunningStats s;
+        for (double v :
+             runTemperatureCampaign(lat, all(), delta, 200, 5))
+            s.add(v);
+        EXPECT_LT(s.mean(), prev);
+        prev = s.mean();
+    }
+    // Strong sensitivity at the extreme delta (paper Fig. 6).
+    EXPECT_LT(prev, 0.45);
+}
+
+TEST_F(PopulationFixture, SigPufRobustToAging)
+{
+    CodicSigPuf sig;
+    RunningStats s;
+    for (double v : runAgingCampaign(sig, all(), 300, 5))
+        s.add(v);
+    // Paper: most Intra-Jaccard indices are 1 after aging.
+    EXPECT_GT(s.mean(), 0.95);
+}
+
+// --- Authentication (paper Section 6.1.1). ---
+
+TEST_F(PopulationFixture, NaiveAuthRatesMatchPaper)
+{
+    CodicSigPuf sig;
+    const AuthRates rates = runAuthCampaign(sig, all(), 3000, 11);
+    // Paper: 0.64 % average false rejection, 0.00 % false acceptance.
+    EXPECT_NEAR(rates.false_rejection, 0.0064, 0.006);
+    EXPECT_DOUBLE_EQ(rates.false_acceptance, 0.0);
+}
+
+// --- Filters. ---
+
+TEST_F(PopulationFixture, SigFilterMakesResponsesRepeatable)
+{
+    CodicSigPuf sig;
+    const SimulatedChip &chip = (*chips_)[3];
+    Challenge ch{42, 65536};
+    const Response a = sig.evaluateFiltered(chip, ch, {30.0, false, 1});
+    const Response b = sig.evaluateFiltered(chip, ch, {30.0, false, 2});
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(PopulationFixture, LatencyFilterSelectsHighProbabilityCells)
+{
+    DramLatencyPuf lat;
+    const SimulatedChip &chip = (*chips_)[3];
+    Challenge ch{42, 65536};
+    const Response filtered =
+        lat.evaluateFiltered(chip, ch, {30.0, false, 1});
+    const Response raw = lat.evaluate(chip, ch, {30.0, false, 1});
+    // The filter is selective: it keeps a strict subset scale.
+    EXPECT_LT(filtered.size(), raw.size());
+    EXPECT_GT(filtered.size(), 0u);
+}
+
+TEST(PufPasses, PassCountsMatchMechanisms)
+{
+    EXPECT_EQ(CodicSigPuf().passesPerEvaluation(false), 1);
+    EXPECT_EQ(CodicSigPuf().passesPerEvaluation(true), 5);
+    EXPECT_EQ(PrelatPuf().passesPerEvaluation(true), 5);
+    EXPECT_EQ(DramLatencyPuf().passesPerEvaluation(true), 100);
+}
+
+// --- Response time (paper Table 4). ---
+
+TEST(ResponseTime, Table4SoftMcValues)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(2048);
+    const auto lat = evaluationTime(PufKind::Latency, true, cfg);
+    const auto pre_f = evaluationTime(PufKind::Prelat, true, cfg);
+    const auto pre_u = evaluationTime(PufKind::Prelat, false, cfg);
+    const auto sig_f = evaluationTime(PufKind::CodicSig, true, cfg);
+    const auto sig_u = evaluationTime(PufKind::CodicSig, false, cfg);
+    EXPECT_NEAR(lat.softmc_ms, 88.2, 0.1);
+    EXPECT_NEAR(pre_f.softmc_ms, 7.95, 0.05);
+    EXPECT_NEAR(pre_u.softmc_ms, 1.59, 0.02);
+    EXPECT_NEAR(sig_f.softmc_ms, 4.41, 0.02);
+    EXPECT_NEAR(sig_u.softmc_ms, 0.88, 0.01);
+}
+
+TEST(ResponseTime, PaperRatiosHold)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(2048);
+    const auto lat = evaluationTime(PufKind::Latency, true, cfg);
+    const auto pre = evaluationTime(PufKind::Prelat, true, cfg);
+    const auto sig = evaluationTime(PufKind::CodicSig, true, cfg);
+    const auto sig_u = evaluationTime(PufKind::CodicSig, false, cfg);
+    // 20x/100x vs the Latency PUF; 1.8x vs PreLatPUF.
+    EXPECT_NEAR(lat.softmc_ms / sig.softmc_ms, 20.0, 0.5);
+    EXPECT_NEAR(lat.softmc_ms / sig_u.softmc_ms, 100.0, 2.0);
+    EXPECT_NEAR(pre.softmc_ms / sig.softmc_ms, 1.8, 0.05);
+}
+
+TEST(ResponseTime, NativeTimesOrderTheSameWay)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(2048);
+    const auto lat = evaluationTime(PufKind::Latency, true, cfg);
+    const auto pre = evaluationTime(PufKind::Prelat, true, cfg);
+    const auto sig = evaluationTime(PufKind::CodicSig, true, cfg);
+    EXPECT_GT(lat.native_ns, pre.native_ns);
+    EXPECT_GT(pre.native_ns, sig.native_ns);
+}
+
+TEST(ResponseTime, SigOptFasterThanSigNatively)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(2048);
+    const auto opt = evaluationTime(PufKind::CodicSigOpt, false, cfg);
+    const auto sig = evaluationTime(PufKind::CodicSig, false, cfg);
+    EXPECT_LT(opt.native_ns, sig.native_ns);
+}
+
+} // namespace
+} // namespace codic

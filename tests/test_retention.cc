@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the Section 6.1 retention-based emulation methodology:
+ * the two-scenario conclusiveness test, consistency with the chip
+ * population's declared coverage, the paper's coverage and flip
+ * bands, and temperature acceleration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "puf/retention.h"
+
+namespace codic {
+namespace {
+
+class RetentionFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        chips_ = new std::vector<SimulatedChip>(buildPaperPopulation());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete chips_;
+        chips_ = nullptr;
+    }
+
+    static std::vector<SimulatedChip> *chips_;
+};
+
+std::vector<SimulatedChip> *RetentionFixture::chips_ = nullptr;
+
+TEST_F(RetentionFixture, MeasuredCoverageMatchesDeclaredCoverage)
+{
+    // The emulated experiment and the statistical chip model must
+    // agree: the methodology *measures* what the population declares.
+    for (size_t i = 0; i < chips_->size(); i += 11) {
+        const auto r = runRetentionExperiment((*chips_)[i]);
+        EXPECT_NEAR(r.coverage(), (*chips_)[i].methodologyCoverage(),
+                    0.06)
+            << "chip " << i;
+    }
+}
+
+TEST_F(RetentionFixture, CoverageInPaperBand)
+{
+    double lo = 1.0;
+    double hi = 0.0;
+    for (size_t i = 0; i < chips_->size(); i += 5) {
+        const double c = runRetentionExperiment((*chips_)[i]).coverage();
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+    }
+    // Paper Section 6.1: 34 % to 99 %.
+    EXPECT_GE(lo, 0.30);
+    EXPECT_LE(hi, 0.995);
+    EXPECT_GT(hi - lo, 0.2); // A genuinely wide band.
+}
+
+TEST_F(RetentionFixture, FlipFractionInPaperBand)
+{
+    for (size_t i = 0; i < chips_->size(); i += 13) {
+        const auto r = runRetentionExperiment((*chips_)[i]);
+        // Paper: 0.01 % to 0.22 % of cells, with sampling slack.
+        EXPECT_LT(r.flipFraction(), 0.004) << "chip " << i;
+    }
+}
+
+TEST_F(RetentionFixture, InconclusiveCellsAreExcludedNotGuessed)
+{
+    const auto r = runRetentionExperiment((*chips_)[0]);
+    EXPECT_GT(r.sampled, r.conclusive);
+    EXPECT_LE(r.flips_observed, r.conclusive);
+}
+
+TEST_F(RetentionFixture, HigherTemperatureNeedsShorterWait)
+{
+    // The paper waits only 4 h for the temperature experiments
+    // "since cells discharge faster at high temperatures".
+    RetentionExperimentConfig hot;
+    hot.wait_hours = 4.0;
+    hot.temperature_c = 85.0;
+    const auto fast = runRetentionExperiment((*chips_)[0], hot);
+    RetentionExperimentConfig cold = hot;
+    cold.temperature_c = 30.0;
+    const auto slow = runRetentionExperiment((*chips_)[0], cold);
+    EXPECT_GT(fast.coverage(), slow.coverage());
+}
+
+TEST_F(RetentionFixture, LongerWaitIncreasesCoverage)
+{
+    RetentionExperimentConfig short_wait;
+    short_wait.wait_hours = 6.0;
+    RetentionExperimentConfig long_wait;
+    long_wait.wait_hours = 96.0;
+    const auto a = runRetentionExperiment((*chips_)[3], short_wait);
+    const auto b = runRetentionExperiment((*chips_)[3], long_wait);
+    EXPECT_GT(b.coverage(), a.coverage());
+}
+
+TEST_F(RetentionFixture, ExperimentIsDeterministic)
+{
+    const auto a = runRetentionExperiment((*chips_)[5]);
+    const auto b = runRetentionExperiment((*chips_)[5]);
+    EXPECT_EQ(a.conclusive, b.conclusive);
+    EXPECT_EQ(a.flips_observed, b.flips_observed);
+}
+
+TEST_F(RetentionFixture, MedianRetentionTracksCoverage)
+{
+    // Chips with higher declared coverage leak faster (smaller
+    // median retention).
+    const SimulatedChip *high = nullptr;
+    const SimulatedChip *low = nullptr;
+    for (const auto &chip : *chips_) {
+        if (!high ||
+            chip.methodologyCoverage() > high->methodologyCoverage())
+            high = &chip;
+        if (!low ||
+            chip.methodologyCoverage() < low->methodologyCoverage())
+            low = &chip;
+    }
+    EXPECT_LT(chipRetentionMedianHours(*high),
+              chipRetentionMedianHours(*low));
+}
+
+TEST(RetentionResult, AccessorEdgeCases)
+{
+    RetentionExperimentResult r;
+    EXPECT_DOUBLE_EQ(r.coverage(), 0.0);
+    EXPECT_DOUBLE_EQ(r.flipFraction(), 0.0);
+}
+
+} // namespace
+} // namespace codic

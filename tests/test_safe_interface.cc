@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the Section 4.4 controlled interface: PUF requests are
+ * confined to the reserved range, zeroing requires a prior free and
+ * row alignment, raw variants are unreachable, and the audit counter
+ * tracks refusals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "mem/safe_interface.h"
+
+namespace codic {
+namespace {
+
+class SafeInterfaceFixture : public ::testing::Test
+{
+  protected:
+    SafeInterfaceFixture()
+        : channel_(DramConfig::ddr3_1600(256)), controller_(channel_),
+          iface_(controller_, kPufBase, kPufBytes)
+    {
+    }
+
+    static constexpr uint64_t kRow = 8192;
+    static constexpr uint64_t kPufBase = 1ull << 20; // 1 MB mark.
+    static constexpr uint64_t kPufBytes = 64 * kRow;
+
+    DramChannel channel_;
+    MemoryController controller_;
+    SafeCodicInterface iface_;
+};
+
+TEST_F(SafeInterfaceFixture, PufResponseInsideRangeSucceeds)
+{
+    Cycle done = 0;
+    EXPECT_EQ(iface_.pufResponse(kPufBase, 0, &done),
+              SafeRequestStatus::Ok);
+    EXPECT_GT(done, 0);
+    // The PUF sequence ran: one CODIC + one ACT + a read pass.
+    EXPECT_EQ(channel_.counts().codic, 1u);
+    EXPECT_EQ(channel_.counts().act, 1u);
+    EXPECT_EQ(channel_.counts().rd, 128u);
+}
+
+TEST_F(SafeInterfaceFixture, PufResponseLeavesSignatureInRange)
+{
+    iface_.pufResponse(kPufBase + kRow, 0, nullptr);
+    const Address a = controller_.map().decode(kPufBase + kRow);
+    EXPECT_EQ(channel_.rowState(a.rank, a.bank, a.row),
+              RowDataState::SaSignature);
+}
+
+TEST_F(SafeInterfaceFixture, PufResponseOutsideRangeRefused)
+{
+    // An attacker-chosen address holding program data: refused, and
+    // the data survives.
+    const uint64_t victim = 0;
+    const Address a = controller_.map().decode(victim);
+    channel_.setRowState(a.rank, a.bank, a.row, RowDataState::Data);
+    EXPECT_EQ(iface_.pufResponse(victim, 0, nullptr),
+              SafeRequestStatus::OutsidePufRange);
+    EXPECT_EQ(channel_.rowState(a.rank, a.bank, a.row),
+              RowDataState::Data);
+    EXPECT_EQ(iface_.refusals(), 1u);
+}
+
+TEST_F(SafeInterfaceFixture, PufResponseJustPastRangeRefused)
+{
+    EXPECT_EQ(iface_.pufResponse(kPufBase + kPufBytes, 0, nullptr),
+              SafeRequestStatus::OutsidePufRange);
+}
+
+TEST_F(SafeInterfaceFixture, MisalignedPufRequestRefused)
+{
+    EXPECT_EQ(iface_.pufResponse(kPufBase + 64, 0, nullptr),
+              SafeRequestStatus::Misaligned);
+}
+
+TEST_F(SafeInterfaceFixture, ZeroRangeRequiresPriorFree)
+{
+    const uint64_t target = 16 * kRow;
+    const Address a = controller_.map().decode(target);
+    channel_.setRowState(a.rank, a.bank, a.row, RowDataState::Data);
+    EXPECT_EQ(iface_.zeroRange(target, kRow, 0, nullptr),
+              SafeRequestStatus::RangeNotFreed);
+    EXPECT_EQ(channel_.rowState(a.rank, a.bank, a.row),
+              RowDataState::Data);
+
+    iface_.declareFreed(target, kRow);
+    Cycle done = 0;
+    EXPECT_EQ(iface_.zeroRange(target, kRow, 0, &done),
+              SafeRequestStatus::Ok);
+    EXPECT_EQ(channel_.rowState(a.rank, a.bank, a.row),
+              RowDataState::Zeroes);
+}
+
+TEST_F(SafeInterfaceFixture, PartialRowZeroingRefused)
+{
+    // Section 4.4's granularity challenge: a row can hold pages of
+    // two owners; partial-row requests must not destroy neighbours.
+    iface_.declareFreed(32 * kRow, kRow);
+    EXPECT_EQ(iface_.zeroRange(32 * kRow + 4096, 4096, 0, nullptr),
+              SafeRequestStatus::Misaligned);
+    EXPECT_EQ(iface_.zeroRange(32 * kRow, 4096, 0, nullptr),
+              SafeRequestStatus::Misaligned);
+}
+
+TEST_F(SafeInterfaceFixture, ZeroRangeCoversMultipleRows)
+{
+    const uint64_t base = 40 * kRow;
+    iface_.declareFreed(base, 4 * kRow);
+    EXPECT_EQ(iface_.zeroRange(base, 4 * kRow, 0, nullptr),
+              SafeRequestStatus::Ok);
+    for (uint64_t off = 0; off < 4 * kRow; off += kRow) {
+        const Address a = controller_.map().decode(base + off);
+        EXPECT_EQ(channel_.rowState(a.rank, a.bank, a.row),
+                  RowDataState::Zeroes);
+    }
+}
+
+TEST_F(SafeInterfaceFixture, FreeDoesNotLeakAcrossRanges)
+{
+    iface_.declareFreed(48 * kRow, kRow);
+    // Adjacent-but-not-covered row stays protected.
+    EXPECT_EQ(iface_.zeroRange(49 * kRow, kRow, 0, nullptr),
+              SafeRequestStatus::RangeNotFreed);
+}
+
+TEST_F(SafeInterfaceFixture, RefusalCounterAudits)
+{
+    iface_.pufResponse(0, 0, nullptr);
+    iface_.zeroRange(0, kRow, 0, nullptr);
+    iface_.zeroRange(kRow + 1, kRow, 0, nullptr);
+    EXPECT_EQ(iface_.refusals(), 3u);
+}
+
+TEST(SafeInterface, MisalignedPufRangeIsFatal)
+{
+    DramChannel ch(DramConfig::ddr3_1600(64));
+    MemoryController mc(ch);
+    EXPECT_THROW(SafeCodicInterface(mc, 100, 8192), FatalError);
+}
+
+TEST(SafeInterface, StatusNamesAreDistinct)
+{
+    EXPECT_STREQ(safeRequestStatusName(SafeRequestStatus::Ok), "ok");
+    EXPECT_STRNE(
+        safeRequestStatusName(SafeRequestStatus::OutsidePufRange),
+        safeRequestStatusName(SafeRequestStatus::RangeNotFreed));
+}
+
+} // namespace
+} // namespace codic
