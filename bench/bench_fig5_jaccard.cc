@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -90,6 +91,55 @@ printFigure5()
                 rates.false_acceptance * 100.0);
 }
 
+/**
+ * Campaign-engine scaling: the Fig. 5 campaign at 1..8 threads, with
+ * a bit-identical-result check against the sequential path (the
+ * engine's determinism contract).
+ */
+void
+printParallelScaling()
+{
+    std::printf("\n=== Campaign engine: Fig. 5 campaign scaling ===\n");
+    const auto chips = buildPaperPopulation();
+    const CodicSigPuf sig;
+    std::vector<const SimulatedChip *> all;
+    for (const auto &c : chips)
+        all.push_back(&c);
+
+    JaccardCampaignConfig cfg;
+    cfg.pairs = 10000;
+
+    auto timed = [&](int threads, JaccardCampaignResult *out) {
+        cfg.threads = threads;
+        const auto t0 = std::chrono::steady_clock::now();
+        *out = runJaccardCampaign(sig, all, cfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(t1 - t0)
+            .count();
+    };
+
+    JaccardCampaignResult sequential;
+    const double ms1 = timed(1, &sequential);
+    TextTable t({"threads", "wall (ms)", "speedup", "bit-identical"});
+    t.addRow({"1", fmt(ms1, 1), "1.00", "reference"});
+    for (int threads : {2, 4, 8}) {
+        JaccardCampaignResult parallel;
+        const double ms = timed(threads, &parallel);
+        const bool identical = parallel.intra == sequential.intra &&
+                               parallel.inter == sequential.inter;
+        t.addRow({std::to_string(threads), fmt(ms, 1),
+                  fmt(ms1 / ms, 2), identical ? "yes" : "NO"});
+        if (!identical)
+            std::printf("ERROR: parallel campaign diverged from the "
+                        "sequential path at %d threads\n",
+                        threads);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("(speedup tracks the physical cores of this host; "
+                "results are\n bit-identical at every thread count "
+                "by construction)\n");
+}
+
 void
 BM_SigPufEvaluation(benchmark::State &state)
 {
@@ -120,12 +170,34 @@ BM_JaccardCampaign1k(benchmark::State &state)
 }
 BENCHMARK(BM_JaccardCampaign1k)->Unit(benchmark::kMillisecond);
 
+void
+BM_JaccardCampaign1kThreaded(benchmark::State &state)
+{
+    const auto chips = buildPaperPopulation();
+    const CodicSigPuf sig;
+    std::vector<const SimulatedChip *> all;
+    for (const auto &c : chips)
+        all.push_back(&c);
+    for (auto _ : state) {
+        JaccardCampaignConfig cfg;
+        cfg.pairs = 1000;
+        cfg.threads = static_cast<int>(state.range(0));
+        benchmark::DoNotOptimize(runJaccardCampaign(sig, all, cfg));
+    }
+}
+BENCHMARK(BM_JaccardCampaign1kThreaded)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     printFigure5();
+    printParallelScaling();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

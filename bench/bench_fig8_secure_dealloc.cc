@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "common/table.h"
 #include "secdealloc/evaluate.h"
@@ -26,9 +27,15 @@ printFigure8()
                  "LISA en", "RowClone en", "CODIC en"});
     double max_sp = 0.0;
     double max_en = 0.0;
-    for (const auto &name : allocationIntensiveBenchmarks()) {
-        const auto c = compareSingleCore(name, 11);
-        t.addRow({name, fmt(c.lisa_speedup * 100.0, 1) + " %",
+    // The whole benchmark x mechanism grid runs through the campaign
+    // engine; results are identical to the sequential sweep.
+    DeallocEvalConfig cfg;
+    cfg.threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    const auto names = allocationIntensiveBenchmarks();
+    const auto comparisons = compareSingleCoreAll(names, 11, cfg);
+    for (const auto &c : comparisons) {
+        t.addRow({c.name, fmt(c.lisa_speedup * 100.0, 1) + " %",
                   fmt(c.rowclone_speedup * 100.0, 1) + " %",
                   fmt(c.codic_speedup * 100.0, 1) + " %",
                   fmt(c.lisa_energy * 100.0, 1) + " %",

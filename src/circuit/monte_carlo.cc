@@ -1,8 +1,10 @@
 #include "circuit/monte_carlo.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace codic {
 
@@ -37,7 +39,7 @@ MonteCarloResult
 runMonteCarlo(const MonteCarloConfig &config)
 {
     CODIC_ASSERT(config.runs > 0);
-    Rng rng(config.seed);
+    CODIC_ASSERT(config.block_runs > 0);
     MonteCarloResult result;
     result.runs = config.runs;
 
@@ -45,32 +47,63 @@ runMonteCarlo(const MonteCarloConfig &config)
                                  ? config.initial_cell_v
                                  : config.params.vHalf();
 
-    for (size_t i = 0; i < config.runs; ++i) {
-        const VariationDraw draw = VariationDraw::sample(rng, config.params);
-        bool bit;
-        if (config.fast_path) {
-            // Closed form of the sensing decision for a precharged
-            // bitline: the latch amplifies the sign of
-            // (Vdd/2 - v_trip) = designed bias + offset + noise.
-            // Validated against the full transient in the tests.
-            const double noise_v =
-                config.thermal_noise
-                    ? rng.gaussian(0.0, thermalNoiseRms(config.params))
-                    : 0.0;
-            bit = designedSaBiasAt(config.params) + draw.sa_offset +
-                      noise_v > 0.0;
-        } else {
-            CellCircuit circuit(config.params, draw);
-            circuit.setCellVoltage(init_cell);
-            Rng noise = rng.fork(i);
-            circuit.run(config.schedule, 30.0,
-                        config.thermal_noise ? &noise : nullptr);
-            bit = circuit.senseBit();
+    // The sweep is partitioned into fixed-size RNG blocks whose
+    // streams depend only on (seed, block index) - never on which
+    // thread runs them - and the per-block tallies are summed in
+    // block order, so the result is identical for any `threads`
+    // (including the inline sequential path at threads == 1). Block 0
+    // continues the historical sequential stream for backward
+    // compatibility of single-block sweeps.
+    const size_t blocks =
+        (config.runs + config.block_runs - 1) / config.block_runs;
+    std::vector<Rng> streams;
+    streams.reserve(blocks);
+    Rng root(config.seed);
+    for (size_t b = 0; b < blocks; ++b)
+        streams.push_back(b == 0 ? Rng(config.seed) : root.fork(b));
+    std::vector<MonteCarloResult> partial(blocks);
+
+    CampaignEngine engine(config.threads);
+    engine.forEach(blocks, [&](size_t b) {
+        Rng rng = streams[b];
+        const size_t begin = b * config.block_runs;
+        const size_t end =
+            std::min(config.runs, begin + config.block_runs);
+        MonteCarloResult &tally = partial[b];
+        for (size_t i = begin; i < end; ++i) {
+            const VariationDraw draw =
+                VariationDraw::sample(rng, config.params);
+            bool bit;
+            if (config.fast_path) {
+                // Closed form of the sensing decision for a precharged
+                // bitline: the latch amplifies the sign of
+                // (Vdd/2 - v_trip) = designed bias + offset + noise.
+                // Validated against the full transient in the tests.
+                const double noise_v =
+                    config.thermal_noise
+                        ? rng.gaussian(0.0,
+                                       thermalNoiseRms(config.params))
+                        : 0.0;
+                bit = designedSaBiasAt(config.params) + draw.sa_offset +
+                          noise_v > 0.0;
+            } else {
+                CellCircuit circuit(config.params, draw);
+                circuit.setCellVoltage(init_cell);
+                Rng noise = rng.fork(i);
+                circuit.run(config.schedule, 30.0,
+                            config.thermal_noise ? &noise : nullptr);
+                bit = circuit.senseBit();
+            }
+            if (bit)
+                ++tally.ones;
+            else
+                ++tally.zeros;
         }
-        if (bit)
-            ++result.ones;
-        else
-            ++result.zeros;
+    });
+
+    for (const auto &tally : partial) {
+        result.ones += tally.ones;
+        result.zeros += tally.zeros;
     }
     return result;
 }

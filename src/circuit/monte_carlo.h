@@ -52,6 +52,23 @@ struct MonteCarloConfig
      * by the test suite; it makes 100k-run sweeps instantaneous.
      */
     bool fast_path = true;
+
+    /**
+     * Campaign-engine threads. Runs are partitioned into fixed-size
+     * blocks; block 0 draws from Rng(seed) (the historical sequential
+     * stream, so single-block sweeps reproduce published numbers
+     * exactly) and block b > 0 from Rng(seed).fork(b). Block layout
+     * depends only on `runs` and `block_runs`, so the tallies are
+     * bit-identical at any thread count.
+     */
+    int threads = 1;
+
+    /**
+     * Runs per RNG block (fixed; independent of thread count). The
+     * default covers the paper's 100,000-run sweeps in one block;
+     * lower it to spread a single sweep across threads.
+     */
+    size_t block_runs = 131072;
 };
 
 /**

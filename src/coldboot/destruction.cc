@@ -197,6 +197,10 @@ DestructionResult
 runDestruction(const DramConfig &dram, DestructionMechanism mechanism,
                const DestructionConfig &config)
 {
+    // Channels are fully independent and destruction traffic is
+    // identical on each, so one channel is simulated explicitly and
+    // the command/energy totals scale by the channel count while the
+    // wall time does not (channels destroy concurrently).
     DramChannel channel(dram);
     channel.fillAllRows(RowDataState::Data);
 
@@ -232,13 +236,18 @@ runDestruction(const DramConfig &dram, DestructionMechanism mechanism,
     }
 
     DestructionResult result;
-    result.extrapolated = factor > 1.0;
+    result.extrapolated = factor > 1.0 || dram.channels > 1;
     result.rows_destroyed = total_rows;
     const double sim_ns = dram.cyclesToNs(end);
     result.time_ns = sim_ns * factor;
-    result.counts = scaleCounts(channel.counts(), factor);
+    result.counts =
+        scaleCounts(channel.counts(), factor * dram.channels);
+    // Commands were already scaled across channels; the background
+    // term accrues once per channel on top.
     result.energy_nj =
-        campaignEnergyNj(result.counts, result.time_ns, config.energy);
+        campaignEnergyNj(result.counts, result.time_ns, config.energy) +
+        (dram.channels - 1) * config.energy.background_mw * 1e-3 *
+            result.time_ns;
     return result;
 }
 

@@ -12,13 +12,35 @@ CommandCounts::total() const
     return act + pre + rd + wr + ref + mrs + codic + rowclone + lisa_rbm;
 }
 
-DramChannel::DramChannel(const DramConfig &config) : config_(config)
+CommandCounts &
+CommandCounts::operator+=(const CommandCounts &other)
 {
-    CODIC_ASSERT(config_.ranks >= 1 && config_.banks >= 1);
-    CODIC_ASSERT(config_.rows >= 1);
-    CODIC_ASSERT(static_cast<int64_t>(config_.columns) *
-                     config_.burst_bytes ==
-                 config_.row_bytes);
+    act += other.act;
+    pre += other.pre;
+    rd += other.rd;
+    wr += other.wr;
+    ref += other.ref;
+    mrs += other.mrs;
+    codic += other.codic;
+    rowclone += other.rowclone;
+    lisa_rbm += other.lisa_rbm;
+    return *this;
+}
+
+CommandCounts
+operator+(CommandCounts a, const CommandCounts &b)
+{
+    a += b;
+    return a;
+}
+
+DramChannel::DramChannel(const DramConfig &config, int channel_id)
+    : config_(config), channel_id_(channel_id)
+{
+    config_.validate();
+    if (channel_id_ < 0 || channel_id_ >= config_.channels)
+        fatal("channel id ", channel_id_, " outside the module's ",
+              config_.channels, " channels");
     ranks_.resize(static_cast<size_t>(config_.ranks));
     banks_.resize(static_cast<size_t>(config_.ranks * config_.banks));
     for (auto &b : banks_) {
@@ -80,6 +102,11 @@ DramChannel::noteActClass(RankState &rank, Cycle t)
 void
 DramChannel::checkAddress(const Address &addr) const
 {
+    if (addr.channel != channel_id_) {
+        panic("command for channel ", addr.channel,
+              " issued on channel ", channel_id_,
+              " (route through DramSystem)");
+    }
     if (addr.rank < 0 || addr.rank >= config_.ranks ||
         addr.bank < 0 || addr.bank >= config_.banks ||
         addr.row < 0 || addr.row >= config_.rows ||
@@ -174,6 +201,17 @@ DramChannel::earliest(const Command &cmd) const
 Cycle
 DramChannel::issue(const Command &cmd, Cycle t)
 {
+#ifndef NDEBUG
+    // Ownership rule (class comment): a channel is confined to the
+    // thread that first issues on it until debugReleaseOwner().
+    if (!owner_bound_) {
+        owner_bound_ = true;
+        owner_ = std::this_thread::get_id();
+    } else if (owner_ != std::this_thread::get_id()) {
+        panic("DramChannel used from two threads without a hand-off; "
+              "channels are owned by one DramSystem/campaign task");
+    }
+#endif
     const Cycle legal = earliest(cmd);
     if (t < legal) {
         panic("JEDEC timing violation: ", cmd.str(), " issued at cycle ",

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <thread>
 #include <vector>
 
 #include "codic/functionality.h"
@@ -41,13 +42,25 @@ struct CommandCounts
     uint64_t lisa_rbm = 0;
 
     uint64_t total() const;
+
+    /** Roll a channel's counters into an aggregate (DramSystem). */
+    CommandCounts &operator+=(const CommandCounts &other);
 };
+
+/** Aggregate of two counter sets. */
+CommandCounts operator+(CommandCounts a, const CommandCounts &b);
 
 /**
  * One DRAM channel: ranks x banks with per-row data-state tracking.
  *
- * Thread-compatible (no internal synchronization); one channel per
- * simulation thread.
+ * Ownership rule: a channel has no internal synchronization and is
+ * confined to a single thread. Channels belonging to a multi-channel
+ * module are owned by a DramSystem (which also confines itself to one
+ * simulation thread); the parallel campaign engine gives each worker
+ * its own chips/channels and never shares one across tasks. Debug
+ * builds enforce this: the first issue() binds the channel to the
+ * calling thread, and any later issue() from a different thread
+ * panics (see debugReleaseOwner() for the rare legal hand-off).
  */
 class DramChannel
 {
@@ -59,10 +72,26 @@ class DramChannel
      */
     static constexpr double kSenseAmplifyNs = 7.0;
 
-    explicit DramChannel(const DramConfig &config);
+    /**
+     * @param config Module configuration (validated; see
+     *        DramConfig::validate()).
+     * @param channel_id Which of config.channels this object models;
+     *        commands whose address names another channel panic.
+     */
+    explicit DramChannel(const DramConfig &config, int channel_id = 0);
 
     /** Immutable configuration. */
     const DramConfig &config() const { return config_; }
+
+    /** Index of this channel within its module. */
+    int channelId() const { return channel_id_; }
+
+    /**
+     * Release the debug-mode thread-ownership binding so the channel
+     * may legally move to another thread (e.g. a campaign result
+     * collected by the coordinating thread). The next issue() rebinds.
+     */
+    void debugReleaseOwner() { owner_bound_ = false; }
 
     /**
      * Register a CODIC variant (models programming the four CODIC
@@ -150,11 +179,16 @@ class DramChannel
     void checkAddress(const Address &addr) const;
 
     DramConfig config_;
+    int channel_id_;
     std::vector<RankState> ranks_;
     std::vector<BankState> banks_; // [rank * banks + bank]
     std::vector<SignalSchedule> variants_;
     CommandCounts counts_;
     Cycle last_issue_ = 0;
+
+    // Debug-mode single-thread ownership check (see class comment).
+    bool owner_bound_ = false;
+    std::thread::id owner_;
 
     // Channel-wide data-bus horizons.
     Cycle next_rd_start_ = 0;

@@ -31,6 +31,26 @@ DramConfig::cyclesToNs(Cycle cycles) const
     return static_cast<double>(cycles) * tck_ns;
 }
 
+void
+DramConfig::validate() const
+{
+    if (channels < 1)
+        fatal("DramConfig '", name, "': channels must be >= 1, got ",
+              channels);
+    if (ranks < 1)
+        fatal("DramConfig '", name, "': ranks must be >= 1, got ",
+              ranks);
+    if (banks < 1 || rows < 1 || columns < 1)
+        fatal("DramConfig '", name, "': empty geometry (banks=", banks,
+              " rows=", rows, " columns=", columns, ")");
+    if (static_cast<int64_t>(columns) * burst_bytes != row_bytes)
+        fatal("DramConfig '", name, "': columns * burst_bytes (",
+              static_cast<int64_t>(columns) * burst_bytes,
+              ") != row_bytes (", row_bytes, ")");
+    if (tck_ns <= 0.0)
+        fatal("DramConfig '", name, "': non-positive clock period");
+}
+
 namespace {
 
 /** tRFC by device density (JEDEC DDR3): ns. */
@@ -47,37 +67,45 @@ trfcNsForChipGb(double chip_gb)
 }
 
 void
-sizeModule(DramConfig &cfg, int64_t capacity_mb)
+sizeModule(DramConfig &cfg, int64_t capacity_mb, int channels,
+           int ranks)
 {
     CODIC_ASSERT(capacity_mb > 0);
+    if (channels < 1 || ranks < 1)
+        fatal("module geometry needs channels >= 1 and ranks >= 1");
+    cfg.channels = channels;
+    cfg.ranks = ranks;
     const int64_t capacity = capacity_mb * 1024 * 1024;
-    const int64_t per_bank = capacity / (cfg.ranks * cfg.banks);
+    const int64_t per_bank =
+        capacity / (static_cast<int64_t>(channels) * ranks * cfg.banks);
     cfg.rows = per_bank / cfg.row_bytes;
     if (cfg.rows <= 0)
         fatal("module capacity ", capacity_mb,
               " MB too small for geometry");
     // A x8 module spreads a rank over 8 chips; chip density is
-    // capacity / (ranks * 8 chips).
-    const double chip_gb =
-        static_cast<double>(capacity) / (cfg.ranks * 8) / (1 << 30) * 8.0;
+    // capacity / (channels * ranks * 8 chips).
+    const double chip_gb = static_cast<double>(capacity) /
+                           (static_cast<int64_t>(channels) * ranks * 8) /
+                           (1 << 30) * 8.0;
     cfg.timing.trfc = cfg.nsToCycles(trfcNsForChipGb(chip_gb));
+    cfg.validate();
 }
 
 } // namespace
 
 DramConfig
-DramConfig::ddr3_1600(int64_t capacity_mb)
+DramConfig::ddr3_1600(int64_t capacity_mb, int channels, int ranks)
 {
     DramConfig cfg;
     cfg.name = "DDR3-1600 11-11-11 x8 " + std::to_string(capacity_mb) +
                "MB";
     cfg.tck_ns = 1.25;
-    sizeModule(cfg, capacity_mb);
+    sizeModule(cfg, capacity_mb, channels, ranks);
     return cfg;
 }
 
 DramConfig
-DramConfig::ddr3_1333(int64_t capacity_mb)
+DramConfig::ddr3_1333(int64_t capacity_mb, int channels, int ranks)
 {
     DramConfig cfg;
     cfg.name = "DDR3-1333 9-9-9 x8 " + std::to_string(capacity_mb) + "MB";
@@ -92,7 +120,7 @@ DramConfig::ddr3_1333(int64_t capacity_mb)
     t.twr = cfg.nsToCycles(15.0);
     t.trtp = cfg.nsToCycles(7.5);
     t.trefi = cfg.nsToCycles(7800.0);
-    sizeModule(cfg, capacity_mb);
+    sizeModule(cfg, capacity_mb, channels, ranks);
     return cfg;
 }
 

@@ -56,7 +56,8 @@ struct DramConfig
     /** Clock period (ns); DDR3-1600 command clock is 800 MHz. */
     double tck_ns = 1.25;
 
-    int channels = 1;     //!< Independent channels.
+    int channels = 1;     //!< Independent channels (DramSystem owns one
+                          //!< DramChannel + controller per channel).
     int ranks = 1;        //!< Ranks per channel.
     int banks = 8;        //!< Banks per rank (DDR3: 8).
     int64_t rows = 65536; //!< Rows per bank.
@@ -83,15 +84,28 @@ struct DramConfig
     double cyclesToNs(Cycle cycles) const;
 
     /**
-     * DDR3-1600 11-11-11 x8 single-rank module with the given
-     * capacity (the configuration of paper Table 5). Capacity scales
-     * the rows-per-bank count and the tRFC density class.
-     * @param capacity_mb Module capacity in MB (power of two).
+     * Check geometry consistency (all counts >= 1, row/burst sizes
+     * consistent). @throws FatalError on a bad configuration, so a
+     * channels/ranks value nothing could honor is rejected loudly
+     * instead of silently ignored.
      */
-    static DramConfig ddr3_1600(int64_t capacity_mb);
+    void validate() const;
+
+    /**
+     * DDR3-1600 11-11-11 x8 module with the given total capacity (the
+     * configuration of paper Table 5). Capacity scales the
+     * rows-per-bank count and the tRFC density class; the capacity is
+     * spread evenly over `channels` x `ranks`.
+     * @param capacity_mb Total capacity in MB (power of two).
+     * @param channels Independent channels sharing the capacity.
+     * @param ranks Ranks per channel.
+     */
+    static DramConfig ddr3_1600(int64_t capacity_mb, int channels = 1,
+                                int ranks = 1);
 
     /** DDR3-1333 grade (used by vendor-B modules in Table 12). */
-    static DramConfig ddr3_1333(int64_t capacity_mb);
+    static DramConfig ddr3_1333(int64_t capacity_mb, int channels = 1,
+                                int ranks = 1);
 };
 
 } // namespace codic

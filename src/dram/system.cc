@@ -1,0 +1,132 @@
+#include "dram/system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace codic {
+
+DramSystem::DramSystem(const DramConfig &config,
+                       const ControllerConfig &controller_config)
+    : config_(config), map_(config, controller_config.map_scheme)
+{
+    config_.validate();
+    channels_.reserve(static_cast<size_t>(config_.channels));
+    controllers_.reserve(static_cast<size_t>(config_.channels));
+    for (int c = 0; c < config_.channels; ++c) {
+        channels_.push_back(
+            std::make_unique<DramChannel>(config_, c));
+        controllers_.push_back(std::make_unique<MemoryController>(
+            *channels_.back(), controller_config));
+    }
+}
+
+DramChannel &
+DramSystem::channel(int i)
+{
+    CODIC_ASSERT(i >= 0 && i < channelCount());
+    return *channels_[static_cast<size_t>(i)];
+}
+
+const DramChannel &
+DramSystem::channel(int i) const
+{
+    CODIC_ASSERT(i >= 0 && i < channelCount());
+    return *channels_[static_cast<size_t>(i)];
+}
+
+MemoryController &
+DramSystem::controller(int i)
+{
+    CODIC_ASSERT(i >= 0 && i < channelCount());
+    return *controllers_[static_cast<size_t>(i)];
+}
+
+Cycle
+DramSystem::read(uint64_t phys_addr, Cycle now)
+{
+    return controller(channelOf(phys_addr)).read(phys_addr, now);
+}
+
+Cycle
+DramSystem::write(uint64_t phys_addr, Cycle now)
+{
+    return controller(channelOf(phys_addr)).write(phys_addr, now);
+}
+
+Cycle
+DramSystem::rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
+                  int64_t reserved_row)
+{
+    return controller(channelOf(row_addr))
+        .rowOp(row_addr, now, mech, reserved_row);
+}
+
+Cycle
+DramSystem::drainWrites()
+{
+    Cycle last = 0;
+    for (auto &mc : controllers_)
+        last = std::max(last, mc->drainWrites());
+    return last;
+}
+
+int
+DramSystem::registerVariantAll(const SignalSchedule &sched)
+{
+    int id = -1;
+    for (auto &ch : channels_) {
+        const int got = ch->registerVariant(sched);
+        if (id < 0)
+            id = got;
+        else
+            CODIC_ASSERT(got == id);
+    }
+    return id;
+}
+
+std::vector<CommandCounts>
+DramSystem::perChannelCounts() const
+{
+    std::vector<CommandCounts> out;
+    out.reserve(channels_.size());
+    for (const auto &ch : channels_)
+        out.push_back(ch->counts());
+    return out;
+}
+
+CommandCounts
+DramSystem::totalCounts() const
+{
+    CommandCounts total;
+    for (const auto &ch : channels_)
+        total += ch->counts();
+    return total;
+}
+
+Cycle
+DramSystem::lastIssueCycle() const
+{
+    Cycle last = 0;
+    for (const auto &ch : channels_)
+        last = std::max(last, ch->lastIssueCycle());
+    return last;
+}
+
+void
+DramSystem::fillAllRows(RowDataState s)
+{
+    for (auto &ch : channels_)
+        ch->fillAllRows(s);
+}
+
+int64_t
+DramSystem::countRowsInState(RowDataState s) const
+{
+    int64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->countRowsInState(s);
+    return n;
+}
+
+} // namespace codic

@@ -4,9 +4,75 @@
 
 namespace codic {
 
-AddressMap::AddressMap(const DramConfig &config, MapScheme scheme)
-    : config_(config), scheme_(scheme)
+const char *
+mapSchemeName(MapScheme s)
 {
+    switch (s) {
+      case MapScheme::RowBankColumn: return "row:bank:col";
+      case MapScheme::BankRowColumn: return "bank:row:col";
+      case MapScheme::RowBankColumnChannel: return "row:bank:col:ch";
+      case MapScheme::RowChannelBankColumn: return "row:ch:bank:col";
+      case MapScheme::RowBankRankColumn: return "row:bank:rank:col";
+    }
+    panic("unknown map scheme");
+}
+
+const std::vector<MapScheme> &
+allMapSchemes()
+{
+    static const std::vector<MapScheme> schemes = {
+        MapScheme::RowBankColumn,
+        MapScheme::BankRowColumn,
+        MapScheme::RowBankColumnChannel,
+        MapScheme::RowChannelBankColumn,
+        MapScheme::RowBankRankColumn,
+    };
+    return schemes;
+}
+
+std::array<AddressMap::Field, 5>
+AddressMap::fieldOrder(MapScheme s)
+{
+    using F = Field;
+    // LSB-first: the first entry varies fastest above the burst
+    // offset. Each order is a permutation of all five fields, so
+    // decode/encode are inverses for any geometry.
+    switch (s) {
+      case MapScheme::RowBankColumn:
+        return {F::Column, F::Bank, F::Row, F::Rank, F::Channel};
+      case MapScheme::BankRowColumn:
+        return {F::Column, F::Row, F::Bank, F::Rank, F::Channel};
+      case MapScheme::RowBankColumnChannel:
+        return {F::Channel, F::Column, F::Bank, F::Row, F::Rank};
+      case MapScheme::RowChannelBankColumn:
+        return {F::Column, F::Bank, F::Channel, F::Row, F::Rank};
+      case MapScheme::RowBankRankColumn:
+        return {F::Column, F::Rank, F::Bank, F::Row, F::Channel};
+    }
+    panic("unknown map scheme");
+}
+
+AddressMap::AddressMap(const DramConfig &config, MapScheme scheme)
+    : config_(config), scheme_(scheme), order_(fieldOrder(scheme))
+{
+    // A geometry nothing can map (channels = 0, inconsistent row
+    // size, ...) is a user configuration error, not a simulator bug.
+    config_.validate();
+}
+
+uint64_t
+AddressMap::fieldSize(Field f) const
+{
+    switch (f) {
+      case Field::Channel:
+        return static_cast<uint64_t>(config_.channels);
+      case Field::Rank: return static_cast<uint64_t>(config_.ranks);
+      case Field::Bank: return static_cast<uint64_t>(config_.banks);
+      case Field::Row: return static_cast<uint64_t>(config_.rows);
+      case Field::Column:
+        return static_cast<uint64_t>(config_.columns);
+    }
+    panic("unknown address field");
 }
 
 Address
@@ -14,58 +80,46 @@ AddressMap::decode(uint64_t phys_addr) const
 {
     CODIC_ASSERT(phys_addr <
                  static_cast<uint64_t>(config_.capacityBytes()));
-    const uint64_t burst = static_cast<uint64_t>(config_.burst_bytes);
-    const uint64_t cols = static_cast<uint64_t>(config_.columns);
-    const uint64_t banks = static_cast<uint64_t>(config_.banks);
-    const uint64_t rows = static_cast<uint64_t>(config_.rows);
-
-    uint64_t x = phys_addr / burst;
+    uint64_t x = phys_addr / static_cast<uint64_t>(config_.burst_bytes);
     Address a;
-    a.column = static_cast<int>(x % cols);
-    x /= cols;
-    switch (scheme_) {
-      case MapScheme::RowBankColumn:
-        a.bank = static_cast<int>(x % banks);
-        x /= banks;
-        a.row = static_cast<int64_t>(x % rows);
-        x /= rows;
-        break;
-      case MapScheme::BankRowColumn:
-        a.row = static_cast<int64_t>(x % rows);
-        x /= rows;
-        a.bank = static_cast<int>(x % banks);
-        x /= banks;
-        break;
+    for (Field f : order_) {
+        const uint64_t size = fieldSize(f);
+        const uint64_t v = x % size;
+        x /= size;
+        switch (f) {
+          case Field::Channel: a.channel = static_cast<int>(v); break;
+          case Field::Rank: a.rank = static_cast<int>(v); break;
+          case Field::Bank: a.bank = static_cast<int>(v); break;
+          case Field::Row: a.row = static_cast<int64_t>(v); break;
+          case Field::Column: a.column = static_cast<int>(v); break;
+        }
     }
-    a.rank = static_cast<int>(x % static_cast<uint64_t>(config_.ranks));
-    x /= static_cast<uint64_t>(config_.ranks);
-    a.channel = static_cast<int>(x);
     return a;
 }
 
 uint64_t
 AddressMap::encode(const Address &a) const
 {
-    const uint64_t burst = static_cast<uint64_t>(config_.burst_bytes);
-    const uint64_t cols = static_cast<uint64_t>(config_.columns);
-    const uint64_t banks = static_cast<uint64_t>(config_.banks);
-    const uint64_t rows = static_cast<uint64_t>(config_.rows);
-
-    uint64_t x = static_cast<uint64_t>(a.channel);
-    x = x * static_cast<uint64_t>(config_.ranks) +
-        static_cast<uint64_t>(a.rank);
-    switch (scheme_) {
-      case MapScheme::RowBankColumn:
-        x = x * rows + static_cast<uint64_t>(a.row);
-        x = x * banks + static_cast<uint64_t>(a.bank);
-        break;
-      case MapScheme::BankRowColumn:
-        x = x * banks + static_cast<uint64_t>(a.bank);
-        x = x * rows + static_cast<uint64_t>(a.row);
-        break;
+    uint64_t x = 0;
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+        uint64_t v = 0;
+        switch (*it) {
+          case Field::Channel: v = static_cast<uint64_t>(a.channel); break;
+          case Field::Rank: v = static_cast<uint64_t>(a.rank); break;
+          case Field::Bank: v = static_cast<uint64_t>(a.bank); break;
+          case Field::Row: v = static_cast<uint64_t>(a.row); break;
+          case Field::Column: v = static_cast<uint64_t>(a.column); break;
+        }
+        CODIC_ASSERT(v < fieldSize(*it));
+        x = x * fieldSize(*it) + v;
     }
-    x = x * cols + static_cast<uint64_t>(a.column);
-    return x * burst;
+    return x * static_cast<uint64_t>(config_.burst_bytes);
+}
+
+int
+AddressMap::channelOf(uint64_t phys_addr) const
+{
+    return decode(phys_addr).channel;
 }
 
 } // namespace codic

@@ -19,6 +19,7 @@
 #include <deque>
 
 #include "mem/address_map.h"
+#include "mem/service.h"
 #include "dram/channel.h"
 
 namespace codic {
@@ -31,64 +32,43 @@ struct ControllerConfig
     MapScheme map_scheme = MapScheme::RowBankColumn;
 };
 
-/** Row-op mechanisms usable for bulk in-DRAM operations. */
-enum class RowOpMechanism
-{
-    CodicDet,  //!< One CODIC-det command per row.
-    RowClone,  //!< ACT(source) + RowClone(dst) + PRE.
-    LisaClone, //!< ACT(source) + LISA hop + RowClone(dst) + PRE.
-};
-
 /**
- * Memory controller front-end.
+ * Memory controller front-end for one channel.
  *
  * The controller is simulated lazily: each request is pushed through
  * the channel when presented, with all JEDEC constraints enforced by
  * DramChannel. FR-FCFS behaviour emerges from the open-row policy:
  * the controller leaves rows open and only precharges on a conflict.
+ *
+ * A controller is a channel-local view: it decodes full physical
+ * addresses with the module-wide map, but only accepts requests that
+ * land on its own channel. In a multi-channel module the DramSystem
+ * owns one controller per channel and routes requests; a standalone
+ * controller over a single-channel config behaves as before.
  */
-class MemoryController
+class MemoryController : public MemoryService
 {
   public:
     MemoryController(DramChannel &channel,
                      const ControllerConfig &config = {});
 
-    /**
-     * Service a read.
-     * @param phys_addr Physical byte address.
-     * @param now Cycle the request arrives.
-     * @return Cycle the data burst completes (requester unblocks).
-     */
-    Cycle read(uint64_t phys_addr, Cycle now);
+    Cycle read(uint64_t phys_addr, Cycle now) override;
 
-    /**
-     * Accept a write into the write queue (fire-and-forget for the
-     * requester).
-     * @return Cycle the write is accepted (== now unless the queue is
-     *         full, in which case acceptance stalls).
-     */
-    Cycle write(uint64_t phys_addr, Cycle now);
+    Cycle write(uint64_t phys_addr, Cycle now) override;
 
-    /**
-     * Cycle at which all currently queued writes will have drained.
-     */
-    Cycle drainWrites();
+    Cycle drainWrites() override;
 
-    /**
-     * Execute a bulk row operation (deterministic overwrite of one
-     * row) with the selected mechanism. Used by secure deallocation.
-     * @param row_addr Any physical address within the target row.
-     * @param now Earliest issue cycle.
-     * @param mech In-DRAM mechanism to use.
-     * @param reserved_row Row index (same bank) holding the zero
-     *        source for clone-based mechanisms.
-     * @return Completion cycle.
-     */
     Cycle rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
-                int64_t reserved_row = 0);
+                int64_t reserved_row = 0) override;
 
     /** The address map in use. */
-    const AddressMap &map() const { return map_; }
+    const AddressMap &map() const override { return map_; }
+
+    /** Configuration of the module this controller serves. */
+    const DramConfig &dramConfig() const override
+    {
+        return channel_.config();
+    }
 
     /** Underlying channel (stats, config). */
     DramChannel &channel() { return channel_; }

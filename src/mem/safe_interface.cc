@@ -20,16 +20,15 @@ safeRequestStatusName(SafeRequestStatus s)
     panic("unknown safe-request status");
 }
 
-SafeCodicInterface::SafeCodicInterface(MemoryController &controller,
+SafeCodicInterface::SafeCodicInterface(DramSystem &system,
                                        uint64_t puf_base,
                                        uint64_t puf_bytes)
-    : controller_(controller), puf_base_(puf_base),
-      puf_bytes_(puf_bytes),
-      sig_variant_(controller.channel().registerVariant(
-          variants::sig().schedule))
+    : system_(system), puf_base_(puf_base), puf_bytes_(puf_bytes),
+      sig_variant_(
+          system.registerVariantAll(variants::sig().schedule))
 {
     const uint64_t row =
-        static_cast<uint64_t>(controller.map().rowBytes());
+        static_cast<uint64_t>(system.map().rowBytes());
     if (puf_base_ % row != 0 || puf_bytes_ % row != 0)
         fatal("PUF range must be row-aligned");
 }
@@ -54,7 +53,7 @@ SafeCodicInterface::pufResponse(uint64_t phys_addr, Cycle now,
                                 Cycle *done)
 {
     const uint64_t row =
-        static_cast<uint64_t>(controller_.map().rowBytes());
+        static_cast<uint64_t>(system_.map().rowBytes());
     if (phys_addr % row != 0) {
         ++refusals_;
         return SafeRequestStatus::Misaligned;
@@ -65,9 +64,10 @@ SafeCodicInterface::pufResponse(uint64_t phys_addr, Cycle now,
         ++refusals_;
         return SafeRequestStatus::OutsidePufRange;
     }
-    DramChannel &ch = controller_.channel();
-    Address addr = controller_.map().decode(phys_addr);
+    Address addr = system_.map().decode(phys_addr);
     addr.column = 0;
+    // Channel-local view: the sequence runs on the owning channel.
+    DramChannel &ch = system_.channel(addr.channel);
     if (ch.bankActive(addr.rank, addr.bank)) {
         Command pre{CommandType::Pre, addr, 0};
         ch.issueAtEarliest(pre, now);
@@ -103,7 +103,7 @@ SafeCodicInterface::zeroRange(uint64_t phys_addr, uint64_t bytes,
                               Cycle now, Cycle *done)
 {
     const uint64_t row =
-        static_cast<uint64_t>(controller_.map().rowBytes());
+        static_cast<uint64_t>(system_.map().rowBytes());
     if (phys_addr % row != 0 || bytes % row != 0 || bytes == 0) {
         // CODIC works at row granularity (Section 4.4's challenge:
         // a row may hold multiple pages) - the interface refuses
@@ -117,7 +117,8 @@ SafeCodicInterface::zeroRange(uint64_t phys_addr, uint64_t bytes,
     }
     Cycle last = now;
     for (uint64_t a = phys_addr; a < phys_addr + bytes; a += row)
-        last = controller_.rowOp(a, now, RowOpMechanism::CodicDet);
+        last = std::max(
+            last, system_.rowOp(a, now, RowOpMechanism::CodicDet));
     if (done)
         *done = last;
     return SafeRequestStatus::Ok;

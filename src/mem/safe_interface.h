@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "mem/controller.h"
+#include "dram/system.h"
 #include "puf/puf.h"
 
 namespace codic {
@@ -49,11 +49,13 @@ class SafeCodicInterface
 {
   public:
     /**
-     * @param controller Controller owning the channel.
+     * @param system DRAM system owning the channels; PUF and zeroing
+     *        requests are routed to the owning channel's controller
+     *        (the channel-local view the system hands out).
      * @param puf_base First byte of the reserved PUF range.
      * @param puf_bytes Size of the reserved PUF range.
      */
-    SafeCodicInterface(MemoryController &controller, uint64_t puf_base,
+    SafeCodicInterface(DramSystem &system, uint64_t puf_base,
                        uint64_t puf_bytes);
 
     /**
@@ -86,7 +88,7 @@ class SafeCodicInterface
     bool insidePufRange(uint64_t addr, uint64_t bytes) const;
     bool isFreed(uint64_t addr, uint64_t bytes) const;
 
-    MemoryController &controller_;
+    DramSystem &system_;
     uint64_t puf_base_;
     uint64_t puf_bytes_;
     int sig_variant_;

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The memory-service interface consumed by the trace-driven cores and
+ * the secure-deallocation paths. Two implementations exist:
+ * MemoryController (one channel's FR-FCFS front-end) and DramSystem
+ * (N channels; routes each request to the owning channel's
+ * controller). Core code is written against this interface so a
+ * workload runs unchanged on 1 or many channels.
+ */
+
+#ifndef CODIC_MEM_SERVICE_H
+#define CODIC_MEM_SERVICE_H
+
+#include <cstdint>
+
+#include "dram/config.h"
+
+namespace codic {
+
+class AddressMap;
+
+/** Row-op mechanisms usable for bulk in-DRAM operations. */
+enum class RowOpMechanism
+{
+    CodicDet,  //!< One CODIC-det command per row.
+    RowClone,  //!< ACT(source) + RowClone(dst) + PRE.
+    LisaClone, //!< ACT(source) + LISA hop + RowClone(dst) + PRE.
+};
+
+/** Request-level service over one channel or a whole DRAM system. */
+class MemoryService
+{
+  public:
+    virtual ~MemoryService() = default;
+
+    /**
+     * Service a read.
+     * @param phys_addr Physical byte address.
+     * @param now Cycle the request arrives.
+     * @return Cycle the data burst completes (requester unblocks).
+     */
+    virtual Cycle read(uint64_t phys_addr, Cycle now) = 0;
+
+    /**
+     * Accept a write into the owning channel's write queue.
+     * @return Cycle the write is accepted (== now unless that queue
+     *         is full, in which case acceptance stalls).
+     */
+    virtual Cycle write(uint64_t phys_addr, Cycle now) = 0;
+
+    /** Cycle at which all currently queued writes have drained. */
+    virtual Cycle drainWrites() = 0;
+
+    /**
+     * Execute a bulk row operation (deterministic overwrite of one
+     * row) with the selected mechanism. Used by secure deallocation.
+     * @param row_addr Any physical address within the target row.
+     * @param now Earliest issue cycle.
+     * @param mech In-DRAM mechanism to use.
+     * @param reserved_row Row index (same bank) holding the zero
+     *        source for clone-based mechanisms.
+     * @return Completion cycle.
+     */
+    virtual Cycle rowOp(uint64_t row_addr, Cycle now,
+                        RowOpMechanism mech, int64_t reserved_row = 0) = 0;
+
+    /** The address map in use. */
+    virtual const AddressMap &map() const = 0;
+
+    /** The DRAM configuration behind this service. */
+    virtual const DramConfig &dramConfig() const = 0;
+};
+
+} // namespace codic
+
+#endif // CODIC_MEM_SERVICE_H

@@ -1,6 +1,7 @@
 #include "power/energy_model.h"
 
 #include "codic/variant.h"
+#include "dram/system.h"
 
 namespace codic {
 
@@ -48,6 +49,17 @@ campaignEnergyNj(const CommandCounts &counts, double elapsed_ns,
           params.codic_delay_nj);
     // Background power over the campaign.
     e += params.background_mw * 1e-3 * elapsed_ns; // mW * ns = pJ*1e3
+    return e;
+}
+
+double
+systemEnergyNj(const DramSystem &system, double elapsed_ns,
+               const EnergyParams &params)
+{
+    double e = 0.0;
+    for (int c = 0; c < system.channelCount(); ++c)
+        e += campaignEnergyNj(system.channel(c).counts(), elapsed_ns,
+                              params);
     return e;
 }
 

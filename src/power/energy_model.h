@@ -80,6 +80,16 @@ double variantEnergyNj(const SignalSchedule &sched,
 double campaignEnergyNj(const CommandCounts &counts, double elapsed_ns,
                         const EnergyParams &params = {});
 
+class DramSystem;
+
+/**
+ * Multi-channel roll-up: per-command energies from every channel's
+ * counters plus one background-power term per channel (each channel's
+ * devices draw standby current for the whole campaign).
+ */
+double systemEnergyNj(const DramSystem &system, double elapsed_ns,
+                      const EnergyParams &params = {});
+
 /** Energy of a full ACT + PRE pair (the paper's ~17 nJ activation). */
 double actPreEnergyNj(const EnergyParams &params = {});
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace codic {
@@ -56,12 +57,18 @@ runJaccardCampaign(const DramPuf &puf,
                    const std::vector<const SimulatedChip *> &chips,
                    const JaccardCampaignConfig &config)
 {
-    Rng rng(config.seed);
+    // One Rng stream per pair, derived from (seed, index) before the
+    // campaign starts: the result does not depend on which thread
+    // evaluates which pair, so any thread count reproduces the
+    // sequential campaign bit for bit.
+    auto streams = forkStreams(config.seed, config.pairs);
     JaccardCampaignResult result;
-    result.intra.reserve(config.pairs);
-    result.inter.reserve(config.pairs);
+    result.intra.resize(config.pairs);
+    result.inter.resize(config.pairs);
 
-    for (size_t i = 0; i < config.pairs; ++i) {
+    CampaignEngine engine(config.threads);
+    engine.forEach(config.pairs, [&](size_t i) {
+        Rng rng = streams[i];
         // Intra: same segment, two independent queries.
         auto [chip, segment] = pickSegment(rng, chips);
         QueryEnv env1{config.temperature_c, false, rng.next64()};
@@ -72,7 +79,7 @@ runJaccardCampaign(const DramPuf &puf,
         const Response b = query(puf, *chip, segment,
                                  config.segment_bits, env2,
                                  config.filtered);
-        result.intra.push_back(jaccard(a, b));
+        result.intra[i] = jaccard(a, b);
 
         // Inter: two distinct segments of one chip.
         auto [chip2, seg_a] = pickSegment(rng, chips);
@@ -87,20 +94,22 @@ runJaccardCampaign(const DramPuf &puf,
         const Response d = query(puf, *chip2, seg_b,
                                  config.segment_bits, env4,
                                  config.filtered);
-        result.inter.push_back(jaccard(c, d));
-    }
+        result.inter[i] = jaccard(c, d);
+    });
     return result;
 }
 
 std::vector<double>
 runTemperatureCampaign(const DramPuf &puf,
                        const std::vector<const SimulatedChip *> &chips,
-                       double delta_c, size_t pairs, uint64_t seed)
+                       double delta_c, size_t pairs, uint64_t seed,
+                       int threads)
 {
-    Rng rng(seed);
-    std::vector<double> out;
-    out.reserve(pairs);
-    for (size_t i = 0; i < pairs; ++i) {
+    auto streams = forkStreams(seed, pairs);
+    std::vector<double> out(pairs);
+    CampaignEngine engine(threads);
+    engine.forEach(pairs, [&](size_t i) {
+        Rng rng = streams[i];
         auto [chip, segment] = pickSegment(rng, chips);
         QueryEnv ref{30.0, false, rng.next64()};
         QueryEnv hot{30.0 + delta_c, false, rng.next64()};
@@ -108,20 +117,21 @@ runTemperatureCampaign(const DramPuf &puf,
             query(puf, *chip, segment, 65536, ref, true);
         const Response b =
             query(puf, *chip, segment, 65536, hot, true);
-        out.push_back(jaccard(a, b));
-    }
+        out[i] = jaccard(a, b);
+    });
     return out;
 }
 
 std::vector<double>
 runAgingCampaign(const DramPuf &puf,
                  const std::vector<const SimulatedChip *> &chips,
-                 size_t pairs, uint64_t seed)
+                 size_t pairs, uint64_t seed, int threads)
 {
-    Rng rng(seed);
-    std::vector<double> out;
-    out.reserve(pairs);
-    for (size_t i = 0; i < pairs; ++i) {
+    auto streams = forkStreams(seed, pairs);
+    std::vector<double> out(pairs);
+    CampaignEngine engine(threads);
+    engine.forEach(pairs, [&](size_t i) {
+        Rng rng = streams[i];
         auto [chip, segment] = pickSegment(rng, chips);
         QueryEnv fresh{30.0, false, rng.next64()};
         QueryEnv aged{30.0, true, rng.next64()};
@@ -129,20 +139,24 @@ runAgingCampaign(const DramPuf &puf,
             query(puf, *chip, segment, 65536, fresh, true);
         const Response b =
             query(puf, *chip, segment, 65536, aged, true);
-        out.push_back(jaccard(a, b));
-    }
+        out[i] = jaccard(a, b);
+    });
     return out;
 }
 
 AuthRates
 runAuthCampaign(const DramPuf &puf,
                 const std::vector<const SimulatedChip *> &chips,
-                size_t trials, uint64_t seed)
+                size_t trials, uint64_t seed, int threads)
 {
-    Rng rng(seed);
-    size_t false_rej = 0;
-    size_t false_acc = 0;
-    for (size_t i = 0; i < trials; ++i) {
+    auto streams = forkStreams(seed, trials);
+    // Per-trial outcomes land in private slots; the counts are
+    // order-independent sums, reduced after the campaign drains.
+    std::vector<uint8_t> rejected(trials, 0);
+    std::vector<uint8_t> accepted(trials, 0);
+    CampaignEngine engine(threads);
+    engine.forEach(trials, [&](size_t i) {
+        Rng rng = streams[i];
         auto [chip, segment] = pickSegment(rng, chips);
         // Enrolled response vs. a later unfiltered query.
         QueryEnv enroll{30.0, false, rng.next64()};
@@ -151,8 +165,7 @@ runAuthCampaign(const DramPuf &puf,
             query(puf, *chip, segment, 65536, enroll, false);
         const Response b =
             query(puf, *chip, segment, 65536, verify, false);
-        if (!(a == b))
-            ++false_rej;
+        rejected[i] = !(a == b);
 
         // Impostor: response from a different segment.
         uint64_t other = rng.below(chip->segments());
@@ -161,8 +174,13 @@ runAuthCampaign(const DramPuf &puf,
         QueryEnv imp{30.0, false, rng.next64()};
         const Response c =
             query(puf, *chip, other, 65536, imp, false);
-        if (a == c)
-            ++false_acc;
+        accepted[i] = a == c;
+    });
+    size_t false_rej = 0;
+    size_t false_acc = 0;
+    for (size_t i = 0; i < trials; ++i) {
+        false_rej += rejected[i];
+        false_acc += accepted[i];
     }
     const double n = static_cast<double>(trials);
     return {static_cast<double>(false_rej) / n,

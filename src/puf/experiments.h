@@ -25,6 +25,12 @@ struct JaccardCampaignConfig
     double temperature_c = 30.0;
     bool filtered = true;      //!< Use each PUF's production filter.
     uint64_t seed = 7;
+    /**
+     * Campaign-engine threads. Each pair draws from its own
+     * Rng::fork() stream (derived from `seed` and the pair index), so
+     * the result is bit-identical at any thread count.
+     */
+    int threads = 1;
 };
 
 /** Result of one Intra/Inter campaign. */
@@ -57,7 +63,8 @@ runJaccardCampaign(const DramPuf &puf,
 std::vector<double>
 runTemperatureCampaign(const DramPuf &puf,
                        const std::vector<const SimulatedChip *> &chips,
-                       double delta_c, size_t pairs, uint64_t seed);
+                       double delta_c, size_t pairs, uint64_t seed,
+                       int threads = 1);
 
 /**
  * Aging campaign (Section 6.1.1): Intra-Jaccard between pre- and
@@ -66,7 +73,7 @@ runTemperatureCampaign(const DramPuf &puf,
 std::vector<double>
 runAgingCampaign(const DramPuf &puf,
                  const std::vector<const SimulatedChip *> &chips,
-                 size_t pairs, uint64_t seed);
+                 size_t pairs, uint64_t seed, int threads = 1);
 
 /** Naive exact-match authentication rates (Section 6.1.1). */
 struct AuthRates
@@ -82,7 +89,7 @@ struct AuthRates
 AuthRates
 runAuthCampaign(const DramPuf &puf,
                 const std::vector<const SimulatedChip *> &chips,
-                size_t trials, uint64_t seed);
+                size_t trials, uint64_t seed, int threads = 1);
 
 /** Coverage statistics of the 48 h methodology over a population. */
 struct CoverageStats

@@ -1,10 +1,13 @@
 #include "secdealloc/evaluate.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "dram/refresh.h"
+#include "dram/system.h"
 
 namespace codic {
 
@@ -13,7 +16,46 @@ namespace {
 DramConfig
 dramFor(const DeallocEvalConfig &config)
 {
-    return DramConfig::ddr3_1600(config.dram_capacity_mb);
+    return DramConfig::ddr3_1600(config.dram_capacity_mb,
+                                 config.dram_channels);
+}
+
+ControllerConfig
+controllerFor(const DeallocEvalConfig &config)
+{
+    ControllerConfig cc;
+    // Multi-channel modules interleave row blocks across channels:
+    // consecutive rows round-robin banks then channels, so dealloc
+    // row ops spread over every channel while one phys row block
+    // still maps to exactly one DRAM row (whole-row zeroing stays
+    // exact).
+    if (config.dram_channels > 1)
+        cc.map_scheme = MapScheme::RowChannelBankColumn;
+    return cc;
+}
+
+/** The four mechanisms of every Fig. 8 / Fig. 9 comparison. */
+constexpr std::array<DeallocMode, 4> kModes = {
+    DeallocMode::SoftwareZero,
+    DeallocMode::LisaClone,
+    DeallocMode::RowClone,
+    DeallocMode::CodicDet,
+};
+
+BenchmarkComparison
+fromRuns(const std::string &name,
+         const std::array<DeallocRunResult, 4> &runs)
+{
+    const DeallocRunResult &base = runs[0];
+    BenchmarkComparison c;
+    c.name = name;
+    c.lisa_speedup = speedupOver(base, runs[1]);
+    c.rowclone_speedup = speedupOver(base, runs[2]);
+    c.codic_speedup = speedupOver(base, runs[3]);
+    c.lisa_energy = energySavings(base, runs[1]);
+    c.rowclone_energy = energySavings(base, runs[2]);
+    c.codic_energy = energySavings(base, runs[3]);
+    return c;
 }
 
 } // namespace
@@ -22,24 +64,22 @@ DeallocRunResult
 runSingleCore(const Workload &workload, DeallocMode mode,
               const DeallocEvalConfig &config)
 {
-    DramChannel channel(dramFor(config));
-    MemoryController controller(channel);
+    DramSystem system(dramFor(config), controllerFor(config));
     CoreConfig core_cfg = config.core;
     core_cfg.dealloc = mode;
-    InOrderCore core(controller, core_cfg);
+    InOrderCore core(system, core_cfg);
     core.bind(&workload);
     double end_ns = core.run();
-    const Cycle drained = controller.drainWrites();
+    const Cycle drained = system.drainWrites();
     end_ns = std::max(end_ns,
                       static_cast<double>(drained) *
-                          channel.config().tck_ns);
+                          system.config().tck_ns);
 
     DeallocRunResult result;
     result.time_ns = end_ns;
     result.core_stats = core.stats();
-    result.commands = channel.counts();
-    result.energy_nj =
-        campaignEnergyNj(result.commands, end_ns, config.energy);
+    result.commands = system.totalCounts();
+    result.energy_nj = systemEnergyNj(system, end_ns, config.energy);
     return result;
 }
 
@@ -48,25 +88,24 @@ runMultiCore(const WorkloadMix &mix, DeallocMode mode,
              const DeallocEvalConfig &config)
 {
     CODIC_ASSERT(!mix.traces.empty());
-    DramChannel channel(dramFor(config));
-    MemoryController controller(channel);
+    DramSystem system(dramFor(config), controllerFor(config));
 
     CoreConfig core_cfg = config.core;
     core_cfg.dealloc = mode;
 
     // Each core gets a private physical region.
     const uint64_t region =
-        static_cast<uint64_t>(channel.config().capacityBytes()) /
+        static_cast<uint64_t>(system.config().capacityBytes()) /
         mix.traces.size();
     std::vector<std::unique_ptr<InOrderCore>> cores;
     for (size_t i = 0; i < mix.traces.size(); ++i) {
         cores.push_back(std::make_unique<InOrderCore>(
-            controller, core_cfg, region * i));
+            system, core_cfg, region * i));
         cores[i]->bind(&mix.traces[i]);
     }
 
     // Discrete-event interleaving: always step the core with the
-    // smallest local time so shared-channel commands issue in
+    // smallest local time so shared-system commands issue in
     // near-global-time order.
     while (true) {
         InOrderCore *next = nullptr;
@@ -82,17 +121,16 @@ runMultiCore(const WorkloadMix &mix, DeallocMode mode,
     double end_ns = 0.0;
     for (auto &core : cores)
         end_ns = std::max(end_ns, core->timeNs());
-    const Cycle drained = controller.drainWrites();
+    const Cycle drained = system.drainWrites();
     end_ns = std::max(end_ns,
                       static_cast<double>(drained) *
-                          channel.config().tck_ns);
+                          system.config().tck_ns);
 
     DeallocRunResult result;
     result.time_ns = end_ns;
     result.core_stats = cores[0]->stats();
-    result.commands = channel.counts();
-    result.energy_nj =
-        campaignEnergyNj(result.commands, end_ns, config.energy);
+    result.commands = system.totalCounts();
+    result.energy_nj = systemEnergyNj(system, end_ns, config.energy);
     return result;
 }
 
@@ -117,39 +155,69 @@ compareSingleCore(const std::string &benchmark, uint64_t seed,
                   const DeallocEvalConfig &config)
 {
     const Workload w = generateWorkload(benchmarkParams(benchmark, seed));
-    const auto base = runSingleCore(w, DeallocMode::SoftwareZero, config);
-    const auto lisa = runSingleCore(w, DeallocMode::LisaClone, config);
-    const auto rc = runSingleCore(w, DeallocMode::RowClone, config);
-    const auto codic = runSingleCore(w, DeallocMode::CodicDet, config);
-
-    BenchmarkComparison c;
-    c.name = benchmark;
-    c.lisa_speedup = speedupOver(base, lisa);
-    c.rowclone_speedup = speedupOver(base, rc);
-    c.codic_speedup = speedupOver(base, codic);
-    c.lisa_energy = energySavings(base, lisa);
-    c.rowclone_energy = energySavings(base, rc);
-    c.codic_energy = energySavings(base, codic);
-    return c;
+    std::array<DeallocRunResult, 4> runs;
+    CampaignEngine engine(config.threads);
+    engine.forEach(kModes.size(), [&](size_t m) {
+        runs[m] = runSingleCore(w, kModes[m], config);
+    });
+    return fromRuns(benchmark, runs);
 }
 
 BenchmarkComparison
 compareMultiCore(const WorkloadMix &mix, const DeallocEvalConfig &config)
 {
-    const auto base = runMultiCore(mix, DeallocMode::SoftwareZero, config);
-    const auto lisa = runMultiCore(mix, DeallocMode::LisaClone, config);
-    const auto rc = runMultiCore(mix, DeallocMode::RowClone, config);
-    const auto codic = runMultiCore(mix, DeallocMode::CodicDet, config);
+    std::array<DeallocRunResult, 4> runs;
+    CampaignEngine engine(config.threads);
+    engine.forEach(kModes.size(), [&](size_t m) {
+        runs[m] = runMultiCore(mix, kModes[m], config);
+    });
+    return fromRuns(mix.name, runs);
+}
 
-    BenchmarkComparison c;
-    c.name = mix.name;
-    c.lisa_speedup = speedupOver(base, lisa);
-    c.rowclone_speedup = speedupOver(base, rc);
-    c.codic_speedup = speedupOver(base, codic);
-    c.lisa_energy = energySavings(base, lisa);
-    c.rowclone_energy = energySavings(base, rc);
-    c.codic_energy = energySavings(base, codic);
-    return c;
+std::vector<BenchmarkComparison>
+compareSingleCoreAll(const std::vector<std::string> &benchmarks,
+                     uint64_t seed, const DeallocEvalConfig &config)
+{
+    // Flatten benchmark x mechanism so the engine balances the whole
+    // grid instead of four runs at a time.
+    std::vector<Workload> workloads;
+    workloads.reserve(benchmarks.size());
+    for (const auto &name : benchmarks)
+        workloads.push_back(
+            generateWorkload(benchmarkParams(name, seed)));
+
+    std::vector<std::array<DeallocRunResult, 4>> runs(benchmarks.size());
+    CampaignEngine engine(config.threads);
+    engine.forEach(benchmarks.size() * kModes.size(), [&](size_t t) {
+        const size_t b = t / kModes.size();
+        const size_t m = t % kModes.size();
+        runs[b][m] = runSingleCore(workloads[b], kModes[m], config);
+    });
+
+    std::vector<BenchmarkComparison> out;
+    out.reserve(benchmarks.size());
+    for (size_t b = 0; b < benchmarks.size(); ++b)
+        out.push_back(fromRuns(benchmarks[b], runs[b]));
+    return out;
+}
+
+std::vector<BenchmarkComparison>
+compareMultiCoreAll(const std::vector<WorkloadMix> &mixes,
+                    const DeallocEvalConfig &config)
+{
+    std::vector<std::array<DeallocRunResult, 4>> runs(mixes.size());
+    CampaignEngine engine(config.threads);
+    engine.forEach(mixes.size() * kModes.size(), [&](size_t t) {
+        const size_t x = t / kModes.size();
+        const size_t m = t % kModes.size();
+        runs[x][m] = runMultiCore(mixes[x], kModes[m], config);
+    });
+
+    std::vector<BenchmarkComparison> out;
+    out.reserve(mixes.size());
+    for (size_t x = 0; x < mixes.size(); ++x)
+        out.push_back(fromRuns(mixes[x].name, runs[x]));
+    return out;
 }
 
 } // namespace codic

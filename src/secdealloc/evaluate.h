@@ -25,15 +25,22 @@ struct DeallocRunResult
     double time_ns = 0.0;
     double energy_nj = 0.0;
     CoreStats core_stats;     //!< Core 0 stats (single core: the run).
-    CommandCounts commands;
+    CommandCounts commands;   //!< Aggregated across channels.
 };
 
 /** Simulation configuration for the secure-dealloc evaluation. */
 struct DeallocEvalConfig
 {
     int64_t dram_capacity_mb = 2048;
+    int dram_channels = 1;    //!< Channels of the simulated module.
     EnergyParams energy;
     CoreConfig core;
+    /**
+     * Campaign-engine threads used by the compare* sweeps (each
+     * mechanism/benchmark run is an independent simulation). Results
+     * are identical at any thread count.
+     */
+    int threads = 1;
 };
 
 /** Run one single-core benchmark under a mechanism. */
@@ -73,6 +80,22 @@ BenchmarkComparison compareSingleCore(const std::string &benchmark,
 /** Evaluate one mix against all mechanisms. */
 BenchmarkComparison compareMultiCore(const WorkloadMix &mix,
                                      const DeallocEvalConfig &config = {});
+
+/**
+ * Evaluate many single-core benchmarks (Fig. 8 sweep). The
+ * benchmark x mechanism grid is flattened into one campaign, so with
+ * config.threads > 1 independent simulations run concurrently;
+ * results are identical to the sequential sweep.
+ */
+std::vector<BenchmarkComparison>
+compareSingleCoreAll(const std::vector<std::string> &benchmarks,
+                     uint64_t seed,
+                     const DeallocEvalConfig &config = {});
+
+/** Evaluate many mixes (Fig. 9 sweep); same campaign structure. */
+std::vector<BenchmarkComparison>
+compareMultiCoreAll(const std::vector<WorkloadMix> &mixes,
+                    const DeallocEvalConfig &config = {});
 
 } // namespace codic
 

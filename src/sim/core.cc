@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "mem/address_map.h"
 
 namespace codic {
 
@@ -19,13 +20,13 @@ deallocModeName(DeallocMode m)
     panic("unknown dealloc mode");
 }
 
-InOrderCore::InOrderCore(MemoryController &controller,
-                         const CoreConfig &config, uint64_t addr_base)
-    : controller_(controller), config_(config), addr_base_(addr_base),
+InOrderCore::InOrderCore(MemoryService &mem, const CoreConfig &config,
+                         uint64_t addr_base)
+    : controller_(mem), config_(config), addr_base_(addr_base),
       l1_(config.l1_bytes, config.l1_ways),
       l2_(config.l2_bytes, config.l2_ways),
       cpu_cycle_ns_(1.0 / config.cpu_ghz),
-      dram_tck_ns_(controller.channel().config().tck_ns)
+      dram_tck_ns_(mem.dramConfig().tck_ns)
 {
 }
 

@@ -16,7 +16,7 @@
 
 #include <cstdint>
 
-#include "mem/controller.h"
+#include "mem/service.h"
 #include "sim/cache.h"
 #include "sim/trace.h"
 
@@ -63,12 +63,14 @@ class InOrderCore
 {
   public:
     /**
-     * @param controller Shared memory controller.
+     * @param mem Shared memory service: a single MemoryController or
+     *        a multi-channel DramSystem (trace addresses then
+     *        interleave across channels per the system's MapScheme).
      * @param config Core parameters.
      * @param addr_base Physical base offset for this core's trace
      *        addresses (gives each core a private region).
      */
-    InOrderCore(MemoryController &controller, const CoreConfig &config,
+    InOrderCore(MemoryService &mem, const CoreConfig &config,
                 uint64_t addr_base = 0);
 
     /** Attach a trace; resets time and statistics. */
@@ -99,7 +101,7 @@ class InOrderCore
     /** Handle a dirty L1 victim through L2 (and memory if needed). */
     void writebackThroughL2(uint64_t victim_addr);
 
-    MemoryController &controller_;
+    MemoryService &controller_;
     CoreConfig config_;
     uint64_t addr_base_;
     Cache l1_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "nist/extractor.h"
 #include "nist/special_functions.h"
 
@@ -108,6 +110,26 @@ CodicTrng::rawThroughputBitsPerSec() const
 {
     return static_cast<double>(sources_.size()) /
            (config_.harvest_latency_ns * 1e-9);
+}
+
+std::vector<CodicTrng>
+enrollDevices(const TrngConfig &base, size_t count, int threads)
+{
+    // Each device's enrollment scan is deterministic from its own
+    // device_seed, so devices are independent tasks.
+    std::vector<std::unique_ptr<CodicTrng>> enrolled(count);
+    CampaignEngine engine(threads);
+    engine.forEach(count, [&](size_t i) {
+        TrngConfig cfg = base;
+        cfg.device_seed = base.device_seed + i;
+        enrolled[i] = std::make_unique<CodicTrng>(cfg);
+    });
+
+    std::vector<CodicTrng> out;
+    out.reserve(count);
+    for (auto &dev : enrolled)
+        out.push_back(std::move(*dev));
+    return out;
 }
 
 double

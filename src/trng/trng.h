@@ -124,6 +124,15 @@ class CodicTrng
     std::vector<MetastableCell> sources_;
 };
 
+/**
+ * Enroll a population of `count` devices (device_seed = base.device_seed
+ * + i) through the campaign engine. Enrollment scans segment_bits SA
+ * sites per device, which dominates TRNG-characterization sweeps; the
+ * returned population is identical at any thread count.
+ */
+std::vector<CodicTrng> enrollDevices(const TrngConfig &base,
+                                     size_t count, int threads = 1);
+
 } // namespace codic
 
 #endif // CODIC_TRNG_TRNG_H

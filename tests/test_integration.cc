@@ -10,6 +10,7 @@
 #include "codic/mode_regs.h"
 #include "coldboot/destruction.h"
 #include "coldboot/power_on.h"
+#include "mem/controller.h"
 #include "nist/extractor.h"
 #include "nist/tests.h"
 #include "puf/experiments.h"

@@ -18,8 +18,9 @@ class SafeInterfaceFixture : public ::testing::Test
 {
   protected:
     SafeInterfaceFixture()
-        : channel_(DramConfig::ddr3_1600(256)), controller_(channel_),
-          iface_(controller_, kPufBase, kPufBytes)
+        : system_(DramConfig::ddr3_1600(256)),
+          channel_(system_.channel(0)),
+          iface_(system_, kPufBase, kPufBytes)
     {
     }
 
@@ -27,8 +28,8 @@ class SafeInterfaceFixture : public ::testing::Test
     static constexpr uint64_t kPufBase = 1ull << 20; // 1 MB mark.
     static constexpr uint64_t kPufBytes = 64 * kRow;
 
-    DramChannel channel_;
-    MemoryController controller_;
+    DramSystem system_;
+    DramChannel &channel_;
     SafeCodicInterface iface_;
 };
 
@@ -47,7 +48,7 @@ TEST_F(SafeInterfaceFixture, PufResponseInsideRangeSucceeds)
 TEST_F(SafeInterfaceFixture, PufResponseLeavesSignatureInRange)
 {
     iface_.pufResponse(kPufBase + kRow, 0, nullptr);
-    const Address a = controller_.map().decode(kPufBase + kRow);
+    const Address a = system_.map().decode(kPufBase + kRow);
     EXPECT_EQ(channel_.rowState(a.rank, a.bank, a.row),
               RowDataState::SaSignature);
 }
@@ -57,7 +58,7 @@ TEST_F(SafeInterfaceFixture, PufResponseOutsideRangeRefused)
     // An attacker-chosen address holding program data: refused, and
     // the data survives.
     const uint64_t victim = 0;
-    const Address a = controller_.map().decode(victim);
+    const Address a = system_.map().decode(victim);
     channel_.setRowState(a.rank, a.bank, a.row, RowDataState::Data);
     EXPECT_EQ(iface_.pufResponse(victim, 0, nullptr),
               SafeRequestStatus::OutsidePufRange);
@@ -81,7 +82,7 @@ TEST_F(SafeInterfaceFixture, MisalignedPufRequestRefused)
 TEST_F(SafeInterfaceFixture, ZeroRangeRequiresPriorFree)
 {
     const uint64_t target = 16 * kRow;
-    const Address a = controller_.map().decode(target);
+    const Address a = system_.map().decode(target);
     channel_.setRowState(a.rank, a.bank, a.row, RowDataState::Data);
     EXPECT_EQ(iface_.zeroRange(target, kRow, 0, nullptr),
               SafeRequestStatus::RangeNotFreed);
@@ -114,7 +115,7 @@ TEST_F(SafeInterfaceFixture, ZeroRangeCoversMultipleRows)
     EXPECT_EQ(iface_.zeroRange(base, 4 * kRow, 0, nullptr),
               SafeRequestStatus::Ok);
     for (uint64_t off = 0; off < 4 * kRow; off += kRow) {
-        const Address a = controller_.map().decode(base + off);
+        const Address a = system_.map().decode(base + off);
         EXPECT_EQ(channel_.rowState(a.rank, a.bank, a.row),
                   RowDataState::Zeroes);
     }
@@ -138,9 +139,8 @@ TEST_F(SafeInterfaceFixture, RefusalCounterAudits)
 
 TEST(SafeInterface, MisalignedPufRangeIsFatal)
 {
-    DramChannel ch(DramConfig::ddr3_1600(64));
-    MemoryController mc(ch);
-    EXPECT_THROW(SafeCodicInterface(mc, 100, 8192), FatalError);
+    DramSystem sys(DramConfig::ddr3_1600(64));
+    EXPECT_THROW(SafeCodicInterface(sys, 100, 8192), FatalError);
 }
 
 TEST(SafeInterface, StatusNamesAreDistinct)

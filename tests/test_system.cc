@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests of the multi-channel DramSystem layer: channel-aware address
+ * mapping (round-trip property over every scheme x channel x rank
+ * combination), request routing, per-channel counter roll-up against
+ * single-channel totals, channel-level timing parallelism, and the
+ * system-facing safe interface. The JEDEC timing checker stays armed
+ * on every channel in all of these (any violation panics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dram/system.h"
+#include "mem/safe_interface.h"
+#include "sim/core.h"
+#include "power/energy_model.h"
+
+namespace codic {
+namespace {
+
+// --- Address map: channel + rank interleaving schemes. ---
+
+struct MapCase
+{
+    MapScheme scheme;
+    int channels;
+    int ranks;
+};
+
+class ChannelMapTest : public ::testing::TestWithParam<MapCase>
+{
+};
+
+TEST_P(ChannelMapTest, DecodeEncodeRoundTripAndInRange)
+{
+    const auto [scheme, channels, ranks] = GetParam();
+    const DramConfig cfg = DramConfig::ddr3_1600(256, channels, ranks);
+    AddressMap map(cfg, scheme);
+    Rng rng(17);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t addr =
+            rng.below(static_cast<uint64_t>(map.capacityBytes()) / 64) *
+            64;
+        const Address a = map.decode(addr);
+        EXPECT_GE(a.channel, 0);
+        EXPECT_LT(a.channel, channels);
+        EXPECT_GE(a.rank, 0);
+        EXPECT_LT(a.rank, ranks);
+        EXPECT_EQ(map.encode(a), addr);
+    }
+    // The map is a bijection onto the capacity: the extreme coordinate
+    // encodes to the last burst.
+    Address top;
+    top.channel = channels - 1;
+    top.rank = ranks - 1;
+    top.bank = cfg.banks - 1;
+    top.row = cfg.rows - 1;
+    top.column = cfg.columns - 1;
+    EXPECT_EQ(map.encode(top),
+              static_cast<uint64_t>(map.capacityBytes()) -
+                  static_cast<uint64_t>(cfg.burst_bytes));
+}
+
+std::vector<MapCase>
+allMapCases()
+{
+    std::vector<MapCase> cases;
+    for (MapScheme s : allMapSchemes())
+        for (int channels : {1, 2, 4})
+            for (int ranks : {1, 2})
+                cases.push_back({s, channels, ranks});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ChannelMapTest,
+                         ::testing::ValuesIn(allMapCases()));
+
+TEST(ChannelMap, LineInterleaveAlternatesChannelsPerBurst)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(256, 4);
+    AddressMap map(cfg, MapScheme::RowBankColumnChannel);
+    for (uint64_t line = 0; line < 64; ++line)
+        EXPECT_EQ(map.decode(line * 64).channel,
+                  static_cast<int>(line % 4));
+}
+
+TEST(ChannelMap, RowBlockInterleaveKeepsRowsWhole)
+{
+    // RowChannelBankColumn: one row-sized phys block = exactly one
+    // DRAM row, and consecutive blocks walk banks then channels (the
+    // property the secure-dealloc row ops rely on).
+    const DramConfig cfg = DramConfig::ddr3_1600(256, 4);
+    AddressMap map(cfg, MapScheme::RowChannelBankColumn);
+    const uint64_t row_bytes = static_cast<uint64_t>(cfg.row_bytes);
+    for (uint64_t block = 0; block < 64; ++block) {
+        const Address first = map.decode(block * row_bytes);
+        const Address last =
+            map.decode((block + 1) * row_bytes - 64);
+        EXPECT_EQ(first.channel, last.channel);
+        EXPECT_EQ(first.bank, last.bank);
+        EXPECT_EQ(first.row, last.row);
+        EXPECT_EQ(first.column, 0);
+        EXPECT_EQ(last.column, cfg.columns - 1);
+    }
+    // 8 banks x 4 channels of row blocks before the row advances.
+    EXPECT_EQ(map.decode(8 * row_bytes).channel, 1);
+    EXPECT_EQ(map.decode(32 * row_bytes).row, 1);
+}
+
+TEST(ChannelMap, SchemeNamesAreDistinct)
+{
+    for (MapScheme a : allMapSchemes())
+        for (MapScheme b : allMapSchemes())
+            if (a != b)
+                EXPECT_STRNE(mapSchemeName(a), mapSchemeName(b));
+}
+
+// --- Config validation: channels/ranks are honored or rejected. ---
+
+TEST(DramConfigValidation, RejectsNonPositiveChannelsOrRanks)
+{
+    DramConfig cfg = DramConfig::ddr3_1600(64);
+    cfg.channels = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_THROW(DramSystem{cfg}, FatalError);
+    EXPECT_THROW(DramChannel{cfg}, FatalError);
+
+    cfg.channels = 1;
+    cfg.ranks = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(DramConfigValidation, PresetSpreadsCapacityOverChannels)
+{
+    const DramConfig one = DramConfig::ddr3_1600(512);
+    const DramConfig four = DramConfig::ddr3_1600(512, 4);
+    EXPECT_EQ(four.channels, 4);
+    EXPECT_EQ(four.rows * 4, one.rows);
+    EXPECT_EQ(four.capacityBytes(), one.capacityBytes());
+    EXPECT_EQ(four.totalRows(), one.totalRows());
+}
+
+TEST(DramChannelId, CommandsForAnotherChannelPanic)
+{
+    const DramConfig cfg = DramConfig::ddr3_1600(256, 2);
+    DramChannel ch(cfg, 0);
+    Command act;
+    act.type = CommandType::Act;
+    act.addr.channel = 1; // Belongs to channel 1 of the module.
+    EXPECT_THROW(ch.issue(act, 0), PanicError);
+    EXPECT_THROW(ch.earliest(act), PanicError);
+}
+
+// --- DramSystem routing and counter roll-up. ---
+
+TEST(DramSystem, RoutesRequestsToOwningChannel)
+{
+    ControllerConfig cc;
+    cc.map_scheme = MapScheme::RowBankColumnChannel;
+    DramSystem sys(DramConfig::ddr3_1600(256, 4), cc);
+
+    // Four consecutive lines land on four different channels.
+    for (uint64_t line = 0; line < 4; ++line)
+        sys.read(line * 64, 0);
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(sys.channel(c).counts().rd, 1u) << "channel " << c;
+        EXPECT_EQ(sys.channel(c).counts().act, 1u) << "channel " << c;
+    }
+    const CommandCounts total = sys.totalCounts();
+    EXPECT_EQ(total.rd, 4u);
+    EXPECT_EQ(total.act, 4u);
+
+    // Roll-up equals the sum of the per-channel counters.
+    CommandCounts sum;
+    for (const CommandCounts &c : sys.perChannelCounts())
+        sum += c;
+    EXPECT_EQ(sum.total(), total.total());
+}
+
+TEST(DramSystem, FourChannelCountsSumToSingleChannelTotals)
+{
+    // A channel-independent workload: every line of a 4 MB region
+    // read exactly once, in address order. Whatever the mapping, each
+    // DRAM row the region touches is opened exactly once and read
+    // column by column, so ACT/RD totals must match between a
+    // 1-channel and a 4-channel module of the same capacity.
+    constexpr uint64_t kLines = 65536;
+    auto sweep = [](DramSystem &sys) {
+        Cycle t = 0;
+        for (uint64_t line = 0; line < kLines; ++line)
+            t = sys.read(line * 64, t);
+    };
+
+    DramSystem one(DramConfig::ddr3_1600(256, 1));
+    sweep(one);
+
+    ControllerConfig cc4;
+    cc4.map_scheme = MapScheme::RowChannelBankColumn;
+    DramSystem four(DramConfig::ddr3_1600(256, 4), cc4);
+    sweep(four);
+
+    const CommandCounts t1 = one.totalCounts();
+    const CommandCounts t4 = four.totalCounts();
+    EXPECT_EQ(t4.rd, t1.rd);
+    EXPECT_EQ(t4.rd, kLines);
+    EXPECT_EQ(t4.act, t1.act);
+    // Every channel took a share and its checker stayed armed.
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(four.channel(c).counts().rd, 0u) << "channel " << c;
+    // Precharges differ only by rows left open at the end (<= banks
+    // per channel x channels).
+    EXPECT_NEAR(static_cast<double>(t4.pre),
+                static_cast<double>(t1.pre), 4.0 * 8.0);
+}
+
+TEST(DramSystem, RowOpSweepZeroesWholeModuleOnAnyChannelCount)
+{
+    for (int channels : {1, 4}) {
+        ControllerConfig cc;
+        if (channels > 1)
+            cc.map_scheme = MapScheme::RowChannelBankColumn;
+        DramSystem sys(DramConfig::ddr3_1600(64, channels), cc);
+        sys.fillAllRows(RowDataState::Data);
+        const int64_t rows = sys.config().totalRows();
+        const uint64_t row_bytes =
+            static_cast<uint64_t>(sys.config().row_bytes);
+        Cycle t = 0;
+        for (int64_t r = 0; r < rows; ++r)
+            t = sys.rowOp(static_cast<uint64_t>(r) * row_bytes, t,
+                          RowOpMechanism::CodicDet);
+        EXPECT_EQ(sys.totalCounts().codic,
+                  static_cast<uint64_t>(rows))
+            << channels << " channels";
+        EXPECT_EQ(sys.countRowsInState(RowDataState::Zeroes), rows)
+            << channels << " channels";
+        EXPECT_EQ(sys.countRowsInState(RowDataState::Data), 0)
+            << channels << " channels";
+    }
+}
+
+TEST(DramSystem, ChannelParallelismShortensIndependentReadMakespan)
+{
+    // Independent line reads arriving back to back: a single channel
+    // serializes bursts on its data bus, four channels overlap them.
+    constexpr uint64_t kLines = 4096;
+    auto makespan = [](DramSystem &sys) {
+        Cycle last = 0;
+        for (uint64_t line = 0; line < kLines; ++line)
+            last = std::max(
+                last, sys.read(line * 64, static_cast<Cycle>(line)));
+        return last;
+    };
+
+    DramSystem one(DramConfig::ddr3_1600(256, 1));
+    ControllerConfig cc4;
+    cc4.map_scheme = MapScheme::RowBankColumnChannel;
+    DramSystem four(DramConfig::ddr3_1600(256, 4), cc4);
+
+    const Cycle t1 = makespan(one);
+    const Cycle t4 = makespan(four);
+    EXPECT_LT(t4 * 2, t1); // At least 2x from 4 channels.
+}
+
+TEST(DramSystem, DrainWritesCoversEveryChannel)
+{
+    ControllerConfig cc;
+    cc.map_scheme = MapScheme::RowBankColumnChannel;
+    DramSystem sys(DramConfig::ddr3_1600(256, 2), cc);
+    for (uint64_t line = 0; line < 16; ++line)
+        sys.write(line * 64, 0);
+    const Cycle drained = sys.drainWrites();
+    EXPECT_GE(drained, sys.lastIssueCycle());
+    EXPECT_EQ(sys.totalCounts().wr, 16u);
+    EXPECT_GT(sys.channel(0).counts().wr, 0u);
+    EXPECT_GT(sys.channel(1).counts().wr, 0u);
+}
+
+// --- Trace-driven core over a multi-channel system. ---
+
+TEST(DramSystemCore, TraceWorkloadRunsOnFourChannels)
+{
+    auto trace = [] {
+        std::vector<TraceOp> ops;
+        for (uint64_t a = 0; a < 1u << 20; a += 64)
+            ops.push_back({OpType::Load, a, 0});
+        return Workload{"scan", ops};
+    }();
+
+    auto run = [&trace](DramSystem &sys) {
+        CoreConfig cfg;
+        cfg.l1_bytes = 4096; // Tiny caches: almost every load misses.
+        cfg.l2_bytes = 16384;
+        InOrderCore core(sys, cfg);
+        core.bind(&trace);
+        return core.run();
+    };
+
+    DramSystem one(DramConfig::ddr3_1600(256, 1));
+    ControllerConfig cc4;
+    cc4.map_scheme = MapScheme::RowChannelBankColumn;
+    DramSystem four(DramConfig::ddr3_1600(256, 4), cc4);
+
+    const double t1 = run(one);
+    const double t4 = run(four);
+    EXPECT_GT(t1, 0.0);
+    EXPECT_GT(t4, 0.0);
+    // Same memory traffic overall (the channel-independent totals of
+    // the acceptance criterion)...
+    EXPECT_EQ(four.totalCounts().rd, one.totalCounts().rd);
+    EXPECT_EQ(four.totalCounts().act, one.totalCounts().act);
+    // ...spread over all four channels.
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(four.channel(c).counts().rd, 0u) << "channel " << c;
+}
+
+TEST(DramSystemCore, MultiChannelSecureDeallocKeepsCommandTotals)
+{
+    // A dealloc-heavy trace issues one CODIC row op per row
+    // regardless of the channel count.
+    std::vector<TraceOp> ops;
+    ops.push_back({OpType::DeallocRegion, 0, 1u << 20});
+    Workload w{"dealloc", ops};
+
+    auto codicCount = [&w](int channels) {
+        ControllerConfig cc;
+        if (channels > 1)
+            cc.map_scheme = MapScheme::RowChannelBankColumn;
+        DramSystem sys(DramConfig::ddr3_1600(256, channels), cc);
+        CoreConfig cfg;
+        cfg.dealloc = DeallocMode::CodicDet;
+        InOrderCore core(sys, cfg);
+        core.bind(&w);
+        core.run();
+        return sys.totalCounts().codic;
+    };
+    EXPECT_EQ(codicCount(1), codicCount(4));
+    EXPECT_EQ(codicCount(1), (1u << 20) / 8192);
+}
+
+// --- Safe interface over a multi-channel system. ---
+
+TEST(SafeInterfaceSystem, RoutesPufAndZeroRequestsAcrossChannels)
+{
+    // Default map: channel is the top bit, so the two halves of the
+    // address space live on different channels.
+    DramSystem sys(DramConfig::ddr3_1600(256, 2));
+    const uint64_t half =
+        static_cast<uint64_t>(sys.config().capacityBytes()) / 2;
+    const uint64_t row = static_cast<uint64_t>(sys.config().row_bytes);
+
+    SafeCodicInterface iface(sys, 0, 64 * row);
+    Cycle done = 0;
+    EXPECT_EQ(iface.pufResponse(0, 0, &done), SafeRequestStatus::Ok);
+    EXPECT_EQ(sys.channel(0).counts().codic, 1u);
+    EXPECT_EQ(sys.channel(1).counts().codic, 0u);
+
+    // Zero one row on each channel.
+    iface.declareFreed(100 * row, row);
+    iface.declareFreed(half + 100 * row, row);
+    EXPECT_EQ(iface.zeroRange(100 * row, row, 0, nullptr),
+              SafeRequestStatus::Ok);
+    EXPECT_EQ(iface.zeroRange(half + 100 * row, row, 0, nullptr),
+              SafeRequestStatus::Ok);
+    EXPECT_EQ(sys.channel(0).counts().codic, 2u);
+    EXPECT_EQ(sys.channel(1).counts().codic, 1u);
+}
+
+// --- Energy roll-up. ---
+
+TEST(SystemEnergy, RollsUpCommandsAndBackgroundPerChannel)
+{
+    ControllerConfig cc;
+    cc.map_scheme = MapScheme::RowBankColumnChannel;
+    DramSystem sys(DramConfig::ddr3_1600(256, 4), cc);
+    for (uint64_t line = 0; line < 64; ++line)
+        sys.read(line * 64, 0);
+
+    const double elapsed_ns = 1000.0;
+    const EnergyParams params;
+    double expected = 0.0;
+    for (int c = 0; c < 4; ++c)
+        expected += campaignEnergyNj(sys.channel(c).counts(),
+                                     elapsed_ns, params);
+    EXPECT_DOUBLE_EQ(systemEnergyNj(sys, elapsed_ns, params), expected);
+    // Four idle channels burn 4x the background power of one.
+    DramSystem idle1(DramConfig::ddr3_1600(256, 1));
+    DramSystem idle4(DramConfig::ddr3_1600(256, 4));
+    EXPECT_DOUBLE_EQ(systemEnergyNj(idle4, elapsed_ns, params),
+                     4.0 * systemEnergyNj(idle1, elapsed_ns, params));
+}
+
+#ifndef NDEBUG
+// --- Debug-mode thread-ownership check (DramChannel contract). ---
+
+TEST(ChannelOwnership, CrossThreadIssueWithoutHandoffPanics)
+{
+    DramChannel ch(DramConfig::ddr3_1600(64));
+    Command act;
+    act.type = CommandType::Act;
+    ch.issue(act, 0); // Binds ownership to this thread.
+
+    bool panicked = false;
+    std::thread other([&] {
+        Command pre;
+        pre.type = CommandType::Pre;
+        try {
+            ch.issue(pre, 1000);
+        } catch (const PanicError &) {
+            panicked = true;
+        }
+    });
+    other.join();
+    EXPECT_TRUE(panicked);
+
+    // An explicit hand-off re-binds ownership legally.
+    ch.debugReleaseOwner();
+    std::thread taker([&] {
+        Command pre;
+        pre.type = CommandType::Pre;
+        pre.addr.bank = 1;
+        Command act2;
+        act2.type = CommandType::Act;
+        act2.addr.bank = 1;
+        ch.issueAtEarliest(act2, 0);
+    });
+    taker.join();
+}
+#endif
+
+} // namespace
+} // namespace codic
