@@ -1,96 +1,18 @@
 /**
  * @file
- * Ablation: PUF filtering depth (Section 6.1.1). Sweeps the
- * CODIC-sig majority-filter depth and the DRAM Latency PUF read
- * count, reporting the exact-match false-rejection rate against the
- * evaluation-time cost - quantifying the paper's claim that a
- * lightweight Latency-PUF filter "could be as fast as the CODIC PUF
- * [but] the PUF quality would decrease significantly".
+ * Ablation: PUF filtering depth (Section 6.1.1). Thin wrapper over
+ * the `puf_ablation_filter` scenario, plus a filtered-evaluation
+ * microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "common/table.h"
-#include "puf/experiments.h"
-#include "puf/latency_puf.h"
 #include "puf/sig_puf.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-double
-exactMatchFrr(const DramPuf &puf,
-              const std::vector<const SimulatedChip *> &chips,
-              size_t trials, uint64_t seed)
-{
-    Rng rng(seed);
-    size_t mismatches = 0;
-    for (size_t i = 0; i < trials; ++i) {
-        const SimulatedChip *chip =
-            chips[static_cast<size_t>(rng.below(chips.size()))];
-        Challenge ch{rng.below(chip->segments()), 65536};
-        const Response a =
-            puf.evaluateFiltered(*chip, ch, {30.0, false, rng.next64()});
-        const Response b =
-            puf.evaluateFiltered(*chip, ch, {30.0, false, rng.next64()});
-        if (!(a == b))
-            ++mismatches;
-    }
-    return static_cast<double>(mismatches) /
-           static_cast<double>(trials);
-}
-
-void
-printAblation()
-{
-    const auto chips = buildPaperPopulation();
-    std::vector<const SimulatedChip *> all;
-    for (const auto &c : chips)
-        all.push_back(&c);
-    const double pass_ms = 0.882; // SoftMC pass cost (Table 4).
-
-    std::printf("=== Ablation: CODIC-sig filter depth ===\n");
-    TextTable t({"Filter challenges", "Exact-match FRR",
-                 "Eval time (SoftMC)"});
-    for (int depth : {1, 3, 5, 7, 9}) {
-        SigPufParams params;
-        params.filter_challenges = depth;
-        CodicSigPuf puf(params);
-        const double frr =
-            depth == 1
-                ? exactMatchFrr(
-                      // Depth 1 == unfiltered single evaluation.
-                      puf, all, 4000, 17)
-                : exactMatchFrr(puf, all, 4000, 17);
-        t.addRow({std::to_string(depth), fmt(frr * 100.0, 2) + " %",
-                  fmt(pass_ms * depth, 2) + " ms"});
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf("(the paper's conservative depth of 5 eliminates "
-                "response noise at 4.41 ms)\n");
-
-    std::printf("\n=== Ablation: DRAM Latency PUF read count ===\n");
-    TextTable l({"Reads", "Filter threshold", "Exact-match FRR",
-                 "Eval time (SoftMC)"});
-    for (int reads : {5, 10, 25, 50, 100}) {
-        LatencyPufParams params;
-        params.reads = reads;
-        params.filter_threshold = reads * 9 / 10;
-        DramLatencyPuf puf(params);
-        const double frr = exactMatchFrr(puf, all, 1500, 19);
-        l.addRow({std::to_string(reads),
-                  std::to_string(params.filter_threshold),
-                  fmt(frr * 100.0, 1) + " %",
-                  fmt(pass_ms * reads, 1) + " ms"});
-    }
-    std::printf("%s", l.render().c_str());
-    std::printf("(a 5-10 read Latency PUF approaches CODIC-sig's "
-                "latency but its responses are\nfar less repeatable - "
-                "the quality/latency trade-off of Section 6.1.1)\n");
-}
 
 void
 BM_FilteredEvaluationDepth5(benchmark::State &state)
@@ -110,8 +32,5 @@ BENCHMARK(BM_FilteredEvaluationDepth5);
 int
 main(int argc, char **argv)
 {
-    printAblation();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"puf_ablation_filter"}, argc, argv);
 }

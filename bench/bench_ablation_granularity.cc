@@ -1,65 +1,18 @@
 /**
  * @file
  * Ablation: delay-element time-step granularity (Section 4.2.1,
- * footnote 3: "we can reduce the area overhead by coarsening the
- * granularity of time control in a CODIC command"). Sweeps the tap
- * count of the configurable delay element and reports silicon cost
- * against the size of the reachable variant space.
+ * footnote 3). Thin wrapper over the `circuit_ablation_granularity`
+ * scenario, plus a delay-element-model microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "circuit/delay_element.h"
-#include "circuit/signals.h"
-#include "common/table.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printAblation()
-{
-    std::printf("=== Ablation: CODIC time-step granularity vs area "
-                "===\n");
-    TextTable t({"Step (ns)", "Taps", "Area/mat (1 sig)",
-                 "Area/mat (4 sig)", "Pulses/signal",
-                 "Energy (4 elems, fJ)"});
-    struct Step
-    {
-        double step_ns;
-        size_t taps;
-    };
-    for (const auto &[step_ns, taps] :
-         {Step{1.0, 25}, Step{2.0, 13}, Step{4.0, 7}, Step{8.0, 4}}) {
-        DelayElementParams p;
-        p.taps = taps;
-        p.buffer_delay_ns = step_ns;
-        DelayElement e(p);
-        // Pulses per signal with w/step selectable positions.
-        const uint64_t pulses = SignalSchedule::pulsesPerSignal(
-            static_cast<int>(taps));
-        t.addRow({fmt(step_ns, 0), std::to_string(taps),
-                  fmt(e.areaOverheadPerMat() * 100.0, 3) + " %",
-                  fmt(e.fullCodicAreaOverheadPerMat() * 100.0, 3) + " %",
-                  std::to_string(pulses),
-                  fmt(4.0 * e.energyPerOperationFj(), 0)});
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf(
-        "\nTrade-off: halving the resolution roughly halves the area\n"
-        "(buffers dominate) but shrinks the variant space "
-        "quadratically\nper signal; 1 ns/25 taps (the paper's choice) "
-        "keeps the full\n300^4 design space at 1.12%% mat area.\n");
-
-    std::printf("\nFunctional floor: the named variants need to "
-                "distinguish signal\norderings two steps apart "
-                "(e.g. wl at 5 ns, EQ at 7 ns), so steps\ncoarser "
-                "than ~4 ns can no longer express CODIC-sig vs "
-                "CODIC-det\ntimings within the 25 ns window.\n");
-}
 
 void
 BM_DelayElementModel(benchmark::State &state)
@@ -78,8 +31,5 @@ BENCHMARK(BM_DelayElementModel);
 int
 main(int argc, char **argv)
 {
-    printAblation();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"circuit_ablation_granularity"}, argc, argv);
 }

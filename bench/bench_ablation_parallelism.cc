@@ -1,25 +1,24 @@
 /**
  * @file
- * Ablation: bank-level parallelism in self-destruction (Section
- * 5.2.2). Restricts the CODIC destruction engine to k of the 8 banks
- * and reports per-row throughput, showing the pipeline saturating at
- * the tFAW limit once enough banks participate, and the tFAW/tRRD
- * constraints binding.
+ * Parallelism ablations: bank-level parallelism in self-destruction
+ * (Section 5.2.2) and the CampaignEngine thread-count sweep. Thin
+ * wrapper over the `ablation_bank_parallelism` and
+ * `ablation_engine_parallelism` scenarios (the latter sweeps thread
+ * counts up to --threads / CODIC_THREADS and emits the sweep as JSON
+ * rows under codic_run), plus a destruction microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "codic/variant.h"
-#include "common/table.h"
 #include "dram/channel.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
 
-/** Destroy `rows` rows per bank using only the first `banks` banks. */
+/** Destroy `rows` rows per bank using all 8 banks. */
 double
 perRowTimeNs(int banks, int64_t rows)
 {
@@ -41,41 +40,6 @@ perRowTimeNs(int banks, int64_t rows)
 }
 
 void
-printAblation()
-{
-    std::printf("=== Ablation: bank-level parallelism in CODIC "
-                "self-destruction ===\n");
-    const auto &t = DramConfig::ddr3_1600(64).timing;
-    const DramConfig cfg = DramConfig::ddr3_1600(64);
-    std::printf("constraints: tRC (serial per bank) = %.1f ns, tRRD = "
-                "%.1f ns, tFAW/4 = %.1f ns\n\n",
-                cfg.cyclesToNs(t.trc), cfg.cyclesToNs(t.trrd),
-                cfg.cyclesToNs(t.tfaw) / 4.0);
-
-    TextTable table({"Banks in parallel", "Per-row time (ns)",
-                     "Speedup vs 1 bank", "Binding constraint"});
-    const double serial = perRowTimeNs(1, 512);
-    for (int banks : {1, 2, 4, 8}) {
-        const double per_row = perRowTimeNs(banks, 512);
-        const char *binding;
-        if (banks == 1)
-            binding = "tRC (bank cycle)";
-        else if (per_row > cfg.cyclesToNs(t.tfaw) / 4.0 + 0.5)
-            binding = "tRC / tRRD";
-        else
-            binding = "tFAW";
-        table.addRow({std::to_string(banks), fmt(per_row, 2),
-                      fmt(serial / per_row, 2) + "x", binding});
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf(
-        "\nConclusion: parallelizing across banks (paper Section "
-        "5.2.2) buys ~%.1fx;\nbeyond 4-5 banks the four-activate "
-        "window (tFAW) caps throughput at one\nrow per %.1f ns.\n",
-        serial / perRowTimeNs(8, 512), cfg.cyclesToNs(t.tfaw) / 4.0);
-}
-
-void
 BM_DestructionEightBanks(benchmark::State &state)
 {
     for (auto _ : state)
@@ -88,8 +52,5 @@ BENCHMARK(BM_DestructionEightBanks)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printAblation();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"ablation_bank_parallelism", "ablation_engine_parallelism"}, argc, argv);
 }

@@ -1,71 +1,19 @@
 /**
  * @file
  * Ablation: the CODIC-sig-opt early-termination optimization
- * (Section 4.1.1). Sweeps the wl/EQ deassert time and reports the
- * residual capacitor error vs. Vdd/2, the bank-occupancy latency,
- * and the end-to-end PUF evaluation impact, showing why terminating
- * at 11 ns is safe (the capacitor settles almost immediately after
- * EQ asserts).
+ * (Section 4.1.1). Thin wrapper over the `circuit_ablation_sig_opt`
+ * scenario, plus a transient microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <cstdio>
-
 #include "circuit/analog.h"
 #include "codic/variant.h"
-#include "common/table.h"
-#include "puf/response_time.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printAblation()
-{
-    std::printf("=== Ablation: CODIC-sig early termination ===\n");
-    const CircuitParams params = CircuitParams::ddr3();
-    const VariationDraw nominal{};
-
-    TextTable t({"wl/EQ deassert (ns)", "Bank occupancy (ns)",
-                 "|V_cell - Vdd/2| stored '1' (mV)",
-                 "stored '0' (mV)"});
-    for (int end : {9, 10, 11, 13, 16, 22}) {
-        SignalSchedule s;
-        s.set(Signal::Wl, 5, end);
-        s.set(Signal::Eq, 7, end);
-
-        double err[2];
-        int idx = 0;
-        for (double init : {params.vdd, 0.0}) {
-            CellCircuit cell(params, nominal);
-            cell.setCellVoltage(init);
-            cell.run(s, 30.0);
-            err[idx++] =
-                std::fabs(cell.cellVoltage() - params.vHalf()) * 1e3;
-        }
-        t.addRow({std::to_string(end), fmt(variantLatencyNs(s), 0),
-                  fmt(err[0], 2), fmt(err[1], 2)});
-    }
-    std::printf("%s", t.render().c_str());
-
-    std::printf("\nEnd-to-end effect on PUF evaluation (native "
-                "command-level):\n");
-    const DramConfig cfg = DramConfig::ddr3_1600(2048);
-    const auto sig = evaluationTime(PufKind::CodicSig, true, cfg);
-    const auto opt = evaluationTime(PufKind::CodicSigOpt, true, cfg);
-    std::printf("  CODIC-sig:     %s per filtered evaluation\n",
-                fmtTimeNs(sig.native_ns).c_str());
-    std::printf("  CODIC-sig-opt: %s per filtered evaluation "
-                "(%.1f%% faster)\n",
-                fmtTimeNs(opt.native_ns).c_str(),
-                (sig.native_ns / opt.native_ns - 1.0) * 100.0);
-    std::printf("\nConclusion: by 11 ns the capacitor error is "
-                "sub-millivolt, so the 13 ns\nsig-opt command (vs 35 "
-                "ns) loses no reliability (paper Section 4.1.1).\n");
-}
 
 void
 BM_SigOptTransient(benchmark::State &state)
@@ -86,8 +34,5 @@ BENCHMARK(BM_SigOptTransient);
 int
 main(int argc, char **argv)
 {
-    printAblation();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"circuit_ablation_sig_opt"}, argc, argv);
 }

@@ -1,77 +1,18 @@
 /**
  * @file
- * Extension (paper Section 5.3.2): custom DRAM latency optimization.
- * Characterizes per-instance charge-sharing speed with the circuit
- * model (the "Accurate DRAM Characterization" use case), builds a
- * per-row activation-gap profile, and measures the row-miss read
- * latency reduction from activating strong rows with faster
- * activation-class CODIC commands.
+ * Extension (Section 5.3.2): custom DRAM latency optimization. Thin
+ * wrapper over the `ext_adaptive_act` scenario, plus
+ * characterization/evaluation microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "common/table.h"
 #include "optim/adaptive_act.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printExtension()
-{
-    const CircuitParams params = CircuitParams::ddr3();
-
-    std::printf("=== Extension: per-row reduced activation latency "
-                "(Section 5.3.2) ===\n");
-    std::printf("\n--- Circuit characterization: column-ready time vs "
-                "device strength ---\n");
-    TextTable c({"Access-transistor strength", "Column-ready (ns)",
-                 "vs worst-case tRCD (13.75 ns)"});
-    for (double rel : {-0.60, -0.30, 0.0, 0.25}) {
-        VariationDraw draw;
-        draw.access_rel = rel;
-        const double ready = columnReadyNs(params, draw);
-        char label[32];
-        std::snprintf(label, sizeof(label), "%+.0f %% conductance",
-                      rel * 100.0);
-        c.addRow({label, fmt(ready, 1),
-                  fmt((1.0 - ready /
-                                 RowReadyProfile::kNominalReadyNs) *
-                          100.0,
-                      0) + " % faster"});
-    }
-    std::printf("%s", c.render().c_str());
-
-    std::printf("\n--- Device profile (hash-derived rows, "
-                "characterized deciles, 1 ns guardband) ---\n");
-    RowReadyProfile profile(params, 42);
-    const auto s = profile.summarize(8, 65536);
-    std::printf("mean ready %.1f ns, range [%.1f, %.1f] ns, %.0f%% of "
-                "rows at least 1 ns under tRCD\n",
-                s.mean_ready_ns, s.min_ready_ns, s.max_ready_ns,
-                s.frac_fast * 100.0);
-
-    std::printf("\n--- System effect: row-miss read latency "
-                "(ACT->data), 2000 random activations ---\n");
-    const auto r = evaluateAdaptiveActivation(params, 42, 2000, 11);
-    TextTable t({"Mode", "Avg ACT->data (ns)"});
-    t.addRow({"fixed worst-case timing (tRCD)",
-              fmt(r.baseline_avg_read_ns, 1)});
-    t.addRow({"per-row CODIC activation",
-              fmt(r.adaptive_avg_read_ns, 1)});
-    std::printf("%s", t.render().c_str());
-    std::printf("row-miss critical-path speedup: %.1f%%\n",
-                r.speedup * 100.0);
-    std::printf(
-        "\nThis is the class of optimization the paper argues fixed\n"
-        "internal timings forbid: prior works could only shrink the\n"
-        "external tRCD blindly; with CODIC the controller knows the\n"
-        "internal wl->sense state and can count data-ready from the\n"
-        "characterized crossing time, safely per row.\n");
-}
 
 void
 BM_Characterization(benchmark::State &state)
@@ -102,8 +43,5 @@ BENCHMARK(BM_AdaptiveEvaluation)
 int
 main(int argc, char **argv)
 {
-    printExtension();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"ext_adaptive_act"}, argc, argv);
 }

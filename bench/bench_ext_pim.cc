@@ -1,20 +1,15 @@
 /**
  * @file
- * Extension (paper Sections 1 and 5.3.3): CODIC-enabled processing
- * in memory. Reproduces the reliability argument of the paper's
- * introduction - ComputeDRAM-style timing violations corrupt a large
- * fraction of bits, while CODIC's explicit internal timings compute
- * exactly - and measures the bulk-bitwise throughput advantage over
- * the column interface.
+ * Extension (Sections 1 and 5.3.3): CODIC-enabled processing in
+ * memory. Thin wrapper over the `ext_pim` scenario, plus an in-DRAM
+ * AND microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "common/rng.h"
-#include "common/table.h"
 #include "pim/bitwise.h"
+#include "scenario_main.h"
 
 namespace {
 
@@ -28,75 +23,6 @@ randomRow(uint64_t seed)
     for (auto &w : row)
         w = rng.next64();
     return row;
-}
-
-void
-printExtension()
-{
-    std::printf("=== Extension: in-DRAM bulk bitwise operations "
-                "(Section 5.3.3) ===\n");
-
-    std::printf("\n--- Reliability: CODIC timing control vs "
-                "ComputeDRAM timing violations ---\n");
-    TextTable rel({"Trigger mechanism", "Unreliable cells",
-                   "AND bit-error rate"});
-    const RowPayload a = randomRow(1);
-    const RowPayload b = randomRow(2);
-    RowPayload expect_and(AmbitUnit::kWordsPerRow);
-    for (size_t i = 0; i < a.size(); ++i)
-        expect_and[i] = a[i] & b[i];
-
-    struct Case
-    {
-        const char *name;
-        PimMode mode;
-        double fraction;
-    };
-    for (const auto &[name, mode, fraction] :
-         {Case{"CODIC (explicit internal timings)", PimMode::Codic, 0.0},
-          Case{"ComputeDRAM, good chip", PimMode::ComputeDram, 0.15},
-          Case{"ComputeDRAM, typical chip", PimMode::ComputeDram, 0.4},
-          Case{"ComputeDRAM, bad chip", PimMode::ComputeDram, 0.8}}) {
-        DramChannel ch(DramConfig::ddr3_1600(64));
-        AmbitUnit unit(ch, 0, mode, fraction);
-        Cycle t = unit.writeRow(10, a, 0);
-        t = unit.writeRow(11, b, t);
-        unit.bitwiseAnd(10, 11, 12, t);
-        rel.addRow({name, fmt(fraction * 100.0, 0) + " %",
-                    fmt(bitErrorRate(unit.readRow(12), expect_and) *
-                            100.0,
-                        1) + " %"});
-    }
-    std::printf("%s", rel.render().c_str());
-    std::printf("(paper Section 1: with ComputeDRAM \"only a small "
-                "fraction of the cells can\nreliably perform the "
-                "intended computations\"; CODIC makes the mechanism "
-                "exact)\n");
-
-    std::printf("\n--- Throughput: one 8 KB AND, in-DRAM vs column "
-                "interface ---\n");
-    DramChannel ch(DramConfig::ddr3_1600(64));
-    AmbitUnit unit(ch, 0);
-    Cycle t = unit.writeRow(10, a, 0);
-    t = unit.writeRow(11, b, t);
-    const Cycle start = t;
-    const Cycle done = unit.bitwiseAnd(10, 11, 12, start);
-    const double in_dram_ns = ch.config().cyclesToNs(done - start);
-    // Column interface: read a, read b, write result = 3 row passes.
-    const double burst_ns = 5.0;
-    const double interface_ns = 3.0 * 128.0 * burst_ns;
-    TextTable th({"Path", "8 KB AND latency", "Effective GB/s"});
-    th.addRow({"in-DRAM (4 AAPs + triple activate)",
-               fmtTimeNs(in_dram_ns),
-               fmt(8192.0 / in_dram_ns, 1)});
-    th.addRow({"column interface (RD a, RD b, WR out)",
-               fmtTimeNs(interface_ns),
-               fmt(8192.0 / interface_ns, 1)});
-    std::printf("%s", th.render().c_str());
-    std::printf("in-DRAM advantage: %.1fx, and it scales with bank "
-                "parallelism while the\ncolumn interface is fixed by "
-                "bus bandwidth.\n",
-                interface_ns / in_dram_ns);
 }
 
 void
@@ -119,8 +45,5 @@ BENCHMARK(BM_InDramAnd);
 int
 main(int argc, char **argv)
 {
-    printExtension();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"ext_pim"}, argc, argv);
 }

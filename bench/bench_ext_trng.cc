@@ -1,75 +1,19 @@
 /**
  * @file
- * Extension (paper Section 5.3.1): a CODIC-based True Random Number
- * Generator. Enrolls the metastable sense-amplifier population,
- * harvests Von Neumann-whitened bits under the SP 800-90B continuous
- * health tests, reports throughput, and runs the NIST battery on the
- * output.
+ * Extension (Section 5.3.1): the CODIC-based TRNG. Thin wrapper over
+ * the `trng_characterization` scenario, plus harvest/enrollment
+ * microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "common/table.h"
-#include "nist/tests.h"
+#include "common/rng.h"
+#include "scenario_main.h"
 #include "trng/trng.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printExtension()
-{
-    std::printf("=== Extension: CODIC-based TRNG (Section 5.3.1) "
-                "===\n");
-
-    TextTable t({"Window (x noise RMS)", "Sources / 8KB segment",
-                 "Raw Mb/s", "Whitened Mb/s"});
-    for (double window : {0.5, 1.0, 2.0}) {
-        TrngConfig cfg;
-        cfg.metastable_window = window;
-        CodicTrng trng(cfg);
-        t.addRow({fmt(window, 1),
-                  std::to_string(trng.sources().size()),
-                  fmt(trng.rawThroughputBitsPerSec() / 1e6, 1),
-                  fmt(trng.whitenedThroughputBitsPerSec() / 1e6, 1)});
-    }
-    std::printf("%s", t.render().c_str());
-
-    std::printf("\n--- Quality: NIST battery on 1 Mb of whitened "
-                "output ---\n");
-    TrngConfig cfg;
-    CodicTrng trng(cfg);
-    Rng noise(2026);
-    TrngHealthTests health;
-    const auto bits = trng.harvest(1 << 20, noise, &health);
-    std::printf("health tests (SP 800-90B repetition + adaptive "
-                "proportion): %s over %llu raw bits\n",
-                health.failed() ? "FAILED" : "clean",
-                static_cast<unsigned long long>(health.observed()));
-    const auto results = runNistSuite(bits);
-    int pass = 0;
-    int applicable = 0;
-    TextTable n({"NIST test", "p-value", "Result"});
-    for (const auto &r : results) {
-        n.addRow({r.name, r.applicable ? fmt(r.p_value, 4) : "-",
-                  r.applicable ? (r.pass() ? "PASS" : "FAIL") : "N/A"});
-        if (r.applicable) {
-            ++applicable;
-            pass += r.pass() ? 1 : 0;
-        }
-    }
-    std::printf("%s%d/%d applicable tests pass\n", n.render().c_str(),
-                pass, applicable);
-    std::printf(
-        "\nContrast with D-RaNGe-class TRNGs (paper Section 5.3.1):\n"
-        "those trigger failures by violating DDRx timings without\n"
-        "knowing the internal failure mechanism; CODIC pins the\n"
-        "mechanism (SA metastability at the trip point) and harvests\n"
-        "it directly with one command per sample.\n");
-}
 
 void
 BM_TrngHarvest(benchmark::State &state)
@@ -87,7 +31,7 @@ BM_TrngEnrollment(benchmark::State &state)
 {
     TrngConfig cfg;
     for (auto _ : state) {
-        cfg.device_seed++;
+        cfg.run.seed++;
         benchmark::DoNotOptimize(CodicTrng(cfg));
     }
 }
@@ -98,8 +42,5 @@ BENCHMARK(BM_TrngEnrollment)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printExtension();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"trng_characterization"}, argc, argv);
 }

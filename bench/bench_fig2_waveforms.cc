@@ -1,81 +1,20 @@
 /**
  * @file
- * Reproduces paper Figure 2b: the internal-signal waveforms of the
- * regular precharge and activate commands, and their effect on the
- * bitline and cell-capacitor voltages.
- *
- * Prints the voltage series sampled from the analog model, then runs
- * a google-benchmark measurement of the transient-simulation kernel.
+ * Paper Figure 2b (internal-signal waveforms of regular precharge
+ * and activate): thin wrapper over the `circuit_fig2_waveforms`
+ * scenario, plus google-benchmark measurements of the
+ * transient-simulation kernel.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "circuit/analog.h"
 #include "codic/variant.h"
-#include "common/table.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printWaveform(const char *title, const Transient &tr, double vdd)
-{
-    std::printf("\n%s (Vdd = %.2f V)\n", title, vdd);
-    TextTable t({"t (ns)", "wl", "EQ", "sense_p", "sense_n",
-                 "V_bitline (V)", "V_cell (V)"});
-    for (const auto &p : tr.points) {
-        // Print every 2 ns to keep the series readable.
-        const double frac = p.t_ns / 2.0;
-        if (std::abs(frac - std::round(frac)) > 1e-6)
-            continue;
-        t.addRow({fmt(p.t_ns, 0), fmt(p.wl, 1), fmt(p.eq, 1),
-                  fmt(p.sense_p, 1), fmt(p.sense_n, 1),
-                  fmt(p.v_bitline, 3), fmt(p.v_cell, 3)});
-    }
-    std::printf("%s", t.render().c_str());
-}
-
-void
-printFigure2b()
-{
-    std::printf("=== Figure 2b: DRAM internal signal timing in regular "
-                "precharge and activate commands ===\n");
-    const CircuitParams params = CircuitParams::ddr3();
-    const VariationDraw nominal{};
-
-    // Precharge: bitline parked at Vdd after a previous access.
-    CellCircuit pre_cell(params, nominal);
-    pre_cell.setCellVoltage(params.vdd);
-    pre_cell.setBitlineVoltage(params.vdd);
-    const Transient pre =
-        pre_cell.run(variants::precharge().schedule, 20.0);
-    printWaveform("Precharge (EQ[5,11])", pre, params.vdd);
-
-    // Activate: stored one, charge sharing then sensing/restore.
-    CellCircuit act_cell(params, nominal);
-    act_cell.setCellVoltage(params.vdd);
-    const Transient act =
-        act_cell.run(variants::activate().schedule, 30.0);
-    printWaveform("Activate (wl[5,22] sense_p/n[7,22]), stored '1'",
-                  act, params.vdd);
-
-    CellCircuit act0_cell(params, nominal);
-    act0_cell.setCellVoltage(0.0);
-    const Transient act0 =
-        act0_cell.run(variants::activate().schedule, 30.0);
-    printWaveform("Activate, stored '0'", act0, params.vdd);
-
-    std::printf("\nShape checks vs. paper Fig. 1/2b:\n");
-    std::printf("  charge-sharing deviation at 6.5 ns: %+.0f mV\n",
-                (act.bitlineAt(6.5) - params.vHalf()) * 1e3);
-    std::printf("  restored cell voltage: %.3f V (Vdd = %.2f V)\n",
-                act.finalCell(), params.vdd);
-    std::printf("  precharged bitline: %.3f V (Vdd/2 = %.3f V)\n",
-                pre.finalBitline(), params.vHalf());
-}
 
 void
 BM_ActivateTransient(benchmark::State &state)
@@ -110,8 +49,5 @@ BENCHMARK(BM_PrechargeTransient);
 int
 main(int argc, char **argv)
 {
-    printFigure2b();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"circuit_fig2_waveforms"}, argc, argv);
 }

@@ -1,101 +1,19 @@
 /**
  * @file
- * Reproduces paper Figure 3 (CODIC-sig and CODIC-det transients) and
- * Figure 10 (CODIC-sigsa, Appendix C): the in-DRAM value-generation
- * mechanisms at circuit level.
+ * Paper Figure 3 / Figure 10 (CODIC-sig, CODIC-det, and CODIC-sigsa
+ * transients): thin wrapper over the `circuit_fig3_codic_waveforms`
+ * scenario, plus transient-kernel microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "circuit/analog.h"
 #include "codic/variant.h"
-#include "common/table.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printSeries(const char *title, const Transient &tr)
-{
-    std::printf("\n%s\n", title);
-    TextTable t({"t (ns)", "V_bitline (V)", "V_cell (V)"});
-    for (double at : {0.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0,
-                      20.0, 24.0, 28.0}) {
-        t.addRow({fmt(at, 0), fmt(tr.bitlineAt(at), 3),
-                  fmt(tr.cellAt(at), 3)});
-    }
-    std::printf("%s", t.render().c_str());
-}
-
-void
-printFigure3()
-{
-    const CircuitParams params = CircuitParams::ddr3();
-    const VariationDraw nominal{};
-
-    std::printf("=== Figure 3a: CODIC-sig (wl[5,22] EQ[7,22]) ===\n");
-    for (double init : {1.0, 0.0}) {
-        CellCircuit cell(params, nominal);
-        cell.setCellVoltage(init * params.vdd);
-        const Transient tr = cell.run(variants::sig().schedule, 30.0);
-        char title[96];
-        std::snprintf(title, sizeof(title),
-                      "stored '%.0f' -> capacitor driven to Vdd/2",
-                      init);
-        printSeries(title, tr);
-        std::printf("  final capacitor: %.3f V (Vdd/2 = %.3f V)\n",
-                    tr.finalCell(), params.vHalf());
-    }
-
-    std::printf("\n=== Figure 3b: CODIC-det generating zero "
-                "(wl[5,22] sense_n[7,22] sense_p[14,22]) ===\n");
-    {
-        CellCircuit cell(params, nominal);
-        cell.setCellVoltage(params.vdd); // Stored one is destroyed.
-        const Transient tr =
-            cell.run(variants::detZero().schedule, 30.0);
-        printSeries("stored '1' -> deterministic '0'", tr);
-    }
-    std::printf("\n--- CODIC-det generating one (sense_p first) ---\n");
-    {
-        CellCircuit cell(params, nominal);
-        cell.setCellVoltage(0.0);
-        const Transient tr =
-            cell.run(variants::detOne().schedule, 30.0);
-        printSeries("stored '0' -> deterministic '1'", tr);
-    }
-
-    std::printf("\n=== Figure 10 (App. C): CODIC-sigsa "
-                "(sense_p/n[3,22] wl[5,22]) ===\n");
-    {
-        CellCircuit cell(params, nominal);
-        const Transient tr = cell.run(variants::sigsa().schedule, 30.0);
-        printSeries("precharged bitline amplified by SA mismatch "
-                    "(designed bias -> '1')",
-                    tr);
-    }
-    {
-        VariationDraw flipped;
-        flipped.sa_offset = -30e-3;
-        CellCircuit cell(params, flipped);
-        const Transient tr = cell.run(variants::sigsa().schedule, 30.0);
-        printSeries("instance with -30 mV offset -> '0'", tr);
-    }
-
-    std::printf("\n=== CODIC-sig-opt (early termination, "
-                "Section 4.1.1) ===\n");
-    {
-        CellCircuit cell(params, nominal);
-        cell.setCellVoltage(params.vdd);
-        const Transient tr =
-            cell.run(variants::sigOpt().schedule, 16.0);
-        printSeries("wl[5,11] EQ[7,11]: same effect in 13 ns", tr);
-        std::printf("  final capacitor: %.3f V\n", tr.finalCell());
-    }
-}
 
 void
 BM_SigTransient(benchmark::State &state)
@@ -129,8 +47,5 @@ BENCHMARK(BM_DetTransient);
 int
 main(int argc, char **argv)
 {
-    printFigure3();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"circuit_fig3_codic_waveforms"}, argc, argv);
 }

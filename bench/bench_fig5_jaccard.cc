@@ -1,144 +1,21 @@
 /**
  * @file
- * Reproduces paper Figure 5: Intra- and Inter-Jaccard index
- * distributions for the DRAM Latency PUF, PreLatPUF, and CODIC-sig
- * PUF over the 64 DDR3 (1.5 V) and 72 DDR3L (1.35 V) chips, plus the
- * Section 6.1 coverage statistics and the naive exact-match
- * authentication rates.
+ * Paper Figure 5 (Jaccard distributions), Section 6.1 coverage, the
+ * naive authentication rates, and the campaign-engine scaling check:
+ * thin wrapper over the `puf_fig5_jaccard`, `puf_coverage`,
+ * `puf_auth`, and `ablation_engine_parallelism` scenarios, plus
+ * evaluation/campaign microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <cstdio>
-#include <memory>
-
-#include "common/stats.h"
-#include "common/table.h"
 #include "puf/experiments.h"
-#include "puf/latency_puf.h"
-#include "puf/prelat_puf.h"
 #include "puf/sig_puf.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-std::string
-histLine(const std::vector<double> &values)
-{
-    Histogram h(0.0, 1.0 + 1e-9, 25);
-    for (double v : values)
-        h.add(v);
-    return h.ascii();
-}
-
-void
-printFigure5()
-{
-    std::printf("=== Figure 5: Jaccard indices, 10,000 pairs per "
-                "distribution, 8 KB segments ===\n");
-    const auto chips = buildPaperPopulation();
-    const CodicSigPuf sig;
-    const DramLatencyPuf lat;
-    const PrelatPuf pre;
-    const std::vector<std::pair<const DramPuf *, const char *>> pufs = {
-        {&lat, "DRAM Latency PUF"},
-        {&pre, "PreLatPUF"},
-        {&sig, "CODIC-sig PUF"},
-    };
-
-    for (bool ddr3l : {false, true}) {
-        const auto subset = filterByVoltage(chips, ddr3l);
-        std::printf("\n--- %s (%zu chips) ---\n",
-                    ddr3l ? "DDR3L 1.35V" : "DDR3 1.50V",
-                    subset.size());
-        TextTable t({"PUF", "Intra mean", "Intra p5", "Inter mean",
-                     "Inter p95", "Intra hist [0..1]",
-                     "Inter hist [0..1]"});
-        for (const auto &[puf, name] : pufs) {
-            JaccardCampaignConfig cfg;
-            cfg.pairs = 10000;
-            const auto r = runJaccardCampaign(*puf, subset, cfg);
-            t.addRow({name, fmt(r.intraStats().mean(), 3),
-                      fmt(percentile(r.intra, 5.0), 3),
-                      fmt(r.interStats().mean(), 3),
-                      fmt(percentile(r.inter, 95.0), 3),
-                      histLine(r.intra), histLine(r.inter)});
-        }
-        std::printf("%s", t.render().c_str());
-    }
-
-    std::printf("\n=== Section 6.1: methodology coverage ===\n");
-    const CoverageStats cov = coverageStats(chips);
-    std::printf("CODIC value coverage across chips: %.0f%% - %.0f%% "
-                "(paper: 34%% - 99%%)\n",
-                cov.min_coverage * 100.0, cov.max_coverage * 100.0);
-    std::printf("flip-cell fraction across chips:   %.3f%% - %.3f%% "
-                "(paper: 0.01%% - 0.22%%)\n",
-                cov.min_flip_fraction * 100.0,
-                cov.max_flip_fraction * 100.0);
-
-    std::printf("\n=== Section 6.1.1: naive exact-match authentication "
-                "===\n");
-    std::vector<const SimulatedChip *> all;
-    for (const auto &c : chips)
-        all.push_back(&c);
-    const AuthRates rates = runAuthCampaign(sig, all, 10000, 21);
-    std::printf("false rejection rate:  %.2f%% (paper: 0.64%%)\n",
-                rates.false_rejection * 100.0);
-    std::printf("false acceptance rate: %.2f%% (paper: 0.00%%)\n",
-                rates.false_acceptance * 100.0);
-}
-
-/**
- * Campaign-engine scaling: the Fig. 5 campaign at 1..8 threads, with
- * a bit-identical-result check against the sequential path (the
- * engine's determinism contract).
- */
-void
-printParallelScaling()
-{
-    std::printf("\n=== Campaign engine: Fig. 5 campaign scaling ===\n");
-    const auto chips = buildPaperPopulation();
-    const CodicSigPuf sig;
-    std::vector<const SimulatedChip *> all;
-    for (const auto &c : chips)
-        all.push_back(&c);
-
-    JaccardCampaignConfig cfg;
-    cfg.pairs = 10000;
-
-    auto timed = [&](int threads, JaccardCampaignResult *out) {
-        cfg.threads = threads;
-        const auto t0 = std::chrono::steady_clock::now();
-        *out = runJaccardCampaign(sig, all, cfg);
-        const auto t1 = std::chrono::steady_clock::now();
-        return std::chrono::duration<double, std::milli>(t1 - t0)
-            .count();
-    };
-
-    JaccardCampaignResult sequential;
-    const double ms1 = timed(1, &sequential);
-    TextTable t({"threads", "wall (ms)", "speedup", "bit-identical"});
-    t.addRow({"1", fmt(ms1, 1), "1.00", "reference"});
-    for (int threads : {2, 4, 8}) {
-        JaccardCampaignResult parallel;
-        const double ms = timed(threads, &parallel);
-        const bool identical = parallel.intra == sequential.intra &&
-                               parallel.inter == sequential.inter;
-        t.addRow({std::to_string(threads), fmt(ms, 1),
-                  fmt(ms1 / ms, 2), identical ? "yes" : "NO"});
-        if (!identical)
-            std::printf("ERROR: parallel campaign diverged from the "
-                        "sequential path at %d threads\n",
-                        threads);
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf("(speedup tracks the physical cores of this host; "
-                "results are\n bit-identical at every thread count "
-                "by construction)\n");
-}
 
 void
 BM_SigPufEvaluation(benchmark::State &state)
@@ -165,6 +42,7 @@ BM_JaccardCampaign1k(benchmark::State &state)
     for (auto _ : state) {
         JaccardCampaignConfig cfg;
         cfg.pairs = 1000;
+        cfg.run.threads = 1;
         benchmark::DoNotOptimize(runJaccardCampaign(sig, all, cfg));
     }
 }
@@ -181,7 +59,7 @@ BM_JaccardCampaign1kThreaded(benchmark::State &state)
     for (auto _ : state) {
         JaccardCampaignConfig cfg;
         cfg.pairs = 1000;
-        cfg.threads = static_cast<int>(state.range(0));
+        cfg.run.threads = static_cast<int>(state.range(0));
         benchmark::DoNotOptimize(runJaccardCampaign(sig, all, cfg));
     }
 }
@@ -196,9 +74,5 @@ BENCHMARK(BM_JaccardCampaign1kThreaded)
 int
 main(int argc, char **argv)
 {
-    printFigure5();
-    printParallelScaling();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"puf_fig5_jaccard", "puf_coverage", "puf_auth", "ablation_engine_parallelism"}, argc, argv);
 }

@@ -1,76 +1,19 @@
 /**
  * @file
- * Reproduces paper Figure 6 (Intra-Jaccard vs. temperature delta for
- * the three PUFs) and the Section 6.1.1 accelerated-aging result.
+ * Paper Figure 6 (Intra-Jaccard vs temperature) and the accelerated
+ * -aging result: thin wrapper over the `puf_fig6_temperature` and
+ * `puf_aging` scenarios, plus a campaign microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "common/stats.h"
-#include "common/table.h"
 #include "puf/experiments.h"
-#include "puf/latency_puf.h"
-#include "puf/prelat_puf.h"
 #include "puf/sig_puf.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printFigure6()
-{
-    std::printf("=== Figure 6: Intra-Jaccard vs. temperature delta "
-                "from 30 C ===\n");
-    const auto chips = buildPaperPopulation();
-    std::vector<const SimulatedChip *> all;
-    for (const auto &c : chips)
-        all.push_back(&c);
-
-    const CodicSigPuf sig;
-    const DramLatencyPuf lat;
-    const PrelatPuf pre;
-    const std::vector<std::pair<const DramPuf *, const char *>> pufs = {
-        {&lat, "DRAM Latency PUF"},
-        {&pre, "PreLatPUF"},
-        {&sig, "CODIC-sig PUF"},
-    };
-
-    TextTable t({"PUF", "dT=0", "dT=15", "dT=25", "dT=55"});
-    for (const auto &[puf, name] : pufs) {
-        std::vector<std::string> row{name};
-        for (double delta : {0.0, 15.0, 25.0, 55.0}) {
-            RunningStats s;
-            for (double v :
-                 runTemperatureCampaign(*puf, all, delta, 2000, 5))
-                s.add(v);
-            row.push_back(fmt(s.mean(), 3));
-        }
-        t.addRow(row);
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf(
-        "\nPaper observations reproduced:\n"
-        "  - CODIC-sig stays high even at dT = 55 C (robust)\n"
-        "  - PreLatPUF is the most robust (at the cost of poor\n"
-        "    uniqueness, see Figure 5)\n"
-        "  - the DRAM Latency PUF degrades strongly with dT\n");
-
-    std::printf("\n=== Section 6.1.1: accelerated aging "
-                "(125 C stress) ===\n");
-    TextTable a({"PUF", "Intra-Jaccard after aging"});
-    for (const auto &[puf, name] : pufs) {
-        RunningStats s;
-        for (double v : runAgingCampaign(*puf, all, 2000, 9))
-            s.add(v);
-        a.addRow({name, fmt(s.mean(), 3)});
-    }
-    std::printf("%s", a.render().c_str());
-    std::printf("(paper: CODIC-sig PUF is very robust to aging; most "
-                "indices are 1)\n");
-}
 
 void
 BM_TemperatureCampaign(benchmark::State &state)
@@ -81,8 +24,8 @@ BM_TemperatureCampaign(benchmark::State &state)
         all.push_back(&c);
     const CodicSigPuf sig;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            runTemperatureCampaign(sig, all, 55.0, 200, 5));
+        benchmark::DoNotOptimize(runTemperatureCampaign(
+            sig, all, 55.0, 200, {.seed = 5, .threads = 1}));
     }
 }
 BENCHMARK(BM_TemperatureCampaign)->Unit(benchmark::kMillisecond);
@@ -92,8 +35,5 @@ BENCHMARK(BM_TemperatureCampaign)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFigure6();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"puf_fig6_temperature", "puf_aging"}, argc, argv);
 }

@@ -1,88 +1,18 @@
 /**
  * @file
- * Reproduces paper Figure 7 (time to destroy all DRAM data for
- * module sizes 64 MB - 64 GB under TCG, LISA-clone, RowClone, and
- * CODIC) and the Section 6.2 energy comparison at 8 GB.
+ * Paper Figure 7 (time to destroy all DRAM data) and the Section 6.2
+ * energy comparison: thin wrapper over the `coldboot_fig7_destruction`
+ * scenario, plus destruction-engine microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "coldboot/destruction.h"
-#include "common/table.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printFigure7()
-{
-    std::printf("=== Figure 7: Time to destroy all DRAM data in a "
-                "module ===\n");
-    const int64_t sizes_mb[] = {64, 256, 1024, 4096, 16384, 65536};
-    const DestructionMechanism mechs[] = {
-        DestructionMechanism::Tcg, DestructionMechanism::LisaClone,
-        DestructionMechanism::RowClone, DestructionMechanism::Codic};
-
-    TextTable t({"Module", "TCG", "LISA-clone", "RowClone", "CODIC"});
-    for (int64_t mb : sizes_mb) {
-        std::vector<std::string> row;
-        row.push_back(mb >= 1024 ? std::to_string(mb / 1024) + "GB"
-                                 : std::to_string(mb) + "MB");
-        for (auto mech : mechs) {
-            const auto r =
-                runDestruction(DramConfig::ddr3_1600(mb), mech);
-            row.push_back(fmtTimeNs(r.time_ns));
-        }
-        t.addRow(row);
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf("(paper Fig. 7 anchors: TCG 34 ms @64MB ... 34.8 s "
-                "@64GB; CODIC 60 us @64MB ... 63 ms @64GB)\n");
-
-    std::printf("\n=== Section 6.2: 8 GB module comparison ===\n");
-    const DramConfig dram = DramConfig::ddr3_1600(8192);
-    const auto tcg = runDestruction(dram, DestructionMechanism::Tcg);
-    const auto lisa =
-        runDestruction(dram, DestructionMechanism::LisaClone);
-    const auto rc =
-        runDestruction(dram, DestructionMechanism::RowClone);
-    const auto codic =
-        runDestruction(dram, DestructionMechanism::Codic);
-
-    TextTable c({"Mechanism", "Time", "Energy", "Time vs CODIC",
-                 "Energy vs CODIC"});
-    const std::pair<const char *, const DestructionResult *> rows[] = {
-        {"TCG", &tcg},
-        {"LISA-clone", &lisa},
-        {"RowClone", &rc},
-        {"CODIC", &codic},
-    };
-    for (const auto &[name, r] : rows) {
-        c.addRow({name, fmtTimeNs(r->time_ns),
-                  fmtEnergyNj(r->energy_nj),
-                  fmt(r->time_ns / codic.time_ns, 1) + "x",
-                  fmt(r->energy_nj / codic.energy_nj, 1) + "x"});
-    }
-    std::printf("%s", c.render().c_str());
-    std::printf("(paper: CODIC is 552.7x/2.5x/2.0x faster and "
-                "41.7x/2.5x/1.7x lower energy than "
-                "TCG/LISA-clone/RowClone)\n");
-
-    std::printf("\n=== Section 5.2.2: cost-optimized implementation "
-                "reusing the self-refresh circuitry ===\n");
-    const auto reuse = selfRefreshReuseTiming(dram);
-    std::printf("destruction time = one full self-refresh pass: "
-                "%s distributed (one tREFW window),\n%s in burst "
-                "mode (8192 back-to-back tRFC steps) - slower than "
-                "the dedicated\nengine's %s, in exchange for near-"
-                "zero added logic.\n",
-                fmtTimeNs(reuse.distributed_ns).c_str(),
-                fmtTimeNs(reuse.burst_ns).c_str(),
-                fmtTimeNs(codic.time_ns).c_str());
-}
 
 void
 BM_CodicDestruction1GB(benchmark::State &state)
@@ -116,8 +46,5 @@ BENCHMARK(BM_TcgDestruction64MBFull)
 int
 main(int argc, char **argv)
 {
-    printFigure7();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"coldboot_fig7_destruction"}, argc, argv);
 }

@@ -1,57 +1,18 @@
 /**
  * @file
- * Reproduces paper Figure 8 (Appendix A): single-core speedup and
- * DRAM energy savings of the LISA-clone, RowClone, and CODIC secure
- * deallocation mechanisms over the software-zeroing baseline, for
- * the six memory-allocation-intensive benchmarks of Table 8.
+ * Paper Figure 8 (single-core secure-deallocation speedup/energy):
+ * thin wrapper over the `secdealloc_fig8` scenario, plus
+ * single-simulation microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <thread>
-
-#include "common/table.h"
+#include "scenario_main.h"
 #include "secdealloc/evaluate.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printFigure8()
-{
-    std::printf("=== Figure 8: Single-core secure-deallocation speedup "
-                "and energy savings vs software zeroing ===\n");
-    TextTable t({"Benchmark", "LISA sp", "RowClone sp", "CODIC sp",
-                 "LISA en", "RowClone en", "CODIC en"});
-    double max_sp = 0.0;
-    double max_en = 0.0;
-    // The whole benchmark x mechanism grid runs through the campaign
-    // engine; results are identical to the sequential sweep.
-    DeallocEvalConfig cfg;
-    cfg.threads =
-        static_cast<int>(std::thread::hardware_concurrency());
-    const auto names = allocationIntensiveBenchmarks();
-    const auto comparisons = compareSingleCoreAll(names, 11, cfg);
-    for (const auto &c : comparisons) {
-        t.addRow({c.name, fmt(c.lisa_speedup * 100.0, 1) + " %",
-                  fmt(c.rowclone_speedup * 100.0, 1) + " %",
-                  fmt(c.codic_speedup * 100.0, 1) + " %",
-                  fmt(c.lisa_energy * 100.0, 1) + " %",
-                  fmt(c.rowclone_energy * 100.0, 1) + " %",
-                  fmt(c.codic_energy * 100.0, 1) + " %"});
-        max_sp = std::max(max_sp, c.codic_speedup);
-        max_en = std::max(max_en, c.codic_energy);
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf(
-        "\nmax CODIC speedup: %.0f%%  (paper: up to 21%%)\n"
-        "max CODIC energy savings: %.0f%%  (paper: up to 34%%)\n"
-        "CODIC performs at least as well as LISA-clone and RowClone\n"
-        "for all workloads (paper observation 2).\n",
-        max_sp * 100.0, max_en * 100.0);
-}
 
 void
 BM_SingleCoreSoftwareBaseline(benchmark::State &state)
@@ -84,8 +45,5 @@ BENCHMARK(BM_SingleCoreCodicDealloc)
 int
 main(int argc, char **argv)
 {
-    printFigure8();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"secdealloc_fig8"}, argc, argv);
 }

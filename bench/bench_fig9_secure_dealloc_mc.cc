@@ -1,74 +1,18 @@
 /**
  * @file
- * Reproduces paper Figure 9 (Appendix A): 4-core speedup and energy
- * savings of the hardware secure-deallocation mechanisms over
- * software zeroing, for the five representative mixes of Table 9 and
- * the average over 50 random mixes.
+ * Paper Figure 9 (4-core secure-deallocation mixes): thin wrapper
+ * over the `secdealloc_fig9` scenario, plus a multicore-simulation
+ * microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <thread>
-
-#include "common/stats.h"
-#include "common/table.h"
+#include "scenario_main.h"
 #include "secdealloc/evaluate.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printFigure9()
-{
-    std::printf("=== Figure 9: 4-core secure-deallocation speedup and "
-                "energy savings vs software zeroing ===\n");
-    TextTable t({"Mix", "LISA sp", "RowClone sp", "CODIC sp",
-                 "LISA en", "RowClone en", "CODIC en"});
-
-    // The mix x mechanism grids run through the campaign engine;
-    // results are identical to the sequential sweep.
-    DeallocEvalConfig cfg;
-    cfg.threads =
-        static_cast<int>(std::thread::hardware_concurrency());
-    for (const auto &c :
-         compareMultiCoreAll(representativeMixes(77), cfg)) {
-        t.addRow({c.name, fmt(c.lisa_speedup * 100.0, 1) + " %",
-                  fmt(c.rowclone_speedup * 100.0, 1) + " %",
-                  fmt(c.codic_speedup * 100.0, 1) + " %",
-                  fmt(c.lisa_energy * 100.0, 1) + " %",
-                  fmt(c.rowclone_energy * 100.0, 1) + " %",
-                  fmt(c.codic_energy * 100.0, 1) + " %"});
-    }
-
-    // AVG50: the paper averages 50 random mixes of two intensive and
-    // two background benchmarks.
-    RunningStats sp_lisa;
-    RunningStats sp_rc;
-    RunningStats sp_codic;
-    RunningStats en_lisa;
-    RunningStats en_rc;
-    RunningStats en_codic;
-    for (const auto &c : compareMultiCoreAll(randomMixes(50, 123), cfg)) {
-        sp_lisa.add(c.lisa_speedup);
-        sp_rc.add(c.rowclone_speedup);
-        sp_codic.add(c.codic_speedup);
-        en_lisa.add(c.lisa_energy);
-        en_rc.add(c.rowclone_energy);
-        en_codic.add(c.codic_energy);
-    }
-    t.addRow({"AVG50", fmt(sp_lisa.mean() * 100.0, 1) + " %",
-              fmt(sp_rc.mean() * 100.0, 1) + " %",
-              fmt(sp_codic.mean() * 100.0, 1) + " %",
-              fmt(en_lisa.mean() * 100.0, 1) + " %",
-              fmt(en_rc.mean() * 100.0, 1) + " %",
-              fmt(en_codic.mean() * 100.0, 1) + " %"});
-    std::printf("%s", t.render().c_str());
-    std::printf("\nPaper observations reproduced: hardware approaches "
-                "beat software for every mix,\nand CODIC performs at "
-                "least as well as LISA-clone and RowClone.\n");
-}
 
 void
 BM_MultiCoreMix(benchmark::State &state)
@@ -88,8 +32,5 @@ BENCHMARK(BM_MultiCoreMix)
 int
 main(int argc, char **argv)
 {
-    printFigure9();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"secdealloc_fig9"}, argc, argv);
 }

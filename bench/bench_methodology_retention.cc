@@ -1,75 +1,19 @@
 /**
  * @file
- * Reproduces the paper's Section 6.1 measurement *methodology*
- * itself: the 48-hour refresh-disable emulation of CODIC-sig on
- * "real" chips, with the two-scenario conclusiveness test, the
- * 34-99 % coverage band, the 0.01-0.22 % flip-cell band, and the
- * shortened 4-hour wait used for the temperature experiments.
+ * Paper Section 6.1 measurement methodology (48 h refresh-disable
+ * emulation, two-scenario test): thin wrapper over the
+ * `puf_retention_methodology` scenario, plus an experiment
+ * microbenchmark.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "common/stats.h"
-#include "common/table.h"
 #include "puf/retention.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printMethodology()
-{
-    std::printf("=== Section 6.1 methodology: 48 h refresh-disable "
-                "emulation, two-scenario test ===\n");
-    const auto chips = buildPaperPopulation();
-
-    RunningStats coverage;
-    RunningStats flips;
-    TextTable t({"Module", "Chip", "Median retention",
-                 "Coverage", "Flip cells"});
-    for (size_t i = 0; i < chips.size(); i += 17) {
-        const auto r = runRetentionExperiment(chips[i]);
-        t.addRow({chips[i].spec().module,
-                  std::to_string(i),
-                  fmt(chipRetentionMedianHours(chips[i]), 1) + " h",
-                  fmt(r.coverage() * 100.0, 0) + " %",
-                  fmt(r.flipFraction() * 100.0, 3) + " %"});
-    }
-    for (const auto &chip : chips) {
-        const auto r = runRetentionExperiment(chip);
-        coverage.add(r.coverage());
-        flips.add(r.flipFraction());
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf("\nacross all 136 chips:\n");
-    std::printf("  coverage:      %.0f%% - %.0f%%  (paper: 34%% - "
-                "99%%)\n",
-                coverage.min() * 100.0, coverage.max() * 100.0);
-    std::printf("  flip fraction: %.3f%% - %.3f%%  (paper: 0.01%% - "
-                "0.22%%)\n",
-                flips.min() * 100.0, flips.max() * 100.0);
-
-    std::printf("\n--- Temperature experiments use a 4 h wait "
-                "(Section 6.1.1) ---\n");
-    TextTable h({"Condition", "Coverage (chip 0)"});
-    RetentionExperimentConfig cfg48;
-    h.addRow({"48 h at 30 C",
-              fmt(runRetentionExperiment(chips[0], cfg48).coverage() *
-                      100.0, 0) + " %"});
-    RetentionExperimentConfig cfg4;
-    cfg4.wait_hours = 4.0;
-    cfg4.temperature_c = 85.0;
-    h.addRow({"4 h at 85 C",
-              fmt(runRetentionExperiment(chips[0], cfg4).coverage() *
-                      100.0, 0) + " %"});
-    std::printf("%s", h.render().c_str());
-    std::printf("(cells discharge faster at high temperature, so a "
-                "short wait suffices - the\npaper's justification for "
-                "the 4 h window)\n");
-}
 
 void
 BM_RetentionExperiment(benchmark::State &state)
@@ -85,8 +29,5 @@ BENCHMARK(BM_RetentionExperiment)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printMethodology();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"puf_retention_methodology"}, argc, argv);
 }

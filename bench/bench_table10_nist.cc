@@ -1,64 +1,21 @@
 /**
  * @file
- * Reproduces paper Table 10 (Appendix B): the 15 NIST SP 800-22 test
- * results on random streams built from CODIC-sig responses to
- * distinct challenges across all 136 chips, whitened with a Von
- * Neumann extractor (Section 6.1.3).
+ * Paper Table 10 (NIST SP 800-22 suite on CODIC-sig response
+ * streams): thin wrapper over the `trng_table10_nist` scenario, plus
+ * stream-generation and suite microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "common/table.h"
-#include "nist/extractor.h"
+#include "common/rng.h"
 #include "nist/tests.h"
 #include "puf/sig_puf.h"
 #include "puf/stream.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printTable10()
-{
-    std::printf("=== Table 10: NIST SP 800-22 results on CODIC-sig "
-                "response streams ===\n");
-    const auto chips = buildPaperPopulation();
-    std::vector<const SimulatedChip *> all;
-    for (const auto &c : chips)
-        all.push_back(&c);
-    const CodicSigPuf sig;
-
-    // The paper uses 250 KB (2 Mb) whitened streams; Von Neumann
-    // yields ~1/4 of the raw bits, so gather ~8.2 Mb of raw response
-    // address bits.
-    const auto raw = buildResponseBitStream(sig, all, 8400000, 777);
-    const auto white = vonNeumannExtract(raw);
-    std::printf("raw response bits:    %zu (ones fraction %.4f)\n",
-                raw.size(), onesFraction(raw));
-    std::printf("whitened stream bits: %zu (ones fraction %.4f)\n\n",
-                white.size(), onesFraction(white));
-
-    const auto results = runNistSuite(white);
-    TextTable t({"NIST Test", "p-value", "Result"});
-    int passed = 0;
-    int applicable = 0;
-    for (const auto &r : results) {
-        t.addRow({r.name, r.applicable ? fmt(r.p_value, 4) : "-",
-                  r.applicable ? (r.pass() ? "PASS" : "FAIL") : "N/A"});
-        if (r.applicable) {
-            ++applicable;
-            if (r.pass())
-                ++passed;
-        }
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf("\n%d/%d applicable tests passed (paper: all 15 tests "
-                "pass)\n",
-                passed, applicable);
-}
 
 void
 BM_StreamGeneration(benchmark::State &state)
@@ -95,8 +52,5 @@ BENCHMARK(BM_FullNistSuite1Mb)
 int
 main(int argc, char **argv)
 {
-    printTable10();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"trng_table10_nist"}, argc, argv);
 }

@@ -1,75 +1,18 @@
 /**
  * @file
- * Reproduces paper Table 11 (Appendix C): Monte-Carlo analysis of
- * CODIC-sigsa bit flips as a function of process variation (2-5 %)
- * and temperature (30-85 C at 4 % PV), 100,000 samples per point.
+ * Paper Table 11 (CODIC-sigsa Monte-Carlo bit flips): thin wrapper
+ * over the `circuit_table11_sigsa` scenario, plus Monte-Carlo-kernel
+ * microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "circuit/monte_carlo.h"
-#include "common/table.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printTable11()
-{
-    std::printf("=== Table 11: CODIC-sigsa bit flips vs process "
-                "variation and temperature (100k runs/point) ===\n");
-
-    TextTable pv_table({"Process variation", "Bit flips", "Paper"});
-    const std::pair<double, const char *> pv_rows[] = {
-        {0.02, "0.00 %"},
-        {0.03, "0.00 %"},
-        {0.04, "0.02 %"},
-        {0.05, "0.19 %"},
-    };
-    for (const auto &[pv, paper] : pv_rows) {
-        MonteCarloConfig mc;
-        mc.schedule = sigsaSchedule();
-        mc.params.process_variation = pv;
-        mc.seed = 100 + static_cast<uint64_t>(pv * 1000);
-        const auto r = runMonteCarlo(mc);
-        pv_table.addRow({fmt(pv * 100.0, 0) + " %",
-                         fmt(r.flipFraction() * 100.0, 2) + " %",
-                         paper});
-    }
-    std::printf("%s", pv_table.render().c_str());
-
-    std::printf("\n");
-    TextTable t_table(
-        {"Temperature (4% PV)", "Bit flips", "Paper"});
-    const std::pair<double, const char *> t_rows[] = {
-        {30.0, "0.02 %"},
-        {60.0, "0.19 %"},
-        {70.0, "0.21 %"},
-        {85.0, "0.15 %"},
-    };
-    for (const auto &[temp, paper] : t_rows) {
-        MonteCarloConfig mc;
-        mc.schedule = sigsaSchedule();
-        mc.params.temperature_c = temp;
-        mc.seed = 200 + static_cast<uint64_t>(temp);
-        const auto r = runMonteCarlo(mc);
-        t_table.addRow({fmt(temp, 0) + " C",
-                        fmt(r.flipFraction() * 100.0, 2) + " %",
-                        paper});
-    }
-    std::printf("%s", t_table.render().c_str());
-    std::printf(
-        "\nNotes:\n"
-        "  - flips appear once process variation exceeds the designed\n"
-        "    SA bias (~4%%) and grow quickly beyond it;\n"
-        "  - temperature raises flips sharply then saturates. The\n"
-        "    paper's slight non-monotonicity at 85 C (0.15%% after\n"
-        "    0.21%%) is within the sampling noise of 100k runs; our\n"
-        "    model saturates monotonically (see EXPERIMENTS.md).\n");
-}
 
 void
 BM_MonteCarloFastPath100k(benchmark::State &state)
@@ -103,8 +46,5 @@ BENCHMARK(BM_MonteCarloFullTransient)
 int
 main(int argc, char **argv)
 {
-    printTable11();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"circuit_table11_sigsa"}, argc, argv);
 }

@@ -1,83 +1,20 @@
 /**
  * @file
- * Reproduces paper Table 1 (signal timings of the named commands),
- * the Section 4.1.3 variant-space count (300^4), and the Section
- * 4.2.1 CODIC circuit costs (delay-element area, energy, and DDRx
- * path penalty).
+ * Paper Table 1 (signal timings, variant space, circuit costs, mode
+ * -register encoding): thin wrapper over the `circuit_table1_variants`
+ * scenario, plus classification/encoding microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "circuit/delay_element.h"
 #include "codic/mode_regs.h"
 #include "codic/variant.h"
 #include "common/rng.h"
-#include "common/table.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printTable1()
-{
-    std::printf("=== Table 1: In-DRAM signals of activation, precharge, "
-                "and the CODIC variants ===\n");
-    TextTable t({"Command", "Class", "Signals [init,end] (ns)"});
-    for (const auto &v : variants::all()) {
-        t.addRow({v.name, variantClassName(v.classify()),
-                  v.schedule.str()});
-    }
-    std::printf("%s", t.render().c_str());
-
-    std::printf("\n=== Section 4.1.3: variant space ===\n");
-    std::printf("valid pulses per signal (w=25, s=1 ns): %llu "
-                "(paper: 300)\n",
-                static_cast<unsigned long long>(
-                    SignalSchedule::pulsesPerSignal()));
-    std::printf("total CODIC variants (4 signals):       %llu "
-                "(paper: 300^4 = 8.1e9)\n",
-                static_cast<unsigned long long>(
-                    SignalSchedule::totalVariants()));
-
-    std::printf("\n=== Section 4.2.1: CODIC circuit costs ===\n");
-    DelayElement element;
-    TextTable c({"Metric", "Model", "Paper"});
-    c.addRow({"delay element area / mat (1 signal)",
-              fmt(element.areaOverheadPerMat() * 100.0, 3) + " %",
-              "0.28 %"});
-    c.addRow({"full CODIC area / mat (4 signals)",
-              fmt(element.fullCodicAreaOverheadPerMat() * 100.0, 2) +
-                  " %",
-              "1.12 %"});
-    c.addRow({"switching energy (4 elements)",
-              fmt(4.0 * element.energyPerOperationFj(), 0) + " fJ",
-              "< 500 fJ"});
-    c.addRow({"added delay on DDRx ACT path",
-              fmt(element.ddrxPathPenaltyNs(), 3) + " ns", "0.028 ns"});
-    c.addRow({"buffer stage delay", fmt(element.delayNs(1), 1) + " ns",
-              "~1 ns"});
-    std::printf("%s", c.render().c_str());
-
-    std::printf("\n=== Section 4.2.2: mode-register encoding ===\n");
-    ModeRegisterFile mrf;
-    mrf.program(variants::sig().schedule);
-    TextTable m({"Signal", "MR value (10-bit)", "Decoded pulse"});
-    for (size_t i = 0; i < kNumSignals; ++i) {
-        const auto sig = static_cast<Signal>(i);
-        const auto pulse = mrf.decode().pulse(sig);
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "0x%03x",
-                      mrf.readRegister(sig));
-        m.addRow({signalName(sig), buf,
-                  pulse ? ("[" + std::to_string(pulse->start_ns) + "," +
-                           std::to_string(pulse->end_ns) + "]")
-                        : "(disabled)"});
-    }
-    std::printf("%s", m.render().c_str());
-}
 
 void
 BM_ClassifyRandomSchedules(benchmark::State &state)
@@ -123,8 +60,5 @@ BENCHMARK(BM_ModeRegisterRoundTrip);
 int
 main(int argc, char **argv)
 {
-    printTable1();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"circuit_table1_variants"}, argc, argv);
 }

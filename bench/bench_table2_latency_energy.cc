@@ -1,68 +1,19 @@
 /**
  * @file
- * Reproduces paper Table 2: latency and energy of the five CODIC
- * command variants (CODIC-activate, CODIC-precharge, CODIC-sig,
- * CODIC-sig-opt, CODIC-det).
+ * Paper Table 2 (latency and energy of the CODIC variants): thin
+ * wrapper over the `circuit_table2_latency_energy` scenario, plus
+ * model microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "codic/variant.h"
-#include "common/table.h"
 #include "power/energy_model.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-struct PaperRow
-{
-    const char *name;
-    CodicVariant variant;
-    double paper_latency_ns;
-    double paper_energy_nj;
-};
-
-std::vector<PaperRow>
-paperRows()
-{
-    return {
-        {"CODIC-activate", variants::activate(), 35.0, 17.3},
-        {"CODIC-precharge", variants::precharge(), 13.0, 17.2},
-        {"CODIC-sig", variants::sig(), 35.0, 17.2},
-        {"CODIC-sig-opt", variants::sigOpt(), 13.0, 17.2},
-        {"CODIC-det", variants::detZero(), 35.0, 17.2},
-    };
-}
-
-void
-printTable2()
-{
-    std::printf("=== Table 2: Latency and energy of five CODIC command "
-                "variants ===\n");
-    TextTable t({"Primitive", "Latency (ns)", "Paper", "Energy (nJ)",
-                 "Paper"});
-    for (const auto &row : paperRows()) {
-        t.addRow({row.name,
-                  fmt(variantLatencyNs(row.variant.schedule), 0),
-                  fmt(row.paper_latency_ns, 0),
-                  fmt(variantEnergyNj(row.variant.schedule), 1),
-                  fmt(row.paper_energy_nj, 1)});
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf(
-        "\nObservations (Section 4.3):\n"
-        "  - CODIC-sig-opt is %.1fx faster than CODIC-sig\n"
-        "  - energies are within %.1f%% of each other (routing ~40%%\n"
-        "    and array operation ~40%% dominate every command)\n",
-        variantLatencyNs(variants::sig().schedule) /
-            variantLatencyNs(variants::sigOpt().schedule),
-        (variantEnergyNj(variants::activate().schedule) /
-             variantEnergyNj(variants::sig().schedule) -
-         1.0) * 100.0);
-}
 
 void
 BM_VariantLatency(benchmark::State &state)
@@ -87,8 +38,5 @@ BENCHMARK(BM_VariantEnergy);
 int
 main(int argc, char **argv)
 {
-    printTable2();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"circuit_table2_latency_energy"}, argc, argv);
 }

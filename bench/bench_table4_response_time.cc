@@ -1,70 +1,18 @@
 /**
  * @file
- * Reproduces paper Table 4: evaluation time of the DRAM Latency PUF,
- * PreLatPUF, and CODIC-sig PUF over 8 KB segments, with and without
- * each PUF's production filter, at the paper's SoftMC measurement
- * scale plus the native command-level latency of this repository's
- * cycle-accurate DRAM model.
+ * Paper Table 4 (PUF evaluation times): thin wrapper over the
+ * `puf_table4_response_time` scenario, plus evaluation-time-model
+ * microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
-#include "common/table.h"
 #include "puf/response_time.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printTable4()
-{
-    std::printf("=== Table 4: PUF evaluation time, 8 KB segments ===\n");
-    const DramConfig cfg = DramConfig::ddr3_1600(2048);
-
-    struct Row
-    {
-        const char *name;
-        PufKind kind;
-        bool has_unfiltered;
-        const char *paper;
-    };
-    const Row rows[] = {
-        {"DRAM Latency PUF", PufKind::Latency, false, "88.2 ms"},
-        {"PreLatPUF", PufKind::Prelat, true, "7.95 (1.59) ms"},
-        {"CODIC-sig PUF", PufKind::CodicSig, true, "4.41 (0.88) ms"},
-        {"CODIC-sig-opt PUF", PufKind::CodicSigOpt, true, "(n/a)"},
-    };
-
-    TextTable t({"PUF", "SoftMC w/ filter", "SoftMC w/o filter",
-                 "Paper", "Native w/ filter", "Native w/o filter"});
-    for (const auto &row : rows) {
-        const EvalTime filt = evaluationTime(row.kind, true, cfg);
-        const EvalTime raw = evaluationTime(row.kind, false, cfg);
-        t.addRow({row.name, fmt(filt.softmc_ms, 2) + " ms",
-                  row.has_unfiltered ? fmt(raw.softmc_ms, 2) + " ms"
-                                     : "(filter integral)",
-                  row.paper, fmtTimeNs(filt.native_ns),
-                  fmtTimeNs(raw.native_ns)});
-    }
-    std::printf("%s", t.render().c_str());
-
-    const double lat =
-        evaluationTime(PufKind::Latency, true, cfg).softmc_ms;
-    const double pre =
-        evaluationTime(PufKind::Prelat, true, cfg).softmc_ms;
-    const double sig =
-        evaluationTime(PufKind::CodicSig, true, cfg).softmc_ms;
-    const double sig_raw =
-        evaluationTime(PufKind::CodicSig, false, cfg).softmc_ms;
-    std::printf("\nRatios (paper Section 6.1.2):\n"
-                "  CODIC-sig vs Latency PUF: %.0fx (filtered), %.0fx "
-                "(unfiltered)  [paper: 20x / 100x]\n"
-                "  CODIC-sig vs PreLatPUF:   %.1fx  [paper: 1.8x]\n",
-                lat / sig, lat / sig_raw, pre / sig);
-}
 
 void
 BM_NativeSigEvaluationTime(benchmark::State &state)
@@ -94,8 +42,5 @@ BENCHMARK(BM_NativeLatencyPufEvaluationTime)
 int
 main(int argc, char **argv)
 {
-    printTable4();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"puf_table4_response_time"}, argc, argv);
 }

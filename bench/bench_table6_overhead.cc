@@ -1,62 +1,18 @@
 /**
  * @file
- * Reproduces paper Table 6: runtime performance, runtime power, and
- * area overhead of CODIC self-destruction vs. ChaCha-8 and AES-128
- * memory encryption on an Intel Atom N280-class platform, plus a
- * functional sanity run of both reference ciphers.
+ * Paper Table 6 (overhead vs memory encryption): thin wrapper over
+ * the `coldboot_table6_overhead` scenario, plus cipher-throughput
+ * microbenchmarks.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-
 #include "coldboot/ciphers.h"
-#include "coldboot/overhead_model.h"
-#include "common/table.h"
+#include "scenario_main.h"
 
 namespace {
 
 using namespace codic;
-
-void
-printTable6()
-{
-    std::printf("=== Table 6: Overhead of CODIC self-destruction vs "
-                "two encryption mechanisms (Atom N280 class) ===\n");
-    TextTable t({"Mechanism", "Runtime perf", "Runtime power",
-                 "CPU area", "DRAM area"});
-    for (auto d : {ColdBootDefense::CodicSelfDestruct,
-                   ColdBootDefense::ChaCha8, ColdBootDefense::Aes128}) {
-        const auto row = computeOverhead(d);
-        t.addRow({coldBootDefenseName(d),
-                  "~" + fmt(row.runtime_perf_pct, 0) + " %",
-                  "~" + fmt(row.runtime_power_pct, 0) + " %",
-                  "~" + fmt(row.cpu_area_pct, 1) + " %",
-                  "~" + fmt(row.dram_area_pct, 1) + " %"});
-    }
-    std::printf("%s", t.render().c_str());
-    std::printf(
-        "(paper row order: CODIC ~0/~0/0.0/1.1; ChaCha-8 ~0/~17/0.9/0;"
-        " AES-128 ~0/~12/1.3/0)\n"
-        "AES-128 perf stays ~0%% assuming <=16 back-to-back row "
-        "hits.\n");
-
-    std::printf("\n=== Cipher functional sanity ===\n");
-    std::array<uint8_t, 32> ckey{};
-    ckey[0] = 1;
-    ChaCha chacha8(ckey, {}, 8);
-    std::vector<uint8_t> msg(4096, 0xA5);
-    const auto ct = chacha8.crypt(msg);
-    std::printf("ChaCha-8 round trip: %s\n",
-                chacha8.crypt(ct) == msg ? "OK" : "BROKEN");
-
-    std::array<uint8_t, 16> akey{};
-    akey[0] = 2;
-    Aes128 aes(akey);
-    const auto act = aes.ctrCrypt({}, msg);
-    std::printf("AES-128 CTR round trip: %s\n",
-                aes.ctrCrypt({}, act) == msg ? "OK" : "BROKEN");
-}
 
 void
 BM_ChaCha8Throughput(benchmark::State &state)
@@ -91,8 +47,5 @@ BENCHMARK(BM_Aes128Throughput);
 int
 main(int argc, char **argv)
 {
-    printTable6();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return codic::scenarioBenchMain({"coldboot_table6_overhead"}, argc, argv);
 }

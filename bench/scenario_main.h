@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared main() for the bench binaries, which since the Scenario API
+ * redesign are thin wrappers over the scenario registry: each binary
+ * runs its paper figure/table scenarios through the registry (the
+ * same code path as `codic_run --scenario <name>`), then runs its
+ * google-benchmark microbenchmarks of the underlying kernels.
+ *
+ * Environment overrides (all optional):
+ *   CODIC_SEED, CODIC_THREADS, CODIC_SCALE - forwarded to RunOptions.
+ */
+
+#ifndef CODIC_BENCH_SCENARIO_MAIN_H
+#define CODIC_BENCH_SCENARIO_MAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <iostream>
+
+#include "common/result_sink.h"
+#include "scenario/registry.h"
+
+namespace codic {
+
+inline int
+scenarioBenchMain(std::initializer_list<const char *> scenarios,
+                  int argc, char **argv)
+{
+    RunOptions options;
+    options.emit_timings = true;
+    if (const char *seed = std::getenv("CODIC_SEED"))
+        options.seed = std::strtoull(seed, nullptr, 10);
+    if (const char *threads = std::getenv("CODIC_THREADS"))
+        options.threads =
+            static_cast<int>(std::strtol(threads, nullptr, 10));
+    if (const char *scale = std::getenv("CODIC_SCALE")) {
+        char *end = nullptr;
+        options.scale = std::strtod(scale, &end);
+        // Reject out-of-contract values instead of silently running
+        // every campaign at one trial (scaled() clamps as a
+        // backstop, which would mask a typo here).
+        if (end == scale || *end != '\0' || options.scale <= 0.0 ||
+            options.scale > 1.0) {
+            std::fprintf(stderr,
+                         "CODIC_SCALE='%s' is not in (0, 1]\n",
+                         scale);
+            return 1;
+        }
+    }
+
+    TextResultSink sink(std::cout);
+    for (const char *name : scenarios) {
+        if (!runScenario(name, options, sink)) {
+            std::fprintf(stderr, "unknown scenario '%s'\n", name);
+            return 1;
+        }
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
+
+} // namespace codic
+
+#endif // CODIC_BENCH_SCENARIO_MAIN_H

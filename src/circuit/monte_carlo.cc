@@ -58,12 +58,12 @@ runMonteCarlo(const MonteCarloConfig &config)
         (config.runs + config.block_runs - 1) / config.block_runs;
     std::vector<Rng> streams;
     streams.reserve(blocks);
-    Rng root(config.seed);
+    Rng root(config.run.seed);
     for (size_t b = 0; b < blocks; ++b)
-        streams.push_back(b == 0 ? Rng(config.seed) : root.fork(b));
+        streams.push_back(b == 0 ? Rng(config.run.seed) : root.fork(b));
     std::vector<MonteCarloResult> partial(blocks);
 
-    CampaignEngine engine(config.threads);
+    CampaignEngine engine(config.run.threads);
     engine.forEach(blocks, [&](size_t b) {
         Rng rng = streams[b];
         const size_t begin = b * config.block_runs;

@@ -18,6 +18,7 @@
 #include "circuit/analog.h"
 #include "circuit/params.h"
 #include "circuit/signals.h"
+#include "common/run_options.h"
 
 namespace codic {
 
@@ -38,10 +39,19 @@ struct MonteCarloResult
 /** Configuration of a Monte-Carlo sweep. */
 struct MonteCarloConfig
 {
+    /**
+     * Shared seed/threads. Runs are partitioned into fixed-size
+     * blocks; block 0 draws from Rng(run.seed) (the historical
+     * sequential stream, so single-block sweeps reproduce published
+     * numbers exactly) and block b > 0 from Rng(run.seed).fork(b).
+     * Block layout depends only on `runs` and `block_runs`, so the
+     * tallies are bit-identical at any thread count.
+     */
+    RunOptions run;
+
     CircuitParams params;      //!< Circuit/environment parameters.
     SignalSchedule schedule;   //!< CODIC variant under test.
     size_t runs = 100000;      //!< Paper uses 100,000 per point.
-    uint64_t seed = 1;         //!< RNG seed for reproducibility.
     double initial_cell_v = -1.0; //!< <0: precharge level (Vdd/2).
     bool thermal_noise = true; //!< Apply per-run thermal noise.
 
@@ -52,16 +62,6 @@ struct MonteCarloConfig
      * by the test suite; it makes 100k-run sweeps instantaneous.
      */
     bool fast_path = true;
-
-    /**
-     * Campaign-engine threads. Runs are partitioned into fixed-size
-     * blocks; block 0 draws from Rng(seed) (the historical sequential
-     * stream, so single-block sweeps reproduce published numbers
-     * exactly) and block b > 0 from Rng(seed).fork(b). Block layout
-     * depends only on `runs` and `block_runs`, so the tallies are
-     * bit-identical at any thread count.
-     */
-    int threads = 1;
 
     /**
      * Runs per RNG block (fixed; independent of thread count). The

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Structured result emission for evaluation scenarios.
+ *
+ * Every campaign reports its results as named rows through a
+ * ResultSink instead of printf, so one scenario run can
+ * simultaneously produce the human-readable tables of the paper
+ * (TextResultSink), machine-readable JSON (JsonResultSink), and
+ * long-format CSV (CsvResultSink).
+ *
+ * Determinism contract: with RunOptions::emit_timings == false (the
+ * default), JSON and CSV output contain only values that are pure
+ * functions of (seed, scale) - wall-clock measurements are tagged at
+ * insertion (ResultRow::addTiming) and dropped - so structured
+ * output is byte-identical for a fixed seed at any thread count.
+ */
+
+#ifndef CODIC_COMMON_RESULT_SINK_H
+#define CODIC_COMMON_RESULT_SINK_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/run_options.h"
+
+namespace codic {
+
+/** One typed cell of a result row. */
+struct ResultValue
+{
+    enum class Kind { String, Double, Int, Uint, Bool };
+
+    Kind kind = Kind::String;
+    std::string s;
+    double d = 0.0;
+    int64_t i = 0;
+    uint64_t u = 0;
+    bool b = false;
+
+    /**
+     * Wall-clock measurement: shown by text sinks, excluded from
+     * structured sinks unless RunOptions::emit_timings is set.
+     */
+    bool timing = false;
+
+    /** Render for JSON (numbers via shortest round-trip form). */
+    std::string json() const;
+
+    /** Render for CSV cells (full precision). */
+    std::string text() const;
+
+    /** Render for human-facing tables (doubles at 6 sig. digits). */
+    std::string display() const;
+};
+
+/** One named row of scenario output (ordered key -> value pairs). */
+class ResultRow
+{
+  public:
+    ResultRow &add(std::string key, std::string value);
+    ResultRow &add(std::string key, const char *value);
+    ResultRow &add(std::string key, double value);
+    ResultRow &add(std::string key, int value);
+    ResultRow &add(std::string key, int64_t value);
+    ResultRow &add(std::string key, uint64_t value);
+    ResultRow &add(std::string key, bool value);
+
+    /** Add a wall-clock measurement (see ResultValue::timing). */
+    ResultRow &addTiming(std::string key, double value);
+
+    const std::vector<std::pair<std::string, ResultValue>> &
+    values() const
+    {
+        return values_;
+    }
+
+  private:
+    ResultRow &push(std::string key, ResultValue v);
+
+    std::vector<std::pair<std::string, ResultValue>> values_;
+};
+
+/** Receiver of structured scenario output. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Open one scenario's output block. */
+    virtual void beginScenario(const std::string &name,
+                               const std::string &description,
+                               const RunOptions &options) = 0;
+
+    /** Emit one result row into a named section (a paper table). */
+    virtual void row(const std::string &section,
+                     const ResultRow &r) = 0;
+
+    /** Emit one free-form commentary line. */
+    virtual void note(const std::string &text) = 0;
+
+    /** Close the current scenario's output block. */
+    virtual void endScenario() = 0;
+};
+
+/**
+ * JSON writer: the whole run is one top-level array with one object
+ * per scenario:
+ * @code
+ * [{"scenario": "...", "description": "...",
+ *   "options": {"seed": 7, "scale": 1, ...},
+ *   "rows": [{"section": "...", "key": value, ...}, ...],
+ *   "notes": ["..."]}]
+ * @endcode
+ * Key order is insertion order; `threads` is deliberately absent
+ * from "options" (results must not depend on it). finish() closes
+ * the array.
+ */
+class JsonResultSink : public ResultSink
+{
+  public:
+    explicit JsonResultSink(std::ostream &out);
+    ~JsonResultSink() override;
+
+    void beginScenario(const std::string &name,
+                       const std::string &description,
+                       const RunOptions &options) override;
+    void row(const std::string &section, const ResultRow &r) override;
+    void note(const std::string &text) override;
+    void endScenario() override;
+
+    /** Close the top-level array (idempotent; also run by dtor). */
+    void finish();
+
+  private:
+    std::ostream &out_;
+    bool emit_timings_ = false;
+    bool any_scenario_ = false;
+    bool finished_ = false;
+    std::string header_;             //!< Current scenario preamble.
+    std::vector<std::string> rows_;  //!< Serialized row objects.
+    std::vector<std::string> notes_; //!< Escaped note strings.
+};
+
+/**
+ * Long-format CSV writer: one line per value,
+ * `scenario,seed,section,row,key,value`, which stays valid no matter
+ * how row shapes differ across sections and scenarios (the seed
+ * column keeps --repeats iterations distinguishable).
+ */
+class CsvResultSink : public ResultSink
+{
+  public:
+    explicit CsvResultSink(std::ostream &out);
+
+    void beginScenario(const std::string &name,
+                       const std::string &description,
+                       const RunOptions &options) override;
+    void row(const std::string &section, const ResultRow &r) override;
+    void note(const std::string &text) override;
+    void endScenario() override;
+
+  private:
+    std::ostream &out_;
+    std::string scenario_;
+    uint64_t seed_ = 0;
+    bool emit_timings_ = false;
+    size_t row_index_ = 0;
+};
+
+/**
+ * Human-facing renderer: consecutive rows of one section become one
+ * aligned TextTable (column order from the first row), notes print
+ * as prose. Timing values are always shown.
+ */
+class TextResultSink : public ResultSink
+{
+  public:
+    explicit TextResultSink(std::ostream &out);
+
+    void beginScenario(const std::string &name,
+                       const std::string &description,
+                       const RunOptions &options) override;
+    void row(const std::string &section, const ResultRow &r) override;
+    void note(const std::string &text) override;
+    void endScenario() override;
+
+  private:
+    void flushSection();
+
+    std::ostream &out_;
+    std::string section_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> pending_;
+};
+
+/** Fan-out to several sinks (e.g. text to stdout + JSON to a file). */
+class MultiResultSink : public ResultSink
+{
+  public:
+    void addSink(ResultSink *sink); //!< Not owned; may be null.
+
+    void beginScenario(const std::string &name,
+                       const std::string &description,
+                       const RunOptions &options) override;
+    void row(const std::string &section, const ResultRow &r) override;
+    void note(const std::string &text) override;
+    void endScenario() override;
+
+  private:
+    std::vector<ResultSink *> sinks_;
+};
+
+} // namespace codic
+
+#endif // CODIC_COMMON_RESULT_SINK_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared execution options for every evaluation campaign and
+ * scenario. Before this header existed each campaign config struct
+ * (Jaccard, Monte-Carlo, TRNG, secure-dealloc) re-declared its own
+ * `seed`/`threads` pair with `threads = 1` hardcoded, so the
+ * CampaignEngine's auto-detection was unreachable from any public
+ * config. All of them now embed one RunOptions.
+ */
+
+#ifndef CODIC_COMMON_RUN_OPTIONS_H
+#define CODIC_COMMON_RUN_OPTIONS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+namespace codic {
+
+/**
+ * Options common to every campaign / scenario run.
+ *
+ * The struct deliberately lives in common/ (below dram/) so campaign
+ * configs at any layer can embed it; the DramConfig overrides are
+ * plain integers that scenario code applies where it builds its
+ * DramConfig (0 keeps the scenario's own default).
+ */
+struct RunOptions
+{
+    /**
+     * Campaign seed. Every derived RNG stream is a pure function of
+     * (seed, task index), never of scheduling - see CampaignEngine.
+     * For device-identity seeds (e.g. the TRNG's process-variation
+     * identity) this is the device seed.
+     */
+    uint64_t seed = 1;
+
+    /**
+     * CampaignEngine worker threads. 0 = auto-detect the hardware
+     * concurrency (the CampaignEngine contract); 1 = inline
+     * sequential execution. Results are bit-identical at any value.
+     */
+    int threads = 0;
+
+    /** Whole-campaign repetitions (repeat r runs with seed + r). */
+    int repeats = 1;
+
+    /**
+     * Work-scale factor in (0, 1]: campaigns multiply their nominal
+     * trial counts (pairs, Monte-Carlo runs, stream bits, ...) by
+     * this and clamp to at least one unit. 1.0 reproduces the paper
+     * workloads; small values make smoke tests and CI fast.
+     */
+    double scale = 1.0;
+
+    /** DramConfig override: channel count (0 = scenario default). */
+    int channels = 0;
+
+    /** DramConfig override: module capacity (0 = scenario default). */
+    int64_t capacity_mb = 0;
+
+    /**
+     * Emit wall-clock measurements into machine-readable sinks
+     * (JSON/CSV). Off by default so that structured output is
+     * byte-deterministic for a fixed seed at any thread count; text
+     * sinks always show timings.
+     */
+    bool emit_timings = false;
+
+    /** Threads that will actually run (resolves 0 to the hardware). */
+    int resolvedThreads() const
+    {
+        if (threads > 0)
+            return threads;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? static_cast<int>(hw) : 1;
+    }
+
+    /** Scale a nominal work amount, keeping at least one unit. */
+    size_t scaled(size_t nominal) const
+    {
+        const double s =
+            static_cast<double>(nominal) * std::clamp(scale, 0.0, 1.0);
+        return std::max<size_t>(1, static_cast<size_t>(s + 0.5));
+    }
+
+    /** Apply the channel override to a scenario default. */
+    int channelsOr(int fallback) const
+    {
+        return channels > 0 ? channels : fallback;
+    }
+
+    /** Apply the capacity override to a scenario default. */
+    int64_t capacityMbOr(int64_t fallback) const
+    {
+        return capacity_mb > 0 ? capacity_mb : fallback;
+    }
+};
+
+} // namespace codic
+
+#endif // CODIC_COMMON_RUN_OPTIONS_H

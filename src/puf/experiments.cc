@@ -61,12 +61,12 @@ runJaccardCampaign(const DramPuf &puf,
     // campaign starts: the result does not depend on which thread
     // evaluates which pair, so any thread count reproduces the
     // sequential campaign bit for bit.
-    auto streams = forkStreams(config.seed, config.pairs);
+    auto streams = forkStreams(config.run.seed, config.pairs);
     JaccardCampaignResult result;
     result.intra.resize(config.pairs);
     result.inter.resize(config.pairs);
 
-    CampaignEngine engine(config.threads);
+    CampaignEngine engine(config.run.threads);
     engine.forEach(config.pairs, [&](size_t i) {
         Rng rng = streams[i];
         // Intra: same segment, two independent queries.
@@ -102,12 +102,12 @@ runJaccardCampaign(const DramPuf &puf,
 std::vector<double>
 runTemperatureCampaign(const DramPuf &puf,
                        const std::vector<const SimulatedChip *> &chips,
-                       double delta_c, size_t pairs, uint64_t seed,
-                       int threads)
+                       double delta_c, size_t pairs,
+                       const RunOptions &run)
 {
-    auto streams = forkStreams(seed, pairs);
+    auto streams = forkStreams(run.seed, pairs);
     std::vector<double> out(pairs);
-    CampaignEngine engine(threads);
+    CampaignEngine engine(run.threads);
     engine.forEach(pairs, [&](size_t i) {
         Rng rng = streams[i];
         auto [chip, segment] = pickSegment(rng, chips);
@@ -125,11 +125,11 @@ runTemperatureCampaign(const DramPuf &puf,
 std::vector<double>
 runAgingCampaign(const DramPuf &puf,
                  const std::vector<const SimulatedChip *> &chips,
-                 size_t pairs, uint64_t seed, int threads)
+                 size_t pairs, const RunOptions &run)
 {
-    auto streams = forkStreams(seed, pairs);
+    auto streams = forkStreams(run.seed, pairs);
     std::vector<double> out(pairs);
-    CampaignEngine engine(threads);
+    CampaignEngine engine(run.threads);
     engine.forEach(pairs, [&](size_t i) {
         Rng rng = streams[i];
         auto [chip, segment] = pickSegment(rng, chips);
@@ -147,14 +147,14 @@ runAgingCampaign(const DramPuf &puf,
 AuthRates
 runAuthCampaign(const DramPuf &puf,
                 const std::vector<const SimulatedChip *> &chips,
-                size_t trials, uint64_t seed, int threads)
+                size_t trials, const RunOptions &run)
 {
-    auto streams = forkStreams(seed, trials);
+    auto streams = forkStreams(run.seed, trials);
     // Per-trial outcomes land in private slots; the counts are
     // order-independent sums, reduced after the campaign drains.
     std::vector<uint8_t> rejected(trials, 0);
     std::vector<uint8_t> accepted(trials, 0);
-    CampaignEngine engine(threads);
+    CampaignEngine engine(run.threads);
     engine.forEach(trials, [&](size_t i) {
         Rng rng = streams[i];
         auto [chip, segment] = pickSegment(rng, chips);

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/run_options.h"
 #include "common/stats.h"
 #include "puf/chip_model.h"
 #include "puf/puf.h"
@@ -20,17 +21,18 @@ namespace codic {
 /** Campaign configuration (paper defaults). */
 struct JaccardCampaignConfig
 {
+    /**
+     * Shared seed/threads. Each pair draws from its own Rng::fork()
+     * stream (derived from `run.seed` and the pair index), so the
+     * result is bit-identical at any thread count, including the
+     * auto-detected default (run.threads == 0).
+     */
+    RunOptions run = {.seed = 7};
+
     size_t pairs = 10000;      //!< Random pairs per distribution.
     int segment_bits = 65536;  //!< 8 KB segments.
     double temperature_c = 30.0;
     bool filtered = true;      //!< Use each PUF's production filter.
-    uint64_t seed = 7;
-    /**
-     * Campaign-engine threads. Each pair draws from its own
-     * Rng::fork() stream (derived from `seed` and the pair index), so
-     * the result is bit-identical at any thread count.
-     */
-    int threads = 1;
 };
 
 /** Result of one Intra/Inter campaign. */
@@ -63,8 +65,8 @@ runJaccardCampaign(const DramPuf &puf,
 std::vector<double>
 runTemperatureCampaign(const DramPuf &puf,
                        const std::vector<const SimulatedChip *> &chips,
-                       double delta_c, size_t pairs, uint64_t seed,
-                       int threads = 1);
+                       double delta_c, size_t pairs,
+                       const RunOptions &run);
 
 /**
  * Aging campaign (Section 6.1.1): Intra-Jaccard between pre- and
@@ -73,7 +75,7 @@ runTemperatureCampaign(const DramPuf &puf,
 std::vector<double>
 runAgingCampaign(const DramPuf &puf,
                  const std::vector<const SimulatedChip *> &chips,
-                 size_t pairs, uint64_t seed, int threads = 1);
+                 size_t pairs, const RunOptions &run);
 
 /** Naive exact-match authentication rates (Section 6.1.1). */
 struct AuthRates
@@ -89,7 +91,7 @@ struct AuthRates
 AuthRates
 runAuthCampaign(const DramPuf &puf,
                 const std::vector<const SimulatedChip *> &chips,
-                size_t trials, uint64_t seed, int threads = 1);
+                size_t trials, const RunOptions &run);
 
 /** Coverage statistics of the 48 h methodology over a population. */
 struct CoverageStats

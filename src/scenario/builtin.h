@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Registration entry points of the builtin scenario groups, one per
+ * application domain. Called once by ScenarioRegistry::instance();
+ * explicit calls (rather than static-initializer registrars) keep
+ * registration immune to static-library dead-stripping.
+ */
+
+#ifndef CODIC_SCENARIO_BUILTIN_H
+#define CODIC_SCENARIO_BUILTIN_H
+
+namespace codic {
+
+class ScenarioRegistry;
+
+void registerPufScenarios(ScenarioRegistry &registry);
+void registerCircuitScenarios(ScenarioRegistry &registry);
+void registerColdbootScenarios(ScenarioRegistry &registry);
+void registerSecdeallocScenarios(ScenarioRegistry &registry);
+void registerTrngScenarios(ScenarioRegistry &registry);
+void registerExtScenarios(ScenarioRegistry &registry);
+
+} // namespace codic
+
+#endif // CODIC_SCENARIO_BUILTIN_H

@@ -1,0 +1,115 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "scenario/builtin.h"
+
+namespace codic {
+
+namespace {
+
+/** Scenario defined by a run function (how builtins are written). */
+class FunctionScenario : public Scenario
+{
+  public:
+    FunctionScenario(std::string name, std::string describe,
+                     std::function<void(RunContext &)> fn)
+        : name_(std::move(name)), describe_(std::move(describe)),
+          fn_(std::move(fn))
+    {
+    }
+
+    std::string name() const override { return name_; }
+    std::string describe() const override { return describe_; }
+    void run(RunContext &ctx) const override { fn_(ctx); }
+
+  private:
+    std::string name_;
+    std::string describe_;
+    std::function<void(RunContext &)> fn_;
+};
+
+} // namespace
+
+std::unique_ptr<Scenario>
+makeScenario(std::string name, std::string describe,
+             std::function<void(RunContext &)> fn)
+{
+    return std::make_unique<FunctionScenario>(
+        std::move(name), std::move(describe), std::move(fn));
+}
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry *registry = [] {
+        auto *r = new ScenarioRegistry();
+        registerPufScenarios(*r);
+        registerCircuitScenarios(*r);
+        registerColdbootScenarios(*r);
+        registerSecdeallocScenarios(*r);
+        registerTrngScenarios(*r);
+        registerExtScenarios(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+ScenarioRegistry::add(std::unique_ptr<Scenario> scenario)
+{
+    CODIC_ASSERT(scenario != nullptr);
+    CODIC_ASSERT(find(scenario->name()) == nullptr,
+                 "duplicate scenario name");
+    scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const auto &s : scenarios_)
+        if (s->name() == name)
+            return s.get();
+    return nullptr;
+}
+
+std::vector<const Scenario *>
+ScenarioRegistry::scenarios() const
+{
+    std::vector<const Scenario *> out;
+    out.reserve(scenarios_.size());
+    for (const auto &s : scenarios_)
+        out.push_back(s.get());
+    std::sort(out.begin(), out.end(),
+              [](const Scenario *a, const Scenario *b) {
+                  return a->name() < b->name();
+              });
+    return out;
+}
+
+std::vector<std::string>
+ScenarioRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const Scenario *s : scenarios())
+        out.push_back(s->name());
+    return out;
+}
+
+bool
+runScenario(const std::string &name, const RunOptions &options,
+            ResultSink &sink)
+{
+    const Scenario *scenario = ScenarioRegistry::instance().find(name);
+    if (!scenario)
+        return false;
+    sink.beginScenario(scenario->name(), scenario->describe(),
+                       options);
+    RunContext ctx(options, sink);
+    scenario->run(ctx);
+    sink.endScenario();
+    return true;
+}
+
+} // namespace codic

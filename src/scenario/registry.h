@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static scenario registry: the single lookup point behind
+ * `codic_run`, the bench wrappers, and the test suite. The builtin
+ * scenarios (every paper figure/table plus the ablations and
+ * extensions) are registered on first access; additional scenarios
+ * can be added at runtime through add().
+ */
+
+#ifndef CODIC_SCENARIO_REGISTRY_H
+#define CODIC_SCENARIO_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace codic {
+
+/** Process-wide scenario table (name -> Scenario, names unique). */
+class ScenarioRegistry
+{
+  public:
+    /** The singleton, with all builtin scenarios registered. */
+    static ScenarioRegistry &instance();
+
+    /** Register a scenario; duplicate names are a fatal error. */
+    void add(std::unique_ptr<Scenario> scenario);
+
+    /** Look up by exact name; nullptr when unknown. */
+    const Scenario *find(const std::string &name) const;
+
+    /** All scenarios, sorted by name. */
+    std::vector<const Scenario *> scenarios() const;
+
+    /** All names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    ScenarioRegistry() = default;
+
+    std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+/**
+ * Run one registered scenario end to end (beginScenario, run,
+ * endScenario). Returns false without touching the sink when the
+ * name is unknown.
+ */
+bool runScenario(const std::string &name, const RunOptions &options,
+                 ResultSink &sink);
+
+} // namespace codic
+
+#endif // CODIC_SCENARIO_REGISTRY_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small helpers shared by the builtin scenario implementations.
+ */
+
+#ifndef CODIC_SCENARIO_SCENARIO_UTIL_H
+#define CODIC_SCENARIO_SCENARIO_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/run_options.h"
+#include "puf/chip_model.h"
+
+namespace codic {
+
+/**
+ * Campaign seed derived from the user seed and a scenario-historical
+ * base: the default `--seed 1` reproduces exactly the seeds the
+ * pre-registry bench binaries hardcoded (so published numbers do not
+ * move), while any other seed shifts every campaign deterministically.
+ */
+inline uint64_t
+paperSeed(const RunOptions &options, uint64_t historical)
+{
+    return options.seed - 1 + historical;
+}
+
+/** Pointer view over a chip population (campaign call convention). */
+inline std::vector<const SimulatedChip *>
+chipPtrs(const std::vector<SimulatedChip> &chips)
+{
+    std::vector<const SimulatedChip *> out;
+    out.reserve(chips.size());
+    for (const auto &c : chips)
+        out.push_back(&c);
+    return out;
+}
+
+} // namespace codic
+
+#endif // CODIC_SCENARIO_SCENARIO_UTIL_H

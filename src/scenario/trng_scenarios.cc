@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Randomness scenarios: the CODIC TRNG extension (Section 5.3.1)
+ * and the NIST SP 800-22 battery on CODIC-sig response streams
+ * (Table 10, Appendix B).
+ */
+
+#include "scenario/builtin.h"
+
+#include "common/rng.h"
+#include "nist/extractor.h"
+#include "nist/tests.h"
+#include "puf/sig_puf.h"
+#include "puf/stream.h"
+#include "scenario/registry.h"
+#include "scenario/scenario_util.h"
+#include "trng/trng.h"
+
+namespace codic {
+
+namespace {
+
+void
+emitNistRows(RunContext &ctx, const std::string &section,
+             const std::vector<NistResult> &results)
+{
+    int passed = 0;
+    int applicable = 0;
+    for (const auto &r : results) {
+        ctx.row(section, ResultRow()
+                             .add("test", r.name)
+                             .add("applicable", r.applicable)
+                             .add("p_value", r.p_value)
+                             .add("pass", r.pass()));
+        if (r.applicable) {
+            ++applicable;
+            if (r.pass())
+                ++passed;
+        }
+    }
+    ctx.row(section + " summary", ResultRow()
+                                      .add("passed", passed)
+                                      .add("applicable", applicable));
+}
+
+void
+runTrng(RunContext &ctx)
+{
+    for (double window : {0.5, 1.0, 2.0}) {
+        TrngConfig cfg;
+        cfg.run.seed = paperSeed(ctx.options(), 1);
+        cfg.metastable_window = window;
+        CodicTrng trng(cfg);
+        ctx.row("metastable-window sweep",
+                ResultRow()
+                    .add("window_x_noise_rms", window)
+                    .add("sources_per_8kb", trng.sources().size())
+                    .add("raw_mbps",
+                         trng.rawThroughputBitsPerSec() / 1e6)
+                    .add("whitened_mbps",
+                         trng.whitenedThroughputBitsPerSec() / 1e6));
+    }
+
+    TrngConfig cfg;
+    cfg.run.seed = paperSeed(ctx.options(), 1);
+    CodicTrng trng(cfg);
+    Rng noise(paperSeed(ctx.options(), 2026));
+    TrngHealthTests health;
+    const size_t bits = ctx.scaled(1 << 20);
+    const auto stream = trng.harvest(bits, noise, &health);
+    ctx.row("SP 800-90B continuous health tests",
+            ResultRow()
+                .add("raw_bits_observed", health.observed())
+                .add("failed", health.failed()));
+    emitNistRows(ctx, "NIST battery on whitened TRNG output",
+                 runNistSuite(stream));
+    ctx.note("Contrast with D-RaNGe-class TRNGs (Section 5.3.1): "
+             "those trigger failures by violating DDRx timings "
+             "without knowing the internal mechanism; CODIC pins the "
+             "mechanism (SA metastability at the trip point) and "
+             "harvests it with one command per sample.");
+}
+
+void
+runTable10(RunContext &ctx)
+{
+    const auto chips = buildPaperPopulation();
+    const auto all = chipPtrs(chips);
+    const CodicSigPuf sig;
+
+    // The paper uses 250 KB (2 Mb) whitened streams; Von Neumann
+    // yields ~1/4 of the raw bits, so gather ~8.2 Mb of raw response
+    // address bits.
+    const size_t raw_bits = ctx.scaled(8400000);
+    const auto raw = buildResponseBitStream(
+        sig, all, raw_bits, paperSeed(ctx.options(), 777));
+    const auto white = vonNeumannExtract(raw);
+    ctx.row("stream construction",
+            ResultRow()
+                .add("raw_bits", raw.size())
+                .add("raw_ones_fraction", onesFraction(raw))
+                .add("whitened_bits", white.size())
+                .add("whitened_ones_fraction", onesFraction(white)));
+
+    emitNistRows(ctx, "NIST SP 800-22 results", runNistSuite(white));
+    ctx.note("Paper Table 10: all 15 tests pass on the whitened "
+             "CODIC-sig response streams.");
+}
+
+} // namespace
+
+void
+registerTrngScenarios(ScenarioRegistry &registry)
+{
+    registry.add(makeScenario(
+        "trng_characterization",
+        "Section 5.3.1 extension: CODIC TRNG source enrollment, "
+        "throughput, health tests, and NIST battery",
+        runTrng));
+    registry.add(makeScenario(
+        "trng_table10_nist",
+        "Table 10: NIST SP 800-22 suite on whitened CODIC-sig "
+        "response streams across all chips",
+        runTable10));
+}
+
+} // namespace codic

@@ -151,12 +151,13 @@ energySavings(const DeallocRunResult &baseline,
 }
 
 BenchmarkComparison
-compareSingleCore(const std::string &benchmark, uint64_t seed,
+compareSingleCore(const std::string &benchmark,
                   const DeallocEvalConfig &config)
 {
-    const Workload w = generateWorkload(benchmarkParams(benchmark, seed));
+    const Workload w =
+        generateWorkload(benchmarkParams(benchmark, config.run.seed));
     std::array<DeallocRunResult, 4> runs;
-    CampaignEngine engine(config.threads);
+    CampaignEngine engine(config.run.threads);
     engine.forEach(kModes.size(), [&](size_t m) {
         runs[m] = runSingleCore(w, kModes[m], config);
     });
@@ -167,7 +168,7 @@ BenchmarkComparison
 compareMultiCore(const WorkloadMix &mix, const DeallocEvalConfig &config)
 {
     std::array<DeallocRunResult, 4> runs;
-    CampaignEngine engine(config.threads);
+    CampaignEngine engine(config.run.threads);
     engine.forEach(kModes.size(), [&](size_t m) {
         runs[m] = runMultiCore(mix, kModes[m], config);
     });
@@ -176,7 +177,7 @@ compareMultiCore(const WorkloadMix &mix, const DeallocEvalConfig &config)
 
 std::vector<BenchmarkComparison>
 compareSingleCoreAll(const std::vector<std::string> &benchmarks,
-                     uint64_t seed, const DeallocEvalConfig &config)
+                     const DeallocEvalConfig &config)
 {
     // Flatten benchmark x mechanism so the engine balances the whole
     // grid instead of four runs at a time.
@@ -184,10 +185,10 @@ compareSingleCoreAll(const std::vector<std::string> &benchmarks,
     workloads.reserve(benchmarks.size());
     for (const auto &name : benchmarks)
         workloads.push_back(
-            generateWorkload(benchmarkParams(name, seed)));
+            generateWorkload(benchmarkParams(name, config.run.seed)));
 
     std::vector<std::array<DeallocRunResult, 4>> runs(benchmarks.size());
-    CampaignEngine engine(config.threads);
+    CampaignEngine engine(config.run.threads);
     engine.forEach(benchmarks.size() * kModes.size(), [&](size_t t) {
         const size_t b = t / kModes.size();
         const size_t m = t % kModes.size();
@@ -206,7 +207,7 @@ compareMultiCoreAll(const std::vector<WorkloadMix> &mixes,
                     const DeallocEvalConfig &config)
 {
     std::vector<std::array<DeallocRunResult, 4>> runs(mixes.size());
-    CampaignEngine engine(config.threads);
+    CampaignEngine engine(config.run.threads);
     engine.forEach(mixes.size() * kModes.size(), [&](size_t t) {
         const size_t x = t / kModes.size();
         const size_t m = t % kModes.size();

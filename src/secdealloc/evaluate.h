@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_options.h"
 #include "power/energy_model.h"
 #include "sim/core.h"
 #include "sim/workloads.h"
@@ -31,16 +32,18 @@ struct DeallocRunResult
 /** Simulation configuration for the secure-dealloc evaluation. */
 struct DeallocEvalConfig
 {
+    /**
+     * Shared options. `run.seed` seeds the workload generators of
+     * the compare* sweeps; `run.threads` drives the campaign engine
+     * (each mechanism/benchmark run is an independent simulation;
+     * results are identical at any thread count).
+     */
+    RunOptions run = {.seed = 11};
+
     int64_t dram_capacity_mb = 2048;
     int dram_channels = 1;    //!< Channels of the simulated module.
     EnergyParams energy;
     CoreConfig core;
-    /**
-     * Campaign-engine threads used by the compare* sweeps (each
-     * mechanism/benchmark run is an independent simulation). Results
-     * are identical at any thread count.
-     */
-    int threads = 1;
 };
 
 /** Run one single-core benchmark under a mechanism. */
@@ -72,9 +75,11 @@ struct BenchmarkComparison
     double codic_energy = 0.0;
 };
 
-/** Evaluate one single-core benchmark against all mechanisms. */
+/**
+ * Evaluate one single-core benchmark against all mechanisms
+ * (workload generated from config.run.seed).
+ */
 BenchmarkComparison compareSingleCore(const std::string &benchmark,
-                                      uint64_t seed,
                                       const DeallocEvalConfig &config = {});
 
 /** Evaluate one mix against all mechanisms. */
@@ -84,12 +89,11 @@ BenchmarkComparison compareMultiCore(const WorkloadMix &mix,
 /**
  * Evaluate many single-core benchmarks (Fig. 8 sweep). The
  * benchmark x mechanism grid is flattened into one campaign, so with
- * config.threads > 1 independent simulations run concurrently;
- * results are identical to the sequential sweep.
+ * more than one engine thread independent simulations run
+ * concurrently; results are identical to the sequential sweep.
  */
 std::vector<BenchmarkComparison>
 compareSingleCoreAll(const std::vector<std::string> &benchmarks,
-                     uint64_t seed,
                      const DeallocEvalConfig &config = {});
 
 /** Evaluate many mixes (Fig. 9 sweep); same campaign structure. */

@@ -54,7 +54,7 @@ CodicTrng::CodicTrng(const TrngConfig &config) : config_(config)
     // Enrollment: scan the segment's SA population (deterministic per
     // device) for cells whose effective offset sits inside the
     // metastable window around the trip point.
-    Rng device(config_.device_seed ^ 0x7241D);
+    Rng device(config_.run.seed ^ 0x7241D);
     const double sigma = saOffsetSigma(config_.params);
     const double bias = designedSaBiasAt(config_.params);
     const double noise_rms = thermalNoiseRms(config_.params);
@@ -113,15 +113,15 @@ CodicTrng::rawThroughputBitsPerSec() const
 }
 
 std::vector<CodicTrng>
-enrollDevices(const TrngConfig &base, size_t count, int threads)
+enrollDevices(const TrngConfig &base, size_t count)
 {
     // Each device's enrollment scan is deterministic from its own
-    // device_seed, so devices are independent tasks.
+    // device seed, so devices are independent tasks.
     std::vector<std::unique_ptr<CodicTrng>> enrolled(count);
-    CampaignEngine engine(threads);
+    CampaignEngine engine(base.run.threads);
     engine.forEach(count, [&](size_t i) {
         TrngConfig cfg = base;
-        cfg.device_seed = base.device_seed + i;
+        cfg.run.seed = base.run.seed + i;
         enrolled[i] = std::make_unique<CodicTrng>(cfg);
     });
 

@@ -22,6 +22,7 @@
 
 #include "circuit/params.h"
 #include "common/rng.h"
+#include "common/run_options.h"
 
 namespace codic {
 
@@ -36,9 +37,15 @@ struct MetastableCell
 /** Configuration of the CODIC TRNG. */
 struct TrngConfig
 {
+    /**
+     * Shared options. `run.seed` is the device's process-variation
+     * identity (what used to be a separate `device_seed` field);
+     * `run.threads` drives population enrollment (enrollDevices).
+     */
+    RunOptions run;
+
     CircuitParams params;      //!< Device electricals.
     int segment_bits = 65536;  //!< Segment scanned for sources.
-    uint64_t device_seed = 1;  //!< Process-variation identity.
     /**
      * Enrollment keeps cells whose |offset + designed bias| is below
      * this multiple of the thermal-noise RMS (smaller = fewer but
@@ -125,13 +132,14 @@ class CodicTrng
 };
 
 /**
- * Enroll a population of `count` devices (device_seed = base.device_seed
- * + i) through the campaign engine. Enrollment scans segment_bits SA
- * sites per device, which dominates TRNG-characterization sweeps; the
- * returned population is identical at any thread count.
+ * Enroll a population of `count` devices (device i has seed
+ * base.run.seed + i) through the campaign engine at base.run.threads
+ * workers. Enrollment scans segment_bits SA sites per device, which
+ * dominates TRNG-characterization sweeps; the returned population is
+ * identical at any thread count.
  */
 std::vector<CodicTrng> enrollDevices(const TrngConfig &base,
-                                     size_t count, int threads = 1);
+                                     size_t count);
 
 } // namespace codic
 

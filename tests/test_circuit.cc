@@ -363,7 +363,7 @@ TEST(MonteCarlo, FastPathMatchesFullTransient)
     MonteCarloConfig fast;
     fast.schedule = sigsaSchedule();
     fast.runs = 400;
-    fast.seed = 77;
+    fast.run.seed = 77;
     MonteCarloConfig slow = fast;
     slow.fast_path = false;
     const auto rf = runMonteCarlo(fast);
@@ -421,7 +421,7 @@ TEST(MonteCarlo, DeterministicForSameSeed)
     MonteCarloConfig mc;
     mc.schedule = sigsaSchedule();
     mc.runs = 5000;
-    mc.seed = 123;
+    mc.run.seed = 123;
     const auto a = runMonteCarlo(mc);
     const auto b = runMonteCarlo(mc);
     EXPECT_EQ(a.ones, b.ones);

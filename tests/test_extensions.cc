@@ -42,7 +42,7 @@ TEST(Trng, EnrollmentIsDeterministicPerDevice)
     ASSERT_EQ(a.sources().size(), b.sources().size());
     for (size_t i = 0; i < a.sources().size(); ++i)
         EXPECT_EQ(a.sources()[i].index, b.sources()[i].index);
-    cfg.device_seed = 2;
+    cfg.run.seed = 2;
     CodicTrng c(cfg);
     EXPECT_NE(a.sources().size(), 0u);
     bool identical = a.sources().size() == c.sources().size();

@@ -125,12 +125,12 @@ TEST(CampaignDeterminism, JaccardCampaignBitIdenticalAcrossThreads)
 
     JaccardCampaignConfig cfg;
     cfg.pairs = 96;
-    cfg.seed = 42;
+    cfg.run.seed = 42;
 
-    cfg.threads = 1;
+    cfg.run.threads = 1;
     const auto sequential = runJaccardCampaign(sig, ptrs, cfg);
     for (int threads : {2, 8}) {
-        cfg.threads = threads;
+        cfg.run.threads = threads;
         const auto parallel = runJaccardCampaign(sig, ptrs, cfg);
         ASSERT_EQ(parallel.intra.size(), sequential.intra.size());
         for (size_t i = 0; i < sequential.intra.size(); ++i) {
@@ -152,8 +152,12 @@ TEST(CampaignDeterminism, AuthCampaignMatchesAcrossThreads)
         ptrs.push_back(&c);
     const CodicSigPuf sig;
 
-    const AuthRates seq = runAuthCampaign(sig, ptrs, 64, 5, 1);
-    const AuthRates par = runAuthCampaign(sig, ptrs, 64, 5, 8);
+    RunOptions run;
+    run.seed = 5;
+    run.threads = 1;
+    const AuthRates seq = runAuthCampaign(sig, ptrs, 64, run);
+    run.threads = 8;
+    const AuthRates par = runAuthCampaign(sig, ptrs, 64, run);
     EXPECT_EQ(seq.false_rejection, par.false_rejection);
     EXPECT_EQ(seq.false_acceptance, par.false_acceptance);
 }
@@ -164,12 +168,12 @@ TEST(CampaignDeterminism, MonteCarloTalliesBitIdenticalAcrossThreads)
     mc.schedule = sigsaSchedule();
     mc.runs = 20000;
     mc.block_runs = 1024; // Many blocks so threads actually split work.
-    mc.seed = 9;
+    mc.run.seed = 9;
 
-    mc.threads = 1;
+    mc.run.threads = 1;
     const auto seq = runMonteCarlo(mc);
     for (int threads : {2, 8}) {
-        mc.threads = threads;
+        mc.run.threads = threads;
         const auto par = runMonteCarlo(mc);
         EXPECT_EQ(par.ones, seq.ones) << threads << " threads";
         EXPECT_EQ(par.zeros, seq.zeros) << threads << " threads";
@@ -183,7 +187,7 @@ TEST(CampaignDeterminism, MonteCarloBlockingPreservesLegacyStream)
     MonteCarloConfig mc;
     mc.schedule = sigsaSchedule();
     mc.runs = 5000;
-    mc.seed = 123;
+    mc.run.seed = 123;
     MonteCarloConfig blocked = mc;
     blocked.block_runs = mc.runs * 2; // Still one block.
     EXPECT_EQ(runMonteCarlo(mc).ones, runMonteCarlo(blocked).ones);
@@ -193,10 +197,12 @@ TEST(CampaignDeterminism, TrngEnrollmentMatchesAcrossThreads)
 {
     TrngConfig base;
     base.segment_bits = 8192;
-    base.device_seed = 77;
+    base.run.seed = 77;
 
-    const auto seq = enrollDevices(base, 6, 1);
-    const auto par = enrollDevices(base, 6, 8);
+    base.run.threads = 1;
+    const auto seq = enrollDevices(base, 6);
+    base.run.threads = 8;
+    const auto par = enrollDevices(base, 6);
     ASSERT_EQ(seq.size(), par.size());
     for (size_t d = 0; d < seq.size(); ++d) {
         ASSERT_EQ(seq[d].sources().size(), par[d].sources().size());
@@ -213,10 +219,10 @@ TEST(CampaignDeterminism, SecureDeallocComparisonMatchesAcrossThreads)
 {
     DeallocEvalConfig cfg;
     cfg.dram_capacity_mb = 256;
-    cfg.threads = 1;
-    const auto seq = compareSingleCore("malloc", 11, cfg);
-    cfg.threads = 4;
-    const auto par = compareSingleCore("malloc", 11, cfg);
+    cfg.run.threads = 1;
+    const auto seq = compareSingleCore("malloc", cfg);
+    cfg.run.threads = 4;
+    const auto par = compareSingleCore("malloc", cfg);
     EXPECT_EQ(seq.codic_speedup, par.codic_speedup);
     EXPECT_EQ(seq.lisa_speedup, par.lisa_speedup);
     EXPECT_EQ(seq.rowclone_speedup, par.rowclone_speedup);
@@ -227,12 +233,12 @@ TEST(CampaignDeterminism, BatchComparisonMatchesPerBenchmarkCalls)
 {
     DeallocEvalConfig cfg;
     cfg.dram_capacity_mb = 256;
-    cfg.threads = 4;
+    cfg.run.threads = 4;
     const std::vector<std::string> names = {"malloc", "shell"};
-    const auto batch = compareSingleCoreAll(names, 11, cfg);
+    const auto batch = compareSingleCoreAll(names, cfg);
     ASSERT_EQ(batch.size(), 2u);
     for (size_t b = 0; b < names.size(); ++b) {
-        const auto one = compareSingleCore(names[b], 11, cfg);
+        const auto one = compareSingleCore(names[b], cfg);
         EXPECT_EQ(batch[b].name, one.name);
         EXPECT_EQ(batch[b].codic_speedup, one.codic_speedup);
         EXPECT_EQ(batch[b].codic_energy, one.codic_energy);

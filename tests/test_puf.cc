@@ -248,7 +248,7 @@ TEST_F(PopulationFixture, SigPufRobustToTemperature)
 {
     CodicSigPuf sig;
     RunningStats s;
-    for (double v : runTemperatureCampaign(sig, all(), 55.0, 300, 5))
+    for (double v : runTemperatureCampaign(sig, all(), 55.0, 300, {.seed = 5}))
         s.add(v);
     EXPECT_GT(s.mean(), 0.85);
 }
@@ -258,10 +258,10 @@ TEST_F(PopulationFixture, PrelatPufMostRobustToTemperature)
     PrelatPuf pre;
     CodicSigPuf sig;
     RunningStats sp;
-    for (double v : runTemperatureCampaign(pre, all(), 55.0, 300, 5))
+    for (double v : runTemperatureCampaign(pre, all(), 55.0, 300, {.seed = 5}))
         sp.add(v);
     RunningStats ss;
-    for (double v : runTemperatureCampaign(sig, all(), 55.0, 300, 5))
+    for (double v : runTemperatureCampaign(sig, all(), 55.0, 300, {.seed = 5}))
         ss.add(v);
     EXPECT_GT(sp.mean(), 0.97);
     EXPECT_GE(sp.mean(), ss.mean());
@@ -274,7 +274,7 @@ TEST_F(PopulationFixture, LatencyPufDegradesMonotonicallyWithDelta)
     for (double delta : {0.0, 15.0, 25.0, 55.0}) {
         RunningStats s;
         for (double v :
-             runTemperatureCampaign(lat, all(), delta, 200, 5))
+             runTemperatureCampaign(lat, all(), delta, 200, {.seed = 5}))
             s.add(v);
         EXPECT_LT(s.mean(), prev);
         prev = s.mean();
@@ -287,7 +287,7 @@ TEST_F(PopulationFixture, SigPufRobustToAging)
 {
     CodicSigPuf sig;
     RunningStats s;
-    for (double v : runAgingCampaign(sig, all(), 300, 5))
+    for (double v : runAgingCampaign(sig, all(), 300, {.seed = 5}))
         s.add(v);
     // Paper: most Intra-Jaccard indices are 1 after aging.
     EXPECT_GT(s.mean(), 0.95);
@@ -298,7 +298,7 @@ TEST_F(PopulationFixture, SigPufRobustToAging)
 TEST_F(PopulationFixture, NaiveAuthRatesMatchPaper)
 {
     CodicSigPuf sig;
-    const AuthRates rates = runAuthCampaign(sig, all(), 3000, 11);
+    const AuthRates rates = runAuthCampaign(sig, all(), 3000, {.seed = 11});
     // Paper: 0.64 % average false rejection, 0.00 % false acceptance.
     EXPECT_NEAR(rates.false_rejection, 0.0064, 0.006);
     EXPECT_DOUBLE_EQ(rates.false_acceptance, 0.0);

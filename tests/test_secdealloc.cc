@@ -31,7 +31,7 @@ class SingleCoreBenchTest : public ::testing::TestWithParam<std::string>
 
 TEST_P(SingleCoreBenchTest, HardwareBeatsSoftwareOnTimeAndEnergy)
 {
-    const auto c = compareSingleCore(GetParam(), 11);
+    const auto c = compareSingleCore(GetParam());
     // Paper Fig. 8: all hardware approaches improve performance (up
     // to 21 %) and energy (up to 34 %) over software zeroing.
     EXPECT_GT(c.codic_speedup, 0.02);
@@ -54,8 +54,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SingleCore, MallocIsTheMostAllocationBound)
 {
-    const auto stress = compareSingleCore("malloc", 11);
-    const auto gcc = compareSingleCore("compiler", 11);
+    const auto stress = compareSingleCore("malloc");
+    const auto gcc = compareSingleCore("compiler");
     EXPECT_GT(stress.codic_speedup, gcc.codic_speedup);
 }
 

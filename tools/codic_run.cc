@@ -1,0 +1,230 @@
+/**
+ * @file
+ * codic_run - the single driver over the scenario registry and the
+ * canonical way to reproduce the paper's figures and tables.
+ *
+ * Usage:
+ *   codic_run --list
+ *   codic_run --scenario puf_fig5_jaccard [--scenario ...]
+ *   codic_run --all --scale 0.01 --out results.json --csv results.csv
+ *
+ * Options:
+ *   --list             List registered scenarios and exit.
+ *   --scenario NAME    Run one scenario (repeatable).
+ *   --all              Run every registered scenario.
+ *   --seed N           Campaign seed (default 1: the paper seeds).
+ *   --threads N        CampaignEngine threads (0 = auto-detect).
+ *   --channels N       DramConfig override: channels.
+ *   --capacity-mb N    DramConfig override: module capacity.
+ *   --scale F          Work-scale factor in (0,1] (default 1).
+ *   --repeats N        Repeat each scenario N times (seed, seed+1...).
+ *   --out FILE         Write machine-readable JSON ("-" = stdout).
+ *   --csv FILE         Write long-format CSV ("-" = stdout).
+ *   --timings          Include wall-clock values in JSON/CSV
+ *                      (breaks byte-determinism of the output).
+ *   --quiet            Suppress the human-readable text report.
+ *
+ * Without --timings the JSON/CSV output is byte-identical for a
+ * fixed --seed/--scale at any --threads value. One documented
+ * exception: for ablation_engine_parallelism the thread count is an
+ * input parameter of the study itself, so an explicit --threads
+ * above 8 extends its sweep (and with it the row set).
+ *
+ * When --out or --csv is "-", the text report is suppressed
+ * automatically so stdout stays parseable.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result_sink.h"
+#include "scenario/registry.h"
+
+namespace {
+
+using namespace codic;
+
+void
+printUsage()
+{
+    std::fprintf(
+        stderr,
+        "usage: codic_run --list\n"
+        "       codic_run (--scenario NAME)... | --all\n"
+        "                 [--seed N] [--threads N] [--channels N]\n"
+        "                 [--capacity-mb N] [--scale F] [--repeats N]\n"
+        "                 [--out FILE] [--csv FILE] [--timings]\n"
+        "                 [--quiet]\n");
+}
+
+void
+printList()
+{
+    const auto scenarios = ScenarioRegistry::instance().scenarios();
+    std::printf("%zu registered scenarios:\n\n", scenarios.size());
+    size_t width = 0;
+    for (const Scenario *s : scenarios)
+        width = std::max(width, s->name().size());
+    for (const Scenario *s : scenarios)
+        std::printf("  %-*s  %s\n", static_cast<int>(width),
+                    s->name().c_str(), s->describe().c_str());
+}
+
+int
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "codic_run: %s\n", message.c_str());
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunOptions options;
+    std::vector<std::string> selected;
+    bool all = false;
+    bool list = false;
+    bool quiet = false;
+    std::string out_path;
+    std::string csv_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "codic_run: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--scenario") {
+            selected.push_back(next("--scenario"));
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--seed") {
+            options.seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (arg == "--threads") {
+            options.threads =
+                static_cast<int>(std::strtol(next("--threads"),
+                                             nullptr, 10));
+        } else if (arg == "--channels") {
+            options.channels =
+                static_cast<int>(std::strtol(next("--channels"),
+                                             nullptr, 10));
+        } else if (arg == "--capacity-mb") {
+            options.capacity_mb =
+                std::strtoll(next("--capacity-mb"), nullptr, 10);
+        } else if (arg == "--scale") {
+            options.scale = std::strtod(next("--scale"), nullptr);
+            if (options.scale <= 0.0 || options.scale > 1.0)
+                return fail("--scale must be in (0, 1]");
+        } else if (arg == "--repeats") {
+            options.repeats =
+                static_cast<int>(std::strtol(next("--repeats"),
+                                             nullptr, 10));
+            if (options.repeats < 1)
+                return fail("--repeats must be >= 1");
+        } else if (arg == "--out") {
+            out_path = next("--out");
+        } else if (arg == "--csv") {
+            csv_path = next("--csv");
+        } else if (arg == "--timings") {
+            options.emit_timings = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return 0;
+        } else {
+            printUsage();
+            return fail("unknown argument '" + arg + "'");
+        }
+    }
+
+    if (list) {
+        printList();
+        return 0;
+    }
+
+    auto &registry = ScenarioRegistry::instance();
+    if (all)
+        selected = registry.names();
+    if (selected.empty()) {
+        printUsage();
+        return fail("nothing to run (use --scenario, --all, or "
+                    "--list)");
+    }
+    for (const auto &name : selected) {
+        if (registry.find(name))
+            continue;
+        std::string message = "unknown scenario '" + name +
+                              "'; registered scenarios:";
+        for (const auto &known : registry.names())
+            message += "\n  " + known;
+        return fail(message);
+    }
+
+    // Assemble the sink stack: text for humans, JSON/CSV for
+    // machines. When a machine sink writes to stdout, the text
+    // report would interleave with it and corrupt the document, so
+    // suppress it.
+    if (out_path == "-" || csv_path == "-")
+        quiet = true;
+    MultiResultSink sink;
+    std::unique_ptr<TextResultSink> text;
+    if (!quiet) {
+        text = std::make_unique<TextResultSink>(std::cout);
+        sink.addSink(text.get());
+    }
+    std::ofstream out_file;
+    std::unique_ptr<JsonResultSink> json;
+    if (!out_path.empty()) {
+        std::ostream *os = &std::cout;
+        if (out_path != "-") {
+            out_file.open(out_path);
+            if (!out_file)
+                return fail("cannot open '" + out_path +
+                            "' for writing");
+            os = &out_file;
+        }
+        json = std::make_unique<JsonResultSink>(*os);
+        sink.addSink(json.get());
+    }
+    std::ofstream csv_file;
+    std::unique_ptr<CsvResultSink> csv;
+    if (!csv_path.empty()) {
+        std::ostream *os = &std::cout;
+        if (csv_path != "-") {
+            csv_file.open(csv_path);
+            if (!csv_file)
+                return fail("cannot open '" + csv_path +
+                            "' for writing");
+            os = &csv_file;
+        }
+        csv = std::make_unique<CsvResultSink>(*os);
+        sink.addSink(csv.get());
+    }
+
+    for (int repeat = 0; repeat < options.repeats; ++repeat) {
+        RunOptions repeat_options = options;
+        repeat_options.seed =
+            options.seed + static_cast<uint64_t>(repeat);
+        for (const auto &name : selected)
+            runScenario(name, repeat_options, sink);
+    }
+
+    if (json)
+        json->finish();
+    return 0;
+}
