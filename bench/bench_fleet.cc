@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fleet subsystem kernels: the fleet_mixed serving scenario through
+ * the registry, plus microbenchmarks of the hot paths - enrollment,
+ * store lookup (cache hit and decode miss), binary round-trip, and
+ * end-to-end authentication throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "fleet/auth_service.h"
+#include "fleet/device_fleet.h"
+#include "fleet/enrollment_store.h"
+#include "scenario_main.h"
+
+namespace {
+
+using namespace codic;
+
+FleetConfig
+benchFleetConfig(uint64_t devices, int shards)
+{
+    FleetConfig fc;
+    fc.population_seed = 7;
+    fc.devices = devices;
+    fc.shards = shards;
+    fc.dram = DramConfig::ddr3_1600(256, 1);
+    return fc;
+}
+
+void
+BM_FleetEnroll(benchmark::State &state)
+{
+    for (auto _ : state) {
+        DeviceFleet fleet(benchFleetConfig(64, 4));
+        EnrollmentStore store(fleet.config().population_seed);
+        AuthConfig ac;
+        ac.threads = 1;
+        AuthService service(fleet, store, ac);
+        service.enrollAll();
+        benchmark::DoNotOptimize(store.size());
+    }
+}
+BENCHMARK(BM_FleetEnroll)->Unit(benchmark::kMillisecond);
+
+void
+BM_StoreLookupHit(benchmark::State &state)
+{
+    DeviceFleet fleet(benchFleetConfig(32, 1));
+    EnrollmentStore store(fleet.config().population_seed);
+    AuthConfig ac;
+    ac.threads = 1;
+    AuthService service(fleet, store, ac);
+    service.enrollAll();
+    store.lookup(5); // Warm the cache.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(store.lookup(5));
+}
+BENCHMARK(BM_StoreLookupHit);
+
+void
+BM_StoreLookupDecodeMiss(benchmark::State &state)
+{
+    DeviceFleet fleet(benchFleetConfig(32, 1));
+    // Capacity-1 cache: alternating lookups always decode.
+    EnrollmentStore store(fleet.config().population_seed, 1);
+    AuthConfig ac;
+    ac.threads = 1;
+    AuthService service(fleet, store, ac);
+    service.enrollAll();
+    uint64_t id = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.lookup(id));
+        id = (id + 1) % 2;
+    }
+}
+BENCHMARK(BM_StoreLookupDecodeMiss);
+
+void
+BM_StoreBinaryRoundTrip(benchmark::State &state)
+{
+    DeviceFleet fleet(benchFleetConfig(128, 4));
+    EnrollmentStore store(fleet.config().population_seed);
+    AuthConfig ac;
+    ac.threads = 1;
+    AuthService service(fleet, store, ac);
+    service.enrollAll();
+    for (auto _ : state) {
+        std::ostringstream out;
+        store.saveBinary(out);
+        std::istringstream in(out.str());
+        benchmark::DoNotOptimize(EnrollmentStore::loadBinary(in));
+    }
+}
+BENCHMARK(BM_StoreBinaryRoundTrip)->Unit(benchmark::kMillisecond);
+
+void
+BM_AuthThroughput(benchmark::State &state)
+{
+    DeviceFleet fleet(
+        benchFleetConfig(64, static_cast<int>(state.range(0))));
+    EnrollmentStore store(fleet.config().population_seed);
+    AuthService service(fleet, store, {});
+    service.enrollAll();
+    TrafficConfig tc;
+    tc.requests = 512;
+    tc.zipf = 0.9;
+    const auto stream = RequestGenerator(tc, 64).generate();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(service.execute(stream));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_AuthThroughput)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    TrafficConfig tc;
+    tc.requests = 10000;
+    tc.zipf = 0.99;
+    const RequestGenerator gen(tc, 1000000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.generate());
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ZipfSample)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return codic::scenarioBenchMain({"fleet_mixed", "fleet_scaling"},
+                                    argc, argv);
+}

@@ -39,9 +39,9 @@ scenarioBenchMain(std::initializer_list<const char *> scenarios,
     if (const char *scale = std::getenv("CODIC_SCALE")) {
         char *end = nullptr;
         options.scale = std::strtod(scale, &end);
-        // Reject out-of-contract values instead of silently running
-        // every campaign at one trial (scaled() clamps as a
-        // backstop, which would mask a typo here).
+        // Reject out-of-contract values here with a readable message
+        // (RunOptions::validate()/scaled() would otherwise throw on
+        // the bad value deep inside the first campaign).
         if (end == scale || *end != '\0' || options.scale <= 0.0 ||
             options.scale > 1.0) {
             std::fprintf(stderr,

@@ -52,10 +52,15 @@ jsonEscape(const std::string &raw)
     return out;
 }
 
+/**
+ * RFC 4180 quoting: any cell containing a comma, quote, or line
+ * break (\n or \r) is wrapped in quotes with embedded quotes
+ * doubled, so free-text labels can never corrupt the row structure.
+ */
 std::string
 csvEscape(const std::string &raw)
 {
-    if (raw.find_first_of(",\"\n") == std::string::npos)
+    if (raw.find_first_of(",\"\n\r") == std::string::npos)
         return raw;
     std::string out = "\"";
     for (char c : raw) {
@@ -206,7 +211,10 @@ JsonResultSink::beginScenario(const std::string &name,
               ",\"repeats\":" + std::to_string(options.repeats) +
               ",\"channels\":" + std::to_string(options.channels) +
               ",\"capacity_mb\":" +
-              std::to_string(options.capacity_mb) + "}";
+              std::to_string(options.capacity_mb) +
+              ",\"devices\":" + std::to_string(options.devices) +
+              ",\"requests\":" + std::to_string(options.requests) +
+              ",\"zipf\":" + doubleToString(options.zipf) + "}";
 }
 
 void

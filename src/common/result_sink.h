@@ -114,9 +114,10 @@ class ResultSink
  *   "rows": [{"section": "...", "key": value, ...}, ...],
  *   "notes": ["..."]}]
  * @endcode
- * Key order is insertion order; `threads` is deliberately absent
- * from "options" (results must not depend on it). finish() closes
- * the array.
+ * Key order is insertion order; `threads`, `shards`, and
+ * `store_path` are deliberately absent from "options" (results must
+ * not depend on the first two, and a filesystem path is environment
+ * detail, not an experiment parameter). finish() closes the array.
  */
 class JsonResultSink : public ResultSink
 {

@@ -12,8 +12,12 @@
 #define CODIC_COMMON_RUN_OPTIONS_H
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <string>
 #include <thread>
+
+#include "common/logging.h"
 
 namespace codic {
 
@@ -67,6 +71,64 @@ struct RunOptions
      */
     bool emit_timings = false;
 
+    // --- Fleet options (scenarios under src/fleet) ---
+
+    /** Fleet population size (0 = scenario default). */
+    int64_t devices = 0;
+
+    /**
+     * Fleet shard count (0 = scenario default). Like `threads`, an
+     * execution parameter: structured results never depend on it.
+     */
+    int shards = 0;
+
+    /** Fleet request-stream length (0 = scenario default). */
+    int64_t requests = 0;
+
+    /**
+     * Device-popularity Zipf exponent for fleet traffic: negative =
+     * scenario default, 0 = uniform, larger = more skew.
+     */
+    double zipf = -1.0;
+
+    /**
+     * Enrollment-store file for fleet scenarios ("" = in-memory).
+     * A ".json" suffix selects the JSON format, else binary.
+     */
+    std::string store_path;
+
+    /**
+     * Reject out-of-contract values with a clear FatalError instead
+     * of silently clamping or auto-correcting. Run this at every
+     * entry point that accepts externally supplied options.
+     */
+    void validate() const
+    {
+        if (threads < 0)
+            fatal("RunOptions: threads must be >= 0 (0 = auto), got ",
+                  threads);
+        if (repeats < 1)
+            fatal("RunOptions: repeats must be >= 1, got ", repeats);
+        if (!(scale > 0.0) || scale > 1.0)
+            fatal("RunOptions: scale must be in (0, 1], got ", scale);
+        if (channels < 0)
+            fatal("RunOptions: channels must be >= 0, got ", channels);
+        if (capacity_mb < 0)
+            fatal("RunOptions: capacity_mb must be >= 0, got ",
+                  capacity_mb);
+        if (devices < 0)
+            fatal("RunOptions: devices must be >= 0, got ", devices);
+        if (shards < 0)
+            fatal("RunOptions: shards must be >= 0, got ", shards);
+        if (requests < 0)
+            fatal("RunOptions: requests must be >= 0, got ", requests);
+        // Negated comparison so NaN is rejected too; infinity would
+        // make the Zipf sampler's rejection loop spin forever.
+        if ((!(zipf >= 0.0) && zipf != -1.0) || std::isinf(zipf))
+            fatal("RunOptions: zipf must be finite and >= 0 (or -1 "
+                  "for the scenario default), got ", zipf);
+    }
+
     /** Threads that will actually run (resolves 0 to the hardware). */
     int resolvedThreads() const
     {
@@ -76,11 +138,16 @@ struct RunOptions
         return hw ? static_cast<int>(hw) : 1;
     }
 
-    /** Scale a nominal work amount, keeping at least one unit. */
+    /**
+     * Scale a nominal work amount, keeping at least one unit. An
+     * out-of-contract scale is a caller bug (validate() rejects it
+     * at every entry point), so it panics instead of clamping
+     * silently to a meaningless workload.
+     */
     size_t scaled(size_t nominal) const
     {
-        const double s =
-            static_cast<double>(nominal) * std::clamp(scale, 0.0, 1.0);
+        CODIC_ASSERT(scale > 0.0 && scale <= 1.0);
+        const double s = static_cast<double>(nominal) * scale;
         return std::max<size_t>(1, static_cast<size_t>(s + 0.5));
     }
 
@@ -94,6 +161,30 @@ struct RunOptions
     int64_t capacityMbOr(int64_t fallback) const
     {
         return capacity_mb > 0 ? capacity_mb : fallback;
+    }
+
+    /** Apply the fleet-population override to a scenario default. */
+    int64_t devicesOr(int64_t fallback) const
+    {
+        return devices > 0 ? devices : fallback;
+    }
+
+    /** Apply the shard-count override to a scenario default. */
+    int shardsOr(int fallback) const
+    {
+        return shards > 0 ? shards : fallback;
+    }
+
+    /** Apply the request-count override to a scenario default. */
+    int64_t requestsOr(int64_t fallback) const
+    {
+        return requests > 0 ? requests : fallback;
+    }
+
+    /** Apply the Zipf-exponent override to a scenario default. */
+    double zipfOr(double fallback) const
+    {
+        return zipf < 0.0 ? fallback : zipf;
     }
 };
 

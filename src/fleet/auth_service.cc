@@ -1,0 +1,545 @@
+#include "fleet/auth_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/stats.h"
+#include "dram/system.h"
+#include "puf/response_time.h"
+
+namespace codic {
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Authenticate: return "authenticate";
+      case RequestKind::Reenroll: return "reenroll";
+      case RequestKind::TrngDraw: return "trng_draw";
+      case RequestKind::SecureDealloc: return "secure_dealloc";
+    }
+    panic("unknown request kind");
+}
+
+// --- ZipfRankSampler ---------------------------------------------------------
+
+namespace {
+
+/** log1p(x)/x with a series fallback near zero. */
+double
+zipfHelper1(double x)
+{
+    return std::fabs(x) > 1e-8 ? std::log1p(x) / x
+                               : 1.0 - x * (0.5 - x / 3.0);
+}
+
+/** expm1(x)/x with a series fallback near zero. */
+double
+zipfHelper2(double x)
+{
+    return std::fabs(x) > 1e-8
+               ? std::expm1(x) / x
+               : 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+} // namespace
+
+ZipfRankSampler::ZipfRankSampler(double exponent, uint64_t n)
+    : exponent_(exponent), n_(n)
+{
+    CODIC_ASSERT(exponent > 0.0 && std::isfinite(exponent));
+    CODIC_ASSERT(n >= 1);
+    h_x1_ = hIntegral(1.5) - 1.0;
+    h_n_ = hIntegral(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfRankSampler::hIntegral(double x) const
+{
+    // Integral of k^-exponent: (x^(1-e) - 1)/(1-e), log-form stable.
+    const double log_x = std::log(x);
+    return zipfHelper2((1.0 - exponent_) * log_x) * log_x;
+}
+
+double
+ZipfRankSampler::h(double x) const
+{
+    return std::exp(-exponent_ * std::log(x));
+}
+
+double
+ZipfRankSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - exponent_);
+    if (t < -1.0)
+        t = -1.0; // Guard the log-series domain (rounding).
+    return std::exp(zipfHelper1(t) * x);
+}
+
+uint64_t
+ZipfRankSampler::sample(Rng &rng) const
+{
+    while (true) {
+        const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+        const double x = hIntegralInverse(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        k = std::clamp<uint64_t>(k, 1, n_);
+        const double kd = static_cast<double>(k);
+        // Accept k when x lands in its high-probability core, or by
+        // the exact rejection test against the envelope.
+        if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd))
+            return k - 1;
+    }
+}
+
+// --- RequestGenerator --------------------------------------------------------
+
+RequestGenerator::RequestGenerator(const TrafficConfig &config,
+                                   uint64_t devices)
+    : config_(config), devices_(devices)
+{
+    CODIC_ASSERT(devices_ > 0);
+    CODIC_ASSERT(config_.zipf >= 0.0);
+    if (config_.zipf > 0.0)
+        zipf_ = std::make_unique<ZipfRankSampler>(config_.zipf,
+                                                  devices_);
+}
+
+RequestGenerator::RequestGenerator(const TrafficConfig &config,
+                                   std::vector<uint64_t> device_ids)
+    : RequestGenerator(config,
+                       static_cast<uint64_t>(device_ids.size()))
+{
+    ids_ = std::move(device_ids);
+}
+
+uint64_t
+RequestGenerator::sampleDevice(Rng &rng) const
+{
+    const uint64_t rank =
+        zipf_ ? zipf_->sample(rng) : rng.below(devices_);
+    return ids_.empty() ? rank : ids_[static_cast<size_t>(rank)];
+}
+
+std::vector<FleetRequest>
+RequestGenerator::generate() const
+{
+    const double weights[kRequestKinds] = {
+        std::max(0.0, config_.weight_auth),
+        std::max(0.0, config_.weight_reenroll),
+        std::max(0.0, config_.weight_trng),
+        std::max(0.0, config_.weight_dealloc),
+    };
+    double total_weight = 0.0;
+    for (double w : weights)
+        total_weight += w;
+    CODIC_ASSERT(total_weight > 0.0, "empty request mix");
+
+    Rng rng(config_.traffic_seed ^ 0xF1EE77AFull);
+    std::vector<FleetRequest> stream;
+    stream.reserve(config_.requests);
+    double arrival_us = 0.0;
+    for (uint64_t i = 0; i < config_.requests; ++i) {
+        FleetRequest req;
+        req.index = i;
+        req.device_id = sampleDevice(rng);
+        const double pick = rng.uniform() * total_weight;
+        double acc = 0.0;
+        req.kind = RequestKind::SecureDealloc;
+        for (int k = 0; k < kRequestKinds; ++k) {
+            acc += weights[k];
+            if (pick < acc) {
+                req.kind = static_cast<RequestKind>(k);
+                break;
+            }
+        }
+        req.nonce = rng.next64();
+        if (req.kind == RequestKind::TrngDraw)
+            req.payload = static_cast<uint32_t>(
+                std::max(1, config_.trng_bits));
+        else if (req.kind == RequestKind::SecureDealloc)
+            req.payload = static_cast<uint32_t>(
+                std::max(1, config_.dealloc_rows));
+        if (config_.offered_rps > 0.0) {
+            // Open loop: Poisson arrivals at the offered rate.
+            const double mean_gap_us = 1e6 / config_.offered_rps;
+            double u = rng.uniform();
+            while (u <= 1e-300)
+                u = rng.uniform();
+            arrival_us += -mean_gap_us * std::log(u);
+            req.arrival_us = arrival_us;
+        }
+        stream.push_back(req);
+    }
+    return stream;
+}
+
+// --- Cost model --------------------------------------------------------------
+
+namespace {
+
+/**
+ * Replay one filtered PUF evaluation's DRAM footprint: per pass one
+ * CODIC-det row command plus a read sweep over the segment's bursts.
+ */
+Cycle
+replayEvalFootprint(DramSystem &sys, Cycle now, uint64_t base_addr,
+                    int passes, int bursts)
+{
+    const int64_t burst_bytes = sys.config().burst_bytes;
+    for (int p = 0; p < passes; ++p) {
+        now = sys.rowOp(base_addr, now, RowOpMechanism::CodicDet);
+        for (int b = 0; b < bursts; ++b)
+            now = sys.read(base_addr +
+                               static_cast<uint64_t>(b) *
+                                   static_cast<uint64_t>(burst_bytes),
+                           now);
+    }
+    return now;
+}
+
+/** Replay a bulk zeroization: one CODIC-det row op per row. */
+Cycle
+replayDeallocFootprint(DramSystem &sys, Cycle now, uint64_t base_addr,
+                       int rows)
+{
+    const int64_t row_bytes = sys.config().row_bytes;
+    const uint64_t capacity =
+        static_cast<uint64_t>(sys.config().capacityBytes());
+    for (int r = 0; r < rows; ++r) {
+        const uint64_t addr =
+            (base_addr + static_cast<uint64_t>(r) *
+                             static_cast<uint64_t>(row_bytes)) %
+            capacity;
+        now = sys.rowOp(addr, now, RowOpMechanism::CodicDet);
+    }
+    return now;
+}
+
+/** Replay TRNG harvest commands (sigsa-class row commands). */
+Cycle
+replayTrngFootprint(DramSystem &sys, Cycle now, uint64_t base_addr,
+                    int commands)
+{
+    for (int c = 0; c < commands; ++c)
+        now = sys.rowOp(base_addr, now, RowOpMechanism::CodicDet);
+    return now;
+}
+
+/** Device's canonical physical row address inside a shard module. */
+uint64_t
+deviceRowAddr(const DramConfig &cfg, uint64_t segment_id)
+{
+    const uint64_t rows = static_cast<uint64_t>(cfg.totalRows());
+    return (segment_id % rows) * static_cast<uint64_t>(cfg.row_bytes);
+}
+
+} // namespace
+
+FleetCostModel
+buildFleetCostModel(const DramConfig &config, int filter_challenges,
+                    const EnergyParams &energy)
+{
+    FleetCostModel m;
+    m.eval_passes = std::max(1, filter_challenges);
+    m.bursts_per_pass = static_cast<int>(
+        std::min<int64_t>(config.row_bytes / config.burst_bytes,
+                          config.columns));
+
+    ResponseTimeParams rt;
+    rt.filter_challenges = m.eval_passes;
+    m.sig_eval_ns =
+        evaluationTime(PufKind::CodicSig, true, config, rt).native_ns;
+
+    // Steady-state per-row CODIC-det cost and energy, measured on a
+    // scratch system (the same accounting the secure-deallocation
+    // evaluation uses).
+    {
+        DramSystem sys(config);
+        const int rows = 16;
+        const Cycle done =
+            replayDeallocFootprint(sys, 0, 0, rows);
+        m.rowop_ns = config.cyclesToNs(done) / rows;
+        m.dealloc_row_energy_nj =
+            campaignEnergyNj(sys.totalCounts(),
+                             config.cyclesToNs(done), energy) /
+            rows;
+    }
+
+    // Full filtered-evaluation footprint energy.
+    {
+        DramSystem sys(config);
+        replayEvalFootprint(sys, 0, 0, m.eval_passes,
+                            m.bursts_per_pass);
+        m.auth_energy_nj = campaignEnergyNj(sys.totalCounts(),
+                                            m.sig_eval_ns, energy);
+    }
+
+    // One harvest command (sigsa-class row command).
+    {
+        DramSystem sys(config);
+        replayTrngFootprint(sys, 0, 0, 1);
+        m.trng_cmd_energy_nj = campaignEnergyNj(sys.totalCounts(),
+                                                m.rowop_ns, energy);
+    }
+    return m;
+}
+
+// --- AuthService -------------------------------------------------------------
+
+double
+LoadReport::makespanNs() const
+{
+    double worst = 0.0;
+    for (double b : shard_busy_ns)
+        worst = std::max(worst, b);
+    return worst;
+}
+
+AuthService::AuthService(DeviceFleet &fleet, EnrollmentStore &store,
+                         const AuthConfig &config)
+    : fleet_(fleet), store_(store), config_(config),
+      cost_model_(buildFleetCostModel(
+          fleet.config().dram,
+          fleet.config().sig_params.filter_challenges, config.energy))
+{
+}
+
+void
+AuthService::enrollAll()
+{
+    CampaignEngine engine(config_.threads);
+    engine.forEach(
+        static_cast<size_t>(fleet_.shards()), [&](size_t shard) {
+            for (uint64_t id :
+                 fleet_.shardDeviceIds(static_cast<int>(shard))) {
+                const Challenge ch = fleet_.goldenChallenge(id);
+                store_.put(id, ch, fleet_.enrollSignature(id, ch));
+            }
+        });
+}
+
+namespace {
+
+/** Per-request execution result, written into its stream slot. */
+struct RequestResult
+{
+    double service_ns = 0;
+    double energy_nj = 0;
+    bool accepted = false;
+    bool rejected = false;
+    bool unknown = false;
+    bool reenrolled = false;
+    bool trng_failure = false;
+    uint32_t trng_bits = 0;
+    uint32_t dealloc_rows = 0;
+};
+
+/**
+ * Sequential LRU plan over the stream: which store accesses hit the
+ * decode cache. Purely order-based, so the modeled store latency is
+ * independent of shard/thread scheduling. The plan runs the same
+ * LruIndex that backs the store's real decode cache, at the store's
+ * real capacity, and mirrors its semantics: failed lookups of
+ * unknown devices are never cached (and take no cache capacity),
+ * and a re-enrollment both makes the device known and invalidates
+ * any cached decode.
+ */
+std::vector<bool>
+planCacheHits(const std::vector<FleetRequest> &stream,
+              const EnrollmentStore &store)
+{
+    LruIndex plan(store.cacheCapacity());
+    std::unordered_set<uint64_t> enrolled_in_stream;
+    std::vector<bool> hit(stream.size(), false);
+    for (size_t i = 0; i < stream.size(); ++i) {
+        const FleetRequest &req = stream[i];
+        if (req.kind == RequestKind::Authenticate) {
+            if (store.contains(req.device_id) ||
+                enrolled_in_stream.count(req.device_id)) {
+                hit[i] = plan.touch(req.device_id);
+                while (plan.evictIfOver()) {
+                }
+            }
+        } else if (req.kind == RequestKind::Reenroll) {
+            enrolled_in_stream.insert(req.device_id);
+            plan.erase(req.device_id);
+        }
+    }
+    return hit;
+}
+
+} // namespace
+
+LoadReport
+AuthService::execute(const std::vector<FleetRequest> &stream)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::vector<bool> planned_hit =
+        planCacheHits(stream, store_);
+
+    // Batch the stream per shard, preserving stream order inside
+    // each batch.
+    const int shards = fleet_.shards();
+    std::vector<std::vector<size_t>> batches(
+        static_cast<size_t>(shards));
+    for (size_t i = 0; i < stream.size(); ++i)
+        batches[static_cast<size_t>(
+                    fleet_.shardOf(stream[i].device_id))]
+            .push_back(i);
+
+    std::vector<RequestResult> results(stream.size());
+    std::vector<double> shard_busy(static_cast<size_t>(shards), 0.0);
+    const FleetConfig &fc = fleet_.config();
+
+    CampaignEngine engine(config_.threads);
+    engine.forEach(static_cast<size_t>(shards), [&](size_t shard) {
+        // Fresh replay system per batch: created on the executing
+        // worker (single-thread ownership) with pristine timing
+        // state, so the replay depends only on the batch content.
+        DramSystem sys(fc.dram);
+        Cycle now = 0;
+        for (size_t i : batches[shard]) {
+            const FleetRequest &req = stream[i];
+            RequestResult &res = results[i];
+            switch (req.kind) {
+              case RequestKind::Authenticate: {
+                const auto golden = store_.lookup(req.device_id);
+                if (!golden) {
+                    res.unknown = true;
+                    res.service_ns = config_.store_miss_ns;
+                    break;
+                }
+                const Challenge ch =
+                    fleet_.goldenChallenge(req.device_id);
+                const Response fresh = fleet_.challengeResponse(
+                    req.device_id, ch, req.nonce);
+                if (jaccard(*golden, fresh) >=
+                    config_.accept_threshold)
+                    res.accepted = true;
+                else
+                    res.rejected = true;
+                res.service_ns =
+                    (planned_hit[i] ? config_.store_hit_ns
+                                    : config_.store_miss_ns) +
+                    cost_model_.sig_eval_ns;
+                res.energy_nj = cost_model_.auth_energy_nj;
+                now = replayEvalFootprint(
+                    sys, now, deviceRowAddr(fc.dram, ch.segment_id),
+                    cost_model_.eval_passes,
+                    cost_model_.bursts_per_pass);
+                break;
+              }
+              case RequestKind::Reenroll: {
+                const Challenge ch =
+                    fleet_.goldenChallenge(req.device_id);
+                const Response sig = fleet_.challengeResponse(
+                    req.device_id, ch, req.nonce);
+                store_.put(req.device_id, ch, sig);
+                res.reenrolled = true;
+                res.service_ns = cost_model_.sig_eval_ns +
+                                 config_.store_write_ns;
+                res.energy_nj = cost_model_.auth_energy_nj;
+                now = replayEvalFootprint(
+                    sys, now, deviceRowAddr(fc.dram, ch.segment_id),
+                    cost_model_.eval_passes,
+                    cost_model_.bursts_per_pass);
+                break;
+              }
+              case RequestKind::TrngDraw: {
+                CodicTrng &trng = fleet_.trng(req.device_id);
+                if (trng.sources().empty()) {
+                    // No metastable sources at this scan width: the
+                    // draw fails after one enrollment-scan pass.
+                    res.trng_failure = true;
+                    res.service_ns = cost_model_.sig_eval_ns;
+                    break;
+                }
+                Rng noise(req.nonce ^ 0x7A6B5C4Dull);
+                TrngHealthTests health;
+                const auto bits =
+                    trng.harvest(req.payload, noise, &health);
+                res.trng_bits = static_cast<uint32_t>(bits.size());
+                res.trng_failure = health.failed();
+                res.service_ns = static_cast<double>(req.payload) /
+                                 trng.whitenedThroughputBitsPerSec() *
+                                 1e9;
+                // One harvest command yields (Von Neumann) ~ the
+                // per-command whitened yield; the command count is
+                // the modeled service time over the command latency.
+                const int commands = std::clamp(
+                    static_cast<int>(std::ceil(
+                        res.service_ns /
+                        fc.trng_harvest_latency_ns)),
+                    1, 512);
+                res.energy_nj =
+                    commands * cost_model_.trng_cmd_energy_nj;
+                now = replayTrngFootprint(
+                    sys, now,
+                    deviceRowAddr(fc.dram, req.device_id), commands);
+                break;
+              }
+              case RequestKind::SecureDealloc: {
+                const int rows = static_cast<int>(req.payload);
+                res.dealloc_rows = req.payload;
+                res.service_ns = rows * cost_model_.rowop_ns;
+                res.energy_nj =
+                    rows * cost_model_.dealloc_row_energy_nj;
+                now = replayDeallocFootprint(
+                    sys, now,
+                    deviceRowAddr(fc.dram, req.device_id), rows);
+                break;
+              }
+            }
+        }
+        shard_busy[shard] = fc.dram.cyclesToNs(sys.lastIssueCycle());
+    });
+
+    // Sequential aggregation in stream order: deterministic.
+    LoadReport report;
+    report.requests = stream.size();
+    std::vector<double> latencies;
+    latencies.reserve(stream.size());
+    for (size_t i = 0; i < stream.size(); ++i) {
+        const RequestResult &res = results[i];
+        ++report.by_kind[static_cast<int>(stream[i].kind)];
+        report.accepted += res.accepted;
+        report.rejected += res.rejected;
+        report.unknown_device += res.unknown;
+        report.reenrolled += res.reenrolled;
+        report.trng_bits_delivered += res.trng_bits;
+        report.trng_health_failures += res.trng_failure;
+        report.dealloc_rows_cleared += res.dealloc_rows;
+        if (stream[i].kind == RequestKind::Authenticate &&
+            !res.unknown) {
+            report.planned_cache_hits += planned_hit[i];
+            report.planned_cache_misses += !planned_hit[i];
+        }
+        report.total_service_ns += res.service_ns;
+        report.total_energy_nj += res.energy_nj;
+        latencies.push_back(res.service_ns);
+    }
+    if (!latencies.empty()) {
+        report.latency_mean_ns =
+            report.total_service_ns /
+            static_cast<double>(latencies.size());
+        report.latency_p50_ns = percentile(latencies, 50.0);
+        report.latency_p95_ns = percentile(latencies, 95.0);
+        report.latency_p99_ns = percentile(latencies, 99.0);
+        report.latency_max_ns =
+            *std::max_element(latencies.begin(), latencies.end());
+    }
+    report.shard_busy_ns = std::move(shard_busy);
+    report.wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    return report;
+}
+
+} // namespace codic

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Golden-signature database for fleet authentication.
+ *
+ * The store maps device ids to enrolled PUF signatures. Records are
+ * held compactly (varint delta-encoded cell positions) and decoded
+ * on demand through a bounded LRU cache, so a million-device store
+ * costs a few bytes per signature cell and a lookup of a hot device
+ * never re-decodes.
+ *
+ * Two serializations share one versioned header model:
+ *  - binary (magic "CODICENR" + format version): the compact wire
+ *    format, written with records sorted by device id so a store
+ *    built by a parallel enrollment campaign serializes
+ *    byte-identically at any shard/thread count;
+ *  - JSON: interoperable mirror of the same fields.
+ * Loading either format rejects a version mismatch with a clear
+ * FatalError instead of misparsing - enrollment written by one run
+ * can be trusted by a later run.
+ */
+
+#ifndef CODIC_FLEET_ENROLLMENT_STORE_H
+#define CODIC_FLEET_ENROLLMENT_STORE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "puf/puf.h"
+
+namespace codic {
+
+/**
+ * Recency index of a bounded LRU set (list + map bookkeeping). One
+ * implementation backs both the store's decode cache and
+ * AuthService's deterministic cache plan, so the planned store
+ * latencies can never drift from the eviction policy actually
+ * served. Not thread-safe; callers synchronize.
+ */
+class LruIndex
+{
+  public:
+    explicit LruIndex(size_t capacity)
+        : capacity_(std::max<size_t>(1, capacity))
+    {
+    }
+
+    /**
+     * Record an access: true when the id was already indexed (moved
+     * to the front); otherwise inserts it at the front. Callers
+     * drain evictIfOver() after inserting.
+     */
+    bool
+    touch(uint64_t id)
+    {
+        auto it = pos_.find(id);
+        if (it != pos_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return true;
+        }
+        lru_.push_front(id);
+        pos_[id] = lru_.begin();
+        return false;
+    }
+
+    /** Evict and return the least-recent id while over capacity. */
+    std::optional<uint64_t>
+    evictIfOver()
+    {
+        if (pos_.size() <= capacity_)
+            return std::nullopt;
+        const uint64_t victim = lru_.back();
+        pos_.erase(victim);
+        lru_.pop_back();
+        return victim;
+    }
+
+    /** Drop an id (invalidation); true when it was present. */
+    bool
+    erase(uint64_t id)
+    {
+        auto it = pos_.find(id);
+        if (it == pos_.end())
+            return false;
+        lru_.erase(it->second);
+        pos_.erase(it);
+        return true;
+    }
+
+  private:
+    size_t capacity_;
+    std::list<uint64_t> lru_;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos_;
+};
+
+/** One enrolled device's golden signature (encoded at rest). */
+struct EnrollmentRecord
+{
+    uint64_t device_id = 0;
+    uint64_t segment_id = 0;   //!< Golden challenge segment.
+    uint32_t segment_bits = 0; //!< Golden challenge width.
+    uint32_t cell_count = 0;   //!< Cells in the signature.
+    std::vector<uint8_t> blob; //!< Varint delta-encoded positions.
+};
+
+/** Golden-signature database with an LRU decode cache. */
+class EnrollmentStore
+{
+  public:
+    /** Current on-disk format version (binary and JSON). */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /** @param cache_capacity Decoded signatures kept hot (>= 1). */
+    explicit EnrollmentStore(uint64_t population_seed = 0,
+                             size_t cache_capacity = 4096);
+
+    /**
+     * Moves transfer the records and leave the decode cache cold
+     * (the mutex is not movable). Never move a store that another
+     * thread is using.
+     */
+    EnrollmentStore(EnrollmentStore &&other) noexcept;
+    EnrollmentStore &operator=(EnrollmentStore &&other) noexcept;
+    EnrollmentStore(const EnrollmentStore &) = delete;
+    EnrollmentStore &operator=(const EnrollmentStore &) = delete;
+
+    /** Population the signatures were enrolled from. */
+    uint64_t populationSeed() const { return population_seed_; }
+
+    /** Enrolled devices. Thread-safe. */
+    size_t size() const;
+
+    /**
+     * Insert or replace a device's golden signature. Thread-safe;
+     * the final store content depends only on the per-device last
+     * write, never on cross-device interleaving.
+     */
+    void put(uint64_t device_id, const Challenge &challenge,
+             const Response &signature);
+
+    /** O(1): is the device enrolled? Thread-safe. */
+    bool contains(uint64_t device_id) const;
+
+    /**
+     * Encoded record, or nullptr when the device is unknown.
+     * Records are never erased, so the pointer stays valid; do not
+     * read it concurrently with a put() for the same device (the
+     * record content is overwritten in place).
+     */
+    const EnrollmentRecord *record(uint64_t device_id) const;
+
+    /**
+     * Decoded golden signature through the LRU cache, or nullptr
+     * when the device is unknown. Thread-safe; the shared_ptr stays
+     * valid after eviction.
+     */
+    std::shared_ptr<const Response> lookup(uint64_t device_id) const;
+
+    /** Enrolled device ids, ascending (deterministic iteration). */
+    std::vector<uint64_t> deviceIds() const;
+
+    /** Decode-cache capacity (what AuthService's LRU plan models). */
+    size_t cacheCapacity() const { return cache_capacity_; }
+
+    /** Decode-cache telemetry (scheduling-dependent; timings only). */
+    uint64_t cacheHits() const { return hits_; }
+    uint64_t cacheMisses() const { return misses_; }
+
+    // --- Serialization ---
+
+    /** Write the binary format (records sorted by device id). */
+    void saveBinary(std::ostream &out) const;
+
+    /** Write the JSON mirror (same order as saveBinary). */
+    void saveJson(std::ostream &out) const;
+
+    /** Binary size without writing (campaign reporting). */
+    size_t binarySizeBytes() const;
+
+    /**
+     * Read either format back. The decode-cache capacity is a
+     * runtime tuning knob, not part of the stored data - pass the
+     * capacity the serving process wants (files carry records
+     * only). @throws FatalError on a bad magic, a format-version
+     * mismatch, or a truncated/corrupt stream.
+     */
+    static EnrollmentStore loadBinary(std::istream &in,
+                                      size_t cache_capacity = 4096);
+    static EnrollmentStore loadJson(std::istream &in,
+                                    size_t cache_capacity = 4096);
+
+    /**
+     * Path helpers: a ".json" suffix selects the JSON format,
+     * anything else the binary format. @throws FatalError when the
+     * file cannot be opened or fails to parse.
+     */
+    void saveFile(const std::string &path) const;
+    static EnrollmentStore loadFile(const std::string &path,
+                                    size_t cache_capacity = 4096);
+
+    /** Decode one record's blob into a Response (cache bypass). */
+    static Response decode(const EnrollmentRecord &record);
+
+  private:
+    uint64_t population_seed_;
+    size_t cache_capacity_;
+    std::unordered_map<uint64_t, EnrollmentRecord> records_;
+
+    // LRU decode cache: recency/eviction via the shared LruIndex.
+    mutable std::mutex mutex_;
+    mutable LruIndex index_;
+    mutable std::unordered_map<uint64_t,
+                               std::shared_ptr<const Response>>
+        cache_;
+    mutable uint64_t hits_ = 0;
+    mutable uint64_t misses_ = 0;
+};
+
+} // namespace codic
+
+#endif // CODIC_FLEET_ENROLLMENT_STORE_H

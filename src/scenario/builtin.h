@@ -19,6 +19,7 @@ void registerColdbootScenarios(ScenarioRegistry &registry);
 void registerSecdeallocScenarios(ScenarioRegistry &registry);
 void registerTrngScenarios(ScenarioRegistry &registry);
 void registerExtScenarios(ScenarioRegistry &registry);
+void registerFleetScenarios(ScenarioRegistry &registry);
 
 } // namespace codic
 

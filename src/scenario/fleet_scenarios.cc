@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Fleet scenarios: population-scale serving studies over the
+ * src/fleet subsystem (the ROADMAP's "multi-system fleets" item).
+ *
+ *  - fleet_enroll: enroll a device population into an
+ *    EnrollmentStore (optionally persisted with --store).
+ *  - fleet_auth_load: pure authentication traffic against an
+ *    enrolled (or --store-loaded) population, with impostor probes.
+ *  - fleet_mixed: mixed authenticate / re-enroll / TRNG /
+ *    secure-dealloc traffic under a Zipfian popularity law.
+ *  - fleet_scaling: shard-count sweep of the modeled makespan (like
+ *    ablation_engine_parallelism, the sweep variable is the study
+ *    input; --shards above 8 extends the sweep).
+ *
+ * Determinism: structured rows are pure functions of (seed, scale,
+ * devices, requests, zipf) - never of --threads or --shards (the
+ * fleet_scaling sweep reports per swept shard count, not per the
+ * execution shard count).
+ */
+
+#include "scenario/builtin.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "fleet/auth_service.h"
+#include "fleet/device_fleet.h"
+#include "fleet/enrollment_store.h"
+#include "scenario/registry.h"
+#include "scenario/scenario_util.h"
+
+namespace codic {
+
+namespace {
+
+/** Shared fleet construction from the run options. */
+FleetConfig
+fleetConfigFor(const RunContext &ctx, int64_t default_devices)
+{
+    const RunOptions &options = ctx.options();
+    FleetConfig fc;
+    fc.population_seed = paperSeed(options, 2026);
+    fc.devices =
+        static_cast<uint64_t>(options.devicesOr(default_devices));
+    fc.shards = options.shardsOr(4);
+    fc.dram = DramConfig::ddr3_1600(options.capacityMbOr(1024),
+                                    options.channelsOr(1));
+    return fc;
+}
+
+AuthConfig
+authConfigFor(const RunContext &ctx)
+{
+    AuthConfig ac;
+    ac.threads = ctx.options().threads;
+    return ac;
+}
+
+/** Signature-size statistics over a store (ascending device ids). */
+RunningStats
+signatureCellStats(const EnrollmentStore &store)
+{
+    RunningStats cells;
+    for (uint64_t id : store.deviceIds())
+        cells.add(static_cast<double>(store.record(id)->cell_count));
+    return cells;
+}
+
+void
+emitLatencyRow(RunContext &ctx, const std::string &section,
+               const LoadReport &report)
+{
+    ctx.row(section,
+            ResultRow()
+                .add("requests", report.requests)
+                .add("mean_us", report.latency_mean_ns / 1e3)
+                .add("p50_us", report.latency_p50_ns / 1e3)
+                .add("p95_us", report.latency_p95_ns / 1e3)
+                .add("p99_us", report.latency_p99_ns / 1e3)
+                .add("max_us", report.latency_max_ns / 1e3)
+                .add("total_service_ms",
+                     report.total_service_ns / 1e6)
+                .add("energy_mj", report.total_energy_nj / 1e6)
+                .addTiming("wall_s", report.wall_seconds)
+                .addTiming("wall_krps",
+                           report.wall_seconds > 0.0
+                               ? static_cast<double>(report.requests) /
+                                     report.wall_seconds / 1e3
+                               : 0.0));
+}
+
+void
+runFleetEnroll(RunContext &ctx)
+{
+    const FleetConfig fc =
+        fleetConfigFor(ctx, static_cast<int64_t>(ctx.scaled(2000)));
+    DeviceFleet fleet(fc);
+    EnrollmentStore store(fc.population_seed);
+    const AuthConfig ac = authConfigFor(ctx);
+    AuthService service(fleet, store, ac);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    service.enrollAll();
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    const RunningStats cells = signatureCellStats(store);
+    const FleetCostModel &cm = service.costModel();
+    const double per_device_ns = cm.sig_eval_ns + ac.store_write_ns;
+    ctx.row("enrolled population",
+            ResultRow()
+                .add("devices", static_cast<uint64_t>(fc.devices))
+                .add("signature_cells_mean", cells.mean())
+                .add("signature_cells_min", cells.min())
+                .add("signature_cells_max", cells.max())
+                .add("store_bytes",
+                     static_cast<uint64_t>(store.binarySizeBytes()))
+                .add("modeled_enroll_us_per_device",
+                     per_device_ns / 1e3)
+                .add("modeled_enroll_total_ms",
+                     per_device_ns * static_cast<double>(fc.devices) /
+                         1e6)
+                .addTiming("wall_s", wall_s)
+                .addTiming("wall_devices_per_s",
+                           wall_s > 0.0
+                               ? static_cast<double>(fc.devices) /
+                                     wall_s
+                               : 0.0));
+
+    if (!ctx.options().store_path.empty()) {
+        store.saveFile(ctx.options().store_path);
+        // The path is environment detail; keep it out of the
+        // structured output so runs differing only in --store stay
+        // byte-identical.
+        inform("fleet_enroll: wrote enrollment store (",
+               store.size(), " devices) to '",
+               ctx.options().store_path, "'");
+    }
+    ctx.note("Every device's golden CODIC-sig signature is a pure "
+             "function of (population seed, device id): the store "
+             "serializes byte-identically at any shard or thread "
+             "count.");
+}
+
+/**
+ * The enrolled population for a traffic scenario: loaded from
+ * --store when given, else enrolled in memory first.
+ */
+struct TrafficSetup
+{
+    FleetConfig fleet_config;
+    EnrollmentStore store{0};
+    std::vector<uint64_t> targets;
+};
+
+TrafficSetup
+setupEnrolledFleet(RunContext &ctx, int64_t default_devices)
+{
+    TrafficSetup setup;
+    setup.fleet_config = fleetConfigFor(ctx, default_devices);
+    if (!ctx.options().store_path.empty()) {
+        setup.store =
+            EnrollmentStore::loadFile(ctx.options().store_path);
+        if (setup.store.size() == 0)
+            fatal("fleet: enrollment store '",
+                  ctx.options().store_path, "' is empty");
+        setup.targets = setup.store.deviceIds();
+        // The store is authoritative: rebuild the exact population
+        // it was enrolled from. Tell the user when that overrides
+        // an explicit flag rather than ignoring it silently.
+        if (ctx.options().devices > 0 &&
+            static_cast<uint64_t>(ctx.options().devices) !=
+                setup.store.size())
+            warn("fleet: --devices ", ctx.options().devices,
+                 " ignored; the --store file pins the population (",
+                 setup.store.size(), " enrolled devices)");
+        setup.fleet_config.population_seed =
+            setup.store.populationSeed();
+        setup.fleet_config.devices = setup.targets.back() + 1;
+    } else {
+        setup.store =
+            EnrollmentStore(setup.fleet_config.population_seed);
+    }
+    return setup;
+}
+
+/** Enroll in memory when no --store file provided the population. */
+void
+finishSetup(TrafficSetup &setup, AuthService &service)
+{
+    if (setup.targets.empty()) {
+        service.enrollAll();
+        setup.targets = setup.store.deviceIds();
+    }
+}
+
+void
+runFleetAuthLoad(RunContext &ctx)
+{
+    TrafficSetup setup = setupEnrolledFleet(
+        ctx, static_cast<int64_t>(ctx.scaled(2000)));
+    DeviceFleet fleet(setup.fleet_config);
+    const AuthConfig ac = authConfigFor(ctx);
+    AuthService service(fleet, setup.store, ac);
+    finishSetup(setup, service);
+
+    TrafficConfig tc;
+    tc.traffic_seed = paperSeed(ctx.options(), 31);
+    tc.requests = static_cast<uint64_t>(
+        ctx.options().requestsOr(
+            static_cast<int64_t>(ctx.scaled(20000))));
+    tc.zipf = ctx.options().zipfOr(0.0);
+    const RequestGenerator gen(tc, setup.targets);
+    const LoadReport report = service.execute(gen.generate());
+
+    const uint64_t auth_known =
+        report.accepted + report.rejected;
+    ctx.row("authentication outcomes",
+            ResultRow()
+                .add("devices",
+                     static_cast<uint64_t>(setup.targets.size()))
+                .add("requests", report.requests)
+                .add("zipf", tc.zipf)
+                .add("accepted", report.accepted)
+                .add("rejected", report.rejected)
+                .add("unknown_device", report.unknown_device)
+                .add("true_accept_rate",
+                     auth_known
+                         ? static_cast<double>(report.accepted) /
+                               static_cast<double>(auth_known)
+                         : 0.0)
+                .add("planned_cache_hit_rate",
+                     auth_known
+                         ? static_cast<double>(
+                               report.planned_cache_hits) /
+                               static_cast<double>(auth_known)
+                         : 0.0));
+    emitLatencyRow(ctx, "modeled service latency", report);
+
+    // Impostor probes: a fresh response of device A scored against
+    // the golden signature of device B must (essentially) never
+    // clear the acceptance threshold.
+    {
+        Rng rng(paperSeed(ctx.options(), 37));
+        const size_t n = setup.targets.size();
+        // Impostor pairs need two distinct devices; with a
+        // single-device population the probe would score a device
+        // against itself and count genuine accepts as false ones.
+        const size_t trials =
+            n < 2 ? 0 : std::min<size_t>(ctx.scaled(500), tc.requests);
+        uint64_t false_accepts = 0;
+        for (size_t t = 0; t < trials; ++t) {
+            const uint64_t a = setup.targets[rng.below(n)];
+            uint64_t b = setup.targets[rng.below(n)];
+            while (b == a)
+                b = setup.targets[rng.below(n)];
+            const auto golden = setup.store.lookup(b);
+            const Response probe =
+                fleet.challengeResponse(a, rng.next64());
+            if (golden &&
+                jaccard(*golden, probe) >= ac.accept_threshold)
+                ++false_accepts;
+        }
+        ctx.row("impostor probes",
+                ResultRow()
+                    .add("trials", static_cast<uint64_t>(trials))
+                    .add("false_accepts", false_accepts));
+    }
+    ctx.note("Paper Section 6.1.1 reports 99.36% true accepts and "
+             "0.00% false accepts for exact-match authentication; "
+             "the fleet's Jaccard-threshold matcher reproduces both "
+             "at population scale.");
+}
+
+TrafficConfig
+mixedTraffic(RunContext &ctx, uint64_t default_requests)
+{
+    TrafficConfig tc;
+    tc.traffic_seed = paperSeed(ctx.options(), 41);
+    tc.requests = static_cast<uint64_t>(ctx.options().requestsOr(
+        static_cast<int64_t>(default_requests)));
+    tc.zipf = ctx.options().zipfOr(0.9);
+    tc.weight_auth = 0.7;
+    tc.weight_reenroll = 0.1;
+    tc.weight_trng = 0.1;
+    tc.weight_dealloc = 0.1;
+    tc.offered_rps = 50000.0; // Open-loop arrival stamping.
+    return tc;
+}
+
+void
+runFleetMixed(RunContext &ctx)
+{
+    TrafficSetup setup = setupEnrolledFleet(
+        ctx, static_cast<int64_t>(ctx.scaled(1000)));
+    DeviceFleet fleet(setup.fleet_config);
+    AuthService service(fleet, setup.store, authConfigFor(ctx));
+    finishSetup(setup, service);
+
+    const TrafficConfig tc = mixedTraffic(ctx, ctx.scaled(20000));
+    const RequestGenerator gen(tc, setup.targets);
+    const std::vector<FleetRequest> stream = gen.generate();
+    const LoadReport report = service.execute(stream);
+
+    for (int k = 0; k < kRequestKinds; ++k) {
+        ctx.row("request mix",
+                ResultRow()
+                    .add("kind", requestKindName(
+                                     static_cast<RequestKind>(k)))
+                    .add("requests", report.by_kind[k])
+                    .add("share",
+                         report.requests
+                             ? static_cast<double>(
+                                   report.by_kind[k]) /
+                                   static_cast<double>(
+                                       report.requests)
+                             : 0.0));
+    }
+    ctx.row("functionality outcomes",
+            ResultRow()
+                .add("accepted", report.accepted)
+                .add("rejected", report.rejected)
+                .add("unknown_device", report.unknown_device)
+                .add("reenrolled", report.reenrolled)
+                .add("trng_bits_delivered",
+                     report.trng_bits_delivered)
+                .add("trng_health_failures",
+                     report.trng_health_failures)
+                .add("dealloc_rows_cleared",
+                     report.dealloc_rows_cleared));
+    emitLatencyRow(ctx, "modeled service latency", report);
+    ctx.note("Mixed CODIC traffic (70% authenticate, 10% each "
+             "re-enroll / TRNG draw / secure-dealloc) over a "
+             "Zipf(" + std::to_string(tc.zipf) +
+             ") device-popularity law.");
+}
+
+void
+runFleetScaling(RunContext &ctx)
+{
+    const TrafficConfig tc = mixedTraffic(ctx, ctx.scaled(8000));
+
+    // Like ablation_engine_parallelism: the sweep is the study
+    // input; an explicit --shards above the floor extends it (and
+    // with it the row set).
+    std::vector<int> sweep = {1, 2, 4, 8};
+    if (ctx.options().shards > 8)
+        sweep.push_back(ctx.options().shards);
+
+    // Enroll once and snapshot the store: the signatures are
+    // identical at every shard count, and each sweep point needs a
+    // fresh store only because execute() mutates it through
+    // re-enrollments - a varint reload is far cheaper than
+    // re-running the O(devices) PUF enrollment per sweep point.
+    std::string store_snapshot;
+    FleetConfig proto_config;
+    {
+        TrafficSetup setup = setupEnrolledFleet(
+            ctx, static_cast<int64_t>(ctx.scaled(1000)));
+        DeviceFleet fleet(setup.fleet_config);
+        AuthService service(fleet, setup.store, authConfigFor(ctx));
+        finishSetup(setup, service);
+        proto_config = setup.fleet_config;
+        std::ostringstream bytes;
+        setup.store.saveBinary(bytes);
+        store_snapshot = bytes.str();
+    }
+
+    double makespan_1 = 0.0;
+    for (int shards : sweep) {
+        FleetConfig fc = proto_config;
+        fc.shards = shards;
+        std::istringstream bytes(store_snapshot);
+        EnrollmentStore store = EnrollmentStore::loadBinary(bytes);
+        const std::vector<uint64_t> targets = store.deviceIds();
+        DeviceFleet fleet(fc);
+        AuthService service(fleet, store, authConfigFor(ctx));
+        const RequestGenerator gen(tc, targets);
+        const LoadReport report = service.execute(gen.generate());
+
+        const double makespan_ns = report.makespanNs();
+        if (shards == 1)
+            makespan_1 = makespan_ns;
+        // Max/mean busy ratio: 1 = perfectly balanced, and an idle
+        // shard raises it instead of zeroing it out (max/min would
+        // divide by an idle shard's 0).
+        double busy_sum = 0.0;
+        for (double b : report.shard_busy_ns)
+            busy_sum += b;
+        const double busy_mean =
+            busy_sum / static_cast<double>(shards);
+        const double speedup =
+            makespan_ns > 0.0 ? makespan_1 / makespan_ns : 0.0;
+        ctx.row("shard scaling (replayed DRAM makespan)",
+                ResultRow()
+                    .add("shards", shards)
+                    .add("requests", report.requests)
+                    .add("makespan_ms", makespan_ns / 1e6)
+                    .add("speedup_vs_1_shard", speedup)
+                    .add("efficiency", speedup / shards)
+                    .add("achieved_krps",
+                         makespan_ns > 0.0
+                             ? static_cast<double>(report.requests) /
+                                   (makespan_ns / 1e9) / 1e3
+                             : 0.0)
+                    .add("offered_krps", tc.offered_rps / 1e3)
+                    .add("imbalance",
+                         busy_mean > 0.0 ? makespan_ns / busy_mean
+                                         : 1.0)
+                    .addTiming("wall_s", report.wall_seconds));
+    }
+    ctx.note("Each shard replays its batch on its own DramSystem; "
+             "the makespan is the slowest shard's busy time. "
+             "Zipf-skewed popularity bounds the speedup through the "
+             "hottest shard (device-id sharding keeps a device's "
+             "state on one shard).");
+}
+
+} // namespace
+
+void
+registerFleetScenarios(ScenarioRegistry &registry)
+{
+    registry.add(makeScenario(
+        "fleet_enroll",
+        "Fleet: enroll a sharded device population into the "
+        "golden-signature EnrollmentStore (persist with --store)",
+        runFleetEnroll));
+    registry.add(makeScenario(
+        "fleet_auth_load",
+        "Fleet: request-level authentication load with impostor "
+        "probes and modeled p50/p95/p99 service latency",
+        runFleetAuthLoad));
+    registry.add(makeScenario(
+        "fleet_mixed",
+        "Fleet: mixed authenticate/re-enroll/TRNG/secure-dealloc "
+        "traffic over a Zipfian device-popularity law",
+        runFleetMixed));
+    registry.add(makeScenario(
+        "fleet_scaling",
+        "Fleet: shard-count sweep of the replayed DRAM makespan "
+        "(--shards above 8 extends the sweep)",
+        runFleetScaling));
+}
+
+} // namespace codic

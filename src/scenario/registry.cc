@@ -51,6 +51,7 @@ ScenarioRegistry::instance()
         registerSecdeallocScenarios(*r);
         registerTrngScenarios(*r);
         registerExtScenarios(*r);
+        registerFleetScenarios(*r);
         return r;
     }();
     return *registry;
@@ -104,10 +105,28 @@ runScenario(const std::string &name, const RunOptions &options,
     const Scenario *scenario = ScenarioRegistry::instance().find(name);
     if (!scenario)
         return false;
+    // Out-of-contract options are a user error: reject them before
+    // the sink opens, so failed validation leaves it untouched.
+    options.validate();
     sink.beginScenario(scenario->name(), scenario->describe(),
                        options);
     RunContext ctx(options, sink);
-    scenario->run(ctx);
+    // On failure: mark the block so machine-readable output is
+    // distinguishable from a successful run even without the exit
+    // code, close it so the document stays well-formed, and let the
+    // caller handle the failure (codic_run --all reports a
+    // per-scenario summary).
+    try {
+        scenario->run(ctx);
+    } catch (const std::exception &e) {
+        sink.note(std::string("ERROR: scenario failed: ") + e.what());
+        sink.endScenario();
+        throw;
+    } catch (...) {
+        sink.note("ERROR: scenario failed");
+        sink.endScenario();
+        throw;
+    }
     sink.endScenario();
     return true;
 }

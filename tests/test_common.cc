@@ -8,9 +8,12 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/result_sink.h"
 #include "common/rng.h"
+#include "common/run_options.h"
 #include "common/stats.h"
 #include "common/table.h"
 
@@ -283,6 +286,125 @@ TEST(Format, EnergyUnitsScale)
     EXPECT_EQ(fmtEnergyNj(17.2), "17.20 nJ");
     EXPECT_EQ(fmtEnergyNj(0.5), "500.0 pJ");
     EXPECT_EQ(fmtEnergyNj(2.0e6), "2.00 mJ");
+}
+
+namespace {
+
+/** One CSV data line for a single-cell row with the given value. */
+std::string
+csvLineFor(const std::string &value)
+{
+    RunOptions options;
+    std::ostringstream out;
+    CsvResultSink sink(out);
+    sink.beginScenario("s", "d", options);
+    sink.row("sec", ResultRow().add("k", value));
+    sink.endScenario();
+    const std::string text = out.str();
+    // Second line (after the header), without the trailing newline.
+    const size_t start = text.find('\n') + 1;
+    return text.substr(start, text.rfind('\n') - start);
+}
+
+} // namespace
+
+TEST(CsvEscaping, PlainCellsPassThroughUnquoted)
+{
+    EXPECT_EQ(csvLineFor("plain value"), "s,1,sec,0,k,plain value");
+}
+
+TEST(CsvEscaping, CommasAreQuoted)
+{
+    EXPECT_EQ(csvLineFor("a,b"), "s,1,sec,0,k,\"a,b\"");
+}
+
+TEST(CsvEscaping, QuotesAreDoubledAndQuoted)
+{
+    EXPECT_EQ(csvLineFor("say \"hi\""),
+              "s,1,sec,0,k,\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscaping, LineBreaksStayInsideTheCell)
+{
+    EXPECT_EQ(csvLineFor("two\nlines"), "s,1,sec,0,k,\"two\nlines\"");
+    EXPECT_EQ(csvLineFor("cr\rcell"), "s,1,sec,0,k,\"cr\rcell\"");
+}
+
+TEST(CsvEscaping, SectionAndKeyCellsAreEscapedToo)
+{
+    RunOptions options;
+    std::ostringstream out;
+    CsvResultSink sink(out);
+    sink.beginScenario("s", "d", options);
+    sink.row("free, text section", ResultRow().add("key,1", 2));
+    sink.endScenario();
+    EXPECT_NE(out.str().find("\"free, text section\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"key,1\""), std::string::npos);
+}
+
+TEST(RunOptionsValidate, AcceptsDefaultsAndSaneValues)
+{
+    RunOptions options;
+    EXPECT_NO_THROW(options.validate());
+    options.threads = 8;
+    options.repeats = 3;
+    options.scale = 0.5;
+    options.zipf = 1.2;
+    EXPECT_NO_THROW(options.validate());
+}
+
+TEST(RunOptionsValidate, RejectsNegativeThreads)
+{
+    RunOptions options;
+    options.threads = -1;
+    EXPECT_THROW(options.validate(), FatalError);
+}
+
+TEST(RunOptionsValidate, RejectsNonPositiveRepeats)
+{
+    RunOptions options;
+    options.repeats = 0;
+    EXPECT_THROW(options.validate(), FatalError);
+    options.repeats = -4;
+    EXPECT_THROW(options.validate(), FatalError);
+}
+
+TEST(RunOptionsValidate, RejectsOutOfRangeScale)
+{
+    RunOptions options;
+    for (double bad : {0.0, -0.5, 1.5}) {
+        options.scale = bad;
+        EXPECT_THROW(options.validate(), FatalError) << bad;
+    }
+}
+
+TEST(RunOptionsValidate, RejectsNegativeFleetOptions)
+{
+    RunOptions options;
+    options.devices = -1;
+    EXPECT_THROW(options.validate(), FatalError);
+    options.devices = 0;
+    options.zipf = -0.5; // -1 is "scenario default"; -0.5 is junk.
+    EXPECT_THROW(options.validate(), FatalError);
+}
+
+TEST(RunOptionsScaled, ScalesAndKeepsAtLeastOneUnit)
+{
+    RunOptions options;
+    options.scale = 0.5;
+    EXPECT_EQ(options.scaled(1000), 500u);
+    options.scale = 1e-9;
+    EXPECT_EQ(options.scaled(1000), 1u);
+}
+
+TEST(RunOptionsScaled, PanicsOnOutOfContractScaleInsteadOfClamping)
+{
+    RunOptions options;
+    options.scale = 0.0;
+    EXPECT_THROW(options.scaled(100), PanicError);
+    options.scale = 2.0;
+    EXPECT_THROW(options.scaled(100), PanicError);
 }
 
 TEST(Logging, PanicThrowsPanicError)

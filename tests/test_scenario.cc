@@ -46,6 +46,10 @@ TEST(ScenarioRegistry, CoversEveryPaperArtifactServedByABench)
         "trng_table10_nist",          "ext_adaptive_act",
         "ext_pim",                    "ablation_bank_parallelism",
         "ablation_engine_parallelism",
+        // Fleet subsystem (not paper artifacts, but part of the
+        // stable scenario surface).
+        "fleet_enroll",               "fleet_auth_load",
+        "fleet_mixed",                "fleet_scaling",
     };
     auto &registry = ScenarioRegistry::instance();
     for (const char *name : required) {

@@ -18,6 +18,14 @@
  *   --capacity-mb N    DramConfig override: module capacity.
  *   --scale F          Work-scale factor in (0,1] (default 1).
  *   --repeats N        Repeat each scenario N times (seed, seed+1...).
+ *   --devices N        Fleet population size (fleet_* scenarios).
+ *   --shards N         Fleet shard count (execution parameter).
+ *   --requests N       Fleet request-stream length.
+ *   --zipf F           Fleet device-popularity Zipf exponent
+ *                      (0 = uniform).
+ *   --store FILE       Fleet enrollment-store file (written by
+ *                      fleet_enroll, read by the traffic scenarios;
+ *                      ".json" suffix selects the JSON format).
  *   --out FILE         Write machine-readable JSON ("-" = stdout).
  *   --csv FILE         Write long-format CSV ("-" = stdout).
  *   --timings          Include wall-clock values in JSON/CSV
@@ -25,20 +33,28 @@
  *   --quiet            Suppress the human-readable text report.
  *
  * Without --timings the JSON/CSV output is byte-identical for a
- * fixed --seed/--scale at any --threads value. One documented
- * exception: for ablation_engine_parallelism the thread count is an
- * input parameter of the study itself, so an explicit --threads
- * above 8 extends its sweep (and with it the row set).
+ * fixed --seed/--scale at any --threads or --shards value. Two
+ * documented exceptions: ablation_engine_parallelism treats the
+ * thread count and fleet_scaling the shard count as input
+ * parameters of the study itself, so explicit values above 8 extend
+ * their sweeps (and with them the row sets).
+ *
+ * When a scenario fails, the run continues with the remaining
+ * scenarios, prints a per-scenario failure summary, and exits
+ * nonzero - a single broken campaign no longer aborts an --all run.
  *
  * When --out or --csv is "-", the text report is suppressed
  * automatically so stdout stays parseable.
  */
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +75,8 @@ printUsage()
         "       codic_run (--scenario NAME)... | --all\n"
         "                 [--seed N] [--threads N] [--channels N]\n"
         "                 [--capacity-mb N] [--scale F] [--repeats N]\n"
+        "                 [--devices N] [--shards N] [--requests N]\n"
+        "                 [--zipf F] [--store FILE]\n"
         "                 [--out FILE] [--csv FILE] [--timings]\n"
         "                 [--quiet]\n");
 }
@@ -81,6 +99,81 @@ fail(const std::string &message)
 {
     std::fprintf(stderr, "codic_run: %s\n", message.c_str());
     return 2;
+}
+
+/** Whole-string integer parse; malformed or overflowing input is a
+ *  loud error. */
+int64_t
+parseInt(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const int64_t v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+        std::fprintf(
+            stderr,
+            "codic_run: %s needs an integer (in range), got '%s'\n",
+            flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** parseInt for int-typed flags: rejects values the int cast would
+ *  silently wrap. */
+int
+parseIntArg(const char *flag, const char *text)
+{
+    const int64_t v = parseInt(flag, text);
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max()) {
+        std::fprintf(stderr,
+                     "codic_run: %s value '%s' is out of range\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
+/** Whole-string unsigned parse (seeds span the full uint64 range);
+ *  malformed, negative, or overflowing input is a loud error. */
+uint64_t
+parseUint(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    // strtoull silently negates "-1" into a huge value; reject
+    // signs up front.
+    const bool signed_input = text[0] == '-' || text[0] == '+';
+    const uint64_t v = std::strtoull(text, &end, 10);
+    if (signed_input || end == text || *end != '\0' ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "codic_run: %s needs an unsigned integer (in "
+                     "range), got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Whole-string finite floating-point parse; malformed, infinite,
+ *  or overflowing input is a loud error. */
+double
+parseDouble(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v)) {
+        std::fprintf(
+            stderr,
+            "codic_run: %s needs a finite number, got '%s'\n", flag,
+            text);
+        std::exit(2);
+    }
+    return v;
 }
 
 } // namespace
@@ -113,28 +206,48 @@ main(int argc, char **argv)
         } else if (arg == "--all") {
             all = true;
         } else if (arg == "--seed") {
-            options.seed = std::strtoull(next("--seed"), nullptr, 10);
+            options.seed = parseUint("--seed", next("--seed"));
         } else if (arg == "--threads") {
-            options.threads =
-                static_cast<int>(std::strtol(next("--threads"),
-                                             nullptr, 10));
+            options.threads = parseIntArg("--threads", next("--threads"));
+            if (options.threads < 0)
+                return fail("--threads must be >= 0 (0 = auto)");
         } else if (arg == "--channels") {
-            options.channels =
-                static_cast<int>(std::strtol(next("--channels"),
-                                             nullptr, 10));
+            options.channels = parseIntArg("--channels", next("--channels"));
+            if (options.channels < 0)
+                return fail("--channels must be >= 0 (0 = scenario "
+                            "default)");
         } else if (arg == "--capacity-mb") {
             options.capacity_mb =
-                std::strtoll(next("--capacity-mb"), nullptr, 10);
+                parseInt("--capacity-mb", next("--capacity-mb"));
+            if (options.capacity_mb < 0)
+                return fail("--capacity-mb must be >= 0 (0 = "
+                            "scenario default)");
         } else if (arg == "--scale") {
-            options.scale = std::strtod(next("--scale"), nullptr);
+            options.scale = parseDouble("--scale", next("--scale"));
             if (options.scale <= 0.0 || options.scale > 1.0)
                 return fail("--scale must be in (0, 1]");
         } else if (arg == "--repeats") {
-            options.repeats =
-                static_cast<int>(std::strtol(next("--repeats"),
-                                             nullptr, 10));
+            options.repeats = parseIntArg("--repeats", next("--repeats"));
             if (options.repeats < 1)
                 return fail("--repeats must be >= 1");
+        } else if (arg == "--devices") {
+            options.devices = parseInt("--devices", next("--devices"));
+            if (options.devices < 1)
+                return fail("--devices must be >= 1");
+        } else if (arg == "--shards") {
+            options.shards = parseIntArg("--shards", next("--shards"));
+            if (options.shards < 1)
+                return fail("--shards must be >= 1");
+        } else if (arg == "--requests") {
+            options.requests = parseInt("--requests", next("--requests"));
+            if (options.requests < 1)
+                return fail("--requests must be >= 1");
+        } else if (arg == "--zipf") {
+            options.zipf = parseDouble("--zipf", next("--zipf"));
+            if (!(options.zipf >= 0.0)) // Rejects NaN too.
+                return fail("--zipf must be >= 0 (0 = uniform)");
+        } else if (arg == "--store") {
+            options.store_path = next("--store");
         } else if (arg == "--out") {
             out_path = next("--out");
         } else if (arg == "--csv") {
@@ -216,15 +329,42 @@ main(int argc, char **argv)
         sink.addSink(csv.get());
     }
 
+    // A scenario failure must not abort the whole run: record it,
+    // keep going, and report a per-scenario summary at the end.
+    struct Failure
+    {
+        std::string scenario;
+        std::string message;
+    };
+    std::vector<Failure> failures;
     for (int repeat = 0; repeat < options.repeats; ++repeat) {
         RunOptions repeat_options = options;
         repeat_options.seed =
             options.seed + static_cast<uint64_t>(repeat);
-        for (const auto &name : selected)
-            runScenario(name, repeat_options, sink);
+        for (const auto &name : selected) {
+            try {
+                runScenario(name, repeat_options, sink);
+            } catch (const std::exception &e) {
+                failures.push_back({name, e.what()});
+                std::fprintf(stderr,
+                             "codic_run: scenario '%s' failed: %s\n",
+                             name.c_str(), e.what());
+            }
+        }
     }
 
     if (json)
         json->finish();
+    if (!failures.empty()) {
+        std::fprintf(stderr,
+                     "codic_run: %zu of %zu scenario run(s) failed:\n",
+                     failures.size(),
+                     selected.size() *
+                         static_cast<size_t>(options.repeats));
+        for (const auto &f : failures)
+            std::fprintf(stderr, "  %s: %s\n", f.scenario.c_str(),
+                         f.message.c_str());
+        return 1;
+    }
     return 0;
 }
