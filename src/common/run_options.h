@@ -98,6 +98,14 @@ struct RunOptions
     std::string store_path;
 
     /**
+     * Memory-scheduler policy preset name ("" = the built-in
+     * default). Resolved by SchedulerPolicy::preset() where a
+     * scenario builds its DramConfig (this struct lives below dram/
+     * so it carries the name only); unknown names are fatal there.
+     */
+    std::string sched;
+
+    /**
      * Reject out-of-contract values with a clear FatalError instead
      * of silently clamping or auto-correcting. Run this at every
      * entry point that accepts externally supplied options.

@@ -24,6 +24,8 @@ CommandCounts::operator+=(const CommandCounts &other)
     codic += other.codic;
     rowclone += other.rowclone;
     lisa_rbm += other.lisa_rbm;
+    rd_wr_turnarounds += other.rd_wr_turnarounds;
+    wr_rd_turnarounds += other.wr_rd_turnarounds;
     return *this;
 }
 
@@ -263,6 +265,9 @@ DramChannel::issue(const Command &cmd, Cycle t)
       }
       case CommandType::Rd: {
         ++counts_.rd;
+        if (last_bus_dir_ == BusDir::Write)
+            ++counts_.wr_rd_turnarounds;
+        last_bus_dir_ = BusDir::Read;
         next_rd_start_ = std::max(next_rd_start_, t + tt.tccd);
         // RD-to-WR bus turnaround: write burst must not collide with
         // the read burst on the shared bus.
@@ -273,6 +278,9 @@ DramChannel::issue(const Command &cmd, Cycle t)
       }
       case CommandType::Wr: {
         ++counts_.wr;
+        if (last_bus_dir_ == BusDir::Read)
+            ++counts_.rd_wr_turnarounds;
+        last_bus_dir_ = BusDir::Write;
         next_wr_start_ = std::max(next_wr_start_, t + tt.tccd);
         next_rd_start_ =
             std::max(next_rd_start_, t + tt.tcwl + tt.tbl + tt.twtr);

@@ -41,6 +41,17 @@ struct CommandCounts
     uint64_t rowclone = 0;
     uint64_t lisa_rbm = 0;
 
+    /**
+     * Data-bus direction switches (not commands, so excluded from
+     * total()): a RD issued while the bus last carried a write burst
+     * counts one wr->rd turnaround and vice versa. Write-drain
+     * batching exists to amortize exactly these switches, so the
+     * scheduler ablations and tests assert on them.
+     */
+    uint64_t rd_wr_turnarounds = 0; //!< Bus switched read -> write.
+    uint64_t wr_rd_turnarounds = 0; //!< Bus switched write -> read.
+
+    /** Commands issued (turnaround counters excluded). */
     uint64_t total() const;
 
     /** Roll a channel's counters into an aggregate (DramSystem). */
@@ -193,6 +204,10 @@ class DramChannel
     // Channel-wide data-bus horizons.
     Cycle next_rd_start_ = 0;
     Cycle next_wr_start_ = 0;
+
+    /** Last data-burst direction, for turnaround accounting. */
+    enum class BusDir : uint8_t { None, Read, Write };
+    BusDir last_bus_dir_ = BusDir::None;
 };
 
 } // namespace codic

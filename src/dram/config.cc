@@ -6,6 +6,46 @@
 
 namespace codic {
 
+void
+SchedulerPolicy::validate() const
+{
+    if (drain_high_pct < 0 || drain_high_pct > 100)
+        fatal("SchedulerPolicy: drain_high_pct must be in [0, 100], "
+              "got ", drain_high_pct);
+    if (drain_low_pct < 0 || drain_low_pct > drain_high_pct)
+        fatal("SchedulerPolicy: drain_low_pct must be in [0, "
+              "drain_high_pct], got ", drain_low_pct, " (high ",
+              drain_high_pct, ")");
+    if (max_drain_batch < 1)
+        fatal("SchedulerPolicy: max_drain_batch must be >= 1, got ",
+              max_drain_batch);
+    if (replay_batch < 1)
+        fatal("SchedulerPolicy: replay_batch must be >= 1, got ",
+              replay_batch);
+}
+
+SchedulerPolicy
+SchedulerPolicy::preset(const std::string &name)
+{
+    if (name == "eager")
+        return SchedulerPolicy{};
+    if (name == "batched")
+        return SchedulerPolicy{75, 25, 16, 8};
+    if (name == "aggressive")
+        return SchedulerPolicy{90, 10, 32, 16};
+    std::string known;
+    for (const auto &n : presetNames())
+        known += " " + n;
+    fatal("unknown scheduler preset '", name, "'; known presets:",
+          known);
+}
+
+std::vector<std::string>
+SchedulerPolicy::presetNames()
+{
+    return {"eager", "batched", "aggressive"};
+}
+
 int64_t
 DramConfig::capacityBytes() const
 {
@@ -49,6 +89,7 @@ DramConfig::validate() const
               ") != row_bytes (", row_bytes, ")");
     if (tck_ns <= 0.0)
         fatal("DramConfig '", name, "': non-positive clock period");
+    scheduler.validate();
 }
 
 namespace {

@@ -11,11 +11,73 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace codic {
 
 /** Clock-cycle count type (units of tCK). */
 using Cycle = int64_t;
+
+/**
+ * Memory-scheduler policy knobs (paper Table 5: 64/64-entry FR-FCFS
+ * controller). The write queue decouples write acceptance from write
+ * issue: accepted writes buffer until a drain episode flushes them in
+ * row-hit batches, so reads keep priority on the data bus and the
+ * rd<->wr bus turnaround penalty is paid once per drained burst
+ * instead of once per write.
+ *
+ * The same policy carries the fleet's replay batching knob: how many
+ * independent devices of a shard replay their DRAM footprints
+ * bank-parallel from a common start cycle (see AuthService).
+ *
+ * The zero-value default is the "eager" legacy policy (every write
+ * issues at acceptance, serial replay): the paper's published
+ * numbers - most visibly the Fig. 8 secure-deallocation speedups
+ * over software zeroing - were measured against that behaviour, so
+ * the bare DramConfig keeps reproducing them bit-for-bit. The
+ * serving stack (FleetConfig, the fleet scenarios) defaults to the
+ * "batched" preset instead, and --sched flips either way.
+ */
+struct SchedulerPolicy
+{
+    /**
+     * Pending-write occupancy (percent of the write queue) that
+     * triggers a drain episode. 0 drains after every accepted write
+     * (the legacy eager behaviour).
+     */
+    int drain_high_pct = 0;
+
+    /** A drain episode stops once occupancy falls to this percent. */
+    int drain_low_pct = 0;
+
+    /**
+     * Most writes coalesced into one row-hit batch: a drain picks the
+     * oldest pending write and services up to this many pending
+     * writes to the same row back-to-back (FR-FCFS row-hit-first over
+     * the write queue).
+     */
+    int max_drain_batch = 1;
+
+    /**
+     * Fleet replay: requests of a shard batched into one bank-parallel
+     * DramSystem replay slice (1 = serial single-request replay).
+     */
+    int replay_batch = 1;
+
+    /** Reject inconsistent knob values with a FatalError. */
+    void validate() const;
+
+    /**
+     * Named preset: "eager" (the legacy zero-value default above),
+     * "batched" (75/25 watermarks, 16-deep row-hit batches, 8-deep
+     * replay slices - the serving-stack default), or "aggressive"
+     * (90/10, 32, 16). Unknown names are fatal.
+     */
+    static SchedulerPolicy preset(const std::string &name);
+
+    /** Names accepted by preset(), in documentation order. */
+    static std::vector<std::string> presetNames();
+};
 
 /** JEDEC DDR3 timing parameters, all in clock cycles. */
 struct TimingParams
@@ -70,6 +132,9 @@ struct DramConfig
     int64_t burst_bytes = 64;
 
     TimingParams timing;
+
+    /** Memory-scheduler policy (write drain + fleet replay batching). */
+    SchedulerPolicy scheduler;
 
     /** Total module capacity in bytes. */
     int64_t capacityBytes() const;

@@ -71,6 +71,15 @@ DramSystem::drainWrites()
     return last;
 }
 
+size_t
+DramSystem::pendingWriteCount() const
+{
+    size_t n = 0;
+    for (const auto &mc : controllers_)
+        n += mc->pendingWriteCount();
+    return n;
+}
+
 int
 DramSystem::registerVariantAll(const SignalSchedule &sched)
 {

@@ -75,6 +75,9 @@ class DramSystem : public MemoryService
     /** Drain every channel's write queue; max completion cycle. */
     Cycle drainWrites() override;
 
+    /** Buffered (unissued) writes summed over every channel queue. */
+    size_t pendingWriteCount() const;
+
     /** Module-wide address map (identical in every controller). */
     const AddressMap &map() const override { return map_; }
 

@@ -239,6 +239,91 @@ deviceRowAddr(const DramConfig &cfg, uint64_t segment_id)
     return (segment_id % rows) * static_cast<uint64_t>(cfg.row_bytes);
 }
 
+/**
+ * Resumable replay of one request's DRAM command footprint.
+ *
+ * A cursor carries the request's local replay clock and issues ONE
+ * request-level command per step (one read burst, one CODIC row op),
+ * chained on its own completion exactly like the serial replay. The
+ * slice scheduler always steps the cursor with the smallest local
+ * clock, so the slice's commands issue in near-global-time order:
+ * one device's read chain (a burst every completion latency) leaves
+ * the data bus mostly idle, and the interleave fills those gaps
+ * with bursts and row commands of the slice's other devices - the
+ * bank-level parallelism a 64-entry FR-FCFS front-end extracts from
+ * independent requests, and exactly what the serial single-request
+ * replay leaves on the floor.
+ */
+struct ReplayCursor
+{
+    enum class Kind : uint8_t { None, Eval, Dealloc, Trng };
+
+    Kind kind = Kind::None;
+    uint64_t base = 0;     //!< Device's base physical address.
+    int bursts = 0;        //!< Eval: read bursts per pass.
+    int passes_left = 0;   //!< Eval: passes still to run.
+    int reads_left = 0;    //!< Eval: bursts left in current pass.
+    int read_idx = 0;      //!< Eval: next burst within the pass.
+    int rows_left = 0;     //!< Dealloc rows / Trng commands left.
+    int row_idx = 0;       //!< Dealloc: next row offset.
+    Cycle now = 0;         //!< Local replay clock.
+
+    bool done() const
+    {
+        switch (kind) {
+          case Kind::None: return true;
+          case Kind::Eval: return passes_left == 0 && reads_left == 0;
+          case Kind::Dealloc:
+          case Kind::Trng: return rows_left == 0;
+        }
+        return true;
+    }
+
+    void step(DramSystem &sys)
+    {
+        CODIC_ASSERT(!done());
+        switch (kind) {
+          case Kind::Eval: {
+            if (reads_left == 0) {
+                // Pass boundary: the CODIC row command that launches
+                // the next filtered evaluation pass.
+                now = sys.rowOp(base, now, RowOpMechanism::CodicDet);
+                --passes_left;
+                reads_left = bursts;
+                read_idx = 0;
+                return;
+            }
+            const int64_t burst_bytes = sys.config().burst_bytes;
+            now = sys.read(base + static_cast<uint64_t>(read_idx) *
+                                      static_cast<uint64_t>(burst_bytes),
+                           now);
+            ++read_idx;
+            --reads_left;
+            return;
+          }
+          case Kind::Dealloc: {
+            const int64_t row_bytes = sys.config().row_bytes;
+            const uint64_t capacity =
+                static_cast<uint64_t>(sys.config().capacityBytes());
+            const uint64_t addr =
+                (base + static_cast<uint64_t>(row_idx) *
+                            static_cast<uint64_t>(row_bytes)) %
+                capacity;
+            now = sys.rowOp(addr, now, RowOpMechanism::CodicDet);
+            ++row_idx;
+            --rows_left;
+            return;
+          }
+          case Kind::Trng:
+            now = sys.rowOp(base, now, RowOpMechanism::CodicDet);
+            --rows_left;
+            return;
+          case Kind::None:
+            return;
+        }
+    }
+};
+
 } // namespace
 
 FleetCostModel
@@ -403,17 +488,21 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         // worker (single-thread ownership) with pristine timing
         // state, so the replay depends only on the batch content.
         DramSystem sys(fc.dram);
-        Cycle now = 0;
-        for (size_t i : batches[shard]) {
+
+        // One request's outcome evaluation; returns the replay
+        // cursor for its DRAM footprint (starting at `start`).
+        const auto evalOne = [&](size_t i, Cycle start) {
             const FleetRequest &req = stream[i];
             RequestResult &res = results[i];
+            ReplayCursor cur;
+            cur.now = start;
             switch (req.kind) {
               case RequestKind::Authenticate: {
                 const auto golden = store_.lookup(req.device_id);
                 if (!golden) {
                     res.unknown = true;
                     res.service_ns = config_.store_miss_ns;
-                    break;
+                    return cur;
                 }
                 const Challenge ch =
                     fleet_.goldenChallenge(req.device_id);
@@ -429,11 +518,11 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                                     : config_.store_miss_ns) +
                     cost_model_.sig_eval_ns;
                 res.energy_nj = cost_model_.auth_energy_nj;
-                now = replayEvalFootprint(
-                    sys, now, deviceRowAddr(fc.dram, ch.segment_id),
-                    cost_model_.eval_passes,
-                    cost_model_.bursts_per_pass);
-                break;
+                cur.kind = ReplayCursor::Kind::Eval;
+                cur.base = deviceRowAddr(fc.dram, ch.segment_id);
+                cur.bursts = cost_model_.bursts_per_pass;
+                cur.passes_left = cost_model_.eval_passes;
+                return cur;
               }
               case RequestKind::Reenroll: {
                 const Challenge ch =
@@ -445,11 +534,11 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                 res.service_ns = cost_model_.sig_eval_ns +
                                  config_.store_write_ns;
                 res.energy_nj = cost_model_.auth_energy_nj;
-                now = replayEvalFootprint(
-                    sys, now, deviceRowAddr(fc.dram, ch.segment_id),
-                    cost_model_.eval_passes,
-                    cost_model_.bursts_per_pass);
-                break;
+                cur.kind = ReplayCursor::Kind::Eval;
+                cur.base = deviceRowAddr(fc.dram, ch.segment_id);
+                cur.bursts = cost_model_.bursts_per_pass;
+                cur.passes_left = cost_model_.eval_passes;
+                return cur;
               }
               case RequestKind::TrngDraw: {
                 CodicTrng &trng = fleet_.trng(req.device_id);
@@ -458,7 +547,7 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                     // draw fails after one enrollment-scan pass.
                     res.trng_failure = true;
                     res.service_ns = cost_model_.sig_eval_ns;
-                    break;
+                    return cur;
                 }
                 Rng noise(req.nonce ^ 0x7A6B5C4Dull);
                 TrngHealthTests health;
@@ -479,10 +568,10 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                     1, 512);
                 res.energy_nj =
                     commands * cost_model_.trng_cmd_energy_nj;
-                now = replayTrngFootprint(
-                    sys, now,
-                    deviceRowAddr(fc.dram, req.device_id), commands);
-                break;
+                cur.kind = ReplayCursor::Kind::Trng;
+                cur.base = deviceRowAddr(fc.dram, req.device_id);
+                cur.rows_left = commands;
+                return cur;
               }
               case RequestKind::SecureDealloc: {
                 const int rows = static_cast<int>(req.payload);
@@ -490,21 +579,155 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                 res.service_ns = rows * cost_model_.rowop_ns;
                 res.energy_nj =
                     rows * cost_model_.dealloc_row_energy_nj;
-                now = replayDeallocFootprint(
-                    sys, now,
-                    deviceRowAddr(fc.dram, req.device_id), rows);
-                break;
+                cur.kind = ReplayCursor::Kind::Dealloc;
+                cur.base = deviceRowAddr(fc.dram, req.device_id);
+                cur.rows_left = rows;
+                return cur;
               }
             }
+            panic("unknown request kind");
+        };
+
+        // The slice-independence key of an evaluated request: its
+        // device plus the DRAM bank its footprint starts on, read
+        // off the cursor evalOne already built (the challenge is
+        // derived once per request, and a no-footprint cursor -
+        // unknown device, sourceless TRNG - claims no bank at all).
+        struct SliceKey
+        {
+            uint64_t device = 0;
+            uint64_t bank = 0;
+            bool has_bank = false;
+        };
+        const auto keyOf = [&](const FleetRequest &req,
+                               const ReplayCursor &cur) {
+            SliceKey key;
+            key.device = req.device_id;
+            key.has_bank = cur.kind != ReplayCursor::Kind::None;
+            if (key.has_bank) {
+                const Address a = sys.map().decode(cur.base);
+                key.bank =
+                    (static_cast<uint64_t>(a.channel) << 32) |
+                    (static_cast<uint64_t>(a.rank) << 16) |
+                    static_cast<uint64_t>(a.bank);
+            }
+            return key;
+        };
+
+        // Bank-parallel batched replay: up to replay_batch requests
+        // of DISTINCT devices with DISTINCT footprint base banks
+        // form one slice (a physical device serves one request at a
+        // time, and two read sweeps on one bank would thrash
+        // PRE/ACT between their rows where a real FR-FCFS front-end
+        // streams row hits - a repeated device or bank defers the
+        // request to the next slice). Multi-bank footprints (secure
+        // dealloc walks successive banks) are keyed by their base
+        // bank only: where their row walk crosses a slice peer's
+        // bank, the replay pays the genuine bounded row-conflict
+        // cost of that crossing, not the sustained same-bank read
+        // thrash the key exists to prevent. Every cursor starts at
+        // the slice's start cycle, and the discrete-event loop
+        // always steps the cursor with the smallest local clock
+        // (ties: batch order), so commands of independent devices
+        // issue in near-global-time order and overlap across banks
+        // and channels while the JEDEC checker serializes genuinely
+        // shared resources. The next slice starts at the slowest
+        // cursor's completion.
+        const auto &batch = batches[shard];
+        const size_t slice = static_cast<size_t>(
+            std::max(1, fc.dram.scheduler.replay_batch));
+        Cycle slice_start = 0;
+        std::vector<ReplayCursor> cursors;
+        std::unordered_set<uint64_t> slice_devices;
+        std::unordered_set<uint64_t> slice_banks;
+        // The request that closed the previous slice (already
+        // evaluated; its replay is deferred to the next slice).
+        ReplayCursor carry_cur;
+        SliceKey carry_key;
+        bool have_carry = false;
+        const auto admit = [&](const ReplayCursor &cur,
+                               const SliceKey &key) {
+            cursors.push_back(cur);
+            slice_devices.insert(key.device);
+            if (key.has_bank)
+                slice_banks.insert(key.bank);
+        };
+        size_t k = 0;
+        while (k < batch.size() || have_carry) {
+            cursors.clear();
+            slice_devices.clear();
+            slice_banks.clear();
+            if (have_carry) {
+                carry_cur.now = slice_start;
+                admit(carry_cur, carry_key);
+                have_carry = false;
+            }
+            while (k < batch.size() && cursors.size() < slice) {
+                const FleetRequest &req = stream[batch[k]];
+                const ReplayCursor cur =
+                    evalOne(batch[k], slice_start);
+                const SliceKey key = keyOf(req, cur);
+                ++k;
+                if (!cursors.empty() &&
+                    (slice_devices.count(key.device) ||
+                     (key.has_bank &&
+                      slice_banks.count(key.bank)))) {
+                    carry_cur = cur;
+                    carry_key = key;
+                    have_carry = true;
+                    break;
+                }
+                admit(cur, key);
+            }
+            while (true) {
+                ReplayCursor *next = nullptr;
+                for (auto &c : cursors)
+                    if (!c.done() && (!next || c.now < next->now))
+                        next = &c;
+                if (!next)
+                    break;
+                next->step(sys);
+            }
+            Cycle slice_end = slice_start;
+            for (const auto &c : cursors)
+                slice_end = std::max(slice_end, c.now);
+            slice_start = slice_end;
         }
         shard_busy[shard] = fc.dram.cyclesToNs(sys.lastIssueCycle());
     });
 
+    // Queueing model over the arrival stamps: device -> logical lane
+    // (a fixed modeled deployment, never the execution shard count),
+    // each lane serves its requests in arrival (= stream) order, and
+    // a request waits while its lane is busy past its arrival. Pure
+    // sequential plan over the stream: deterministic at any
+    // shard/thread count. Closed-loop streams carry no arrival
+    // stamps - their arrivals are service-driven, so no wait.
+    std::vector<double> waits(stream.size(), 0.0);
+    bool open_loop = false;
+    for (const FleetRequest &req : stream)
+        open_loop = open_loop || req.arrival_us > 0.0;
+    if (open_loop) {
+        const size_t lanes = static_cast<size_t>(
+            std::max(1, config_.service_lanes));
+        std::vector<double> lane_free_ns(lanes, 0.0);
+        for (size_t i = 0; i < stream.size(); ++i) {
+            const size_t lane = stream[i].device_id % lanes;
+            const double arrival_ns = stream[i].arrival_us * 1e3;
+            const double begin =
+                std::max(arrival_ns, lane_free_ns[lane]);
+            waits[i] = begin - arrival_ns;
+            lane_free_ns[lane] = begin + results[i].service_ns;
+        }
+    }
+
     // Sequential aggregation in stream order: deterministic.
     LoadReport report;
     report.requests = stream.size();
+    report.open_loop = open_loop;
     std::vector<double> latencies;
     latencies.reserve(stream.size());
+    double wait_sum = 0.0;
     for (size_t i = 0; i < stream.size(); ++i) {
         const RequestResult &res = results[i];
         ++report.by_kind[static_cast<int>(stream[i].kind)];
@@ -522,17 +745,22 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         }
         report.total_service_ns += res.service_ns;
         report.total_energy_nj += res.energy_nj;
-        latencies.push_back(res.service_ns);
+        wait_sum += waits[i];
+        latencies.push_back(waits[i] + res.service_ns);
     }
     if (!latencies.empty()) {
+        const double n = static_cast<double>(latencies.size());
         report.latency_mean_ns =
-            report.total_service_ns /
-            static_cast<double>(latencies.size());
+            (report.total_service_ns + wait_sum) / n;
         report.latency_p50_ns = percentile(latencies, 50.0);
         report.latency_p95_ns = percentile(latencies, 95.0);
         report.latency_p99_ns = percentile(latencies, 99.0);
         report.latency_max_ns =
             *std::max_element(latencies.begin(), latencies.end());
+        report.wait_mean_ns = wait_sum / n;
+        report.wait_p95_ns = percentile(waits, 95.0);
+        report.wait_max_ns =
+            *std::max_element(waits.begin(), waits.end());
     }
     report.shard_busy_ns = std::move(shard_busy);
     report.wall_seconds =

@@ -12,12 +12,26 @@
  * request index) - service costs come from a cost model measured
  * once on the cycle-accurate DramSystem/energy accounting, and the
  * enrollment-store cache behavior is planned with a sequential LRU
- * simulation over the stream. The structured report (accept rates,
- * p50/p95/p99 latency, energy) is therefore byte-identical at any
- * shard or thread count. Per-shard replay statistics (each shard
- * re-issues its batch's DRAM command footprint on its own
- * DramSystem) legitimately depend on the shard count and feed the
- * fleet_scaling study and wall-clock telemetry only.
+ * simulation over the stream. Open-loop streams additionally get a
+ * queueing-aware latency: each device maps to one of
+ * AuthConfig::service_lanes logical serving lanes (a fixed modeled
+ * deployment, deliberately NOT the execution shard count), a lane
+ * serves its requests in arrival order, and a request's reported
+ * latency is its queueing wait (lane busy past the arrival stamp)
+ * plus its modeled service time. Closed-loop streams have
+ * service-driven arrivals, so their wait is zero by construction.
+ * The structured report (accept rates, p50/p95/p99 latency, waits,
+ * energy) is therefore byte-identical at any shard or thread count.
+ *
+ * Per-shard replay statistics legitimately depend on the shard
+ * count and feed the fleet_scaling study and wall-clock telemetry
+ * only: each shard re-issues its batch's DRAM command footprints on
+ * its own DramSystem, batching SchedulerPolicy::replay_batch
+ * independent devices into one bank-parallel replay slice (every
+ * request of a slice starts at the slice's start cycle, so row ops
+ * and bursts of different devices overlap across banks and channels
+ * under the full JEDEC checker; the next slice starts at the
+ * slice's last completion).
  */
 
 #ifndef CODIC_FLEET_AUTH_SERVICE_H
@@ -182,6 +196,14 @@ struct AuthConfig
     double store_miss_ns = 1800.0;  //!< Record fetch + decode.
     double store_write_ns = 2500.0; //!< Record write-back.
 
+    /**
+     * Logical serving lanes of the queueing model (device id mod
+     * lanes). A modeled deployment constant - never derived from the
+     * execution shard or thread count, so the queueing-aware latency
+     * stays byte-identical at any --shards/--threads.
+     */
+    int service_lanes = 8;
+
     EnergyParams energy;
 };
 
@@ -205,13 +227,27 @@ struct LoadReport
     uint64_t planned_cache_hits = 0;
     uint64_t planned_cache_misses = 0;
 
-    // Modeled service latency over the stream (ns).
+    /**
+     * Modeled request latency over the stream (ns): queueing wait
+     * plus service time for open-loop streams, service time alone
+     * for closed-loop streams (arrivals are service-driven, so no
+     * request ever waits).
+     */
     double latency_mean_ns = 0;
     double latency_p50_ns = 0;
     double latency_p95_ns = 0;
     double latency_p99_ns = 0;
     double latency_max_ns = 0;
-    double total_service_ns = 0;
+
+    // Queueing-wait component alone (0 for closed-loop streams).
+    double wait_mean_ns = 0;
+    double wait_p95_ns = 0;
+    double wait_max_ns = 0;
+
+    /** True if the stream carried open-loop arrival stamps. */
+    bool open_loop = false;
+
+    double total_service_ns = 0; //!< Service time only, summed.
     double total_energy_nj = 0;
 
     /**

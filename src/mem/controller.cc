@@ -1,6 +1,7 @@
 #include "mem/controller.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -11,9 +12,11 @@ MemoryController::MemoryController(DramChannel &channel,
     : channel_(channel), config_(config),
       map_(channel.config(), config.map_scheme),
       codic_det_variant_(
-          channel.registerVariant(variants::detZero().schedule))
+          channel.registerVariant(variants::detZero().schedule)),
+      sched_(channel.config().scheduler)
 {
     CODIC_ASSERT(config_.write_queue_entries > 0);
+    sched_.validate();
 }
 
 Cycle
@@ -32,10 +35,83 @@ MemoryController::openRowFor(const Address &addr, Cycle now)
     return ready;
 }
 
+std::vector<Address>
+MemoryController::takeRowMatches(const Address &row, size_t limit)
+{
+    std::vector<Address> taken;
+    for (auto it = pending_writes_.begin();
+         it != pending_writes_.end() && taken.size() < limit;) {
+        if (it->rank == row.rank && it->bank == row.bank &&
+            it->row == row.row) {
+            taken.push_back(*it);
+            it = pending_writes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return taken;
+}
+
+Cycle
+MemoryController::issueRowBatch(const std::vector<Address> &batch,
+                                Cycle not_before)
+{
+    CODIC_ASSERT(!batch.empty());
+    Cycle done = 0;
+    const Cycle row_ready = openRowFor(batch.front(), not_before);
+    for (const Address &addr : batch) {
+        Command wr{CommandType::Wr, addr, 0};
+        done = channel_.issueAtEarliest(wr, row_ready);
+        write_completions_.push_back(done);
+    }
+    return done;
+}
+
+Cycle
+MemoryController::drainOneBatch(Cycle not_before)
+{
+    CODIC_ASSERT(!pending_writes_.empty());
+    // FR-FCFS over the write queue: the oldest pending write plus
+    // younger same-row writes coalesced into one row-hit batch,
+    // preserving their relative order.
+    const Address head = pending_writes_.front();
+    pending_writes_.pop_front();
+    std::vector<Address> batch{head};
+    std::vector<Address> hits = takeRowMatches(
+        head, static_cast<size_t>(sched_.max_drain_batch) - 1);
+    batch.insert(batch.end(), hits.begin(), hits.end());
+    return issueRowBatch(batch, not_before);
+}
+
+Cycle
+MemoryController::drainPendingTo(size_t target, Cycle not_before)
+{
+    Cycle done = 0;
+    while (pending_writes_.size() > target)
+        done = std::max(done, drainOneBatch(not_before));
+    return done;
+}
+
+void
+MemoryController::flushRow(const Address &addr, Cycle not_before)
+{
+    // All of the row's pending writes, issued exactly like a drain
+    // batch - forwarding-forced and watermark-scheduled drains of
+    // the same writes model identical cycles.
+    const std::vector<Address> batch =
+        takeRowMatches(addr, pending_writes_.size());
+    if (!batch.empty())
+        issueRowBatch(batch, not_before);
+}
+
 Cycle
 MemoryController::read(uint64_t phys_addr, Cycle now)
 {
     const Address addr = map_.decode(phys_addr);
+    // Write-forwarding surrogate: the read must observe writes to its
+    // row accepted before it, so those drain first. Pending writes to
+    // other rows stay buffered - reads keep priority over them.
+    flushRow(addr, now);
     const Cycle row_ready = openRowFor(addr, now);
     Command rd{CommandType::Rd, addr, 0};
     return channel_.issueAtEarliest(rd, row_ready);
@@ -44,31 +120,48 @@ MemoryController::read(uint64_t phys_addr, Cycle now)
 Cycle
 MemoryController::write(uint64_t phys_addr, Cycle now)
 {
-    // Back-pressure: if the queue is full, acceptance waits for the
-    // oldest in-flight write to complete.
     Cycle accept = now;
-    while (static_cast<int>(write_completions_.size()) >=
-           config_.write_queue_entries) {
-        accept = std::max(accept, write_completions_.front());
-        write_completions_.pop_front();
-    }
-    // Retire completed writes opportunistically.
+    // Retire issued writes whose burst has completed by now.
     while (!write_completions_.empty() &&
            write_completions_.front() <= accept)
         write_completions_.pop_front();
 
-    const Address addr = map_.decode(phys_addr);
-    const Cycle row_ready = openRowFor(addr, accept);
-    Command wr{CommandType::Wr, addr, 0};
-    const Cycle done = channel_.issueAtEarliest(wr, row_ready);
-    write_completions_.push_back(done);
+    // Back-pressure through this channel's queue only: a slot is
+    // held from acceptance until the write's data burst completes.
+    while (pending_writes_.size() + write_completions_.size() >=
+           static_cast<size_t>(config_.write_queue_entries)) {
+        if (write_completions_.empty()) {
+            // Every slot holds an unissued write: force a drain batch
+            // so a completion exists to wait for.
+            drainOneBatch(accept);
+        }
+        accept = std::max(accept, write_completions_.front());
+        write_completions_.pop_front();
+    }
+
+    pending_writes_.push_back(map_.decode(phys_addr));
+    ++accepted_writes_;
+
+    // Scheduled drain episode: at the high watermark, flush row-hit
+    // batches until occupancy falls to the low watermark.
+    const size_t entries =
+        static_cast<size_t>(config_.write_queue_entries);
+    const size_t high = std::max<size_t>(
+        1, entries * static_cast<size_t>(sched_.drain_high_pct) / 100);
+    if (pending_writes_.size() >= high) {
+        const size_t low =
+            entries * static_cast<size_t>(sched_.drain_low_pct) / 100;
+        drainPendingTo(low, accept);
+    }
     return accept;
 }
 
 Cycle
 MemoryController::drainWrites()
 {
-    Cycle last = channel_.lastIssueCycle();
+    const Cycle start = channel_.lastIssueCycle();
+    Cycle last = start;
+    last = std::max(last, drainPendingTo(0, start));
     while (!write_completions_.empty()) {
         last = std::max(last, write_completions_.front());
         write_completions_.pop_front();
@@ -82,6 +175,11 @@ MemoryController::rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
 {
     Address addr = map_.decode(row_addr);
     addr.column = 0;
+
+    // Writes accepted before a destructive row op must land before
+    // the row is overwritten (they are destroyed, not resurrected by
+    // a later drain).
+    flushRow(addr, now);
 
     // The target bank must be precharged for all three mechanisms.
     if (channel_.bankActive(addr.rank, addr.bank)) {

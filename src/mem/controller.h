@@ -5,11 +5,23 @@
  * DRAM channel.
  *
  * Reads are serviced with row-hit-first priority and block the
- * requester until the data burst completes; writes are accepted into
- * a bounded write queue and drained in row-hit batches. When the
- * write queue is full, acceptance stalls until a slot frees, which is
- * exactly the back-pressure that bounds software-zeroing throughput
- * in the TCG and secure-deallocation evaluations.
+ * requester until the data burst completes. Writes are accepted into
+ * a bounded per-channel write queue and buffered: a drain episode
+ * starts when pending occupancy crosses the policy's high watermark
+ * and flushes row-hit batches (oldest pending write first, coalescing
+ * up to SchedulerPolicy::max_drain_batch same-row writes back-to-back)
+ * until occupancy falls to the low watermark. Buffering keeps reads
+ * ahead of writes on the data bus and pays the rd<->wr turnaround
+ * once per drained burst instead of once per write.
+ *
+ * A queue slot is held from acceptance until the write's data burst
+ * completes. When every slot is taken, acceptance stalls until the
+ * oldest in-flight write completes - the back-pressure that bounds
+ * software-zeroing throughput in the TCG and secure-deallocation
+ * evaluations. The stall check is strictly channel-local: in a
+ * multi-channel module each channel's controller stalls only on its
+ * own queue, so a full queue on one channel never throttles writes
+ * routed to another.
  */
 
 #ifndef CODIC_MEM_CONTROLLER_H
@@ -17,6 +29,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "mem/address_map.h"
 #include "mem/service.h"
@@ -73,16 +86,63 @@ class MemoryController : public MemoryService
     /** Underlying channel (stats, config). */
     DramChannel &channel() { return channel_; }
 
+    /** Scheduler policy in effect (from the module configuration). */
+    const SchedulerPolicy &schedulerPolicy() const { return sched_; }
+
+    /** Writes accepted so far (for drain-invariant assertions). */
+    uint64_t acceptedWrites() const { return accepted_writes_; }
+
+    /** Writes buffered in the queue but not yet issued. */
+    size_t pendingWriteCount() const
+    {
+        return pending_writes_.size();
+    }
+
   private:
     /** Ensure `addr`'s row is open; returns cycle row is usable. */
     Cycle openRowFor(const Address &addr, Cycle now);
+
+    /**
+     * Remove up to `limit` pending writes matching `row`'s
+     * rank/bank/row, preserving acceptance order.
+     */
+    std::vector<Address> takeRowMatches(const Address &row,
+                                        size_t limit);
+
+    /**
+     * Issue one same-row write batch back-to-back at row-ready,
+     * recording completions. Returns the batch's completion cycle.
+     */
+    Cycle issueRowBatch(const std::vector<Address> &batch,
+                        Cycle not_before);
+
+    /**
+     * Issue one row-hit batch of pending writes: the oldest pending
+     * write plus up to max_drain_batch-1 younger same-row writes,
+     * back-to-back. Returns the batch's completion cycle.
+     */
+    Cycle drainOneBatch(Cycle not_before);
+
+    /** Drain row-hit batches until at most `target` writes pend. */
+    Cycle drainPendingTo(size_t target, Cycle not_before);
+
+    /**
+     * Issue every pending write to `addr`'s row (the write-forwarding
+     * surrogate: a read or destructive row op must observe writes
+     * accepted before it).
+     */
+    void flushRow(const Address &addr, Cycle not_before);
 
     DramChannel &channel_;
     ControllerConfig config_;
     AddressMap map_;
     int codic_det_variant_;
-    /** Completion cycles of in-flight queued writes (FIFO). */
+    SchedulerPolicy sched_;
+    /** Accepted but not yet issued writes (FIFO acceptance order). */
+    std::deque<Address> pending_writes_;
+    /** Completion cycles of issued in-flight writes (nondecreasing). */
     std::deque<Cycle> write_completions_;
+    uint64_t accepted_writes_ = 0;
 };
 
 } // namespace codic

@@ -20,6 +20,7 @@ void registerSecdeallocScenarios(ScenarioRegistry &registry);
 void registerTrngScenarios(ScenarioRegistry &registry);
 void registerExtScenarios(ScenarioRegistry &registry);
 void registerFleetScenarios(ScenarioRegistry &registry);
+void registerSchedulerScenarios(ScenarioRegistry &registry);
 
 } // namespace codic
 

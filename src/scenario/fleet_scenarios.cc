@@ -49,6 +49,8 @@ fleetConfigFor(const RunContext &ctx, int64_t default_devices)
     fc.shards = options.shardsOr(4);
     fc.dram = DramConfig::ddr3_1600(options.capacityMbOr(1024),
                                     options.channelsOr(1));
+    // Serving default: the batched scheduler (--sched overrides).
+    fc.dram.scheduler = schedulerFor(options, "batched");
     return fc;
 }
 
@@ -74,14 +76,21 @@ void
 emitLatencyRow(RunContext &ctx, const std::string &section,
                const LoadReport &report)
 {
+    // Latency columns are queueing-aware (wait + service) for
+    // open-loop streams; closed-loop streams have zero waits, so
+    // their latency is the modeled service time alone.
     ctx.row(section,
             ResultRow()
                 .add("requests", report.requests)
+                .add("open_loop", report.open_loop)
                 .add("mean_us", report.latency_mean_ns / 1e3)
                 .add("p50_us", report.latency_p50_ns / 1e3)
                 .add("p95_us", report.latency_p95_ns / 1e3)
                 .add("p99_us", report.latency_p99_ns / 1e3)
                 .add("max_us", report.latency_max_ns / 1e3)
+                .add("wait_mean_us", report.wait_mean_ns / 1e3)
+                .add("wait_p95_us", report.wait_p95_ns / 1e3)
+                .add("wait_max_us", report.wait_max_ns / 1e3)
                 .add("total_service_ms",
                      report.total_service_ns / 1e6)
                 .add("energy_mj", report.total_energy_nj / 1e6)

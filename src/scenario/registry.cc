@@ -52,6 +52,7 @@ ScenarioRegistry::instance()
         registerTrngScenarios(*r);
         registerExtScenarios(*r);
         registerFleetScenarios(*r);
+        registerSchedulerScenarios(*r);
         return r;
     }();
     return *registry;

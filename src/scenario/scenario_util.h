@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/run_options.h"
+#include "dram/config.h"
 #include "puf/chip_model.h"
 
 namespace codic {
@@ -24,6 +25,18 @@ inline uint64_t
 paperSeed(const RunOptions &options, uint64_t historical)
 {
     return options.seed - 1 + historical;
+}
+
+/**
+ * Scheduler policy selected by --sched: the named preset, or the
+ * scenario's own default preset when no name was given. Unknown
+ * names are fatal (SchedulerPolicy::preset lists the known ones).
+ */
+inline SchedulerPolicy
+schedulerFor(const RunOptions &options, const char *scenario_default)
+{
+    return SchedulerPolicy::preset(
+        options.sched.empty() ? scenario_default : options.sched);
 }
 
 /** Pointer view over a chip population (campaign call convention). */

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Canonical workloads of the scheduler ablation, shared by the
+ * ablation_scheduler scenario and the test-suite invariants
+ * (tests/test_system.cc) so both always measure the same traffic.
+ */
+
+#ifndef CODIC_SCENARIO_SCHEDULER_WORKLOADS_H
+#define CODIC_SCENARIO_SCHEDULER_WORKLOADS_H
+
+#include <cstdint>
+
+#include "dram/system.h"
+
+namespace codic {
+
+/**
+ * Interleaved write/read traffic: writes walk 16 rows over banks
+ * 0..3, reads sweep rows of banks 4..7 (so no read ever lands on a
+ * row with buffered writes and write drains are purely
+ * policy-scheduled). Returns the drain completion cycle.
+ */
+inline Cycle
+runTurnaroundWorkload(DramSystem &sys, int64_t ops)
+{
+    const DramConfig &cfg = sys.config();
+    const int64_t row_bytes = cfg.row_bytes;
+    const int64_t bank_rows = cfg.rows;
+    Cycle t = 0;
+    for (int64_t i = 0; i < ops; ++i) {
+        // RowBankColumn: a row_bytes stride advances the bank, a
+        // banks*row_bytes stride the row.
+        const int64_t wrow = (i / 4) % 16;
+        const int64_t wbank = i % 4;
+        const int64_t rrow = i % bank_rows;
+        const int64_t rbank = 4 + i % 4;
+        sys.write(static_cast<uint64_t>(
+                      (wrow * cfg.banks + wbank) * row_bytes),
+                  t);
+        sys.read(static_cast<uint64_t>(
+                     (rrow * cfg.banks + rbank) * row_bytes),
+                 t);
+        t += 8;
+    }
+    return sys.drainWrites();
+}
+
+/**
+ * Row-conflict write stream: writes alternate between two rows of
+ * one bank, so a FIFO drain pays an ACT/PRE pair per write while a
+ * row-hit batch drain coalesces the queue's same-row writes.
+ */
+inline Cycle
+runRowHitWorkload(DramSystem &sys, int64_t writes)
+{
+    const DramConfig &cfg = sys.config();
+    const int64_t row_bytes = cfg.row_bytes;
+    Cycle t = 0;
+    for (int64_t i = 0; i < writes; ++i) {
+        const int64_t row = i % 2;
+        const int64_t column = (i / 2) % cfg.columns;
+        sys.write(static_cast<uint64_t>(row * cfg.banks * row_bytes +
+                                        column * cfg.burst_bytes),
+                  t);
+        t += 4;
+    }
+    return sys.drainWrites();
+}
+
+} // namespace codic
+
+#endif // CODIC_SCENARIO_SCHEDULER_WORKLOADS_H

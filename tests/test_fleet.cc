@@ -34,6 +34,7 @@ testFleetConfig(uint64_t devices = 64, int shards = 3)
     fc.devices = devices;
     fc.shards = shards;
     fc.dram = DramConfig::ddr3_1600(256, 1);
+    fc.dram.scheduler = SchedulerPolicy::preset("batched");
     return fc;
 }
 
@@ -529,6 +530,89 @@ TEST(FleetScenarios, MixedJsonByteIdenticalAcrossShards)
 {
     EXPECT_EQ(fleetJson("fleet_mixed", 1, 2),
               fleetJson("fleet_mixed", 3, 8));
+}
+
+// --- Queueing-aware latency and batched bank-parallel replay. ---
+
+TEST(AuthService, QueueingWaitsOnlyForOpenLoopStreams)
+{
+    const auto runStream = [](double offered_rps) {
+        DeviceFleet fleet(testFleetConfig(32, 2));
+        EnrollmentStore store(fleet.config().population_seed);
+        AuthService service(fleet, store, {});
+        service.enrollAll();
+        TrafficConfig tc;
+        tc.traffic_seed = 23;
+        tc.requests = 400;
+        tc.zipf = 1.2; // Hot devices: back-to-back lane arrivals.
+        tc.offered_rps = offered_rps;
+        return service.execute(
+            RequestGenerator(tc, 32).generate());
+    };
+
+    const LoadReport closed = runStream(0.0);
+    EXPECT_FALSE(closed.open_loop);
+    EXPECT_EQ(closed.wait_mean_ns, 0.0);
+    EXPECT_EQ(closed.wait_max_ns, 0.0);
+    // Closed loop: latency is the modeled service time alone.
+    EXPECT_DOUBLE_EQ(closed.latency_mean_ns,
+                     closed.total_service_ns /
+                         static_cast<double>(closed.requests));
+
+    // Open loop far above the lanes' service capacity: waits must
+    // appear, and latency = wait + service dominates service-only.
+    const LoadReport open = runStream(5e6);
+    EXPECT_TRUE(open.open_loop);
+    EXPECT_GT(open.wait_max_ns, 0.0);
+    EXPECT_GT(open.wait_mean_ns, 0.0);
+    EXPECT_GE(open.latency_p99_ns, closed.latency_p99_ns);
+    EXPECT_DOUBLE_EQ(open.latency_mean_ns,
+                     open.total_service_ns /
+                             static_cast<double>(open.requests) +
+                         open.wait_mean_ns);
+}
+
+TEST(AuthService, OutOfPopulationDeviceIdsReportUnknownNotPanic)
+{
+    // Regression: slice assembly must not touch the fleet for a
+    // request whose store lookup fails - an authenticate probe with
+    // an id outside the population reports unknown_device exactly
+    // as in the serial-replay path.
+    DeviceFleet fleet(testFleetConfig(16, 2));
+    EnrollmentStore store(fleet.config().population_seed);
+    AuthService service(fleet, store, {});
+    service.enrollAll();
+    std::vector<FleetRequest> stream(3);
+    stream[0].device_id = 3; // Enrolled.
+    stream[1].device_id = 1u << 20; // Far outside the population.
+    stream[1].index = 1;
+    stream[2].device_id = 5;
+    stream[2].index = 2;
+    const LoadReport report = service.execute(stream);
+    EXPECT_EQ(report.unknown_device, 1u);
+    EXPECT_EQ(report.accepted, 2u);
+}
+
+TEST(AuthService, BatchedReplayShortensShardMakespan)
+{
+    const auto makespan = [](int replay_batch) {
+        FleetConfig fc = testFleetConfig(48, 2);
+        fc.dram.scheduler.replay_batch = replay_batch;
+        DeviceFleet fleet(fc);
+        EnrollmentStore store(fc.population_seed);
+        AuthService service(fleet, store, {});
+        service.enrollAll();
+        const LoadReport r =
+            service.execute(mixedStream(48, 300));
+        EXPECT_GT(r.accepted, 0u);
+        return r.makespanNs();
+    };
+    const double serial = makespan(1);
+    const double batched = makespan(8);
+    EXPECT_GT(serial, 0.0);
+    // The bank-parallel interleave must buy >= 15% on this mixed
+    // batch (the CI bench gate asserts >= 20% at fleet scale).
+    EXPECT_LT(batched, serial * 0.85);
 }
 
 } // namespace

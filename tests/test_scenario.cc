@@ -45,7 +45,7 @@ TEST(ScenarioRegistry, CoversEveryPaperArtifactServedByABench)
         "secdealloc_fig9",            "trng_characterization",
         "trng_table10_nist",          "ext_adaptive_act",
         "ext_pim",                    "ablation_bank_parallelism",
-        "ablation_engine_parallelism",
+        "ablation_engine_parallelism", "ablation_scheduler",
         // Fleet subsystem (not paper artifacts, but part of the
         // stable scenario surface).
         "fleet_enroll",               "fleet_auth_load",

@@ -10,12 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "dram/system.h"
 #include "mem/safe_interface.h"
+#include "scenario/scheduler_workloads.h"
 #include "sim/core.h"
 #include "power/energy_model.h"
 
@@ -275,8 +277,180 @@ TEST(DramSystem, DrainWritesCoversEveryChannel)
     const Cycle drained = sys.drainWrites();
     EXPECT_GE(drained, sys.lastIssueCycle());
     EXPECT_EQ(sys.totalCounts().wr, 16u);
+    EXPECT_EQ(sys.pendingWriteCount(), 0u);
     EXPECT_GT(sys.channel(0).counts().wr, 0u);
     EXPECT_GT(sys.channel(1).counts().wr, 0u);
+}
+
+// --- Scheduler policy: write-drain batching and its invariants. ---
+
+TEST(SchedulerPolicy, ValidateRejectsInconsistentKnobs)
+{
+    SchedulerPolicy p;
+    p.drain_high_pct = 101;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = SchedulerPolicy{};
+    p.drain_low_pct = p.drain_high_pct + 1;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = SchedulerPolicy{};
+    p.max_drain_batch = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = SchedulerPolicy{};
+    p.replay_batch = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    DramConfig cfg = DramConfig::ddr3_1600(64);
+    cfg.scheduler.max_drain_batch = -3;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SchedulerPolicy, PresetsResolveAndUnknownNameIsFatal)
+{
+    for (const auto &name : SchedulerPolicy::presetNames())
+        EXPECT_NO_THROW(SchedulerPolicy::preset(name).validate())
+            << name;
+    EXPECT_EQ(SchedulerPolicy::preset("eager").max_drain_batch, 1);
+    EXPECT_EQ(SchedulerPolicy::preset("eager").replay_batch, 1);
+    // The bare DramConfig default is the eager legacy policy: the
+    // paper campaigns (Fig. 8 software-zeroing baselines) depend on
+    // it.
+    EXPECT_EQ(DramConfig{}.scheduler.drain_high_pct,
+              SchedulerPolicy::preset("eager").drain_high_pct);
+    EXPECT_EQ(DramConfig{}.scheduler.max_drain_batch, 1);
+    EXPECT_EQ(SchedulerPolicy::preset("batched").replay_batch, 8);
+    EXPECT_THROW(SchedulerPolicy::preset("no_such_policy"),
+                 FatalError);
+}
+
+TEST(SchedulerPolicy, DrainedWritesEqualAcceptedWrites)
+{
+    for (const auto &name : SchedulerPolicy::presetNames()) {
+        DramConfig cfg = DramConfig::ddr3_1600(256);
+        cfg.scheduler = SchedulerPolicy::preset(name);
+        DramSystem sys(cfg);
+        runTurnaroundWorkload(sys, 500);
+        EXPECT_EQ(sys.totalCounts().wr, 500u) << name;
+        EXPECT_EQ(sys.pendingWriteCount(), 0u) << name;
+        EXPECT_EQ(sys.controller(0).acceptedWrites(), 500u) << name;
+    }
+}
+
+TEST(SchedulerPolicy, TurnaroundsMonotoneInDrainBurstSize)
+{
+    // Larger drain episodes (high - low watermark window) batch more
+    // writes per bus-direction switch: the turnaround counters must
+    // be non-increasing as the burst size grows.
+    struct Point { int high, low; };
+    const Point sweep[] = {{0, 0}, {25, 10}, {50, 20}, {90, 10}};
+    uint64_t prev = std::numeric_limits<uint64_t>::max();
+    for (const Point p : sweep) {
+        DramConfig cfg = DramConfig::ddr3_1600(256);
+        cfg.scheduler = SchedulerPolicy::preset("batched");
+        cfg.scheduler.drain_high_pct = p.high;
+        cfg.scheduler.drain_low_pct = p.low;
+        DramSystem sys(cfg);
+        runTurnaroundWorkload(sys, 1000);
+        const CommandCounts counts = sys.totalCounts();
+        const uint64_t turns =
+            counts.wr_rd_turnarounds + counts.rd_wr_turnarounds;
+        EXPECT_LE(turns, prev)
+            << "high=" << p.high << " low=" << p.low;
+        prev = turns;
+    }
+    // The eager policy switches direction around every write; the
+    // largest burst amortizes it by well over an order of magnitude.
+    DramConfig eager_cfg = DramConfig::ddr3_1600(256);
+    eager_cfg.scheduler = SchedulerPolicy::preset("eager");
+    DramSystem eager_sys(eager_cfg);
+    runTurnaroundWorkload(eager_sys, 1000);
+    EXPECT_GT(eager_sys.totalCounts().wr_rd_turnarounds, 10 * prev);
+}
+
+TEST(SchedulerPolicy, ActivationsMonotoneInRowHitBatchSize)
+{
+    // Writes alternating between two rows of one bank: a FIFO drain
+    // row-conflicts on every write, a row-hit batch drain coalesces
+    // same-row writes from anywhere in the queue.
+    auto actsFor = [](int batch) {
+        DramConfig cfg = DramConfig::ddr3_1600(256);
+        cfg.scheduler = SchedulerPolicy::preset("batched");
+        cfg.scheduler.max_drain_batch = batch;
+        DramSystem sys(cfg);
+        runRowHitWorkload(sys, 1000);
+        EXPECT_EQ(sys.totalCounts().wr, 1000u);
+        return sys.totalCounts().act;
+    };
+    uint64_t prev = std::numeric_limits<uint64_t>::max();
+    for (const int batch : {1, 2, 4, 8, 16, 32}) {
+        const uint64_t acts = actsFor(batch);
+        EXPECT_LE(acts, prev) << "batch " << batch;
+        prev = acts;
+    }
+    // Batch 32 coalesces ~16x better than FIFO on this pattern.
+    EXPECT_LT(actsFor(32) * 10, actsFor(1));
+}
+
+TEST(SchedulerPolicy, ReadsObserveBufferedWritesToTheirRow)
+{
+    // A read to a row with buffered writes must flush them first
+    // (write forwarding): the write lands on the channel before the
+    // read, and the row state reflects it.
+    DramConfig cfg = DramConfig::ddr3_1600(256);
+    cfg.scheduler = SchedulerPolicy::preset("batched");
+    DramSystem sys(cfg);
+    sys.write(0, 0);
+    ASSERT_EQ(sys.pendingWriteCount(), 1u); // Buffered, not issued.
+    ASSERT_EQ(sys.totalCounts().wr, 0u);
+    sys.read(64, 100); // Same row, different column.
+    EXPECT_EQ(sys.totalCounts().wr, 1u);
+    EXPECT_EQ(sys.pendingWriteCount(), 0u);
+    const Address a = sys.map().decode(0);
+    EXPECT_EQ(sys.channel(a.channel).rowState(a.rank, a.bank, a.row),
+              RowDataState::Data);
+}
+
+TEST(SchedulerPolicy, RowOpsDestroyBufferedWritesToTheirRow)
+{
+    // Writes accepted before a destructive row op must land before
+    // the row is zeroized - never resurrect data afterwards.
+    DramConfig cfg = DramConfig::ddr3_1600(256);
+    cfg.scheduler = SchedulerPolicy::preset("batched");
+    DramSystem sys(cfg);
+    sys.write(0, 0);
+    ASSERT_EQ(sys.pendingWriteCount(), 1u);
+    sys.rowOp(0, 100, RowOpMechanism::CodicDet);
+    EXPECT_EQ(sys.pendingWriteCount(), 0u);
+    const Address a = sys.map().decode(0);
+    EXPECT_EQ(sys.channel(a.channel).rowState(a.rank, a.bank, a.row),
+              RowDataState::Zeroes);
+}
+
+TEST(SchedulerPolicy, WriteStallIsChannelLocal)
+{
+    // Regression (PR 4 satellite): with one channel's write queue
+    // full, acceptance must stall only for writes routed to that
+    // channel - another channel with free slots accepts immediately.
+    ControllerConfig cc;
+    cc.map_scheme = MapScheme::RowBankColumnChannel;
+    cc.write_queue_entries = 4;
+    DramSystem sys(DramConfig::ddr3_1600(256, 2), cc);
+
+    // Row-conflicting writes all routed to channel 0 (even lines
+    // under line interleave) until acceptance stalls.
+    const uint64_t stride = 2 * 64 *
+                            static_cast<uint64_t>(sys.config().columns) *
+                            static_cast<uint64_t>(sys.config().banks);
+    Cycle accepted = 0;
+    for (uint64_t i = 0; i < 64; ++i) {
+        const uint64_t addr = i * stride;
+        ASSERT_EQ(sys.channelOf(addr), 0);
+        accepted = sys.write(addr, 0);
+    }
+    EXPECT_GT(accepted, 0) << "channel 0 never back-pressured";
+
+    // A write owned by channel 1 is accepted with zero stall.
+    ASSERT_EQ(sys.channelOf(64), 1);
+    EXPECT_EQ(sys.write(64, 0), 0);
 }
 
 // --- Trace-driven core over a multi-channel system. ---

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory report over the codic_run scenarios.
+
+Runs the fleet + scheduler scenarios, extracts their *modeled*
+metrics (makespan, latency percentiles, energy - all deterministic,
+machine-independent values) into a BENCH_PR4.json trajectory file,
+and gates on two conditions:
+
+  1. No lower-is-better metric regresses more than --tolerance
+     (default 15%) against the committed baseline.
+  2. The batched bank-parallel shard replay improves the 8-shard
+     fleet_scaling makespan by at least --min-improvement percent
+     (default 20%) over the eager single-request replay.
+
+Wall-clock values (wall_s) are recorded for telemetry when present
+but never gated on: only modeled values are comparable across
+machines.
+
+Usage:
+  bench_report.py --build-dir build --out BENCH_PR4.json \
+      [--baseline bench/BENCH_baseline.json] [--tolerance 0.15] \
+      [--min-improvement 20] [--write-baseline FILE]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "codic-bench-trajectory-v1"
+
+# Scenario runs: name -> (codic_run args, extractor key).
+BENCH_SCALE = "0.25"
+FLEET_ARGS = ["--devices", "1000", "--requests", "20000"]
+
+
+def run_codic(build_dir, args, timings):
+    """Run codic_run and return its parsed JSON document."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
+        out_path = f.name
+    cmd = [os.path.join(build_dir, "codic_run"), *args,
+           "--out", out_path, "--quiet"]
+    if timings:
+        cmd.append("--timings")
+    try:
+        subprocess.run(cmd, check=True)
+        with open(out_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(out_path)
+
+
+def rows(doc, predicate):
+    return [r for scenario in doc for r in scenario["rows"]
+            if predicate(r)]
+
+
+def latency_metrics(doc):
+    """Metrics of a scenario that emits a modeled-latency row.
+
+    These scenarios report summed service time (total_service_ms),
+    not a makespan - the makespan_ms field stays null so the two
+    metrics are never conflated across scenarios.
+    """
+    lat = rows(doc, lambda r: "p99_us" in r)
+    if not lat:
+        raise SystemExit("bench_report: no latency row emitted")
+    r = lat[0]
+    out = {
+        "makespan_ms": None,
+        "total_service_ms": r["total_service_ms"],
+        "p50_us": r["p50_us"],
+        "p95_us": r["p95_us"],
+        "p99_us": r["p99_us"],
+        "energy_mj": r["energy_mj"],
+    }
+    if "wall_s" in r:
+        out["wall_s"] = r["wall_s"]
+    return out
+
+
+def scaling_metrics(doc, shards):
+    """8-shard makespan of a fleet_scaling sweep."""
+    pts = rows(doc, lambda r: r.get("shards") == shards and
+               "makespan_ms" in r)
+    if not pts:
+        raise SystemExit(
+            f"bench_report: no scaling row for {shards} shards")
+    r = pts[0]
+    out = {
+        "makespan_ms": r["makespan_ms"],
+        "p50_us": None,
+        "p95_us": None,
+        "p99_us": None,
+        "energy_mj": None,
+        "speedup_vs_1_shard": r["speedup_vs_1_shard"],
+    }
+    if "wall_s" in r:
+        out["wall_s"] = r["wall_s"]
+    return out
+
+
+def ablation_metrics(doc):
+    """Batched replay point of the ablation_scheduler sweep."""
+    pts = rows(doc, lambda r: r.get("replay_batch") == 8 and
+               "makespan_ms" in r)
+    if not pts:
+        raise SystemExit(
+            "bench_report: no replay_batch=8 ablation row")
+    r = pts[0]
+    return {
+        "makespan_ms": r["makespan_ms"],
+        "p50_us": None,
+        "p95_us": None,
+        "p99_us": None,
+        "energy_mj": None,
+        "speedup_vs_serial": r["speedup_vs_serial"],
+    }
+
+
+def collect(build_dir, timings):
+    report = {"schema": SCHEMA, "scenarios": {}, "derived": {}}
+    s = report["scenarios"]
+
+    s["fleet_auth_load"] = latency_metrics(run_codic(
+        build_dir, ["--scenario", "fleet_auth_load", *FLEET_ARGS],
+        timings))
+    s["fleet_mixed"] = latency_metrics(run_codic(
+        build_dir, ["--scenario", "fleet_mixed", *FLEET_ARGS],
+        timings))
+    s["fleet_scaling@8shards:batched"] = scaling_metrics(run_codic(
+        build_dir, ["--scenario", "fleet_scaling", "--scale",
+                    BENCH_SCALE, "--shards", "8"], timings), 8)
+    s["fleet_scaling@8shards:eager"] = scaling_metrics(run_codic(
+        build_dir, ["--scenario", "fleet_scaling", "--scale",
+                    BENCH_SCALE, "--shards", "8", "--sched", "eager"],
+        timings), 8)
+    s["ablation_scheduler@replay8"] = ablation_metrics(run_codic(
+        build_dir, ["--scenario", "ablation_scheduler", "--scale",
+                    BENCH_SCALE], timings))
+
+    eager = s["fleet_scaling@8shards:eager"]["makespan_ms"]
+    batched = s["fleet_scaling@8shards:batched"]["makespan_ms"]
+    report["derived"]["fleet_scaling_batched_improvement_pct"] = (
+        100.0 * (1.0 - batched / eager))
+    return report
+
+
+# Lower-is-better metric keys gated against the baseline.
+GATED = ("makespan_ms", "total_service_ms", "p50_us", "p95_us",
+         "p99_us", "energy_mj")
+
+
+def check_regressions(report, baseline, tolerance):
+    failures = []
+    for name, base_metrics in baseline.get("scenarios", {}).items():
+        new_metrics = report["scenarios"].get(name)
+        if new_metrics is None:
+            failures.append(f"scenario '{name}' missing from report")
+            continue
+        for key in GATED:
+            base = base_metrics.get(key)
+            new = new_metrics.get(key)
+            if base is None or new is None:
+                continue
+            if new > base * (1.0 + tolerance):
+                failures.append(
+                    f"{name}.{key}: {new:.4g} regressed "
+                    f">{tolerance:.0%} over baseline {base:.4g}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_PR4.json")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline to gate against")
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--min-improvement", type=float, default=20.0,
+                    help="required batched-vs-eager fleet_scaling "
+                         "makespan improvement (percent)")
+    ap.add_argument("--timings", action="store_true",
+                    help="record wall-clock telemetry in the report")
+    ap.add_argument("--write-baseline", default=None,
+                    help="also write the report (minus wall "
+                         "telemetry) as a new baseline file")
+    args = ap.parse_args()
+
+    report = collect(args.build_dir, args.timings)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_report: wrote {args.out}")
+
+    improvement = report["derived"][
+        "fleet_scaling_batched_improvement_pct"]
+    print(f"bench_report: batched vs eager 8-shard makespan "
+          f"improvement: {improvement:.1f}%")
+
+    failures = []
+    if improvement < args.min_improvement:
+        failures.append(
+            f"batched replay improvement {improvement:.1f}% is below "
+            f"the required {args.min_improvement:.0f}%")
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        failures += check_regressions(report, baseline,
+                                      args.tolerance)
+
+    if args.write_baseline:
+        clean = json.loads(json.dumps(report))
+        for metrics in clean["scenarios"].values():
+            metrics.pop("wall_s", None)
+        with open(args.write_baseline, "w") as f:
+            json.dump(clean, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_report: wrote baseline {args.write_baseline}")
+
+    if failures:
+        for failure in failures:
+            print(f"bench_report: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench_report: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,13 @@
  *   --store FILE       Fleet enrollment-store file (written by
  *                      fleet_enroll, read by the traffic scenarios;
  *                      ".json" suffix selects the JSON format).
+ *   --sched NAME       Memory-scheduler policy preset: eager |
+ *                      batched | aggressive. Applies wherever a
+ *                      scenario builds its DramConfig from the run
+ *                      options (the fleet_* scenarios, whose own
+ *                      default is batched; paper campaigns keep the
+ *                      eager legacy policy their published numbers
+ *                      were measured with).
  *   --out FILE         Write machine-readable JSON ("-" = stdout).
  *   --csv FILE         Write long-format CSV ("-" = stdout).
  *   --timings          Include wall-clock values in JSON/CSV
@@ -60,6 +67,7 @@
 #include <vector>
 
 #include "common/result_sink.h"
+#include "dram/config.h"
 #include "scenario/registry.h"
 
 namespace {
@@ -76,7 +84,7 @@ printUsage()
         "                 [--seed N] [--threads N] [--channels N]\n"
         "                 [--capacity-mb N] [--scale F] [--repeats N]\n"
         "                 [--devices N] [--shards N] [--requests N]\n"
-        "                 [--zipf F] [--store FILE]\n"
+        "                 [--zipf F] [--store FILE] [--sched NAME]\n"
         "                 [--out FILE] [--csv FILE] [--timings]\n"
         "                 [--quiet]\n");
 }
@@ -248,6 +256,15 @@ main(int argc, char **argv)
                 return fail("--zipf must be >= 0 (0 = uniform)");
         } else if (arg == "--store") {
             options.store_path = next("--store");
+        } else if (arg == "--sched") {
+            options.sched = next("--sched");
+            // Resolve now so an unknown preset fails before any
+            // scenario runs (and before any sink opens).
+            try {
+                SchedulerPolicy::preset(options.sched);
+            } catch (const std::exception &e) {
+                return fail(e.what());
+            }
         } else if (arg == "--out") {
             out_path = next("--out");
         } else if (arg == "--csv") {
