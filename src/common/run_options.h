@@ -98,10 +98,12 @@ struct RunOptions
     std::string store_path;
 
     /**
-     * Memory-scheduler policy preset name ("" = the built-in
-     * default). Resolved by SchedulerPolicy::preset() where a
-     * scenario builds its DramConfig (this struct lives below dram/
-     * so it carries the name only); unknown names are fatal there.
+     * Memory-scheduler policy spec ("" = the built-in default): a
+     * preset name optionally followed by ":knob=value,..." overrides,
+     * e.g. "batched:refresh=auto,read_window=16". Resolved by
+     * SchedulerPolicy::parse() where a scenario builds its DramConfig
+     * (this struct lives below dram/ so it carries the spec only);
+     * unknown presets or knobs are fatal there.
      */
     std::string sched;
 

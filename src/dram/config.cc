@@ -1,6 +1,9 @@
 #include "dram/config.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -22,6 +25,22 @@ SchedulerPolicy::validate() const
     if (replay_batch < 1)
         fatal("SchedulerPolicy: replay_batch must be >= 1, got ",
               replay_batch);
+    if (read_window < 1)
+        fatal("SchedulerPolicy: read_window must be >= 1 (1 = strict "
+              "arrival order), got ", read_window);
+    if (bank_drain_high < 0 || bank_drain_low < 0)
+        fatal("SchedulerPolicy: per-bank drain watermarks must be "
+              ">= 0 (0 disables), got high ", bank_drain_high,
+              " low ", bank_drain_low);
+    if (bank_drain_low > bank_drain_high)
+        fatal("SchedulerPolicy: bank_drain_low (", bank_drain_low,
+              ") exceeds bank_drain_high (", bank_drain_high,
+              "); a drain episode could never stop - set low <= "
+              "high");
+    if (refresh_postpone < 0 || refresh_postpone > 8)
+        fatal("SchedulerPolicy: refresh_postpone must be in [0, 8] "
+              "(JEDEC DDR3 allows at most 8 deferred REFs), got ",
+              refresh_postpone);
 }
 
 SchedulerPolicy
@@ -29,21 +48,135 @@ SchedulerPolicy::preset(const std::string &name)
 {
     if (name == "eager")
         return SchedulerPolicy{};
-    if (name == "batched")
-        return SchedulerPolicy{75, 25, 16, 8};
-    if (name == "aggressive")
-        return SchedulerPolicy{90, 10, 32, 16};
+    if (name == "batched") {
+        SchedulerPolicy p{75, 25, 16, 8};
+        p.read_window = 8;
+        return p;
+    }
+    if (name == "aggressive") {
+        SchedulerPolicy p{90, 10, 32, 16};
+        p.read_window = 16;
+        p.bank_drain_high = 8;
+        p.bank_drain_low = 2;
+        return p;
+    }
     std::string known;
     for (const auto &n : presetNames())
         known += " " + n;
     fatal("unknown scheduler preset '", name, "'; known presets:",
-          known);
+          known, " (run codic_run --sched help for the knob list)");
+}
+
+SchedulerPolicy
+SchedulerPolicy::parse(const std::string &spec)
+{
+    const size_t colon = spec.find(':');
+    SchedulerPolicy policy = preset(spec.substr(0, colon));
+    if (colon == std::string::npos) {
+        policy.validate();
+        return policy;
+    }
+    std::string rest = spec.substr(colon + 1);
+    size_t pos = 0;
+    while (pos <= rest.size()) {
+        const size_t comma = rest.find(',', pos);
+        const std::string item =
+            rest.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        pos = comma == std::string::npos ? rest.size() + 1
+                                         : comma + 1;
+        const size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos ||
+            eq + 1 >= item.size())
+            fatal("SchedulerPolicy: malformed knob override '", item,
+                  "' in --sched spec '", spec,
+                  "'; expected knob=value");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "refresh") {
+            if (value == "auto")
+                policy.auto_refresh = true;
+            else if (value == "off")
+                policy.auto_refresh = false;
+            else
+                fatal("SchedulerPolicy: refresh must be 'off' or "
+                      "'auto', got '", value, "'");
+            continue;
+        }
+        char *end = nullptr;
+        errno = 0;
+        const long v = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' ||
+            errno == ERANGE || v < std::numeric_limits<int>::min() ||
+            v > std::numeric_limits<int>::max())
+            fatal("SchedulerPolicy: knob '", key,
+                  "' needs an integer value (in int range), got '",
+                  value, "'");
+        const int iv = static_cast<int>(v);
+        if (key == "drain_high_pct")
+            policy.drain_high_pct = iv;
+        else if (key == "drain_low_pct")
+            policy.drain_low_pct = iv;
+        else if (key == "max_drain_batch")
+            policy.max_drain_batch = iv;
+        else if (key == "replay_batch")
+            policy.replay_batch = iv;
+        else if (key == "read_window")
+            policy.read_window = iv;
+        else if (key == "bank_drain_high")
+            policy.bank_drain_high = iv;
+        else if (key == "bank_drain_low")
+            policy.bank_drain_low = iv;
+        else if (key == "refresh_postpone")
+            policy.refresh_postpone = iv;
+        else
+            fatal("SchedulerPolicy: unknown knob '", key,
+                  "' in --sched spec '", spec,
+                  "' (run codic_run --sched help for the knob "
+                  "list)");
+    }
+    policy.validate();
+    return policy;
 }
 
 std::vector<std::string>
 SchedulerPolicy::presetNames()
 {
     return {"eager", "batched", "aggressive"};
+}
+
+std::string
+SchedulerPolicy::describeKnobs()
+{
+    return
+        "scheduler presets (--sched NAME[:knob=value,...]):\n"
+        "  eager       legacy policy pinning the paper numbers: every\n"
+        "              write issues at acceptance, strict arrival-order\n"
+        "              reads, serial fleet replay, refresh off\n"
+        "  batched     serving-stack default: 75/25 drain watermarks,\n"
+        "              16-deep row-hit drain batches, 8-deep replay\n"
+        "              slices, 8-wide read-reordering window\n"
+        "  aggressive  90/10 watermarks, 32-deep row-hit batches,\n"
+        "              16-deep replay slices, 16-wide read window,\n"
+        "              8/2 per-bank drain watermarks\n"
+        "\n"
+        "knob overrides (appended as :knob=value,knob=value):\n"
+        "  drain_high_pct=N    write-queue % occupancy starting a drain\n"
+        "                      episode (0 = drain at every write)\n"
+        "  drain_low_pct=N     % occupancy where a drain episode stops\n"
+        "  max_drain_batch=N   same-row writes coalesced per drain batch\n"
+        "  replay_batch=N      fleet shard requests replayed bank-parallel\n"
+        "  read_window=N       read-queue heads considered for row-hit\n"
+        "                      bypass (1 = strict arrival order)\n"
+        "  bank_drain_high=N   per-bank pending writes triggering a\n"
+        "                      bank-local drain (0 = disabled)\n"
+        "  bank_drain_low=N    per-bank occupancy where that drain stops\n"
+        "  refresh=off|auto    controller-injected REF every tREFI\n"
+        "  refresh_postpone=N  due REFs deferrable while work is pending\n"
+        "                      (JEDEC DDR3: at most 8)\n"
+        "\n"
+        "example: --sched batched:refresh=auto,refresh_postpone=4\n";
 }
 
 int64_t
@@ -89,6 +222,15 @@ DramConfig::validate() const
               ") != row_bytes (", row_bytes, ")");
     if (tck_ns <= 0.0)
         fatal("DramConfig '", name, "': non-positive clock period");
+    if (timing.trefi <= 0)
+        fatal("DramConfig '", name, "': tREFI must be > 0 cycles, got ",
+              timing.trefi, "; refresh-aware scheduling derives the "
+              "REF cadence from it (DDR3-1600 default: 6240 = 7.8 us)");
+    if (timing.trfc <= 0)
+        fatal("DramConfig '", name, "': tRFC must be > 0 cycles, got ",
+              timing.trfc, "; a REF must occupy the rank for a "
+              "positive refresh cycle time (4 Gb DDR3 default: 208 = "
+              "260 ns)");
     scheduler.validate();
 }
 

@@ -64,19 +64,74 @@ struct SchedulerPolicy
      */
     int replay_batch = 1;
 
+    /**
+     * Read-reordering window: how many read-queue heads the FR-FCFS
+     * front-end considers for row-hit-first bypass. 1 = strict
+     * arrival order (the legacy behaviour); larger windows let a
+     * row-hit read bypass older row-miss reads (never across a row
+     * op, never past an older same-row request, and a head bypassed
+     * too many times is force-scheduled so reads cannot starve).
+     */
+    int read_window = 1;
+
+    /**
+     * Per-bank write-drain high watermark: pending writes buffered
+     * for a single bank that trigger a bank-local drain episode
+     * (0 = disabled). Catches a bank-hot write stream long before
+     * the whole-queue percentage watermark would.
+     */
+    int bank_drain_high = 0;
+
+    /** A bank-local drain stops at this per-bank occupancy. */
+    int bank_drain_low = 0;
+
+    /**
+     * Auto-inject REF every tREFI (per rank). Off by default and off
+     * in every named preset: the paper's self-destruction campaigns
+     * legally run refresh-free at power-on, and the published
+     * numbers pin that behaviour. The serving-stack studies and the
+     * ablation_refresh scenario switch it on via
+     * "--sched <preset>:refresh=auto".
+     */
+    bool auto_refresh = false;
+
+    /**
+     * With auto_refresh on: how many due REFs may be postponed while
+     * read/write work is pending (JEDEC DDR3 allows up to 8).
+     * 0 drains refresh eagerly (a REF issues the moment it is due).
+     */
+    int refresh_postpone = 8;
+
     /** Reject inconsistent knob values with a FatalError. */
     void validate() const;
 
     /**
      * Named preset: "eager" (the legacy zero-value default above),
      * "batched" (75/25 watermarks, 16-deep row-hit batches, 8-deep
-     * replay slices - the serving-stack default), or "aggressive"
-     * (90/10, 32, 16). Unknown names are fatal.
+     * replay slices, 8-wide read window - the serving-stack
+     * default), or "aggressive" (90/10, 32, 16, 16-wide window,
+     * 8/2 per-bank watermarks). Unknown names are fatal.
      */
     static SchedulerPolicy preset(const std::string &name);
 
+    /**
+     * Resolve a full --sched spec: a preset name optionally followed
+     * by ":knob=value,knob=value" overrides, e.g.
+     * "batched:read_window=16,refresh=auto,refresh_postpone=4".
+     * Knob keys are the field names above (plus "refresh=off|auto").
+     * Unknown presets, knobs, or malformed values are fatal;
+     * the assembled policy is validate()d before returning.
+     */
+    static SchedulerPolicy parse(const std::string &spec);
+
     /** Names accepted by preset(), in documentation order. */
     static std::vector<std::string> presetNames();
+
+    /**
+     * Human-readable help for `codic_run --sched help`: the preset
+     * table and every knob accepted by parse().
+     */
+    static std::string describeKnobs();
 };
 
 /** JEDEC DDR3 timing parameters, all in clock cycles. */

@@ -42,33 +42,85 @@ DramSystem::controller(int i)
     return *controllers_[static_cast<size_t>(i)];
 }
 
-Cycle
-DramSystem::read(uint64_t phys_addr, Cycle now)
+// System tickets pack (channel, channel-local ticket) as
+// (local - 1) * channels + channel + 1: a bijection, so no routing
+// table is needed and kInvalidTicket (0) is never produced.
+
+Ticket
+DramSystem::packTicket(int channel, Ticket local) const
 {
-    return controller(channelOf(phys_addr)).read(phys_addr, now);
+    return (local - 1) *
+               static_cast<Ticket>(channelCount()) +
+           static_cast<Ticket>(channel) + 1;
+}
+
+int
+DramSystem::ticketChannel(Ticket ticket) const
+{
+    CODIC_ASSERT(ticket != kInvalidTicket);
+    return static_cast<int>((ticket - 1) %
+                            static_cast<Ticket>(channelCount()));
+}
+
+Ticket
+DramSystem::ticketLocal(Ticket ticket) const
+{
+    return (ticket - 1) / static_cast<Ticket>(channelCount()) + 1;
+}
+
+Ticket
+DramSystem::submit(const MemTransaction &txn)
+{
+    const int c = channelOf(txn.addr);
+    const Ticket local = controller(c).submit(txn);
+    return packTicket(c, local);
 }
 
 Cycle
-DramSystem::write(uint64_t phys_addr, Cycle now)
+DramSystem::acceptedAt(Ticket ticket) const
 {
-    return controller(channelOf(phys_addr)).write(phys_addr, now);
+    return controllers_[static_cast<size_t>(ticketChannel(ticket))]
+        ->acceptedAt(ticketLocal(ticket));
 }
 
 Cycle
-DramSystem::rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
-                  int64_t reserved_row)
+DramSystem::completionOf(Ticket ticket)
 {
-    return controller(channelOf(row_addr))
-        .rowOp(row_addr, now, mech, reserved_row);
+    return controller(ticketChannel(ticket))
+        .completionOf(ticketLocal(ticket));
+}
+
+void
+DramSystem::retire(Ticket ticket)
+{
+    controller(ticketChannel(ticket)).retire(ticketLocal(ticket));
+}
+
+size_t
+DramSystem::poll(Cycle now)
+{
+    size_t serviced = 0;
+    for (auto &mc : controllers_)
+        serviced += mc->poll(now);
+    return serviced;
 }
 
 Cycle
-DramSystem::drainWrites()
+DramSystem::drainAll()
 {
     Cycle last = 0;
     for (auto &mc : controllers_)
-        last = std::max(last, mc->drainWrites());
+        last = std::max(last, mc->drainAll());
     return last;
+}
+
+size_t
+DramSystem::inFlightCount() const
+{
+    size_t n = 0;
+    for (const auto &mc : controllers_)
+        n += mc->inFlightCount();
+    return n;
 }
 
 size_t

@@ -66,14 +66,25 @@ class DramSystem : public MemoryService
         return map_.channelOf(phys_addr);
     }
 
-    // MemoryService: route to the owning channel's controller.
-    Cycle read(uint64_t phys_addr, Cycle now) override;
-    Cycle write(uint64_t phys_addr, Cycle now) override;
-    Cycle rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
-                int64_t reserved_row = 0) override;
+    // MemoryService: route each transaction to the owning channel's
+    // controller. System tickets encode (channel, local ticket)
+    // arithmetically, so routing a resolution back is stateless.
+    Ticket submit(const MemTransaction &txn) override;
+    Cycle acceptedAt(Ticket ticket) const override;
+    Cycle completionOf(Ticket ticket) override;
+    void retire(Ticket ticket) override;
 
-    /** Drain every channel's write queue; max completion cycle. */
-    Cycle drainWrites() override;
+    /** Advance every channel's scheduler to `now`. */
+    size_t poll(Cycle now) override;
+
+    /**
+     * Drain every channel - queued reads/row ops and buffered
+     * writes; max quiescence cycle across channels.
+     */
+    Cycle drainAll() override;
+
+    /** Queued transactions summed over every channel. */
+    size_t inFlightCount() const override;
 
     /** Buffered (unissued) writes summed over every channel queue. */
     size_t pendingWriteCount() const;
@@ -103,6 +114,13 @@ class DramSystem : public MemoryService
     int64_t countRowsInState(RowDataState s) const;
 
   private:
+    /** Pack a channel-local ticket into a system ticket. */
+    Ticket packTicket(int channel, Ticket local) const;
+
+    /** Channel / local-ticket components of a system ticket. */
+    int ticketChannel(Ticket ticket) const;
+    Ticket ticketLocal(Ticket ticket) const;
+
     DramConfig config_;
     AddressMap map_;
     std::vector<std::unique_ptr<DramChannel>> channels_;

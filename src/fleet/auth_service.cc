@@ -240,19 +240,22 @@ deviceRowAddr(const DramConfig &cfg, uint64_t segment_id)
 }
 
 /**
- * Resumable replay of one request's DRAM command footprint.
+ * Resumable replay of one request's DRAM command footprint over the
+ * transaction API.
  *
- * A cursor carries the request's local replay clock and issues ONE
- * request-level command per step (one read burst, one CODIC row op),
- * chained on its own completion exactly like the serial replay. The
- * slice scheduler always steps the cursor with the smallest local
- * clock, so the slice's commands issue in near-global-time order:
- * one device's read chain (a burst every completion latency) leaves
- * the data bus mostly idle, and the interleave fills those gaps
- * with bursts and row commands of the slice's other devices - the
- * bank-level parallelism a 64-entry FR-FCFS front-end extracts from
- * independent requests, and exactly what the serial single-request
- * replay leaves on the floor.
+ * A cursor carries the request's local replay clock and keeps ONE
+ * request-level transaction in flight (one read burst, one CODIC row
+ * op), each stamped with the cursor's local clock and chained on its
+ * own completion exactly like the serial replay. The controller
+ * services its queue in arrival order (ties: submission order), so a
+ * slice of cursors submitting against one DramSystem issues commands
+ * in near-global-time order without any scheduler loop here: one
+ * device's read chain (a burst every completion latency) leaves the
+ * data bus mostly idle, and the arrival-ordered queue fills those
+ * gaps with bursts and row commands of the slice's other devices -
+ * the bank-level parallelism a 64-entry FR-FCFS front-end extracts
+ * from independent requests, and exactly what the serial
+ * single-request replay leaves on the floor.
  */
 struct ReplayCursor
 {
@@ -260,6 +263,7 @@ struct ReplayCursor
 
     Kind kind = Kind::None;
     uint64_t base = 0;     //!< Device's base physical address.
+    uint64_t origin = 0;   //!< Device id (transaction origin tag).
     int bursts = 0;        //!< Eval: read bursts per pass.
     int passes_left = 0;   //!< Eval: passes still to run.
     int reads_left = 0;    //!< Eval: bursts left in current pass.
@@ -267,6 +271,7 @@ struct ReplayCursor
     int rows_left = 0;     //!< Dealloc rows / Trng commands left.
     int row_idx = 0;       //!< Dealloc: next row offset.
     Cycle now = 0;         //!< Local replay clock.
+    Ticket in_flight = kInvalidTicket; //!< Pending transaction.
 
     bool done() const
     {
@@ -279,24 +284,27 @@ struct ReplayCursor
         return true;
     }
 
-    void step(DramSystem &sys)
+    /** Submit the next footprint command, stamped with `now`. */
+    void submitNext(DramSystem &sys)
     {
-        CODIC_ASSERT(!done());
+        CODIC_ASSERT(!done() && in_flight == kInvalidTicket);
         switch (kind) {
           case Kind::Eval: {
             if (reads_left == 0) {
                 // Pass boundary: the CODIC row command that launches
                 // the next filtered evaluation pass.
-                now = sys.rowOp(base, now, RowOpMechanism::CodicDet);
+                in_flight = sys.submit(MemTransaction::makeRowOp(
+                    base, now, RowOpMechanism::CodicDet, 0, origin));
                 --passes_left;
                 reads_left = bursts;
                 read_idx = 0;
                 return;
             }
             const int64_t burst_bytes = sys.config().burst_bytes;
-            now = sys.read(base + static_cast<uint64_t>(read_idx) *
-                                      static_cast<uint64_t>(burst_bytes),
-                           now);
+            in_flight = sys.submit(MemTransaction::makeRead(
+                base + static_cast<uint64_t>(read_idx) *
+                           static_cast<uint64_t>(burst_bytes),
+                now, origin));
             ++read_idx;
             --reads_left;
             return;
@@ -309,18 +317,28 @@ struct ReplayCursor
                 (base + static_cast<uint64_t>(row_idx) *
                             static_cast<uint64_t>(row_bytes)) %
                 capacity;
-            now = sys.rowOp(addr, now, RowOpMechanism::CodicDet);
+            in_flight = sys.submit(MemTransaction::makeRowOp(
+                addr, now, RowOpMechanism::CodicDet, 0, origin));
             ++row_idx;
             --rows_left;
             return;
           }
           case Kind::Trng:
-            now = sys.rowOp(base, now, RowOpMechanism::CodicDet);
+            in_flight = sys.submit(MemTransaction::makeRowOp(
+                base, now, RowOpMechanism::CodicDet, 0, origin));
             --rows_left;
             return;
           case Kind::None:
             return;
         }
+    }
+
+    /** Resolve the in-flight transaction into the local clock. */
+    void harvest(DramSystem &sys)
+    {
+        CODIC_ASSERT(in_flight != kInvalidTicket);
+        now = sys.completionOf(in_flight);
+        in_flight = kInvalidTicket;
     }
 };
 
@@ -496,6 +514,7 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
             RequestResult &res = results[i];
             ReplayCursor cur;
             cur.now = start;
+            cur.origin = req.device_id;
             switch (req.kind) {
               case RequestKind::Authenticate: {
                 const auto golden = store_.lookup(req.device_id);
@@ -626,13 +645,13 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         // bank, the replay pays the genuine bounded row-conflict
         // cost of that crossing, not the sustained same-bank read
         // thrash the key exists to prevent. Every cursor starts at
-        // the slice's start cycle, and the discrete-event loop
-        // always steps the cursor with the smallest local clock
-        // (ties: batch order), so commands of independent devices
-        // issue in near-global-time order and overlap across banks
-        // and channels while the JEDEC checker serializes genuinely
-        // shared resources. The next slice starts at the slowest
-        // cursor's completion.
+        // the slice's start cycle and keeps one transaction in
+        // flight, stamped with its local clock; the controller's
+        // arrival-ordered read queue (ties: submission order) issues
+        // commands of independent devices in near-global-time order,
+        // overlapping across banks and channels while the JEDEC
+        // checker serializes genuinely shared resources. The next
+        // slice starts at the slowest cursor's completion.
         const auto &batch = batches[shard];
         const size_t slice = static_cast<size_t>(
             std::max(1, fc.dram.scheduler.replay_batch));
@@ -679,14 +698,30 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                 }
                 admit(cur, key);
             }
+            // Multi-ticket poll loop: every active cursor keeps one
+            // transaction in flight, and tickets resolve in ascending
+            // arrival order (a cursor's clock IS its in-flight
+            // arrival). Resolving the earliest ticket first matters:
+            // channel horizons only move forward, so issuing a
+            // late-arrival command ahead of an earlier one would
+            // penalize the earlier one with the later command's bus
+            // state. With this order the transaction queue issues the
+            // slice's commands in exactly the near-global-time
+            // interleave the old discrete-event loop produced.
+            for (auto &c : cursors)
+                if (!c.done())
+                    c.submitNext(sys);
             while (true) {
                 ReplayCursor *next = nullptr;
                 for (auto &c : cursors)
-                    if (!c.done() && (!next || c.now < next->now))
+                    if (c.in_flight != kInvalidTicket &&
+                        (!next || c.now < next->now))
                         next = &c;
                 if (!next)
                     break;
-                next->step(sys);
+                next->harvest(sys);
+                if (!next->done())
+                    next->submitNext(sys);
             }
             Cycle slice_end = slice_start;
             for (const auto &c : cursors)

@@ -13,8 +13,10 @@ MemoryController::MemoryController(DramChannel &channel,
       map_(channel.config(), config.map_scheme),
       codic_det_variant_(
           channel.registerVariant(variants::detZero().schedule)),
-      sched_(channel.config().scheduler)
+      sched_(channel.config().scheduler),
+      refs_issued_(static_cast<size_t>(channel.config().ranks), 0)
 {
+    CODIC_ASSERT(config_.read_queue_entries > 0);
     CODIC_ASSERT(config_.write_queue_entries > 0);
     sched_.validate();
 }
@@ -35,14 +37,14 @@ MemoryController::openRowFor(const Address &addr, Cycle now)
     return ready;
 }
 
-std::vector<Address>
+std::vector<MemoryController::PendingWrite>
 MemoryController::takeRowMatches(const Address &row, size_t limit)
 {
-    std::vector<Address> taken;
+    std::vector<PendingWrite> taken;
     for (auto it = pending_writes_.begin();
          it != pending_writes_.end() && taken.size() < limit;) {
-        if (it->rank == row.rank && it->bank == row.bank &&
-            it->row == row.row) {
+        if (it->addr.rank == row.rank && it->addr.bank == row.bank &&
+            it->addr.row == row.row) {
             taken.push_back(*it);
             it = pending_writes_.erase(it);
         } else {
@@ -52,35 +54,58 @@ MemoryController::takeRowMatches(const Address &row, size_t limit)
     return taken;
 }
 
+void
+MemoryController::markCompleted(Ticket ticket, Cycle completion)
+{
+    auto it = records_.find(ticket);
+    if (it == records_.end())
+        return; // Retired fire-and-forget; nothing to record.
+    it->second.completed = true;
+    it->second.completion = completion;
+}
+
 Cycle
-MemoryController::issueRowBatch(const std::vector<Address> &batch,
+MemoryController::issueRowBatch(const std::vector<PendingWrite> &batch,
                                 Cycle not_before)
 {
     CODIC_ASSERT(!batch.empty());
     Cycle done = 0;
-    const Cycle row_ready = openRowFor(batch.front(), not_before);
-    for (const Address &addr : batch) {
-        Command wr{CommandType::Wr, addr, 0};
-        done = channel_.issueAtEarliest(wr, row_ready);
+    const Cycle row_ready = openRowFor(batch.front().addr, not_before);
+    for (const PendingWrite &w : batch) {
+        Command wr{CommandType::Wr, w.addr, 0};
+        // A drain forced by an earlier-arrival request (write
+        // forwarding) must not issue a write before that write was
+        // even accepted.
+        done = channel_.issueAtEarliest(
+            wr, std::max(row_ready, w.accepted));
         write_completions_.push_back(done);
+        markCompleted(w.ticket, done);
     }
     return done;
+}
+
+Cycle
+MemoryController::drainBatchAt(size_t head_idx, Cycle not_before)
+{
+    CODIC_ASSERT(head_idx < pending_writes_.size());
+    // FR-FCFS over the write queue: the batch head plus younger
+    // same-row writes coalesced into one row-hit batch, preserving
+    // their relative order.
+    const PendingWrite head = pending_writes_[head_idx];
+    pending_writes_.erase(pending_writes_.begin() +
+                          static_cast<std::ptrdiff_t>(head_idx));
+    std::vector<PendingWrite> batch{head};
+    std::vector<PendingWrite> hits = takeRowMatches(
+        head.addr, static_cast<size_t>(sched_.max_drain_batch) - 1);
+    batch.insert(batch.end(), hits.begin(), hits.end());
+    return issueRowBatch(batch, not_before);
 }
 
 Cycle
 MemoryController::drainOneBatch(Cycle not_before)
 {
     CODIC_ASSERT(!pending_writes_.empty());
-    // FR-FCFS over the write queue: the oldest pending write plus
-    // younger same-row writes coalesced into one row-hit batch,
-    // preserving their relative order.
-    const Address head = pending_writes_.front();
-    pending_writes_.pop_front();
-    std::vector<Address> batch{head};
-    std::vector<Address> hits = takeRowMatches(
-        head, static_cast<size_t>(sched_.max_drain_batch) - 1);
-    batch.insert(batch.end(), hits.begin(), hits.end());
-    return issueRowBatch(batch, not_before);
+    return drainBatchAt(0, not_before);
 }
 
 Cycle
@@ -92,33 +117,221 @@ MemoryController::drainPendingTo(size_t target, Cycle not_before)
     return done;
 }
 
+Cycle
+MemoryController::drainBankTo(int rank, int bank, size_t target,
+                              Cycle not_before)
+{
+    Cycle done = 0;
+    while (true) {
+        // Oldest pending write of the bank anchors the next batch.
+        size_t count = 0;
+        size_t oldest = pending_writes_.size();
+        for (size_t i = 0; i < pending_writes_.size(); ++i) {
+            const Address &a = pending_writes_[i].addr;
+            if (a.rank == rank && a.bank == bank) {
+                if (oldest == pending_writes_.size())
+                    oldest = i;
+                ++count;
+            }
+        }
+        if (count <= target)
+            return done;
+        done = std::max(done, drainBatchAt(oldest, not_before));
+    }
+}
+
 void
 MemoryController::flushRow(const Address &addr, Cycle not_before)
 {
     // All of the row's pending writes, issued exactly like a drain
     // batch - forwarding-forced and watermark-scheduled drains of
     // the same writes model identical cycles.
-    const std::vector<Address> batch =
+    const std::vector<PendingWrite> batch =
         takeRowMatches(addr, pending_writes_.size());
     if (!batch.empty())
         issueRowBatch(batch, not_before);
 }
 
-Cycle
-MemoryController::read(uint64_t phys_addr, Cycle now)
+void
+MemoryController::catchUpRefresh(int rank, Cycle t)
 {
-    const Address addr = map_.decode(phys_addr);
+    if (!sched_.auto_refresh)
+        return;
+    const Cycle trefi = channel_.config().timing.trefi;
+    const Cycle trfc = channel_.config().timing.trfc;
+    auto &issued = refs_issued_[static_cast<size_t>(rank)];
+    // REF k is due at cycle k * tREFI. The refresh engine is always
+    // on: a REF that can both come due and *complete* (tRFC) in the
+    // idle stretch before the work at cycle t issues on time and
+    // costs the workload nothing - this is also how deferred debt
+    // repays itself in the next quiet gap. A REF that would overlap
+    // pending work is deferrable, and only debt beyond the
+    // postponement allowance must stall work at cycle t.
+    while (t / trefi - issued > 0) {
+        const Cycle due = (issued + 1) * trefi;
+        const bool fits_idle =
+            std::max(due, channel_.lastIssueCycle()) + trfc <= t;
+        if (!fits_idle &&
+            t / trefi - issued <=
+                static_cast<int64_t>(sched_.refresh_postpone))
+            break; // Busy: defer within the JEDEC allowance.
+        // All banks of the rank must be precharged for REF.
+        for (int b = 0; b < channel_.config().banks; ++b) {
+            if (!channel_.bankActive(rank, b))
+                continue;
+            Address a;
+            a.channel = channel_.channelId();
+            a.rank = rank;
+            a.bank = b;
+            Command pre{CommandType::Pre, a, 0};
+            channel_.issueAtEarliest(pre, due);
+        }
+        Command ref;
+        ref.type = CommandType::Ref;
+        ref.addr.channel = channel_.channelId();
+        ref.addr.rank = rank;
+        channel_.issueAtEarliest(ref, due);
+        ++issued;
+    }
+}
+
+uint64_t
+MemoryController::refreshesIssued() const
+{
+    uint64_t total = 0;
+    for (int64_t n : refs_issued_)
+        total += static_cast<uint64_t>(n);
+    return total;
+}
+
+Cycle
+MemoryController::issueRead(const MemTransaction &txn)
+{
+    const Address addr = map_.decode(txn.addr);
+    catchUpRefresh(addr.rank, txn.arrival);
     // Write-forwarding surrogate: the read must observe writes to its
     // row accepted before it, so those drain first. Pending writes to
     // other rows stay buffered - reads keep priority over them.
-    flushRow(addr, now);
-    const Cycle row_ready = openRowFor(addr, now);
+    flushRow(addr, txn.arrival);
+    const Cycle row_ready = openRowFor(addr, txn.arrival);
     Command rd{CommandType::Rd, addr, 0};
     return channel_.issueAtEarliest(rd, row_ready);
 }
 
 Cycle
-MemoryController::write(uint64_t phys_addr, Cycle now)
+MemoryController::issueRowOp(const MemTransaction &txn)
+{
+    Address addr = map_.decode(txn.addr);
+    addr.column = 0;
+    catchUpRefresh(addr.rank, txn.arrival);
+
+    // Writes accepted before a destructive row op must land before
+    // the row is overwritten (they are destroyed, not resurrected by
+    // a later drain).
+    flushRow(addr, txn.arrival);
+
+    // The target bank must be precharged for all three mechanisms.
+    if (channel_.bankActive(addr.rank, addr.bank)) {
+        Command pre{CommandType::Pre, addr, 0};
+        channel_.issueAtEarliest(pre, txn.arrival);
+    }
+
+    switch (txn.mech) {
+      case RowOpMechanism::CodicDet: {
+        Command codic{CommandType::Codic, addr, codic_det_variant_};
+        return channel_.issueAtEarliest(codic, txn.arrival);
+      }
+      case RowOpMechanism::RowClone:
+      case RowOpMechanism::LisaClone: {
+        Address src = addr;
+        src.row = txn.reserved_row;
+        Command act{CommandType::Act, src, 0};
+        channel_.issueAtEarliest(act, txn.arrival);
+        if (txn.mech == RowOpMechanism::LisaClone) {
+            Command rbm{CommandType::LisaRbm, src, 0};
+            channel_.issueAtEarliest(rbm, txn.arrival);
+        }
+        Command clone{CommandType::RowClone, addr, 0};
+        channel_.issueAtEarliest(clone, txn.arrival);
+        Command pre{CommandType::Pre, addr, 0};
+        return channel_.issueAtEarliest(pre, txn.arrival);
+    }
+    }
+    panic("unknown row-op mechanism");
+}
+
+size_t
+MemoryController::pickRequestIndex(Cycle arrival_bound) const
+{
+    const size_t window = std::min(
+        read_q_.size(),
+        static_cast<size_t>(std::max(1, sched_.read_window)));
+    if (window <= 1 || head_bypasses_ >= kReadStarvationLimit)
+        return 0;
+    for (size_t i = 0; i < window; ++i) {
+        const QueuedRequest &e = read_q_[i];
+        // A row op is a destructive barrier: nothing bypasses it and
+        // it never bypasses older requests itself.
+        if (e.txn.kind == TxnKind::RowOp)
+            break;
+        // A request that has not arrived by the scheduling horizon
+        // is invisible to the front-end - letting it bypass would
+        // push the channel's monotone bus horizons into its future
+        // arrival cycle and penalize every already-arrived read.
+        if (e.txn.arrival > arrival_bound)
+            continue;
+        const Address &a = e.addr;
+        if (!channel_.bankActive(a.rank, a.bank) ||
+            channel_.openRow(a.rank, a.bank) != a.row)
+            continue; // Not a row hit right now.
+        // Never bypass an older request to the same row (it would
+        // reorder same-address reads around each other and around
+        // the forwarding flush the older one triggers).
+        bool older_same_row = false;
+        for (size_t j = 0; j < i; ++j) {
+            const Address &b = read_q_[j].addr;
+            if (b.rank == a.rank && b.bank == a.bank &&
+                b.row == a.row) {
+                older_same_row = true;
+                break;
+            }
+        }
+        if (!older_same_row)
+            return i;
+    }
+    return 0;
+}
+
+Cycle
+MemoryController::serviceNextRequest()
+{
+    CODIC_ASSERT(!read_q_.empty());
+    // Default scheduling horizon: everything that has arrived by the
+    // time the channel could service the queue head counts as
+    // pending for row-hit bypass.
+    return serviceOneRequest(std::max(read_q_.front().txn.arrival,
+                                      channel_.lastIssueCycle()));
+}
+
+Cycle
+MemoryController::serviceOneRequest(Cycle arrival_bound)
+{
+    CODIC_ASSERT(!read_q_.empty());
+    const size_t pick = pickRequestIndex(arrival_bound);
+    head_bypasses_ = pick == 0 ? 0 : head_bypasses_ + 1;
+    const QueuedRequest req = read_q_[pick];
+    read_q_.erase(read_q_.begin() +
+                  static_cast<std::ptrdiff_t>(pick));
+    const Cycle done = req.txn.kind == TxnKind::Read
+                           ? issueRead(req.txn)
+                           : issueRowOp(req.txn);
+    markCompleted(req.ticket, done);
+    return done;
+}
+
+Cycle
+MemoryController::acceptWrite(const Address &addr, Cycle now,
+                              Ticket ticket)
 {
     Cycle accept = now;
     // Retire issued writes whose burst has completed by now.
@@ -139,7 +352,8 @@ MemoryController::write(uint64_t phys_addr, Cycle now)
         write_completions_.pop_front();
     }
 
-    pending_writes_.push_back(map_.decode(phys_addr));
+    catchUpRefresh(addr.rank, accept);
+    pending_writes_.push_back({addr, ticket, accept});
     ++accepted_writes_;
 
     // Scheduled drain episode: at the high watermark, flush row-hit
@@ -153,12 +367,127 @@ MemoryController::write(uint64_t phys_addr, Cycle now)
             entries * static_cast<size_t>(sched_.drain_low_pct) / 100;
         drainPendingTo(low, accept);
     }
+
+    // Per-bank watermark: a bank-hot write stream drains bank-locally
+    // long before the whole-queue percentage watermark trips.
+    if (sched_.bank_drain_high > 0) {
+        size_t bank_pending = 0;
+        for (const PendingWrite &w : pending_writes_)
+            if (w.addr.rank == addr.rank && w.addr.bank == addr.bank)
+                ++bank_pending;
+        if (bank_pending >=
+            static_cast<size_t>(sched_.bank_drain_high))
+            drainBankTo(addr.rank, addr.bank,
+                        static_cast<size_t>(sched_.bank_drain_low),
+                        accept);
+    }
     return accept;
 }
 
-Cycle
-MemoryController::drainWrites()
+Ticket
+MemoryController::submit(const MemTransaction &txn)
 {
+    const Ticket ticket = next_ticket_++;
+    TxnRecord rec;
+    rec.kind = txn.kind;
+    rec.accepted = txn.arrival;
+    // The record must exist before acceptance: a write can drain
+    // during its own acceptWrite (the eager policy issues at
+    // acceptance; a watermark drain can row-hit-coalesce it), and
+    // that drain records the completion through this entry.
+    auto it = records_.emplace(ticket, rec).first;
+    switch (txn.kind) {
+      case TxnKind::Read:
+      case TxnKind::RowOp: {
+        // Bounded read queue (Table 5: 64 entries): a full queue
+        // services older requests until a slot frees.
+        while (read_q_.size() >=
+               static_cast<size_t>(config_.read_queue_entries))
+            serviceNextRequest();
+        // Keep the queue sorted by (arrival, ticket): submission
+        // order breaks arrival ties, so multi-ticket consumers see
+        // the same near-global-time issue order at any harvest
+        // order.
+        auto pos = std::upper_bound(
+            read_q_.begin(), read_q_.end(), txn.arrival,
+            [](Cycle arrival, const QueuedRequest &q) {
+                return arrival < q.txn.arrival;
+            });
+        read_q_.insert(pos, QueuedRequest{txn, ticket,
+                                          map_.decode(txn.addr)});
+        break;
+      }
+      case TxnKind::Write:
+        // No rehash can invalidate `it`: acceptWrite never inserts
+        // into records_.
+        it->second.accepted = acceptWrite(map_.decode(txn.addr),
+                                          txn.arrival, ticket);
+        break;
+    }
+    return ticket;
+}
+
+Cycle
+MemoryController::acceptedAt(Ticket ticket) const
+{
+    const auto it = records_.find(ticket);
+    CODIC_ASSERT(it != records_.end(),
+                 "acceptedAt: unknown or retired ticket");
+    return it->second.accepted;
+}
+
+Cycle
+MemoryController::completionOf(Ticket ticket)
+{
+    auto it = records_.find(ticket);
+    CODIC_ASSERT(it != records_.end(),
+                 "completionOf: unknown or already-resolved ticket");
+    while (!it->second.completed) {
+        if (it->second.kind == TxnKind::Write) {
+            // Reads/row ops the schedule orders before the write
+            // (arrived by its acceptance) keep their data-bus
+            // priority over the forced drain.
+            while (!read_q_.empty() &&
+                   read_q_.front().txn.arrival <= it->second.accepted)
+                serviceOneRequest(it->second.accepted);
+            // The write is still buffered: drain batches (oldest
+            // first) until its batch issues.
+            drainOneBatch(channel_.lastIssueCycle());
+        } else {
+            serviceNextRequest();
+        }
+    }
+    const Cycle done = it->second.completion;
+    records_.erase(it);
+    return done;
+}
+
+void
+MemoryController::retire(Ticket ticket)
+{
+    records_.erase(ticket);
+}
+
+size_t
+MemoryController::poll(Cycle now)
+{
+    for (int r = 0; r < channel_.config().ranks; ++r)
+        catchUpRefresh(r, now);
+    size_t serviced = 0;
+    while (!read_q_.empty() && read_q_.front().txn.arrival <= now) {
+        // Bound the bypass window to `now`: poll must never issue a
+        // request from the future.
+        serviceOneRequest(now);
+        ++serviced;
+    }
+    return serviced;
+}
+
+Cycle
+MemoryController::drainAll()
+{
+    while (!read_q_.empty())
+        serviceNextRequest();
     const Cycle start = channel_.lastIssueCycle();
     Cycle last = start;
     last = std::max(last, drainPendingTo(0, start));
@@ -167,48 +496,6 @@ MemoryController::drainWrites()
         write_completions_.pop_front();
     }
     return last;
-}
-
-Cycle
-MemoryController::rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
-                        int64_t reserved_row)
-{
-    Address addr = map_.decode(row_addr);
-    addr.column = 0;
-
-    // Writes accepted before a destructive row op must land before
-    // the row is overwritten (they are destroyed, not resurrected by
-    // a later drain).
-    flushRow(addr, now);
-
-    // The target bank must be precharged for all three mechanisms.
-    if (channel_.bankActive(addr.rank, addr.bank)) {
-        Command pre{CommandType::Pre, addr, 0};
-        channel_.issueAtEarliest(pre, now);
-    }
-
-    switch (mech) {
-      case RowOpMechanism::CodicDet: {
-        Command codic{CommandType::Codic, addr, codic_det_variant_};
-        return channel_.issueAtEarliest(codic, now);
-      }
-      case RowOpMechanism::RowClone:
-      case RowOpMechanism::LisaClone: {
-        Address src = addr;
-        src.row = reserved_row;
-        Command act{CommandType::Act, src, 0};
-        channel_.issueAtEarliest(act, now);
-        if (mech == RowOpMechanism::LisaClone) {
-            Command rbm{CommandType::LisaRbm, src, 0};
-            channel_.issueAtEarliest(rbm, now);
-        }
-        Command clone{CommandType::RowClone, addr, 0};
-        channel_.issueAtEarliest(clone, now);
-        Command pre{CommandType::Pre, addr, 0};
-        return channel_.issueAtEarliest(pre, now);
-    }
-    }
-    panic("unknown row-op mechanism");
 }
 
 } // namespace codic

@@ -2,26 +2,42 @@
  * @file
  * FR-FCFS memory controller (paper Table 5: 64/64-entry read/write
  * queues, FR-FCFS scheduling [119, 176]) over the cycle-accurate
- * DRAM channel.
+ * DRAM channel, exposed through the transaction-based MemoryService
+ * API (mem/service.h).
  *
- * Reads are serviced with row-hit-first priority and block the
- * requester until the data burst completes. Writes are accepted into
- * a bounded per-channel write queue and buffered: a drain episode
- * starts when pending occupancy crosses the policy's high watermark
- * and flushes row-hit batches (oldest pending write first, coalescing
- * up to SchedulerPolicy::max_drain_batch same-row writes back-to-back)
+ * Reads and row ops are submitted into a bounded read queue kept in
+ * arrival order and issued on demand: resolving a ticket services
+ * everything the schedule orders before it. Within the policy's
+ * read-reordering window a row-hit read may bypass older row-miss
+ * reads (never across a row op, never past an older same-row
+ * request, and a head bypassed kReadStarvationLimit times is
+ * force-scheduled), which is the row-hit-first half of FR-FCFS over
+ * the read queue.
+ *
+ * Writes are accepted into a bounded per-channel write queue and
+ * buffered: a drain episode starts when pending occupancy crosses
+ * the policy's high watermark (whole-queue percentage, or the
+ * per-bank count watermark) and flushes row-hit batches (oldest
+ * pending write first, coalescing up to
+ * SchedulerPolicy::max_drain_batch same-row writes back-to-back)
  * until occupancy falls to the low watermark. Buffering keeps reads
  * ahead of writes on the data bus and pays the rd<->wr turnaround
  * once per drained burst instead of once per write.
  *
- * A queue slot is held from acceptance until the write's data burst
- * completes. When every slot is taken, acceptance stalls until the
- * oldest in-flight write completes - the back-pressure that bounds
- * software-zeroing throughput in the TCG and secure-deallocation
- * evaluations. The stall check is strictly channel-local: in a
- * multi-channel module each channel's controller stalls only on its
- * own queue, so a full queue on one channel never throttles writes
- * routed to another.
+ * A write-queue slot is held from acceptance until the write's data
+ * burst completes. When every slot is taken, acceptance stalls until
+ * the oldest in-flight write completes - the back-pressure that
+ * bounds software-zeroing throughput in the TCG and
+ * secure-deallocation evaluations. The stall check is strictly
+ * channel-local: in a multi-channel module each channel's controller
+ * stalls only on its own queue.
+ *
+ * With SchedulerPolicy::auto_refresh on, the controller injects REF
+ * per rank every tREFI, postponing up to refresh_postpone due REFs
+ * (JEDEC DDR3: at most 8) while read/write work is pending. The
+ * paper campaigns keep refresh off (they legally run at power-on
+ * before refresh starts), so the eager preset reproduces the
+ * published numbers byte-for-byte.
  */
 
 #ifndef CODIC_MEM_CONTROLLER_H
@@ -29,6 +45,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/address_map.h"
@@ -48,31 +65,46 @@ struct ControllerConfig
 /**
  * Memory controller front-end for one channel.
  *
- * The controller is simulated lazily: each request is pushed through
- * the channel when presented, with all JEDEC constraints enforced by
- * DramChannel. FR-FCFS behaviour emerges from the open-row policy:
- * the controller leaves rows open and only precharges on a conflict.
+ * The controller is simulated lazily: requests queue at submit() and
+ * push through the channel when a ticket is resolved (or poll /
+ * drainAll advances the scheduler), with all JEDEC constraints
+ * enforced by DramChannel. FR-FCFS behaviour emerges from the
+ * open-row policy plus the read-reordering window: the controller
+ * leaves rows open, only precharges on a conflict, and prefers
+ * row-hit reads within the window.
  *
  * A controller is a channel-local view: it decodes full physical
  * addresses with the module-wide map, but only accepts requests that
  * land on its own channel. In a multi-channel module the DramSystem
- * owns one controller per channel and routes requests; a standalone
- * controller over a single-channel config behaves as before.
+ * owns one controller per channel and routes transactions; a
+ * standalone controller over a single-channel config behaves as
+ * before.
  */
 class MemoryController : public MemoryService
 {
   public:
+    /**
+     * Times a read-queue head may be bypassed by younger row-hit
+     * reads before it is force-scheduled (the starvation bound real
+     * FR-FCFS front-ends carry; reads stay live across REF storms
+     * and row-hit bursts alike).
+     */
+    static constexpr int kReadStarvationLimit = 16;
+
     MemoryController(DramChannel &channel,
                      const ControllerConfig &config = {});
 
-    Cycle read(uint64_t phys_addr, Cycle now) override;
-
-    Cycle write(uint64_t phys_addr, Cycle now) override;
-
-    Cycle drainWrites() override;
-
-    Cycle rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
-                int64_t reserved_row = 0) override;
+    // MemoryService transaction API.
+    Ticket submit(const MemTransaction &txn) override;
+    Cycle acceptedAt(Ticket ticket) const override;
+    Cycle completionOf(Ticket ticket) override;
+    void retire(Ticket ticket) override;
+    size_t poll(Cycle now) override;
+    Cycle drainAll() override;
+    size_t inFlightCount() const override
+    {
+        return read_q_.size() + pending_writes_.size();
+    }
 
     /** The address map in use. */
     const AddressMap &map() const override { return map_; }
@@ -98,7 +130,40 @@ class MemoryController : public MemoryService
         return pending_writes_.size();
     }
 
+    /** Reads/row ops queued but not yet issued. */
+    size_t pendingReadCount() const { return read_q_.size(); }
+
+    /** REF commands injected so far (auto_refresh accounting). */
+    uint64_t refreshesIssued() const;
+
   private:
+    /** A write accepted into the queue, awaiting its drain. */
+    struct PendingWrite
+    {
+        Address addr;
+        Ticket ticket;
+        /** Acceptance cycle: the write cannot issue before it. */
+        Cycle accepted = 0;
+    };
+
+    /** A read/row-op queued for issue, kept in arrival order. */
+    struct QueuedRequest
+    {
+        MemTransaction txn;
+        Ticket ticket;
+        /** Decoded once at submit; the window scan compares it. */
+        Address addr;
+    };
+
+    /** Resolution state of one ticket (erased when resolved). */
+    struct TxnRecord
+    {
+        TxnKind kind;
+        Cycle accepted = 0;
+        Cycle completion = 0;
+        bool completed = false;
+    };
+
     /** Ensure `addr`'s row is open; returns cycle row is usable. */
     Cycle openRowFor(const Address &addr, Cycle now);
 
@@ -106,25 +171,32 @@ class MemoryController : public MemoryService
      * Remove up to `limit` pending writes matching `row`'s
      * rank/bank/row, preserving acceptance order.
      */
-    std::vector<Address> takeRowMatches(const Address &row,
-                                        size_t limit);
+    std::vector<PendingWrite> takeRowMatches(const Address &row,
+                                             size_t limit);
 
     /**
      * Issue one same-row write batch back-to-back at row-ready,
      * recording completions. Returns the batch's completion cycle.
      */
-    Cycle issueRowBatch(const std::vector<Address> &batch,
+    Cycle issueRowBatch(const std::vector<PendingWrite> &batch,
                         Cycle not_before);
 
     /**
-     * Issue one row-hit batch of pending writes: the oldest pending
-     * write plus up to max_drain_batch-1 younger same-row writes,
-     * back-to-back. Returns the batch's completion cycle.
+     * Issue one row-hit batch of pending writes: the write at
+     * queue index `head_idx` plus up to max_drain_batch-1 same-row
+     * writes, back-to-back. Returns the batch's completion cycle.
      */
+    Cycle drainBatchAt(size_t head_idx, Cycle not_before);
+
+    /** drainBatchAt(0): the oldest pending write's batch. */
     Cycle drainOneBatch(Cycle not_before);
 
     /** Drain row-hit batches until at most `target` writes pend. */
     Cycle drainPendingTo(size_t target, Cycle not_before);
+
+    /** Drain one bank's pending writes down to `target`. */
+    Cycle drainBankTo(int rank, int bank, size_t target,
+                      Cycle not_before);
 
     /**
      * Issue every pending write to `addr`'s row (the write-forwarding
@@ -133,16 +205,61 @@ class MemoryController : public MemoryService
      */
     void flushRow(const Address &addr, Cycle not_before);
 
+    /** Accept one write (old blocking-write body); acceptance cycle. */
+    Cycle acceptWrite(const Address &addr, Cycle now, Ticket ticket);
+
+    /**
+     * Index into read_q_ of the next request to issue: the head, or
+     * a row-hit read within the policy window whose arrival is
+     * within `arrival_bound` (see class comment).
+     */
+    size_t pickRequestIndex(Cycle arrival_bound) const;
+
+    /**
+     * Issue the picked queued request, bounding row-hit bypass to
+     * requests arrived by `arrival_bound`; record its completion.
+     */
+    Cycle serviceOneRequest(Cycle arrival_bound);
+
+    /**
+     * serviceOneRequest() at the default scheduling horizon:
+     * everything arrived by the time the channel could service the
+     * queue head (max of head arrival and last issue cycle).
+     */
+    Cycle serviceNextRequest();
+
+    /** Issue the read/row-op command sequence of one transaction. */
+    Cycle issueRead(const MemTransaction &txn);
+    Cycle issueRowOp(const MemTransaction &txn);
+
+    /**
+     * Issue REFs to `rank` until its debt at cycle `t` is within the
+     * postponement allowance (no-op unless auto_refresh).
+     */
+    void catchUpRefresh(int rank, Cycle t);
+
+    /** Record a ticket's completion if it is still tracked. */
+    void markCompleted(Ticket ticket, Cycle completion);
+
     DramChannel &channel_;
     ControllerConfig config_;
     AddressMap map_;
     int codic_det_variant_;
     SchedulerPolicy sched_;
     /** Accepted but not yet issued writes (FIFO acceptance order). */
-    std::deque<Address> pending_writes_;
+    std::deque<PendingWrite> pending_writes_;
     /** Completion cycles of issued in-flight writes (nondecreasing). */
     std::deque<Cycle> write_completions_;
+    /** Queued reads/row ops, sorted by (arrival, ticket). */
+    std::deque<QueuedRequest> read_q_;
+    /** Resolution state per live ticket. */
+    std::unordered_map<Ticket, TxnRecord> records_;
+    /** REFs injected per rank (auto_refresh). */
+    std::vector<int64_t> refs_issued_;
     uint64_t accepted_writes_ = 0;
+    Ticket next_ticket_ = 1;
+    /** Consecutive window bypasses of the current queue head. */
+    int head_bypasses_ = 0;
 };
 
 } // namespace codic

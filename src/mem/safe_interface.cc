@@ -1,6 +1,7 @@
 #include "mem/safe_interface.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "codic/variant.h"
 #include "common/logging.h"
@@ -115,10 +116,19 @@ SafeCodicInterface::zeroRange(uint64_t phys_addr, uint64_t bytes,
         ++refusals_;
         return SafeRequestStatus::RangeNotFreed;
     }
-    Cycle last = now;
+    // Submit the whole range as transactions (one per row, all
+    // stamped with the request's arrival), then resolve: per channel
+    // the rows issue in submission order, exactly as the sequential
+    // blocking loop did, but the call sites stay one queue-building
+    // pass plus one harvest pass.
+    std::vector<Ticket> tickets;
+    tickets.reserve(static_cast<size_t>(bytes / row));
     for (uint64_t a = phys_addr; a < phys_addr + bytes; a += row)
-        last = std::max(
-            last, system_.rowOp(a, now, RowOpMechanism::CodicDet));
+        tickets.push_back(system_.submit(MemTransaction::makeRowOp(
+            a, now, RowOpMechanism::CodicDet)));
+    Cycle last = now;
+    for (const Ticket t : tickets)
+        last = std::max(last, system_.completionOf(t));
     if (done)
         *done = last;
     return SafeRequestStatus::Ok;

@@ -1,74 +1,150 @@
 /**
  * @file
- * The memory-service interface consumed by the trace-driven cores and
- * the secure-deallocation paths. Two implementations exist:
- * MemoryController (one channel's FR-FCFS front-end) and DramSystem
- * (N channels; routes each request to the owning channel's
- * controller). Core code is written against this interface so a
- * workload runs unchanged on 1 or many channels.
+ * The transaction-based memory-service interface consumed by the
+ * trace-driven cores, the secure-deallocation paths, and the fleet's
+ * replay engine. Two implementations exist: MemoryController (one
+ * channel's FR-FCFS front-end) and DramSystem (N channels; routes
+ * each transaction to the owning channel's controller). Consumer
+ * code is written against this interface so a workload runs
+ * unchanged on 1 or many channels.
+ *
+ * The API is asynchronous: callers submit() a MemTransaction and
+ * receive a Ticket; the controller owns bounded read *and* write
+ * queues (paper Table 5: 64/64 entries), schedules FR-FCFS with a
+ * configurable read-reordering window, and - when
+ * SchedulerPolicy::auto_refresh is on - injects REF every tREFI,
+ * postponing up to the JEDEC 8-deferred limit. Ticket resolution is
+ * demand-driven (the simulation is event-based, not cycle-ticked):
+ *
+ *  - completionOf(ticket) forces the transaction (and everything the
+ *    schedule orders before it) to issue and returns its completion
+ *    cycle, retiring the ticket. Each ticket resolves exactly once.
+ *  - acceptedAt(ticket) is the cycle the transaction entered its
+ *    queue (== arrival unless a full write queue stalled acceptance:
+ *    the back-pressure that bounds software-zeroing throughput).
+ *  - retire(ticket) discards a ticket whose completion the caller
+ *    will never ask for (fire-and-forget writebacks), keeping
+ *    per-ticket bookkeeping bounded by the number of outstanding
+ *    queries, not by campaign length.
+ *  - poll(now) advances the scheduler to `now`: services every
+ *    queued request that has arrived and catches up refresh debt.
+ *  - drainAll() services everything still queued (reads, row ops,
+ *    buffered writes) and returns the cycle the service is
+ *    quiescent. On the blocking shim this is exactly the old
+ *    drainWrites() semantics.
+ *
+ * The blocking helpers at the bottom are the compatibility shim the
+ * paper campaigns keep using: each one is submit + resolve in a
+ * single call, so every caller - shimmed or not - runs through the
+ * same transaction scheduler, and the eager preset reproduces the
+ * published numbers byte-for-byte.
  */
 
 #ifndef CODIC_MEM_SERVICE_H
 #define CODIC_MEM_SERVICE_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "dram/config.h"
+#include "mem/transaction.h"
 
 namespace codic {
 
 class AddressMap;
 
-/** Row-op mechanisms usable for bulk in-DRAM operations. */
-enum class RowOpMechanism
-{
-    CodicDet,  //!< One CODIC-det command per row.
-    RowClone,  //!< ACT(source) + RowClone(dst) + PRE.
-    LisaClone, //!< ACT(source) + LISA hop + RowClone(dst) + PRE.
-};
-
-/** Request-level service over one channel or a whole DRAM system. */
+/** Transaction-level service over one channel or a whole system. */
 class MemoryService
 {
   public:
     virtual ~MemoryService() = default;
 
     /**
-     * Service a read.
-     * @param phys_addr Physical byte address.
-     * @param now Cycle the request arrives.
-     * @return Cycle the data burst completes (requester unblocks).
+     * Submit a transaction. Reads and row ops enter the bounded read
+     * queue (a full queue services older requests until a slot
+     * frees); writes enter the bounded write queue, stalling
+     * acceptance when every slot is occupied by an in-flight write.
+     * @return Ticket resolving the transaction (never
+     *         kInvalidTicket).
      */
-    virtual Cycle read(uint64_t phys_addr, Cycle now) = 0;
+    virtual Ticket submit(const MemTransaction &txn) = 0;
+
+    /** Cycle the transaction was accepted into its queue. */
+    virtual Cycle acceptedAt(Ticket ticket) const = 0;
 
     /**
-     * Accept a write into the owning channel's write queue.
-     * @return Cycle the write is accepted (== now unless that queue
-     *         is full, in which case acceptance stalls).
+     * Completion cycle of the transaction, forcing it (and everything
+     * scheduled before it) to issue if still queued. Retires the
+     * ticket: each ticket may be resolved exactly once.
      */
-    virtual Cycle write(uint64_t phys_addr, Cycle now) = 0;
+    virtual Cycle completionOf(Ticket ticket) = 0;
 
-    /** Cycle at which all currently queued writes have drained. */
-    virtual Cycle drainWrites() = 0;
+    /** Drop a ticket whose completion will never be queried. */
+    virtual void retire(Ticket ticket) = 0;
 
     /**
-     * Execute a bulk row operation (deterministic overwrite of one
-     * row) with the selected mechanism. Used by secure deallocation.
-     * @param row_addr Any physical address within the target row.
-     * @param now Earliest issue cycle.
-     * @param mech In-DRAM mechanism to use.
-     * @param reserved_row Row index (same bank) holding the zero
-     *        source for clone-based mechanisms.
-     * @return Completion cycle.
+     * Advance the scheduler to `now`: issue every queued read/row-op
+     * whose arrival is <= now and catch up refresh debt beyond the
+     * postponement allowance. @return Requests serviced by the call.
      */
-    virtual Cycle rowOp(uint64_t row_addr, Cycle now,
-                        RowOpMechanism mech, int64_t reserved_row = 0) = 0;
+    virtual size_t poll(Cycle now) = 0;
+
+    /**
+     * Service everything still queued - reads, row ops, and buffered
+     * writes - and return the cycle the service is quiescent (last
+     * issue or write-burst completion). Legally postponed refreshes
+     * (debt within SchedulerPolicy::refresh_postpone) stay postponed.
+     */
+    virtual Cycle drainAll() = 0;
+
+    /** Queued (not yet issued) transactions, all kinds. */
+    virtual size_t inFlightCount() const = 0;
 
     /** The address map in use. */
     virtual const AddressMap &map() const = 0;
 
     /** The DRAM configuration behind this service. */
     virtual const DramConfig &dramConfig() const = 0;
+
+    // --- Blocking shim (paper campaigns; submit + resolve) ---
+
+    /**
+     * Service a read to completion: the caller blocks until the data
+     * burst completes. Equivalent to submit + completionOf.
+     */
+    Cycle read(uint64_t phys_addr, Cycle now, uint64_t origin = 0)
+    {
+        return completionOf(
+            submit(MemTransaction::makeRead(phys_addr, now, origin)));
+    }
+
+    /**
+     * Accept a write into the owning channel's write queue and
+     * return the acceptance cycle (== now unless the queue is full).
+     * Fire-and-forget: the write's own completion is not tracked.
+     */
+    Cycle write(uint64_t phys_addr, Cycle now, uint64_t origin = 0)
+    {
+        const Ticket t =
+            submit(MemTransaction::makeWrite(phys_addr, now, origin));
+        const Cycle accepted = acceptedAt(t);
+        retire(t);
+        return accepted;
+    }
+
+    /**
+     * Execute a bulk row operation (deterministic overwrite of one
+     * row) to completion with the selected mechanism.
+     */
+    Cycle rowOp(uint64_t row_addr, Cycle now, RowOpMechanism mech,
+                int64_t reserved_row = 0)
+    {
+        return completionOf(submit(MemTransaction::makeRowOp(
+            row_addr, now, mech, reserved_row)));
+    }
+
+    /** Legacy name for drainAll() (identical semantics). */
+    Cycle drainWrites() { return drainAll(); }
 };
 
 } // namespace codic

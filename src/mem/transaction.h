@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Memory transactions: the request currency of the redesigned
+ * MemoryService API. A caller builds a MemTransaction (read, write,
+ * or bulk row operation, stamped with its arrival cycle, a priority,
+ * and an origin tag), submits it, and receives a Ticket. The
+ * controller owns bounded read and write queues behind submit() and
+ * resolves tickets on demand - see mem/service.h for the service
+ * contract and the blocking shim kept for the paper campaigns.
+ */
+
+#ifndef CODIC_MEM_TRANSACTION_H
+#define CODIC_MEM_TRANSACTION_H
+
+#include <cstdint>
+
+#include "dram/config.h"
+
+namespace codic {
+
+/** Row-op mechanisms usable for bulk in-DRAM operations. */
+enum class RowOpMechanism
+{
+    CodicDet,  //!< One CODIC-det command per row.
+    RowClone,  //!< ACT(source) + RowClone(dst) + PRE.
+    LisaClone, //!< ACT(source) + LISA hop + RowClone(dst) + PRE.
+};
+
+/** Transaction kinds a MemoryService accepts. */
+enum class TxnKind : uint8_t
+{
+    Read,  //!< One burst read; completion = data burst end.
+    Write, //!< One burst write; buffered, drains per SchedulerPolicy.
+    RowOp, //!< Bulk row operation (secure deallocation, TRNG, PUF).
+};
+
+/**
+ * Handle for a submitted transaction. Tickets are dense positive
+ * integers, unique per service instance; kInvalidTicket (0) never
+ * names a transaction.
+ */
+using Ticket = uint64_t;
+
+constexpr Ticket kInvalidTicket = 0;
+
+/** One memory request, as submitted to a MemoryService. */
+struct MemTransaction
+{
+    TxnKind kind = TxnKind::Read;
+
+    /** Physical byte address (any address in the row for RowOp). */
+    uint64_t addr = 0;
+
+    /** Cycle the request arrives at the controller. */
+    Cycle arrival = 0;
+
+    /**
+     * Scheduling priority (lower = more urgent). The FR-FCFS
+     * front-end currently schedules by (arrival, row-hit window)
+     * and ignores this field; it is part of the submission contract
+     * so priority-aware schedulers can be added without another API
+     * change.
+     */
+    int priority = 0;
+
+    /**
+     * Origin tag: who issued the request (core region base, fleet
+     * device id, ...). Never interpreted by the scheduler; part of
+     * the submission contract for future per-origin policies.
+     */
+    uint64_t origin = 0;
+
+    /** RowOp only: the in-DRAM mechanism to use. */
+    RowOpMechanism mech = RowOpMechanism::CodicDet;
+
+    /** RowOp only: reserved zero-source row for clone mechanisms. */
+    int64_t reserved_row = 0;
+
+    static MemTransaction makeRead(uint64_t addr, Cycle arrival,
+                                   uint64_t origin = 0)
+    {
+        MemTransaction t;
+        t.kind = TxnKind::Read;
+        t.addr = addr;
+        t.arrival = arrival;
+        t.origin = origin;
+        return t;
+    }
+
+    static MemTransaction makeWrite(uint64_t addr, Cycle arrival,
+                                    uint64_t origin = 0)
+    {
+        MemTransaction t;
+        t.kind = TxnKind::Write;
+        t.addr = addr;
+        t.arrival = arrival;
+        t.origin = origin;
+        return t;
+    }
+
+    static MemTransaction makeRowOp(uint64_t addr, Cycle arrival,
+                                    RowOpMechanism mech,
+                                    int64_t reserved_row = 0,
+                                    uint64_t origin = 0)
+    {
+        MemTransaction t;
+        t.kind = TxnKind::RowOp;
+        t.addr = addr;
+        t.arrival = arrival;
+        t.mech = mech;
+        t.reserved_row = reserved_row;
+        t.origin = origin;
+        return t;
+    }
+};
+
+} // namespace codic
+
+#endif // CODIC_MEM_TRANSACTION_H

@@ -21,6 +21,7 @@ void registerTrngScenarios(ScenarioRegistry &registry);
 void registerExtScenarios(ScenarioRegistry &registry);
 void registerFleetScenarios(ScenarioRegistry &registry);
 void registerSchedulerScenarios(ScenarioRegistry &registry);
+void registerRefreshScenarios(ScenarioRegistry &registry);
 
 } // namespace codic
 

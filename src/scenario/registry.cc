@@ -53,6 +53,7 @@ ScenarioRegistry::instance()
         registerExtScenarios(*r);
         registerFleetScenarios(*r);
         registerSchedulerScenarios(*r);
+        registerRefreshScenarios(*r);
         return r;
     }();
     return *registry;

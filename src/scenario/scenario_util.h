@@ -28,14 +28,16 @@ paperSeed(const RunOptions &options, uint64_t historical)
 }
 
 /**
- * Scheduler policy selected by --sched: the named preset, or the
- * scenario's own default preset when no name was given. Unknown
- * names are fatal (SchedulerPolicy::preset lists the known ones).
+ * Scheduler policy selected by --sched: a full spec (preset name
+ * plus optional ":knob=value,..." overrides - see
+ * SchedulerPolicy::parse), or the scenario's own default preset when
+ * no spec was given. Unknown presets or knobs are fatal
+ * (`codic_run --sched help` lists them).
  */
 inline SchedulerPolicy
 schedulerFor(const RunOptions &options, const char *scenario_default)
 {
-    return SchedulerPolicy::preset(
+    return SchedulerPolicy::parse(
         options.sched.empty() ? scenario_default : options.sched);
 }
 

@@ -8,7 +8,9 @@
 #ifndef CODIC_SCENARIO_SCHEDULER_WORKLOADS_H
 #define CODIC_SCENARIO_SCHEDULER_WORKLOADS_H
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "dram/system.h"
 
@@ -65,6 +67,92 @@ runRowHitWorkload(DramSystem &sys, int64_t writes)
         t += 4;
     }
     return sys.drainWrites();
+}
+
+/**
+ * Bursty open-loop read stream over many tREFI windows, driven
+ * through the async transaction API: each burst submits
+ * `reads_per_burst` row-sequential reads, `spacing` cycles apart,
+ * followed by `gap_cycles` of quiet; the burst's tickets resolve in
+ * arrival order. Size the busy span past one tREFI (reads_per_burst
+ * x spacing > tREFI) and the postponement allowance decides whether
+ * REFs falling due mid-burst stall reads immediately or defer into
+ * the following quiet gap (where the always-on refresh engine
+ * resolves them for free). Per-read latencies (completion - arrival)
+ * append to `latencies`; returns the last completion cycle.
+ */
+inline Cycle
+runRefreshReadWorkload(DramSystem &sys, int64_t bursts,
+                       int reads_per_burst, Cycle spacing,
+                       Cycle gap_cycles,
+                       std::vector<Cycle> *latencies = nullptr)
+{
+    const int64_t burst_bytes = sys.config().burst_bytes;
+    const Cycle period = reads_per_burst * spacing + gap_cycles;
+    Cycle last = 0;
+    std::vector<Ticket> tickets;
+    std::vector<Cycle> arrivals;
+    for (int64_t b = 0; b < bursts; ++b) {
+        tickets.clear();
+        arrivals.clear();
+        const Cycle base = b * period;
+        for (int i = 0; i < reads_per_burst; ++i) {
+            const Cycle arrival = base + spacing * i;
+            const uint64_t addr = static_cast<uint64_t>(
+                (b * reads_per_burst + i) * burst_bytes);
+            tickets.push_back(sys.submit(
+                MemTransaction::makeRead(addr, arrival)));
+            arrivals.push_back(arrival);
+        }
+        for (size_t i = 0; i < tickets.size(); ++i) {
+            const Cycle done = sys.completionOf(tickets[i]);
+            last = std::max(last, done);
+            if (latencies)
+                latencies->push_back(done - arrivals[i]);
+        }
+    }
+    return last;
+}
+
+/**
+ * Row-conflict read stream for the read-reordering-window study:
+ * each wave submits `wave_size` reads alternating between two rows
+ * of one bank (distinct columns), all stamped with the wave's start
+ * cycle, then resolves them. With read_window = 1 the controller
+ * services them in strict arrival order (a PRE/ACT thrash per read);
+ * a wider window regroups the wave into two row-hit runs. Per-read
+ * latencies append to `latencies`; returns the last completion.
+ */
+inline Cycle
+runReadWindowWorkload(DramSystem &sys, int64_t waves, int wave_size,
+                      std::vector<Cycle> *latencies = nullptr)
+{
+    const DramConfig &cfg = sys.config();
+    const int64_t row_bytes = cfg.row_bytes;
+    Cycle wave_start = 0;
+    Cycle last = 0;
+    std::vector<Ticket> tickets;
+    for (int64_t w = 0; w < waves; ++w) {
+        tickets.clear();
+        for (int i = 0; i < wave_size; ++i) {
+            const int64_t row = i % 2;
+            const int64_t column =
+                (w * wave_size + i / 2) % cfg.columns;
+            const uint64_t addr = static_cast<uint64_t>(
+                row * cfg.banks * row_bytes +
+                column * cfg.burst_bytes);
+            tickets.push_back(sys.submit(
+                MemTransaction::makeRead(addr, wave_start)));
+        }
+        for (const Ticket t : tickets) {
+            const Cycle done = sys.completionOf(t);
+            last = std::max(last, done);
+            if (latencies)
+                latencies->push_back(done - wave_start);
+        }
+        wave_start = last + 8;
+    }
+    return last;
 }
 
 } // namespace codic

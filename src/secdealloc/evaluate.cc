@@ -70,7 +70,7 @@ runSingleCore(const Workload &workload, DeallocMode mode,
     InOrderCore core(system, core_cfg);
     core.bind(&workload);
     double end_ns = core.run();
-    const Cycle drained = system.drainWrites();
+    const Cycle drained = system.drainAll();
     end_ns = std::max(end_ns,
                       static_cast<double>(drained) *
                           system.config().tck_ns);
@@ -121,7 +121,7 @@ runMultiCore(const WorkloadMix &mix, DeallocMode mode,
     double end_ns = 0.0;
     for (auto &core : cores)
         end_ns = std::max(end_ns, core->timeNs());
-    const Cycle drained = system.drainWrites();
+    const Cycle drained = system.drainAll();
     end_ns = std::max(end_ns,
                       static_cast<double>(drained) *
                           system.config().tck_ns);

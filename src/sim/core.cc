@@ -65,11 +65,21 @@ InOrderCore::cpuCycles(double n)
 }
 
 void
+InOrderCore::submitWriteback(uint64_t victim_addr)
+{
+    // Fire-and-forget: the core never waits on a writeback's burst,
+    // only on write-queue acceptance (which submit models), so the
+    // ticket is retired unqueried.
+    controller_.retire(controller_.submit(MemTransaction::makeWrite(
+        victim_addr, nowCycles(), addr_base_)));
+}
+
+void
 InOrderCore::writebackThroughL2(uint64_t victim_addr)
 {
     const auto wb = l2_.access(victim_addr, true);
     if (wb.writeback)
-        controller_.write(wb.victim_addr, nowCycles());
+        submitWriteback(wb.victim_addr);
 }
 
 void
@@ -88,9 +98,11 @@ InOrderCore::doLoad(uint64_t addr)
     if (r2.hit)
         return;
     if (r2.writeback)
-        controller_.write(r2.victim_addr, nowCycles());
-    const Cycle done = controller_.read(addr, nowCycles());
-    advanceTo(done);
+        submitWriteback(r2.victim_addr);
+    // The load blocks the in-order core: submit and resolve.
+    const Ticket t = controller_.submit(
+        MemTransaction::makeRead(addr, nowCycles(), addr_base_));
+    advanceTo(controller_.completionOf(t));
 }
 
 void
@@ -109,10 +121,11 @@ InOrderCore::doStore(uint64_t addr)
     if (r2.hit)
         return;
     if (r2.writeback)
-        controller_.write(r2.victim_addr, nowCycles());
+        submitWriteback(r2.victim_addr);
     // Write-allocate: fetch the line (read-for-ownership).
-    const Cycle done = controller_.read(addr, nowCycles());
-    advanceTo(done);
+    const Ticket t = controller_.submit(
+        MemTransaction::makeRead(addr, nowCycles(), addr_base_));
+    advanceTo(controller_.completionOf(t));
 }
 
 void
@@ -123,9 +136,12 @@ InOrderCore::doFlush(uint64_t addr)
     bool dirty = l1_.flushLine(addr);
     dirty = l2_.flushLine(addr) || dirty;
     if (dirty) {
-        // Write-queue back-pressure stalls the flush when full.
-        const Cycle accepted = controller_.write(addr, nowCycles());
-        advanceTo(accepted);
+        // Write-queue back-pressure stalls the flush when full: the
+        // core advances to the acceptance cycle, not the burst end.
+        const Ticket t = controller_.submit(MemTransaction::makeWrite(
+            addr, nowCycles(), addr_base_));
+        advanceTo(controller_.acceptedAt(t));
+        controller_.retire(t);
     }
 }
 
@@ -157,14 +173,18 @@ InOrderCore::doDealloc(uint64_t addr, uint64_t bytes)
         panic("unreachable dealloc mode");
     }
     // One in-DRAM row operation per row; stale cached copies of the
-    // region are invalidated. The operation itself proceeds in DRAM
-    // without blocking the core.
+    // region are invalidated. The operation proceeds in DRAM without
+    // blocking the core: the completion cycle is discarded (the
+    // resolve only forces the command onto the channel at its
+    // arrival cycle, exactly like the pre-transaction controller).
     for (uint64_t a = addr; a < addr + bytes;
          a += static_cast<uint64_t>(row_bytes)) {
         cpuCycles(config_.dealloc_cmd_cycles);
         l1_.invalidateRange(a, static_cast<uint64_t>(row_bytes));
         l2_.invalidateRange(a, static_cast<uint64_t>(row_bytes));
-        controller_.rowOp(a, nowCycles(), mech);
+        controller_.completionOf(controller_.submit(
+            MemTransaction::makeRowOp(a, nowCycles(), mech, 0,
+                                      addr_base_)));
         ++stats_.dealloc_rows;
     }
 }

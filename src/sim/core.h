@@ -9,6 +9,13 @@
  * CLFLUSH with write-queue back-pressure, and region deallocation via
  * either inline software zeroing or one in-DRAM row operation per row
  * (CODIC-det / RowClone / LISA-clone).
+ *
+ * The core is a transaction-API consumer (mem/service.h): loads and
+ * stores submit a read transaction and block on completionOf;
+ * writebacks are fire-and-forget submits (retired unqueried);
+ * CLFLUSH blocks on acceptedAt (write-queue back-pressure); dealloc
+ * row ops resolve without advancing core time. Every transaction is
+ * tagged with the core's region base as its origin.
  */
 
 #ifndef CODIC_SIM_CORE_H
@@ -98,6 +105,8 @@ class InOrderCore
     void doStore(uint64_t addr);
     void doFlush(uint64_t addr);
     void doDealloc(uint64_t addr, uint64_t bytes);
+    /** Submit a fire-and-forget writeback transaction. */
+    void submitWriteback(uint64_t victim_addr);
     /** Handle a dirty L1 victim through L2 (and memory if needed). */
     void writebackThroughL2(uint64_t victim_addr);
 

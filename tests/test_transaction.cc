@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Tests of the transaction-based MemoryService API: ticket
+ * lifecycle, blocking-shim equivalence (drainAll == the old
+ * drainWrites semantics), the bounded read queue with its
+ * read-reordering window, refresh-aware scheduling invariants, the
+ * per-bank drain watermarks, and the new SchedulerPolicy /
+ * DramConfig validation and --sched spec parsing.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "dram/system.h"
+#include "mem/controller.h"
+#include "scenario/scheduler_workloads.h"
+
+namespace codic {
+namespace {
+
+DramConfig
+cfg()
+{
+    return DramConfig::ddr3_1600(256);
+}
+
+// --- Ticket lifecycle. ---
+
+TEST(Transaction, BlockingShimEqualsExplicitSubmitResolve)
+{
+    DramChannel ch_a(cfg()), ch_b(cfg());
+    MemoryController shim(ch_a), async(ch_b);
+
+    const Cycle blocking = shim.read(64, 10);
+    const Ticket t =
+        async.submit(MemTransaction::makeRead(64, 10));
+    EXPECT_EQ(async.acceptedAt(t), 10);
+    EXPECT_EQ(async.completionOf(t), blocking);
+    EXPECT_EQ(ch_a.counts().total(), ch_b.counts().total());
+}
+
+TEST(Transaction, TicketsResolveOnceThenPanic)
+{
+    DramChannel ch(cfg());
+    MemoryController mc(ch);
+    const Ticket t = mc.submit(MemTransaction::makeRead(0, 0));
+    mc.completionOf(t);
+    EXPECT_THROW(mc.completionOf(t), PanicError);
+    EXPECT_THROW(mc.acceptedAt(t), PanicError);
+    EXPECT_THROW(mc.completionOf(Ticket{987654}), PanicError);
+}
+
+TEST(Transaction, RetiredWritebackStillDrains)
+{
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched");
+    DramChannel ch(c);
+    MemoryController mc(ch);
+    const Ticket t = mc.submit(MemTransaction::makeWrite(0, 5));
+    EXPECT_EQ(mc.acceptedAt(t), 5);
+    mc.retire(t); // Fire-and-forget: completion never queried.
+    EXPECT_EQ(mc.pendingWriteCount(), 1u);
+    mc.drainAll();
+    EXPECT_EQ(mc.pendingWriteCount(), 0u);
+    EXPECT_EQ(ch.counts().wr, 1u);
+}
+
+TEST(Transaction, WriteTicketCompletionForcesItsDrain)
+{
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched");
+    DramChannel ch(c);
+    MemoryController mc(ch);
+    const Ticket t = mc.submit(MemTransaction::makeWrite(0, 0));
+    ASSERT_EQ(mc.pendingWriteCount(), 1u); // Buffered, not issued.
+    const Cycle done = mc.completionOf(t);
+    EXPECT_GT(done, 0);
+    EXPECT_EQ(mc.pendingWriteCount(), 0u);
+    EXPECT_EQ(ch.counts().wr, 1u);
+}
+
+TEST(Transaction, EagerWriteTicketResolvesAfterImmediateDrain)
+{
+    // Regression: under the eager policy a write drains during its
+    // own acceptance; the completion must land in the ticket record
+    // (created before acceptance), not vanish.
+    DramChannel ch(cfg()); // Eager default: drain at acceptance.
+    MemoryController mc(ch);
+    const Ticket t = mc.submit(MemTransaction::makeWrite(0, 7));
+    EXPECT_EQ(mc.acceptedAt(t), 7);
+    EXPECT_EQ(ch.counts().wr, 1u); // Already issued.
+    EXPECT_GT(mc.completionOf(t), 7);
+}
+
+TEST(Transaction, PollNeverIssuesFutureRowHits)
+{
+    // Regression: a row-hit read far in the future must not bypass
+    // into a poll - issuing it would drag the channel's monotone
+    // bus horizons to its arrival cycle and penalize every
+    // already-arrived read behind it.
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched"); // window 8.
+    DramChannel ch(c);
+    MemoryController mc(ch);
+    mc.read(0, 0); // Open row 0 of bank 0.
+    const uint64_t conflict =
+        static_cast<uint64_t>(c.row_bytes) *
+        static_cast<uint64_t>(c.banks) * 3; // Row 3, bank 0.
+    const Ticket miss =
+        mc.submit(MemTransaction::makeRead(conflict, 10));
+    // Row hit to the open row, but it has not arrived yet.
+    const Ticket future =
+        mc.submit(MemTransaction::makeRead(64, 1000000));
+    EXPECT_EQ(mc.poll(100), 1u);
+    const Cycle miss_done = mc.completionOf(miss);
+    EXPECT_LT(miss_done, 1000000);
+    EXPECT_GE(mc.completionOf(future), 1000000);
+}
+
+TEST(Transaction, WriteResolutionKeepsEarlierReadsPrioritized)
+{
+    // completionOf on a buffered write must first service reads the
+    // schedule orders before it (arrived by its acceptance), so
+    // resolving the write out of order cannot steal the data bus
+    // from an earlier read.
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched");
+    DramChannel ch(c);
+    MemoryController mc(ch);
+    const Ticket rd = mc.submit(MemTransaction::makeRead(0, 10));
+    const Ticket wr =
+        mc.submit(MemTransaction::makeWrite(1 << 20, 20));
+    const Cycle wr_done = mc.completionOf(wr);
+    EXPECT_EQ(ch.counts().rd, 1u); // The read issued first.
+    EXPECT_LT(mc.completionOf(rd), wr_done);
+}
+
+TEST(Transaction, PollServicesOnlyArrivedRequests)
+{
+    DramChannel ch(cfg());
+    MemoryController mc(ch);
+    const Ticket early =
+        mc.submit(MemTransaction::makeRead(0, 0));
+    mc.submit(MemTransaction::makeRead(1 << 20, 100000));
+    EXPECT_EQ(mc.pendingReadCount(), 2u);
+    EXPECT_EQ(mc.poll(500), 1u);
+    EXPECT_EQ(mc.pendingReadCount(), 1u);
+    EXPECT_EQ(ch.counts().rd, 1u);
+    // The serviced ticket resolved without further issue.
+    EXPECT_GT(mc.completionOf(early), 0);
+}
+
+TEST(Transaction, SystemTicketsRouteAcrossChannels)
+{
+    ControllerConfig cc;
+    cc.map_scheme = MapScheme::RowBankColumnChannel;
+    DramSystem sys(DramConfig::ddr3_1600(256, 2), cc);
+    ASSERT_EQ(sys.channelOf(0), 0);
+    ASSERT_EQ(sys.channelOf(64), 1);
+    const Ticket t0 = sys.submit(MemTransaction::makeRead(0, 0));
+    const Ticket t1 = sys.submit(MemTransaction::makeRead(64, 0));
+    EXPECT_NE(t0, t1);
+    EXPECT_EQ(sys.inFlightCount(), 2u);
+    EXPECT_EQ(sys.acceptedAt(t1), 0);
+    // Resolve in reverse submission order: each channel only
+    // services its own queue.
+    EXPECT_GT(sys.completionOf(t1), 0);
+    EXPECT_GT(sys.completionOf(t0), 0);
+    EXPECT_EQ(sys.channel(0).counts().rd, 1u);
+    EXPECT_EQ(sys.channel(1).counts().rd, 1u);
+}
+
+// --- drainAll == the old drainWrites semantics on the shim. ---
+
+TEST(Transaction, DrainAllMatchesDrainWritesShim)
+{
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched");
+    DramSystem via_drain_all(c), via_shim(c);
+    for (int i = 0; i < 24; ++i) {
+        const uint64_t addr = static_cast<uint64_t>(i) * 8192 * 8;
+        via_drain_all.write(addr, 0);
+        via_shim.write(addr, 0);
+    }
+    const Cycle a = via_drain_all.drainAll();
+    const Cycle b = via_shim.drainWrites();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(via_drain_all.totalCounts().wr, 24u);
+    EXPECT_EQ(via_shim.totalCounts().wr,
+              via_drain_all.totalCounts().wr);
+    EXPECT_EQ(via_drain_all.pendingWriteCount(), 0u);
+}
+
+// --- Read-reordering window. ---
+
+TEST(Transaction, ReadWindowCoalescesRowConflictStream)
+{
+    auto run = [](int window, std::vector<Cycle> *lat) {
+        DramConfig c = cfg();
+        c.scheduler = SchedulerPolicy::preset("batched");
+        c.scheduler.read_window = window;
+        DramSystem sys(c);
+        runReadWindowWorkload(sys, 20, 16, lat);
+        return sys.totalCounts();
+    };
+    std::vector<Cycle> lat1, lat8;
+    const CommandCounts fifo = run(1, &lat1);
+    const CommandCounts windowed = run(8, &lat8);
+    EXPECT_EQ(fifo.rd, windowed.rd);
+    // Strict arrival order pays a PRE/ACT pair per row-alternating
+    // read; the window regroups each wave into two row-hit runs.
+    EXPECT_LT(windowed.act * 4, fifo.act);
+    double mean1 = 0, mean8 = 0;
+    for (Cycle l : lat1)
+        mean1 += static_cast<double>(l);
+    for (Cycle l : lat8)
+        mean8 += static_cast<double>(l);
+    EXPECT_LT(mean8, mean1);
+}
+
+TEST(Transaction, WindowNeverReordersAcrossRowOpOrSameRow)
+{
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched"); // window 8.
+    DramSystem sys(c);
+    const Address target = sys.map().decode(0);
+    sys.channel(0).setRowState(target.rank, target.bank, target.row,
+                               RowDataState::Data);
+    // Same row: read, destructive row op, read - all queued at once.
+    const Ticket r1 = sys.submit(MemTransaction::makeRead(0, 0));
+    const Ticket op = sys.submit(MemTransaction::makeRowOp(
+        0, 0, RowOpMechanism::CodicDet));
+    const Ticket r2 = sys.submit(MemTransaction::makeRead(64, 0));
+    const Cycle c1 = sys.completionOf(r1);
+    const Cycle cop = sys.completionOf(op);
+    const Cycle c2 = sys.completionOf(r2);
+    EXPECT_LT(c1, cop);
+    EXPECT_LT(cop, c2);
+    EXPECT_EQ(sys.channel(0).rowState(target.rank, target.bank,
+                                      target.row),
+              RowDataState::Zeroes);
+}
+
+// --- Refresh-aware scheduling. ---
+
+TEST(Transaction, RefreshCountTracksElapsedWithinPostponement)
+{
+    for (const int postpone : {0, 4, 8}) {
+        DramConfig c = cfg();
+        c.scheduler = SchedulerPolicy::preset("batched");
+        c.scheduler.auto_refresh = true;
+        c.scheduler.refresh_postpone = postpone;
+        DramSystem sys(c);
+        const Cycle done = runRefreshReadWorkload(
+            sys, 4, 1200, 8, 3 * c.timing.trefi);
+        sys.poll(done);
+        const int64_t intervals = done / c.timing.trefi;
+        const int64_t refs =
+            static_cast<int64_t>(sys.totalCounts().ref);
+        // REF count ~ elapsed/tREFI: every due REF beyond the
+        // postponement allowance must have issued, and never more
+        // than the due count.
+        EXPECT_GE(refs, intervals - postpone - 1) << postpone;
+        EXPECT_LE(refs, intervals + 1) << postpone;
+    }
+}
+
+TEST(Transaction, ReadsNeverStarveAcrossRefreshStorm)
+{
+    // A saturated read stream spanning many tREFI with the maximum
+    // deferral allowance: REFs are forced mid-stream in bursts, yet
+    // every read must complete with bounded latency.
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched");
+    c.scheduler.auto_refresh = true;
+    c.scheduler.refresh_postpone = 8;
+    DramSystem sys(c);
+    std::vector<Cycle> lat;
+    runRefreshReadWorkload(sys, 1, 20000, 6, 0, &lat);
+    ASSERT_EQ(lat.size(), 20000u);
+    EXPECT_GT(sys.totalCounts().ref, 10u);
+    const Cycle bound = 16 * c.timing.trfc;
+    for (const Cycle l : lat)
+        ASSERT_LT(l, bound);
+}
+
+TEST(Transaction, PostponementMovesRefreshOutOfBursts)
+{
+    auto tail = [](int postpone) {
+        DramConfig c = cfg();
+        c.scheduler = SchedulerPolicy::preset("batched");
+        c.scheduler.auto_refresh = true;
+        c.scheduler.refresh_postpone = postpone;
+        DramSystem sys(c);
+        std::vector<Cycle> lat;
+        runRefreshReadWorkload(sys, 6, 2000, 8,
+                               4 * c.timing.trefi, &lat);
+        return *std::max_element(lat.begin(), lat.end());
+    };
+    // With bursts ~2.5 tREFI long, a sufficient allowance slides
+    // every mid-burst REF into the following quiet gap.
+    EXPECT_LT(tail(8), tail(0));
+}
+
+TEST(Transaction, EagerPresetNeverInjectsRefresh)
+{
+    DramSystem sys(cfg()); // Eager default: auto_refresh off.
+    runRefreshReadWorkload(sys, 2, 2000, 8, 6240);
+    sys.drainAll();
+    EXPECT_EQ(sys.totalCounts().ref, 0u);
+}
+
+// --- Per-bank drain watermarks. ---
+
+TEST(Transaction, BankWatermarkDrainsBankHotStream)
+{
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched");
+    c.scheduler.drain_high_pct = 100; // Park the global watermark.
+    c.scheduler.bank_drain_high = 4;
+    c.scheduler.bank_drain_low = 1;
+    DramChannel ch(c);
+    MemoryController mc(ch);
+    // Row-conflicting writes all landing on bank 0.
+    const uint64_t stride = 8192ull * 8ull;
+    for (int i = 0; i < 3; ++i)
+        mc.write(stride * static_cast<uint64_t>(i), 0);
+    EXPECT_EQ(mc.pendingWriteCount(), 3u); // Below the watermark.
+    mc.write(stride * 3, 0);
+    // The 4th write tripped the bank watermark: drained to low = 1.
+    EXPECT_EQ(mc.pendingWriteCount(), 1u);
+    EXPECT_EQ(ch.counts().wr, 3u);
+    mc.drainAll();
+    EXPECT_EQ(ch.counts().wr, mc.acceptedWrites());
+}
+
+// --- Validation and --sched spec parsing. ---
+
+TEST(Transaction, ValidateRejectsNewInconsistentKnobs)
+{
+    SchedulerPolicy p;
+    p.read_window = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = SchedulerPolicy{};
+    p.bank_drain_high = 2;
+    p.bank_drain_low = 3; // Low watermark exceeds high.
+    EXPECT_THROW(p.validate(), FatalError);
+    p = SchedulerPolicy{};
+    p.bank_drain_high = -1;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = SchedulerPolicy{};
+    p.refresh_postpone = 9; // Beyond the JEDEC limit.
+    EXPECT_THROW(p.validate(), FatalError);
+    p = SchedulerPolicy{};
+    p.refresh_postpone = -1;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Transaction, DramConfigRejectsNonPositiveRefreshTimings)
+{
+    DramConfig c = cfg();
+    c.timing.trefi = 0;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = cfg();
+    c.timing.trefi = -8;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = cfg();
+    c.timing.trfc = 0;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = cfg();
+    c.timing.trfc = -1;
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+TEST(Transaction, SchedSpecParsesPresetAndKnobOverrides)
+{
+    const SchedulerPolicy p = SchedulerPolicy::parse(
+        "batched:read_window=16,refresh=auto,refresh_postpone=4,"
+        "bank_drain_high=6,bank_drain_low=2");
+    EXPECT_EQ(p.drain_high_pct, 75); // From the preset.
+    EXPECT_EQ(p.read_window, 16);
+    EXPECT_TRUE(p.auto_refresh);
+    EXPECT_EQ(p.refresh_postpone, 4);
+    EXPECT_EQ(p.bank_drain_high, 6);
+    EXPECT_EQ(p.bank_drain_low, 2);
+
+    EXPECT_FALSE(SchedulerPolicy::parse("batched").auto_refresh);
+    EXPECT_FALSE(
+        SchedulerPolicy::parse("eager:refresh=off").auto_refresh);
+
+    EXPECT_THROW(SchedulerPolicy::parse("bogus"), FatalError);
+    EXPECT_THROW(SchedulerPolicy::parse("batched:no_such_knob=1"),
+                 FatalError);
+    EXPECT_THROW(SchedulerPolicy::parse("batched:read_window=abc"),
+                 FatalError);
+    // Overflowing values must fail loudly, not wrap into a
+    // different, valid-looking policy.
+    EXPECT_THROW(
+        SchedulerPolicy::parse("batched:read_window=4294967297"),
+        FatalError);
+    EXPECT_THROW(SchedulerPolicy::parse("batched:read_window="),
+                 FatalError);
+    EXPECT_THROW(SchedulerPolicy::parse("batched:refresh=maybe"),
+                 FatalError);
+    // Overrides that assemble an inconsistent policy are rejected
+    // by the embedded validate().
+    EXPECT_THROW(SchedulerPolicy::parse(
+                     "batched:bank_drain_high=2,bank_drain_low=5"),
+                 FatalError);
+    // The knob help text names every parseable knob.
+    const std::string help = SchedulerPolicy::describeKnobs();
+    for (const char *knob :
+         {"drain_high_pct", "drain_low_pct", "max_drain_batch",
+          "replay_batch", "read_window", "bank_drain_high",
+          "bank_drain_low", "refresh", "refresh_postpone"})
+        EXPECT_NE(help.find(knob), std::string::npos) << knob;
+}
+
+} // namespace
+} // namespace codic

@@ -1,25 +1,34 @@
 #!/usr/bin/env python3
 """Benchmark-trajectory report over the codic_run scenarios.
 
-Runs the fleet + scheduler scenarios, extracts their *modeled*
-metrics (makespan, latency percentiles, energy - all deterministic,
-machine-independent values) into a BENCH_PR4.json trajectory file,
-and gates on two conditions:
+Runs the fleet + scheduler + refresh scenarios, extracts their
+*modeled* metrics (makespan, latency percentiles, read-queue
+latencies, energy - all deterministic, machine-independent values)
+into a BENCH_PR5.json trajectory file, and gates on three
+conditions:
 
   1. No lower-is-better metric regresses more than --tolerance
-     (default 15%) against the committed baseline.
+     (default 15%) against the committed baseline. Metrics absent
+     from the baseline (e.g. the ablation_refresh read-queue
+     entries, which predate no baseline) are tolerated and simply
+     recorded.
   2. The batched bank-parallel shard replay improves the 8-shard
      fleet_scaling makespan by at least --min-improvement percent
      (default 20%) over the eager single-request replay.
+  3. The batched preset's 8-wide read-reordering window improves
+     mean read latency on the row-conflict stream by at least
+     --min-read-window-improvement percent (default 20%) over
+     strict arrival order.
 
 Wall-clock values (wall_s) are recorded for telemetry when present
 but never gated on: only modeled values are comparable across
 machines.
 
 Usage:
-  bench_report.py --build-dir build --out BENCH_PR4.json \
+  bench_report.py --build-dir build --out BENCH_PR5.json \
       [--baseline bench/BENCH_baseline.json] [--tolerance 0.15] \
-      [--min-improvement 20] [--write-baseline FILE]
+      [--min-improvement 20] [--min-read-window-improvement 20] \
+      [--write-baseline FILE]
 """
 
 import argparse
@@ -120,6 +129,26 @@ def ablation_metrics(doc):
     }
 
 
+def read_window_metrics(doc, window):
+    """Read-queue metrics of one ablation_refresh window point."""
+    pts = rows(doc, lambda r: r.get("read_window") == window)
+    if not pts:
+        raise SystemExit(
+            f"bench_report: no read_window={window} refresh-ablation "
+            "row")
+    r = pts[0]
+    return {
+        "makespan_ms": r["makespan_us"] / 1e3,
+        "total_service_ms": None,
+        "p50_us": r["read_p50_us"],
+        "p95_us": r["read_p95_us"],
+        "p99_us": None,
+        "energy_mj": None,
+        "read_mean_us": r["read_mean_us"],
+        "activations": r["activations"],
+    }
+
+
 def collect(build_dir, timings):
     report = {"schema": SCHEMA, "scenarios": {}, "derived": {}}
     s = report["scenarios"]
@@ -140,11 +169,26 @@ def collect(build_dir, timings):
     s["ablation_scheduler@replay8"] = ablation_metrics(run_codic(
         build_dir, ["--scenario", "ablation_scheduler", "--scale",
                     BENCH_SCALE], timings))
+    # Read-queue metrics of the transaction-based controller: the
+    # batched preset's 8-wide read-reordering window against the
+    # strict arrival-order window=1 point of the same sweep. Absent
+    # from pre-redesign baselines; check_regressions tolerates that.
+    refresh_doc = run_codic(
+        build_dir, ["--scenario", "ablation_refresh", "--scale",
+                    BENCH_SCALE], timings)
+    s["ablation_refresh@window1"] = read_window_metrics(
+        refresh_doc, 1)
+    s["ablation_refresh@window8"] = read_window_metrics(
+        refresh_doc, 8)
 
     eager = s["fleet_scaling@8shards:eager"]["makespan_ms"]
     batched = s["fleet_scaling@8shards:batched"]["makespan_ms"]
     report["derived"]["fleet_scaling_batched_improvement_pct"] = (
         100.0 * (1.0 - batched / eager))
+    w1 = s["ablation_refresh@window1"]["read_mean_us"]
+    w8 = s["ablation_refresh@window8"]["read_mean_us"]
+    report["derived"]["read_window_mean_latency_improvement_pct"] = (
+        100.0 * (1.0 - w8 / w1))
     return report
 
 
@@ -175,13 +219,19 @@ def check_regressions(report, baseline, tolerance):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR4.json")
+    ap.add_argument("--out", default="BENCH_PR5.json")
     ap.add_argument("--baseline", default=None,
                     help="committed baseline to gate against")
     ap.add_argument("--tolerance", type=float, default=0.15)
     ap.add_argument("--min-improvement", type=float, default=20.0,
                     help="required batched-vs-eager fleet_scaling "
                          "makespan improvement (percent)")
+    ap.add_argument("--min-read-window-improvement", type=float,
+                    default=20.0,
+                    help="required mean read-latency improvement of "
+                         "the batched preset's read-reordering "
+                         "window over strict arrival order "
+                         "(percent)")
     ap.add_argument("--timings", action="store_true",
                     help="record wall-clock telemetry in the report")
     ap.add_argument("--write-baseline", default=None,
@@ -200,11 +250,22 @@ def main():
     print(f"bench_report: batched vs eager 8-shard makespan "
           f"improvement: {improvement:.1f}%")
 
+    window_improvement = report["derived"][
+        "read_window_mean_latency_improvement_pct"]
+    print(f"bench_report: read-window mean read-latency improvement "
+          f"(window 8 vs 1, batched preset): "
+          f"{window_improvement:.1f}%")
+
     failures = []
     if improvement < args.min_improvement:
         failures.append(
             f"batched replay improvement {improvement:.1f}% is below "
             f"the required {args.min_improvement:.0f}%")
+    if window_improvement < args.min_read_window_improvement:
+        failures.append(
+            f"read-window latency improvement "
+            f"{window_improvement:.1f}% is below the required "
+            f"{args.min_read_window_improvement:.0f}%")
 
     if args.baseline:
         with open(args.baseline) as f:

@@ -26,9 +26,13 @@
  *   --store FILE       Fleet enrollment-store file (written by
  *                      fleet_enroll, read by the traffic scenarios;
  *                      ".json" suffix selects the JSON format).
- *   --sched NAME       Memory-scheduler policy preset: eager |
- *                      batched | aggressive. Applies wherever a
- *                      scenario builds its DramConfig from the run
+ *   --sched SPEC       Memory-scheduler policy: a preset (eager |
+ *                      batched | aggressive) optionally followed by
+ *                      ":knob=value,..." overrides, e.g.
+ *                      "batched:refresh=auto,read_window=16".
+ *                      "--sched help" (or "--sched list") prints the
+ *                      preset table and every knob. Applies wherever
+ *                      a scenario builds its DramConfig from the run
  *                      options (the fleet_* scenarios, whose own
  *                      default is batched; paper campaigns keep the
  *                      eager legacy policy their published numbers
@@ -258,10 +262,17 @@ main(int argc, char **argv)
             options.store_path = next("--store");
         } else if (arg == "--sched") {
             options.sched = next("--sched");
-            // Resolve now so an unknown preset fails before any
-            // scenario runs (and before any sink opens).
+            // "--sched help" / "--sched list" print the preset and
+            // knob reference instead of failing on an unknown name.
+            if (options.sched == "help" || options.sched == "list") {
+                std::printf("%s",
+                            SchedulerPolicy::describeKnobs().c_str());
+                return 0;
+            }
+            // Resolve now so an unknown preset or knob fails before
+            // any scenario runs (and before any sink opens).
             try {
-                SchedulerPolicy::preset(options.sched);
+                SchedulerPolicy::parse(options.sched);
             } catch (const std::exception &e) {
                 return fail(e.what());
             }
