@@ -98,6 +98,15 @@ struct RunOptions
     std::string store_path;
 
     /**
+     * DRAM speed-grade preset ("" = the scenario default, normally
+     * the paper's ddr3-1600 baseline): resolved by
+     * DramConfig::preset() where a scenario builds its DramConfig
+     * from the run options (this struct lives below dram/ so it
+     * carries the name only); unknown names are fatal there.
+     */
+    std::string dram_preset;
+
+    /**
      * Memory-scheduler policy spec ("" = the built-in default): a
      * preset name optionally followed by ":knob=value,..." overrides,
      * e.g. "batched:refresh=auto,read_window=16". Resolved by

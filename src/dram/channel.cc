@@ -43,12 +43,22 @@ DramChannel::DramChannel(const DramConfig &config, int channel_id)
     if (channel_id_ < 0 || channel_id_ >= config_.channels)
         fatal("channel id ", channel_id_, " outside the module's ",
               config_.channels, " channels");
-    ranks_.resize(static_cast<size_t>(config_.ranks));
-    banks_.resize(static_cast<size_t>(config_.ranks * config_.banks));
-    for (auto &b : banks_) {
-        b.row_state.assign(static_cast<size_t>(config_.rows),
-                           static_cast<uint8_t>(RowDataState::Unwritten));
-    }
+    const size_t ranks = static_cast<size_t>(config_.ranks);
+    const size_t banks =
+        static_cast<size_t>(config_.ranks * config_.banks);
+    bank_active_.assign(banks, 0);
+    bank_open_row_.assign(banks, -1);
+    bank_next_act_.assign(banks, 0);
+    bank_next_pre_.assign(banks, 0);
+    bank_next_rdwr_.assign(banks, 0);
+    bank_next_rowclone_.assign(banks, 0);
+    row_state_.assign(banks * static_cast<size_t>(config_.rows),
+                      static_cast<uint8_t>(RowDataState::Unwritten));
+    rank_next_act_.assign(ranks, 0);
+    rank_next_any_.assign(ranks, 0);
+    faw_times_.assign(ranks * 4, 0);
+    faw_count_.assign(ranks, 0);
+    faw_head_.assign(ranks, 0);
 }
 
 int
@@ -71,34 +81,32 @@ DramChannel::variantSchedule(int id) const
     return variants_[static_cast<size_t>(id)];
 }
 
-DramChannel::BankState &
-DramChannel::bank(int rank, int bank_idx)
-{
-    return banks_[static_cast<size_t>(rank * config_.banks + bank_idx)];
-}
-
-const DramChannel::BankState &
-DramChannel::bank(int rank, int bank_idx) const
-{
-    return banks_[static_cast<size_t>(rank * config_.banks + bank_idx)];
-}
-
 Cycle
-DramChannel::earliestActClass(const RankState &rank) const
+DramChannel::earliestActClass(int rank) const
 {
-    Cycle t = rank.next_act;
-    if (rank.faw.size() >= 4)
-        t = std::max(t, rank.faw.front() + config_.timing.tfaw);
+    const size_t r = static_cast<size_t>(rank);
+    Cycle t = rank_next_act_[r];
+    if (faw_count_[r] >= 4)
+        t = std::max(t, faw_times_[r * 4 + faw_head_[r]] +
+                            config_.timing.tfaw);
     return t;
 }
 
 void
-DramChannel::noteActClass(RankState &rank, Cycle t)
+DramChannel::noteActClass(int rank, Cycle t)
 {
-    rank.next_act = t + config_.timing.trrd;
-    rank.faw.push_back(t);
-    while (rank.faw.size() > 4)
-        rank.faw.pop_front();
+    const size_t r = static_cast<size_t>(rank);
+    rank_next_act_[r] = t + config_.timing.trrd;
+    if (faw_count_[r] < 4) {
+        faw_times_[r * 4 + ((faw_head_[r] + faw_count_[r]) & 3)] = t;
+        ++faw_count_[r];
+    } else {
+        // Full window: the new issue replaces the oldest entry and
+        // the head advances (exactly a push_back + pop_front of a
+        // 4-deep queue, without the deque).
+        faw_times_[r * 4 + faw_head_[r]] = t;
+        faw_head_[r] = static_cast<uint8_t>((faw_head_[r] + 1) & 3);
+    }
 }
 
 void
@@ -123,50 +131,58 @@ DramChannel::earliest(const Command &cmd) const
 {
     checkAddress(cmd.addr);
     const auto &t = config_.timing;
-    const RankState &rank = ranks_[static_cast<size_t>(cmd.addr.rank)];
-    const BankState &b = bank(cmd.addr.rank, cmd.addr.bank);
+    const size_t r = static_cast<size_t>(cmd.addr.rank);
+    const size_t bi = bankIdx(cmd.addr.rank, cmd.addr.bank);
 
     switch (cmd.type) {
       case CommandType::Act: {
-        if (b.active)
+        if (bank_active_[bi])
             panic("ACT to already-active bank ", cmd.addr.bank);
-        return std::max({b.next_act, earliestActClass(rank),
-                         rank.next_any});
+        return std::max({bank_next_act_[bi],
+                         earliestActClass(cmd.addr.rank),
+                         rank_next_any_[r]});
       }
       case CommandType::Pre:
-        return std::max(b.next_pre, rank.next_any);
+        return std::max(bank_next_pre_[bi], rank_next_any_[r]);
       case CommandType::PreAll: {
-        Cycle when = rank.next_any;
+        Cycle when = rank_next_any_[r];
+        const size_t base = bankIdx(cmd.addr.rank, 0);
         for (int i = 0; i < config_.banks; ++i)
-            when = std::max(when, bank(cmd.addr.rank, i).next_pre);
+            when = std::max(when,
+                            bank_next_pre_[base +
+                                           static_cast<size_t>(i)]);
         return when;
       }
       case CommandType::Rd: {
-        if (!b.active || b.open_row != cmd.addr.row)
-            panic("RD to closed or mismatched row (open=", b.open_row,
-                  " want=", cmd.addr.row, ")");
-        return std::max({b.next_rdwr, next_rd_start_, rank.next_any});
+        if (!bank_active_[bi] || bank_open_row_[bi] != cmd.addr.row)
+            panic("RD to closed or mismatched row (open=",
+                  bank_open_row_[bi], " want=", cmd.addr.row, ")");
+        return std::max({bank_next_rdwr_[bi], next_rd_start_,
+                         rank_next_any_[r]});
       }
       case CommandType::Wr: {
-        if (!b.active || b.open_row != cmd.addr.row)
-            panic("WR to closed or mismatched row (open=", b.open_row,
-                  " want=", cmd.addr.row, ")");
-        return std::max({b.next_rdwr, next_wr_start_, rank.next_any});
+        if (!bank_active_[bi] || bank_open_row_[bi] != cmd.addr.row)
+            panic("WR to closed or mismatched row (open=",
+                  bank_open_row_[bi], " want=", cmd.addr.row, ")");
+        return std::max({bank_next_rdwr_[bi], next_wr_start_,
+                         rank_next_any_[r]});
       }
       case CommandType::Ref: {
-        Cycle when = rank.next_any;
+        // Linear pass over the rank's contiguous bank slices.
+        Cycle when = rank_next_any_[r];
+        const size_t base = bankIdx(cmd.addr.rank, 0);
         for (int i = 0; i < config_.banks; ++i) {
-            const BankState &bb = bank(cmd.addr.rank, i);
-            if (bb.active)
+            const size_t b = base + static_cast<size_t>(i);
+            if (bank_active_[b])
                 panic("REF with bank ", i, " still active");
-            when = std::max(when, bb.next_act);
+            when = std::max(when, bank_next_act_[b]);
         }
         return when;
       }
       case CommandType::Mrs:
-        return rank.next_any;
+        return rank_next_any_[r];
       case CommandType::Codic: {
-        if (b.active)
+        if (bank_active_[bi])
             panic("CODIC to active bank ", cmd.addr.bank,
                   " (CODIC operates on precharged bitlines)");
         if (cmd.codic_variant < 0 ||
@@ -175,26 +191,27 @@ DramChannel::earliest(const Command &cmd) const
         const auto cls =
             classifySchedule(variants_[
                 static_cast<size_t>(cmd.codic_variant)]);
-        Cycle when = std::max(b.next_act, rank.next_any);
+        Cycle when = std::max(bank_next_act_[bi], rank_next_any_[r]);
         // Activation-class variants draw activation current and count
         // against tRRD/tFAW; precharge-class variants do not.
         const double lat_ns = variantLatencyNs(
             variants_[static_cast<size_t>(cmd.codic_variant)]);
         (void)cls;
         if (config_.nsToCycles(lat_ns) > t.trp)
-            when = std::max(when, earliestActClass(rank));
+            when = std::max(when, earliestActClass(cmd.addr.rank));
         return when;
       }
       case CommandType::RowClone: {
-        if (!b.active)
+        if (!bank_active_[bi])
             panic("ROWCLONE with no activated source row");
-        return std::max({b.next_rowclone, earliestActClass(rank),
-                         rank.next_any});
+        return std::max({bank_next_rowclone_[bi],
+                         earliestActClass(cmd.addr.rank),
+                         rank_next_any_[r]});
       }
       case CommandType::LisaRbm: {
-        if (!b.active)
+        if (!bank_active_[bi])
             panic("LISA-RBM with no activated row");
-        return std::max(b.next_rdwr, rank.next_any);
+        return std::max(bank_next_rdwr_[bi], rank_next_any_[r]);
       }
     }
     panic("unknown command type");
@@ -202,6 +219,29 @@ DramChannel::earliest(const Command &cmd) const
 
 Cycle
 DramChannel::issue(const Command &cmd, Cycle t)
+{
+    const Cycle legal = earliest(cmd);
+    if (t < legal) {
+        panic("JEDEC timing violation: ", cmd.str(), " issued at cycle ",
+              t, " but earliest legal cycle is ", legal);
+    }
+    return apply(cmd, t);
+}
+
+Cycle
+DramChannel::issueAtEarliest(const Command &cmd, Cycle not_before,
+                             Cycle *issued_at)
+{
+    // `t` is legal by construction (>= earliest), so the JEDEC check
+    // of issue() would price earliest() a second time for nothing.
+    const Cycle t = std::max(earliest(cmd), not_before);
+    if (issued_at)
+        *issued_at = t;
+    return apply(cmd, t);
+}
+
+Cycle
+DramChannel::apply(const Command &cmd, Cycle t)
 {
 #ifndef NDEBUG
     // Ownership rule (class comment): a channel is confined to the
@@ -214,33 +254,30 @@ DramChannel::issue(const Command &cmd, Cycle t)
               "channels are owned by one DramSystem/campaign task");
     }
 #endif
-    const Cycle legal = earliest(cmd);
-    if (t < legal) {
-        panic("JEDEC timing violation: ", cmd.str(), " issued at cycle ",
-              t, " but earliest legal cycle is ", legal);
-    }
     last_issue_ = std::max(last_issue_, t);
 
     const auto &tt = config_.timing;
-    RankState &rank = ranks_[static_cast<size_t>(cmd.addr.rank)];
-    BankState &b = bank(cmd.addr.rank, cmd.addr.bank);
+    const size_t r = static_cast<size_t>(cmd.addr.rank);
+    const size_t bi = bankIdx(cmd.addr.rank, cmd.addr.bank);
 
     switch (cmd.type) {
       case CommandType::Act: {
         ++counts_.act;
-        b.active = true;
-        b.open_row = cmd.addr.row;
-        b.next_rdwr = std::max(b.next_rdwr, t + tt.trcd);
-        b.next_pre = std::max(b.next_pre, t + tt.tras);
-        b.next_act = std::max(b.next_act, t + tt.trc);
+        bank_active_[bi] = 1;
+        bank_open_row_[bi] = cmd.addr.row;
+        bank_next_rdwr_[bi] = std::max(bank_next_rdwr_[bi],
+                                       t + tt.trcd);
+        bank_next_pre_[bi] = std::max(bank_next_pre_[bi],
+                                      t + tt.tras);
+        bank_next_act_[bi] = std::max(bank_next_act_[bi], t + tt.trc);
         // The second activation of a RowClone FPM pair may only issue
         // once the source row is fully restored (tRAS), otherwise the
         // copy is unreliable.
-        b.next_rowclone = t + tt.tras;
-        noteActClass(rank, t);
+        bank_next_rowclone_[bi] = t + tt.tras;
+        noteActClass(cmd.addr.rank, t);
         // Activating a half-Vdd row resolves it to signatures; the
         // data-state machine handles all cases.
-        auto &rs = b.row_state[static_cast<size_t>(cmd.addr.row)];
+        uint8_t &rs = row_state_[rowIdx(bi, cmd.addr.row)];
         rs = static_cast<uint8_t>(
             afterVariant(VariantClass::Activate,
                          static_cast<RowDataState>(rs)));
@@ -248,18 +285,20 @@ DramChannel::issue(const Command &cmd, Cycle t)
       }
       case CommandType::Pre: {
         ++counts_.pre;
-        b.active = false;
-        b.open_row = -1;
-        b.next_act = std::max(b.next_act, t + tt.trp);
+        bank_active_[bi] = 0;
+        bank_open_row_[bi] = -1;
+        bank_next_act_[bi] = std::max(bank_next_act_[bi], t + tt.trp);
         return t + tt.trp;
       }
       case CommandType::PreAll: {
         ++counts_.pre;
+        const size_t base = bankIdx(cmd.addr.rank, 0);
         for (int i = 0; i < config_.banks; ++i) {
-            BankState &bb = bank(cmd.addr.rank, i);
-            bb.active = false;
-            bb.open_row = -1;
-            bb.next_act = std::max(bb.next_act, t + tt.trp);
+            const size_t b = base + static_cast<size_t>(i);
+            bank_active_[b] = 0;
+            bank_open_row_[b] = -1;
+            bank_next_act_[b] = std::max(bank_next_act_[b],
+                                         t + tt.trp);
         }
         return t + tt.trp;
       }
@@ -273,7 +312,8 @@ DramChannel::issue(const Command &cmd, Cycle t)
         // the read burst on the shared bus.
         next_wr_start_ =
             std::max(next_wr_start_, t + tt.tcl + tt.tbl + 2 - tt.tcwl);
-        b.next_pre = std::max(b.next_pre, t + tt.trtp);
+        bank_next_pre_[bi] = std::max(bank_next_pre_[bi],
+                                      t + tt.trtp);
         return t + tt.tcl + tt.tbl;
       }
       case CommandType::Wr: {
@@ -284,25 +324,28 @@ DramChannel::issue(const Command &cmd, Cycle t)
         next_wr_start_ = std::max(next_wr_start_, t + tt.tccd);
         next_rd_start_ =
             std::max(next_rd_start_, t + tt.tcwl + tt.tbl + tt.twtr);
-        b.next_pre =
-            std::max(b.next_pre, t + tt.tcwl + tt.tbl + tt.twr);
-        b.row_state[static_cast<size_t>(cmd.addr.row)] =
+        bank_next_pre_[bi] =
+            std::max(bank_next_pre_[bi],
+                     t + tt.tcwl + tt.tbl + tt.twr);
+        row_state_[rowIdx(bi, cmd.addr.row)] =
             static_cast<uint8_t>(cmd.zero_fill ? RowDataState::Zeroes
                                                : RowDataState::Data);
         return t + tt.tcwl + tt.tbl + tt.twr;
       }
       case CommandType::Ref: {
         ++counts_.ref;
-        rank.next_any = std::max(rank.next_any, t + tt.trfc);
+        rank_next_any_[r] = std::max(rank_next_any_[r], t + tt.trfc);
+        const size_t base = bankIdx(cmd.addr.rank, 0);
         for (int i = 0; i < config_.banks; ++i) {
-            BankState &bb = bank(cmd.addr.rank, i);
-            bb.next_act = std::max(bb.next_act, t + tt.trfc);
+            const size_t b = base + static_cast<size_t>(i);
+            bank_next_act_[b] = std::max(bank_next_act_[b],
+                                         t + tt.trfc);
         }
         return t + tt.trfc;
       }
       case CommandType::Mrs: {
         ++counts_.mrs;
-        rank.next_any = std::max(rank.next_any, t + tt.tmrd);
+        rank_next_any_[r] = std::max(rank_next_any_[r], t + tt.tmrd);
         return t + tt.tmrd;
       }
       case CommandType::Codic: {
@@ -312,8 +355,8 @@ DramChannel::issue(const Command &cmd, Cycle t)
         const VariantClass cls = classifySchedule(sched);
         const Cycle lat = config_.nsToCycles(variantLatencyNs(sched));
         if (lat > tt.trp)
-            noteActClass(rank, t);
-        auto &rs = b.row_state[static_cast<size_t>(cmd.addr.row)];
+            noteActClass(cmd.addr.rank, t);
+        uint8_t &rs = row_state_[rowIdx(bi, cmd.addr.row)];
         rs = static_cast<uint8_t>(
             afterVariant(cls, static_cast<RowDataState>(rs)));
         if (cls == VariantClass::Activate) {
@@ -323,8 +366,8 @@ DramChannel::issue(const Command &cmd, Cycle t)
             // once the SA has sensed and amplified - i.e. the
             // variant's own sense_p start plus amplification time,
             // instead of the fixed worst-case tRCD.
-            b.active = true;
-            b.open_row = cmd.addr.row;
+            bank_active_[bi] = 1;
+            bank_open_row_[bi] = cmd.addr.row;
             const auto sp = sched.pulse(Signal::SenseP);
             double ready_ns =
                 static_cast<double>(sp ? sp->start_ns : 7) +
@@ -336,15 +379,18 @@ DramChannel::issue(const Command &cmd, Cycle t)
                     cmd.codic_ready_ns,
                     static_cast<double>(sp ? sp->start_ns : 7) + 3.0);
             }
-            b.next_rdwr = std::max(b.next_rdwr,
-                                   t + config_.nsToCycles(ready_ns));
-            b.next_pre = std::max(b.next_pre, t + tt.tras);
-            b.next_act = std::max(b.next_act, t + tt.trc);
-            b.next_rowclone = t + tt.tras;
+            bank_next_rdwr_[bi] =
+                std::max(bank_next_rdwr_[bi],
+                         t + config_.nsToCycles(ready_ns));
+            bank_next_pre_[bi] = std::max(bank_next_pre_[bi],
+                                          t + tt.tras);
+            bank_next_act_[bi] = std::max(bank_next_act_[bi],
+                                          t + tt.trc);
+            bank_next_rowclone_[bi] = t + tt.tras;
             return t + config_.nsToCycles(ready_ns);
         }
-        b.next_act = std::max(b.next_act, t + lat);
-        b.next_pre = std::max(b.next_pre, t + lat);
+        bank_next_act_[bi] = std::max(bank_next_act_[bi], t + lat);
+        bank_next_pre_[bi] = std::max(bank_next_pre_[bi], t + lat);
         return t + lat;
       }
       case CommandType::RowClone: {
@@ -352,13 +398,14 @@ DramChannel::issue(const Command &cmd, Cycle t)
         // Second activation of an FPM copy pair: the open source
         // row's content lands in the destination row.
         const auto src_state = static_cast<RowDataState>(
-            b.row_state[static_cast<size_t>(b.open_row)]);
-        b.row_state[static_cast<size_t>(cmd.addr.row)] =
+            row_state_[rowIdx(bi, bank_open_row_[bi])]);
+        row_state_[rowIdx(bi, cmd.addr.row)] =
             static_cast<uint8_t>(src_state);
-        b.open_row = cmd.addr.row;
-        b.next_pre = std::max(b.next_pre, t + tt.tras);
-        b.next_act = std::max(b.next_act, t + tt.trc);
-        noteActClass(rank, t);
+        bank_open_row_[bi] = cmd.addr.row;
+        bank_next_pre_[bi] = std::max(bank_next_pre_[bi],
+                                      t + tt.tras);
+        bank_next_act_[bi] = std::max(bank_next_act_[bi], t + tt.trc);
+        noteActClass(cmd.addr.rank, t);
         return t + tt.tras;
       }
       case CommandType::LisaRbm: {
@@ -369,74 +416,51 @@ DramChannel::issue(const Command &cmd, Cycle t)
         // does not enter the tFAW window (it draws far less current
         // than a full activation).
         const Cycle trbm = config_.nsToCycles(tt.trbm_ns);
-        b.next_pre = std::max(b.next_pre, t + trbm);
-        b.next_rdwr = std::max(b.next_rdwr, t + trbm);
-        b.next_rowclone = std::max(b.next_rowclone, t + trbm);
-        rank.next_act =
-            std::max(rank.next_act, t + config_.nsToCycles(tt.trbm_hold_ns));
+        bank_next_pre_[bi] = std::max(bank_next_pre_[bi], t + trbm);
+        bank_next_rdwr_[bi] = std::max(bank_next_rdwr_[bi], t + trbm);
+        bank_next_rowclone_[bi] =
+            std::max(bank_next_rowclone_[bi], t + trbm);
+        rank_next_act_[r] =
+            std::max(rank_next_act_[r],
+                     t + config_.nsToCycles(tt.trbm_hold_ns));
         return t + trbm;
       }
     }
     panic("unknown command type");
 }
 
-Cycle
-DramChannel::issueAtEarliest(const Command &cmd, Cycle not_before,
-                             Cycle *issued_at)
-{
-    const Cycle t = std::max(earliest(cmd), not_before);
-    if (issued_at)
-        *issued_at = t;
-    return issue(cmd, t);
-}
-
 RowDataState
 DramChannel::rowState(int rank, int bank_idx, int64_t row) const
 {
-    const BankState &b = bank(rank, bank_idx);
     CODIC_ASSERT(row >= 0 && row < config_.rows);
     return static_cast<RowDataState>(
-        b.row_state[static_cast<size_t>(row)]);
+        row_state_[rowIdx(bankIdx(rank, bank_idx), row)]);
 }
 
 void
 DramChannel::setRowState(int rank, int bank_idx, int64_t row,
                          RowDataState s)
 {
-    BankState &b = bank(rank, bank_idx);
     CODIC_ASSERT(row >= 0 && row < config_.rows);
-    b.row_state[static_cast<size_t>(row)] = static_cast<uint8_t>(s);
+    row_state_[rowIdx(bankIdx(rank, bank_idx), row)] =
+        static_cast<uint8_t>(s);
 }
 
 void
 DramChannel::fillAllRows(RowDataState s)
 {
-    for (auto &b : banks_)
-        std::fill(b.row_state.begin(), b.row_state.end(),
-                  static_cast<uint8_t>(s));
+    std::fill(row_state_.begin(), row_state_.end(),
+              static_cast<uint8_t>(s));
 }
 
 int64_t
 DramChannel::countRowsInState(RowDataState s) const
 {
     int64_t n = 0;
-    for (const auto &b : banks_)
-        for (uint8_t rs : b.row_state)
-            if (rs == static_cast<uint8_t>(s))
-                ++n;
+    for (uint8_t rs : row_state_)
+        if (rs == static_cast<uint8_t>(s))
+            ++n;
     return n;
-}
-
-bool
-DramChannel::bankActive(int rank, int bank_idx) const
-{
-    return bank(rank, bank_idx).active;
-}
-
-int64_t
-DramChannel::openRow(int rank, int bank_idx) const
-{
-    return bank(rank, bank_idx).open_row;
 }
 
 } // namespace codic

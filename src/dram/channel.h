@@ -16,7 +16,6 @@
 #define CODIC_DRAM_CHANNEL_H
 
 #include <cstdint>
-#include <deque>
 #include <thread>
 #include <vector>
 
@@ -148,10 +147,16 @@ class DramChannel
     int64_t countRowsInState(RowDataState s) const;
 
     /** True if the bank has an open (activated) row. */
-    bool bankActive(int rank, int bank) const;
+    bool bankActive(int rank, int bank) const
+    {
+        return bank_active_[bankIdx(rank, bank)] != 0;
+    }
 
     /** Open row of a bank; undefined if not active. */
-    int64_t openRow(int rank, int bank) const;
+    int64_t openRow(int rank, int bank) const
+    {
+        return bank_open_row_[bankIdx(rank, bank)];
+    }
 
     /** Issue counters. */
     const CommandCounts &counts() const { return counts_; }
@@ -160,39 +165,64 @@ class DramChannel
     Cycle lastIssueCycle() const { return last_issue_; }
 
   private:
-    struct BankState
+    /** Index into the per-bank SoA arrays. */
+    size_t bankIdx(int rank, int bank) const
     {
-        bool active = false;
-        int64_t open_row = -1;
-        Cycle next_act = 0;
-        Cycle next_pre = 0;
-        Cycle next_rdwr = 0;
-        Cycle next_rowclone = 0; //!< Second ACT of a copy pair.
-        std::vector<uint8_t> row_state; //!< RowDataState per row.
-    };
+        return static_cast<size_t>(rank * config_.banks + bank);
+    }
 
-    struct RankState
+    /** Index into the flat per-row data-state array. */
+    size_t rowIdx(size_t bank_index, int64_t row) const
     {
-        Cycle next_act = 0;      //!< tRRD horizon.
-        Cycle next_any = 0;      //!< REF/MRS blocking horizon.
-        std::deque<Cycle> faw;   //!< Issue times of last 4 ACT-class.
-    };
-
-    BankState &bank(int rank, int bank_idx);
-    const BankState &bank(int rank, int bank_idx) const;
+        return bank_index * static_cast<size_t>(config_.rows) +
+               static_cast<size_t>(row);
+    }
 
     /** FAW-aware earliest ACT-class issue time for a rank. */
-    Cycle earliestActClass(const RankState &rank) const;
+    Cycle earliestActClass(int rank) const;
 
     /** Record an ACT-class issue for tRRD/tFAW accounting. */
-    void noteActClass(RankState &rank, Cycle t);
+    void noteActClass(int rank, Cycle t);
 
     void checkAddress(const Address &addr) const;
 
+    /**
+     * Apply an already-legal command at cycle `t`: update horizons,
+     * counters, and row states. Both issue() (after its JEDEC check)
+     * and issueAtEarliest() (whose `t` is legal by construction)
+     * funnel here, so a scheduled issue prices earliest() once, not
+     * twice.
+     */
+    Cycle apply(const Command &cmd, Cycle t);
+
     DramConfig config_;
     int channel_id_;
-    std::vector<RankState> ranks_;
-    std::vector<BankState> banks_; // [rank * banks + bank]
+
+    // Per-bank timing state as SoA arrays indexed by bankIdx(): the
+    // FR-FCFS window scan, refresh readiness check, and PreAll sweep
+    // are linear passes over contiguous memory (the ramulator /
+    // dramsim3 idiom) instead of strided walks over fat structs.
+    std::vector<uint8_t> bank_active_;
+    std::vector<int64_t> bank_open_row_;
+    std::vector<Cycle> bank_next_act_;
+    std::vector<Cycle> bank_next_pre_;
+    std::vector<Cycle> bank_next_rdwr_;
+    std::vector<Cycle> bank_next_rowclone_; //!< 2nd ACT of copy pair.
+    /** RowDataState per row, flat: [bankIdx * rows + row]. */
+    std::vector<uint8_t> row_state_;
+
+    // Per-rank horizons.
+    std::vector<Cycle> rank_next_act_; //!< tRRD horizon.
+    std::vector<Cycle> rank_next_any_; //!< REF/MRS blocking horizon.
+    /**
+     * Issue times of the last 4 ACT-class commands per rank, as a
+     * fixed 4-slot circular buffer: [rank * 4 + i], with
+     * faw_head_[rank] the oldest entry once faw_count_[rank] == 4.
+     */
+    std::vector<Cycle> faw_times_;
+    std::vector<uint8_t> faw_count_;
+    std::vector<uint8_t> faw_head_;
+
     std::vector<SignalSchedule> variants_;
     CommandCounts counts_;
     Cycle last_issue_ = 0;

@@ -307,4 +307,87 @@ DramConfig::ddr3_1333(int64_t capacity_mb, int channels, int ranks)
     return cfg;
 }
 
+namespace {
+
+/**
+ * Fields common to the DDR4 grades: 16 banks per rank, and the
+ * analog timings that JEDEC specifies in nanoseconds (so their cycle
+ * counts derive from the grade's clock, exactly like ddr3_1333).
+ * tRRD/tWTR/tCCD use the same-bank-group (_L) values - the channel
+ * model does not track bank groups, and the _L values are the
+ * conservative legal bound for any bank pair.
+ */
+void
+applyDdr4CommonTimings(DramConfig &cfg)
+{
+    cfg.banks = 16;
+    TimingParams &t = cfg.timing;
+    t.tras = cfg.nsToCycles(32.0);
+    t.trc = t.tras + t.trp;
+    t.trrd = cfg.nsToCycles(4.9);
+    t.tfaw = cfg.nsToCycles(21.0);
+    t.twtr = cfg.nsToCycles(7.5);
+    t.twr = cfg.nsToCycles(15.0);
+    t.trtp = cfg.nsToCycles(7.5);
+    t.trefi = cfg.nsToCycles(7800.0);
+}
+
+} // namespace
+
+DramConfig
+DramConfig::ddr4_2400(int64_t capacity_mb, int channels, int ranks)
+{
+    DramConfig cfg;
+    cfg.name = "DDR4-2400 17-17-17 x8 " + std::to_string(capacity_mb) +
+               "MB";
+    cfg.tck_ns = 0.833;
+    TimingParams &t = cfg.timing;
+    t.trcd = t.trp = t.tcl = 17;
+    t.tcwl = 12;
+    t.tccd = 6;
+    applyDdr4CommonTimings(cfg);
+    sizeModule(cfg, capacity_mb, channels, ranks);
+    return cfg;
+}
+
+DramConfig
+DramConfig::ddr4_3200(int64_t capacity_mb, int channels, int ranks)
+{
+    DramConfig cfg;
+    cfg.name = "DDR4-3200 22-22-22 x8 " + std::to_string(capacity_mb) +
+               "MB";
+    cfg.tck_ns = 0.625;
+    TimingParams &t = cfg.timing;
+    t.trcd = t.trp = t.tcl = 22;
+    t.tcwl = 16;
+    t.tccd = 8;
+    applyDdr4CommonTimings(cfg);
+    sizeModule(cfg, capacity_mb, channels, ranks);
+    return cfg;
+}
+
+DramConfig
+DramConfig::preset(const std::string &name, int64_t capacity_mb,
+                   int channels, int ranks)
+{
+    if (name == "ddr3-1600")
+        return ddr3_1600(capacity_mb, channels, ranks);
+    if (name == "ddr3-1333")
+        return ddr3_1333(capacity_mb, channels, ranks);
+    if (name == "ddr4-2400")
+        return ddr4_2400(capacity_mb, channels, ranks);
+    if (name == "ddr4-3200")
+        return ddr4_3200(capacity_mb, channels, ranks);
+    std::string known;
+    for (const auto &n : presetNames())
+        known += " " + n;
+    fatal("unknown DRAM preset '", name, "'; known presets:", known);
+}
+
+std::vector<std::string>
+DramConfig::presetNames()
+{
+    return {"ddr3-1600", "ddr3-1333", "ddr4-2400", "ddr4-3200"};
+}
+
 } // namespace codic

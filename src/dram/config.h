@@ -226,6 +226,33 @@ struct DramConfig
     /** DDR3-1333 grade (used by vendor-B modules in Table 12). */
     static DramConfig ddr3_1333(int64_t capacity_mb, int channels = 1,
                                 int ranks = 1);
+
+    /**
+     * DDR4-2400 17-17-17 x8 module (16 banks per rank, 0.833 ns
+     * clock). The CODIC mechanisms are speed-grade-agnostic - the
+     * paper's custom row commands ride the standard command bus - so
+     * DDR4 grades let the scenarios project the published DDR3
+     * results onto current-generation parts.
+     */
+    static DramConfig ddr4_2400(int64_t capacity_mb, int channels = 1,
+                                int ranks = 1);
+
+    /** DDR4-3200 22-22-22 x8 grade (0.625 ns clock). */
+    static DramConfig ddr4_3200(int64_t capacity_mb, int channels = 1,
+                                int ranks = 1);
+
+    /**
+     * Named speed-grade preset for `codic_run --preset`:
+     * "ddr3-1600" (the paper baseline), "ddr3-1333", "ddr4-2400" or
+     * "ddr4-3200", sized like the per-grade factories above. Unknown
+     * names are fatal and list the accepted grades.
+     */
+    static DramConfig preset(const std::string &name,
+                             int64_t capacity_mb, int channels = 1,
+                             int ranks = 1);
+
+    /** Names accepted by preset(), in documentation order. */
+    static std::vector<std::string> presetNames();
 };
 
 } // namespace codic

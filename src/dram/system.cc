@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace codic {
 
@@ -71,9 +72,11 @@ DramSystem::ticketLocal(Ticket ticket) const
 Ticket
 DramSystem::submit(const MemTransaction &txn)
 {
-    const int c = channelOf(txn.addr);
-    const Ticket local = controller(c).submit(txn);
-    return packTicket(c, local);
+    // Decode once: the coordinates route the transaction AND ride
+    // into the owning controller's queue entry.
+    const Address addr = map_.decode(txn.addr);
+    const Ticket local = controller(addr.channel).submit(txn, addr);
+    return packTicket(addr.channel, local);
 }
 
 Cycle
@@ -112,6 +115,48 @@ DramSystem::drainAll()
     for (auto &mc : controllers_)
         last = std::max(last, mc->drainAll());
     return last;
+}
+
+Cycle
+DramSystem::drainAllOn(CampaignEngine &engine)
+{
+    if (engine.threads() <= 1 || channelCount() <= 1)
+        return drainAll();
+    // Legal thread hand-off (DramChannel class comment): release the
+    // coordinating thread's ownership so each engine worker may bind
+    // its channel, and release again afterwards so later serial
+    // stepping on this thread rebinds cleanly.
+    for (auto &ch : channels_)
+        ch->debugReleaseOwner();
+    std::vector<Cycle> per_channel(channels_.size(), 0);
+    engine.forEach(channels_.size(), [&](size_t i) {
+        per_channel[i] = controllers_[i]->drainAll();
+        channels_[i]->debugReleaseOwner();
+    });
+    // Reduce in channel-index order: byte-identical at any thread
+    // count.
+    Cycle last = 0;
+    for (Cycle c : per_channel)
+        last = std::max(last, c);
+    return last;
+}
+
+size_t
+DramSystem::pollOn(CampaignEngine &engine, Cycle now)
+{
+    if (engine.threads() <= 1 || channelCount() <= 1)
+        return poll(now);
+    for (auto &ch : channels_)
+        ch->debugReleaseOwner();
+    std::vector<size_t> per_channel(channels_.size(), 0);
+    engine.forEach(channels_.size(), [&](size_t i) {
+        per_channel[i] = controllers_[i]->poll(now);
+        channels_[i]->debugReleaseOwner();
+    });
+    size_t serviced = 0;
+    for (size_t n : per_channel)
+        serviced += n;
+    return serviced;
 }
 
 size_t

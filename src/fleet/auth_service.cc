@@ -656,9 +656,20 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         const size_t slice = static_cast<size_t>(
             std::max(1, fc.dram.scheduler.replay_batch));
         Cycle slice_start = 0;
+        // Slice membership sets: a slice holds at most replay_batch
+        // (<= 16) entries, so flat vectors with a linear scan beat
+        // hash sets and stay allocation-free across slices after the
+        // first reserve.
         std::vector<ReplayCursor> cursors;
-        std::unordered_set<uint64_t> slice_devices;
-        std::unordered_set<uint64_t> slice_banks;
+        std::vector<uint64_t> slice_devices;
+        std::vector<uint64_t> slice_banks;
+        cursors.reserve(slice);
+        slice_devices.reserve(slice);
+        slice_banks.reserve(slice);
+        const auto contains = [](const std::vector<uint64_t> &v,
+                                 uint64_t x) {
+            return std::find(v.begin(), v.end(), x) != v.end();
+        };
         // The request that closed the previous slice (already
         // evaluated; its replay is deferred to the next slice).
         ReplayCursor carry_cur;
@@ -667,9 +678,9 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         const auto admit = [&](const ReplayCursor &cur,
                                const SliceKey &key) {
             cursors.push_back(cur);
-            slice_devices.insert(key.device);
+            slice_devices.push_back(key.device);
             if (key.has_bank)
-                slice_banks.insert(key.bank);
+                slice_banks.push_back(key.bank);
         };
         size_t k = 0;
         while (k < batch.size() || have_carry) {
@@ -688,9 +699,9 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                 const SliceKey key = keyOf(req, cur);
                 ++k;
                 if (!cursors.empty() &&
-                    (slice_devices.count(key.device) ||
+                    (contains(slice_devices, key.device) ||
                      (key.has_bank &&
-                      slice_banks.count(key.bank)))) {
+                      contains(slice_banks, key.bank)))) {
                     carry_cur = cur;
                     carry_key = key;
                     have_carry = true;

@@ -52,12 +52,43 @@ AddressMap::fieldOrder(MapScheme s)
     panic("unknown map scheme");
 }
 
+namespace {
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+int
+log2Of(uint64_t v)
+{
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
 AddressMap::AddressMap(const DramConfig &config, MapScheme scheme)
     : config_(config), scheme_(scheme), order_(fieldOrder(scheme))
 {
     // A geometry nothing can map (channels = 0, inconsistent row
     // size, ...) is a user configuration error, not a simulator bug.
     config_.validate();
+
+    pow2_ = isPow2(static_cast<uint64_t>(config_.burst_bytes));
+    burst_shift_ =
+        log2Of(static_cast<uint64_t>(config_.burst_bytes));
+    for (size_t i = 0; i < order_.size(); ++i) {
+        sizes_[i] = fieldSize(order_[i]);
+        pow2_ = pow2_ && isPow2(sizes_[i]);
+        shift_[i] = log2Of(sizes_[i]);
+        mask_[i] = sizes_[i] - 1;
+    }
 }
 
 uint64_t
@@ -80,13 +111,21 @@ AddressMap::decode(uint64_t phys_addr) const
 {
     CODIC_ASSERT(phys_addr <
                  static_cast<uint64_t>(config_.capacityBytes()));
-    uint64_t x = phys_addr / static_cast<uint64_t>(config_.burst_bytes);
+    uint64_t x = pow2_
+                     ? phys_addr >> burst_shift_
+                     : phys_addr /
+                           static_cast<uint64_t>(config_.burst_bytes);
     Address a;
-    for (Field f : order_) {
-        const uint64_t size = fieldSize(f);
-        const uint64_t v = x % size;
-        x /= size;
-        switch (f) {
+    for (size_t i = 0; i < order_.size(); ++i) {
+        uint64_t v;
+        if (pow2_) {
+            v = x & mask_[i];
+            x >>= shift_[i];
+        } else {
+            v = x % sizes_[i];
+            x /= sizes_[i];
+        }
+        switch (order_[i]) {
           case Field::Channel: a.channel = static_cast<int>(v); break;
           case Field::Rank: a.rank = static_cast<int>(v); break;
           case Field::Bank: a.bank = static_cast<int>(v); break;

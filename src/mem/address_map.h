@@ -87,6 +87,20 @@ class AddressMap
     DramConfig config_;
     MapScheme scheme_;
     std::array<Field, 5> order_; //!< LSB-first field order.
+
+    /** Field sizes in order_ order, cached off the config. */
+    std::array<uint64_t, 5> sizes_{};
+
+    /**
+     * Power-of-two fast path: every real module geometry (and the
+     * burst size) is a power of two, so decode's per-field div/mod
+     * chain collapses to shifts and masks. Falls back to the generic
+     * chain for exotic test geometries.
+     */
+    bool pow2_ = false;
+    int burst_shift_ = 0;
+    std::array<int, 5> shift_{};
+    std::array<uint64_t, 5> mask_{};
 };
 
 } // namespace codic

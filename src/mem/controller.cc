@@ -14,11 +14,22 @@ MemoryController::MemoryController(DramChannel &channel,
       codic_det_variant_(
           channel.registerVariant(variants::detZero().schedule)),
       sched_(channel.config().scheduler),
-      refs_issued_(static_cast<size_t>(channel.config().ranks), 0)
+      refs_issued_(static_cast<size_t>(channel.config().ranks), 0),
+      bank_pending_(static_cast<size_t>(channel.config().ranks *
+                                        channel.config().banks),
+                    0)
 {
     CODIC_ASSERT(config_.read_queue_entries > 0);
     CODIC_ASSERT(config_.write_queue_entries > 0);
     sched_.validate();
+    // Queue occupancy is bounded (submit back-pressures before
+    // inserting into a full queue), so one up-front reservation keeps
+    // every later queue operation allocation-free.
+    pending_writes_.reserve(
+        static_cast<size_t>(config_.write_queue_entries));
+    read_q_.reserve(static_cast<size_t>(config_.read_queue_entries));
+    batch_scratch_.reserve(
+        static_cast<size_t>(config_.write_queue_entries));
 }
 
 Cycle
@@ -37,31 +48,40 @@ MemoryController::openRowFor(const Address &addr, Cycle now)
     return ready;
 }
 
-std::vector<MemoryController::PendingWrite>
-MemoryController::takeRowMatches(const Address &row, size_t limit)
+void
+MemoryController::takeRowMatchesInto(const Address &row, size_t limit,
+                                     std::vector<PendingWrite> &out)
 {
-    std::vector<PendingWrite> taken;
-    for (auto it = pending_writes_.begin();
-         it != pending_writes_.end() && taken.size() < limit;) {
-        if (it->addr.rank == row.rank && it->addr.bank == row.bank &&
-            it->addr.row == row.row) {
-            taken.push_back(*it);
-            it = pending_writes_.erase(it);
+    if (limit == 0 || bank_pending_[bankIndex(row)] == 0)
+        return;
+    // Single compaction pass: matches move to `out` (in acceptance
+    // order), non-matches slide forward in place.
+    size_t kept = 0;
+    size_t taken = 0;
+    for (size_t i = 0; i < pending_writes_.size(); ++i) {
+        PendingWrite &w = pending_writes_[i];
+        if (taken < limit && w.addr.rank == row.rank &&
+            w.addr.bank == row.bank && w.addr.row == row.row) {
+            out.push_back(w);
+            ++taken;
         } else {
-            ++it;
+            if (kept != i)
+                pending_writes_[kept] = w;
+            ++kept;
         }
     }
-    return taken;
+    pending_writes_.resize(kept);
+    bank_pending_[bankIndex(row)] -= static_cast<uint32_t>(taken);
 }
 
 void
 MemoryController::markCompleted(Ticket ticket, Cycle completion)
 {
-    auto it = records_.find(ticket);
-    if (it == records_.end())
+    TxnRecord *rec = records_.find(ticket);
+    if (rec == nullptr)
         return; // Retired fire-and-forget; nothing to record.
-    it->second.completed = true;
-    it->second.completion = completion;
+    rec->completed = true;
+    rec->completion = completion;
 }
 
 Cycle
@@ -94,11 +114,13 @@ MemoryController::drainBatchAt(size_t head_idx, Cycle not_before)
     const PendingWrite head = pending_writes_[head_idx];
     pending_writes_.erase(pending_writes_.begin() +
                           static_cast<std::ptrdiff_t>(head_idx));
-    std::vector<PendingWrite> batch{head};
-    std::vector<PendingWrite> hits = takeRowMatches(
-        head.addr, static_cast<size_t>(sched_.max_drain_batch) - 1);
-    batch.insert(batch.end(), hits.begin(), hits.end());
-    return issueRowBatch(batch, not_before);
+    --bank_pending_[bankIndex(head.addr)];
+    batch_scratch_.clear();
+    batch_scratch_.push_back(head);
+    takeRowMatchesInto(head.addr,
+                       static_cast<size_t>(sched_.max_drain_batch) - 1,
+                       batch_scratch_);
+    return issueRowBatch(batch_scratch_, not_before);
 }
 
 Cycle
@@ -122,34 +144,39 @@ MemoryController::drainBankTo(int rank, int bank, size_t target,
                               Cycle not_before)
 {
     Cycle done = 0;
-    while (true) {
+    const size_t bi = static_cast<size_t>(rank) *
+                          static_cast<size_t>(channel_.config().banks) +
+                      static_cast<size_t>(bank);
+    while (bank_pending_[bi] > target) {
         // Oldest pending write of the bank anchors the next batch.
-        size_t count = 0;
         size_t oldest = pending_writes_.size();
         for (size_t i = 0; i < pending_writes_.size(); ++i) {
             const Address &a = pending_writes_[i].addr;
             if (a.rank == rank && a.bank == bank) {
-                if (oldest == pending_writes_.size())
-                    oldest = i;
-                ++count;
+                oldest = i;
+                break;
             }
         }
-        if (count <= target)
-            return done;
+        CODIC_ASSERT(oldest < pending_writes_.size());
         done = std::max(done, drainBatchAt(oldest, not_before));
     }
+    return done;
 }
 
 void
 MemoryController::flushRow(const Address &addr, Cycle not_before)
 {
+    // Cheap early-out on the read path: most reads hit banks with no
+    // buffered writes at all.
+    if (pending_writes_.empty() || bank_pending_[bankIndex(addr)] == 0)
+        return;
     // All of the row's pending writes, issued exactly like a drain
     // batch - forwarding-forced and watermark-scheduled drains of
     // the same writes model identical cycles.
-    const std::vector<PendingWrite> batch =
-        takeRowMatches(addr, pending_writes_.size());
-    if (!batch.empty())
-        issueRowBatch(batch, not_before);
+    batch_scratch_.clear();
+    takeRowMatchesInto(addr, pending_writes_.size(), batch_scratch_);
+    if (!batch_scratch_.empty())
+        issueRowBatch(batch_scratch_, not_before);
 }
 
 void
@@ -205,9 +232,9 @@ MemoryController::refreshesIssued() const
 }
 
 Cycle
-MemoryController::issueRead(const MemTransaction &txn)
+MemoryController::issueRead(const MemTransaction &txn,
+                            const Address &addr)
 {
-    const Address addr = map_.decode(txn.addr);
     catchUpRefresh(addr.rank, txn.arrival);
     // Write-forwarding surrogate: the read must observe writes to its
     // row accepted before it, so those drain first. Pending writes to
@@ -219,9 +246,8 @@ MemoryController::issueRead(const MemTransaction &txn)
 }
 
 Cycle
-MemoryController::issueRowOp(const MemTransaction &txn)
+MemoryController::issueRowOp(const MemTransaction &txn, Address addr)
 {
-    Address addr = map_.decode(txn.addr);
     addr.column = 0;
     catchUpRefresh(addr.rank, txn.arrival);
 
@@ -323,8 +349,8 @@ MemoryController::serviceOneRequest(Cycle arrival_bound)
     read_q_.erase(read_q_.begin() +
                   static_cast<std::ptrdiff_t>(pick));
     const Cycle done = req.txn.kind == TxnKind::Read
-                           ? issueRead(req.txn)
-                           : issueRowOp(req.txn);
+                           ? issueRead(req.txn, req.addr)
+                           : issueRowOp(req.txn, req.addr);
     markCompleted(req.ticket, done);
     return done;
 }
@@ -354,6 +380,7 @@ MemoryController::acceptWrite(const Address &addr, Cycle now,
 
     catchUpRefresh(addr.rank, accept);
     pending_writes_.push_back({addr, ticket, accept});
+    ++bank_pending_[bankIndex(addr)];
     ++accepted_writes_;
 
     // Scheduled drain episode: at the high watermark, flush row-hit
@@ -369,25 +396,27 @@ MemoryController::acceptWrite(const Address &addr, Cycle now,
     }
 
     // Per-bank watermark: a bank-hot write stream drains bank-locally
-    // long before the whole-queue percentage watermark trips.
-    if (sched_.bank_drain_high > 0) {
-        size_t bank_pending = 0;
-        for (const PendingWrite &w : pending_writes_)
-            if (w.addr.rank == addr.rank && w.addr.bank == addr.bank)
-                ++bank_pending;
-        if (bank_pending >=
-            static_cast<size_t>(sched_.bank_drain_high))
-            drainBankTo(addr.rank, addr.bank,
-                        static_cast<size_t>(sched_.bank_drain_low),
-                        accept);
-    }
+    // long before the whole-queue percentage watermark trips. The
+    // per-bank occupancy counters make the check O(1).
+    if (sched_.bank_drain_high > 0 &&
+        bank_pending_[bankIndex(addr)] >=
+            static_cast<uint32_t>(sched_.bank_drain_high))
+        drainBankTo(addr.rank, addr.bank,
+                    static_cast<size_t>(sched_.bank_drain_low),
+                    accept);
     return accept;
 }
 
 Ticket
 MemoryController::submit(const MemTransaction &txn)
 {
-    const Ticket ticket = next_ticket_++;
+    return submit(txn, map_.decode(txn.addr));
+}
+
+Ticket
+MemoryController::submit(const MemTransaction &txn,
+                         const Address &addr)
+{
     TxnRecord rec;
     rec.kind = txn.kind;
     rec.accepted = txn.arrival;
@@ -395,7 +424,7 @@ MemoryController::submit(const MemTransaction &txn)
     // during its own acceptWrite (the eager policy issues at
     // acceptance; a watermark drain can row-hit-coalesce it), and
     // that drain records the completion through this entry.
-    auto it = records_.emplace(ticket, rec).first;
+    const Ticket ticket = records_.allocate(rec);
     switch (txn.kind) {
       case TxnKind::Read:
       case TxnKind::RowOp: {
@@ -404,25 +433,27 @@ MemoryController::submit(const MemTransaction &txn)
         while (read_q_.size() >=
                static_cast<size_t>(config_.read_queue_entries))
             serviceNextRequest();
-        // Keep the queue sorted by (arrival, ticket): submission
-        // order breaks arrival ties, so multi-ticket consumers see
-        // the same near-global-time issue order at any harvest
-        // order.
-        auto pos = std::upper_bound(
-            read_q_.begin(), read_q_.end(), txn.arrival,
-            [](Cycle arrival, const QueuedRequest &q) {
-                return arrival < q.txn.arrival;
-            });
-        read_q_.insert(pos, QueuedRequest{txn, ticket,
-                                          map_.decode(txn.addr)});
+        // Keep the queue sorted by arrival with submission order
+        // breaking ties, so multi-ticket consumers see the same
+        // near-global-time issue order at any harvest order. Arrivals
+        // are usually nondecreasing, so scanning from the back finds
+        // the insertion point in O(1) for the common case.
+        size_t pos = read_q_.size();
+        while (pos > 0 && txn.arrival < read_q_[pos - 1].txn.arrival)
+            --pos;
+        read_q_.insert(read_q_.begin() +
+                           static_cast<std::ptrdiff_t>(pos),
+                       QueuedRequest{txn, ticket, addr});
         break;
       }
-      case TxnKind::Write:
-        // No rehash can invalidate `it`: acceptWrite never inserts
-        // into records_.
-        it->second.accepted = acceptWrite(map_.decode(txn.addr),
-                                          txn.arrival, ticket);
+      case TxnKind::Write: {
+        const Cycle accepted = acceptWrite(addr, txn.arrival, ticket);
+        // acceptWrite never allocates a record, so the slot cannot
+        // have moved; re-find rather than caching across the call
+        // anyway (the arena may compact in the future).
+        records_.find(ticket)->accepted = accepted;
         break;
+      }
     }
     return ticket;
 }
@@ -430,26 +461,28 @@ MemoryController::submit(const MemTransaction &txn)
 Cycle
 MemoryController::acceptedAt(Ticket ticket) const
 {
-    const auto it = records_.find(ticket);
-    CODIC_ASSERT(it != records_.end(),
+    const TxnRecord *rec = records_.find(ticket);
+    CODIC_ASSERT(rec != nullptr,
                  "acceptedAt: unknown or retired ticket");
-    return it->second.accepted;
+    return rec->accepted;
 }
 
 Cycle
 MemoryController::completionOf(Ticket ticket)
 {
-    auto it = records_.find(ticket);
-    CODIC_ASSERT(it != records_.end(),
+    TxnRecord *rec = records_.find(ticket);
+    CODIC_ASSERT(rec != nullptr,
                  "completionOf: unknown or already-resolved ticket");
-    while (!it->second.completed) {
-        if (it->second.kind == TxnKind::Write) {
+    // Servicing below resolves other tickets but never allocates a
+    // record, so `rec` stays valid across the loop.
+    while (!rec->completed) {
+        if (rec->kind == TxnKind::Write) {
             // Reads/row ops the schedule orders before the write
             // (arrived by its acceptance) keep their data-bus
             // priority over the forced drain.
             while (!read_q_.empty() &&
-                   read_q_.front().txn.arrival <= it->second.accepted)
-                serviceOneRequest(it->second.accepted);
+                   read_q_.front().txn.arrival <= rec->accepted)
+                serviceOneRequest(rec->accepted);
             // The write is still buffered: drain batches (oldest
             // first) until its batch issues.
             drainOneBatch(channel_.lastIssueCycle());
@@ -457,15 +490,15 @@ MemoryController::completionOf(Ticket ticket)
             serviceNextRequest();
         }
     }
-    const Cycle done = it->second.completion;
-    records_.erase(it);
+    const Cycle done = rec->completion;
+    records_.release(ticket);
     return done;
 }
 
 void
 MemoryController::retire(Ticket ticket)
 {
-    records_.erase(ticket);
+    records_.release(ticket);
 }
 
 size_t

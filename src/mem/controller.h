@@ -44,10 +44,9 @@
 #define CODIC_MEM_CONTROLLER_H
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/pool.h"
 #include "mem/address_map.h"
 #include "mem/service.h"
 #include "dram/channel.h"
@@ -96,6 +95,13 @@ class MemoryController : public MemoryService
 
     // MemoryService transaction API.
     Ticket submit(const MemTransaction &txn) override;
+
+    /**
+     * submit() with `txn.addr` already decoded under the module map.
+     * DramSystem routes by decoding once and hands the coordinates
+     * down, so a transaction is decoded exactly once per submission.
+     */
+    Ticket submit(const MemTransaction &txn, const Address &addr);
     Cycle acceptedAt(Ticket ticket) const override;
     Cycle completionOf(Ticket ticket) override;
     void retire(Ticket ticket) override;
@@ -136,6 +142,20 @@ class MemoryController : public MemoryService
     /** REF commands injected so far (auto_refresh accounting). */
     uint64_t refreshesIssued() const;
 
+    /**
+     * Tickets with live bookkeeping (submitted, neither resolved nor
+     * retired). A fire-and-forget stream that retires its tickets
+     * keeps this bounded by the in-flight count, not campaign length.
+     */
+    size_t trackedTicketCount() const { return records_.liveCount(); }
+
+    /**
+     * Record slots ever allocated (the arena's high-water mark): the
+     * boundedness the retire() contract promises is that this stops
+     * growing once the in-flight window reaches steady state.
+     */
+    size_t recordSlotCount() const { return records_.slotCount(); }
+
   private:
     /** A write accepted into the queue, awaiting its drain. */
     struct PendingWrite
@@ -155,10 +175,10 @@ class MemoryController : public MemoryService
         Address addr;
     };
 
-    /** Resolution state of one ticket (erased when resolved). */
+    /** Resolution state of one ticket (released when resolved). */
     struct TxnRecord
     {
-        TxnKind kind;
+        TxnKind kind = TxnKind::Read;
         Cycle accepted = 0;
         Cycle completion = 0;
         bool completed = false;
@@ -167,12 +187,21 @@ class MemoryController : public MemoryService
     /** Ensure `addr`'s row is open; returns cycle row is usable. */
     Cycle openRowFor(const Address &addr, Cycle now);
 
+    /** Index into per-bank bookkeeping arrays. */
+    size_t bankIndex(const Address &addr) const
+    {
+        return static_cast<size_t>(addr.rank) *
+                   static_cast<size_t>(channel_.config().banks) +
+               static_cast<size_t>(addr.bank);
+    }
+
     /**
-     * Remove up to `limit` pending writes matching `row`'s
-     * rank/bank/row, preserving acceptance order.
+     * Move up to `limit` pending writes matching `row`'s
+     * rank/bank/row into `out`, preserving acceptance order, with a
+     * single compaction pass over the queue.
      */
-    std::vector<PendingWrite> takeRowMatches(const Address &row,
-                                             size_t limit);
+    void takeRowMatchesInto(const Address &row, size_t limit,
+                            std::vector<PendingWrite> &out);
 
     /**
      * Issue one same-row write batch back-to-back at row-ready,
@@ -228,9 +257,13 @@ class MemoryController : public MemoryService
      */
     Cycle serviceNextRequest();
 
-    /** Issue the read/row-op command sequence of one transaction. */
-    Cycle issueRead(const MemTransaction &txn);
-    Cycle issueRowOp(const MemTransaction &txn);
+    /**
+     * Issue the read/row-op command sequence of one transaction.
+     * `addr` is the transaction's address, decoded once at submit and
+     * carried in the queue entry (row ops rebase it to column 0).
+     */
+    Cycle issueRead(const MemTransaction &txn, const Address &addr);
+    Cycle issueRowOp(const MemTransaction &txn, Address addr);
 
     /**
      * Issue REFs to `rank` until its debt at cycle `t` is within the
@@ -246,18 +279,36 @@ class MemoryController : public MemoryService
     AddressMap map_;
     int codic_det_variant_;
     SchedulerPolicy sched_;
-    /** Accepted but not yet issued writes (FIFO acceptance order). */
-    std::deque<PendingWrite> pending_writes_;
+    /**
+     * Accepted but not yet issued writes (FIFO acceptance order).
+     * Bounded by write_queue_entries, reserved up front: insert/erase
+     * are short memmoves over contiguous storage, never allocations.
+     */
+    std::vector<PendingWrite> pending_writes_;
     /** Completion cycles of issued in-flight writes (nondecreasing). */
-    std::deque<Cycle> write_completions_;
-    /** Queued reads/row ops, sorted by (arrival, ticket). */
-    std::deque<QueuedRequest> read_q_;
-    /** Resolution state per live ticket. */
-    std::unordered_map<Ticket, TxnRecord> records_;
+    RingBuffer<Cycle> write_completions_;
+    /**
+     * Queued reads/row ops, sorted by arrival with submission order
+     * breaking ties. Bounded by read_queue_entries and reserved up
+     * front, like pending_writes_.
+     */
+    std::vector<QueuedRequest> read_q_;
+    /**
+     * Resolution state per live ticket: a ticket IS the arena handle
+     * (generation-tagged slot), so submit/resolve/retire recycle
+     * slots through the free list instead of churning map nodes.
+     */
+    SlotArena<TxnRecord> records_;
     /** REFs injected per rank (auto_refresh). */
     std::vector<int64_t> refs_issued_;
+    /** Pending (unissued) writes per bank, indexed by bankIndex(). */
+    std::vector<uint32_t> bank_pending_;
+    /**
+     * Scratch batch for drain/flush assembly. Safe to share: batch
+     * assembly and issueRowBatch() never re-enter a drain or flush.
+     */
+    std::vector<PendingWrite> batch_scratch_;
     uint64_t accepted_writes_ = 0;
-    Ticket next_ticket_ = 1;
     /** Consecutive window bypasses of the current queue head. */
     int head_bypasses_ = 0;
 };

@@ -381,8 +381,8 @@ runAblationSigOpt(RunContext &ctx)
     }
 
     const DramConfig cfg =
-        DramConfig::ddr3_1600(ctx.options().capacityMbOr(2048),
-                              ctx.options().channelsOr(1));
+        moduleFor(ctx.options(), ctx.options().capacityMbOr(2048),
+                  ctx.options().channelsOr(1));
     const auto sig = evaluationTime(PufKind::CodicSig, true, cfg);
     const auto opt = evaluationTime(PufKind::CodicSigOpt, true, cfg);
     ctx.row("end-to-end PUF evaluation (native command-level)",

@@ -40,8 +40,8 @@ runFig7(RunContext &ctx)
         row.add("module_mb", mb);
         for (auto mech : mechs) {
             const auto r = runDestruction(
-                DramConfig::ddr3_1600(
-                    mb, ctx.options().channelsOr(1)),
+                moduleFor(ctx.options(), mb,
+                          ctx.options().channelsOr(1)),
                 mech, dcfg);
             row.add(destructionMechanismName(mech) +
                         std::string("_ns"),
@@ -52,8 +52,9 @@ runFig7(RunContext &ctx)
     ctx.note("Paper Fig. 7 anchors: TCG 34 ms @64MB ... 34.8 s "
              "@64GB; CODIC 60 us @64MB ... 63 ms @64GB.");
 
-    const DramConfig dram = DramConfig::ddr3_1600(
-        ctx.options().capacityMbOr(8192), ctx.options().channelsOr(1));
+    const DramConfig dram = moduleFor(
+        ctx.options(), ctx.options().capacityMbOr(8192),
+        ctx.options().channelsOr(1));
     std::array<DestructionResult, 4> results;
     for (size_t m = 0; m < 4; ++m)
         results[m] = runDestruction(dram, mechs[m], dcfg);

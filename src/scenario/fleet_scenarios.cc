@@ -47,8 +47,8 @@ fleetConfigFor(const RunContext &ctx, int64_t default_devices)
     fc.devices =
         static_cast<uint64_t>(options.devicesOr(default_devices));
     fc.shards = options.shardsOr(4);
-    fc.dram = DramConfig::ddr3_1600(options.capacityMbOr(1024),
-                                    options.channelsOr(1));
+    fc.dram = moduleFor(options, options.capacityMbOr(1024),
+                        options.channelsOr(1));
     // Serving default: the batched scheduler (--sched overrides).
     fc.dram.scheduler = schedulerFor(options, "batched");
     return fc;

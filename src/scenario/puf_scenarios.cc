@@ -173,8 +173,8 @@ void
 runTable4(RunContext &ctx)
 {
     const DramConfig cfg =
-        DramConfig::ddr3_1600(ctx.options().capacityMbOr(2048),
-                              ctx.options().channelsOr(1));
+        moduleFor(ctx.options(), ctx.options().capacityMbOr(2048),
+                  ctx.options().channelsOr(1));
     struct Entry
     {
         const char *name;

@@ -58,7 +58,7 @@ runAblationRefresh(RunContext &ctx)
             static_cast<int64_t>(ctx.scaled(12));
         for (const int postpone : {0, 1, 2, 4, 8}) {
             DramConfig cfg =
-                DramConfig::ddr3_1600(capacity_mb, channels);
+                moduleFor(ctx.options(), capacity_mb, channels);
             cfg.scheduler = SchedulerPolicy::preset("batched");
             cfg.scheduler.auto_refresh = true;
             cfg.scheduler.refresh_postpone = postpone;
@@ -109,7 +109,7 @@ runAblationRefresh(RunContext &ctx)
         const int wave_size = 16;
         for (const int window : {1, 2, 4, 8, 16}) {
             DramConfig cfg =
-                DramConfig::ddr3_1600(capacity_mb, channels);
+                moduleFor(ctx.options(), capacity_mb, channels);
             cfg.scheduler = SchedulerPolicy::preset("batched");
             cfg.scheduler.read_window = window;
             DramSystem sys(cfg);

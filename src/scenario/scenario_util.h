@@ -41,6 +41,22 @@ schedulerFor(const RunOptions &options, const char *scenario_default)
         options.sched.empty() ? scenario_default : options.sched);
 }
 
+/**
+ * DRAM module built from the run options: the --preset speed grade
+ * (scenario default when none was given - the paper campaigns
+ * default to the published ddr3-1600 baseline) sized to the given
+ * capacity/channels/ranks. Unknown preset names are fatal.
+ */
+inline DramConfig
+moduleFor(const RunOptions &options, int64_t capacity_mb,
+          int channels, int ranks = 1)
+{
+    return DramConfig::preset(options.dram_preset.empty()
+                                  ? "ddr3-1600"
+                                  : options.dram_preset,
+                              capacity_mb, channels, ranks);
+}
+
 /** Pointer view over a chip population (campaign call convention). */
 inline std::vector<const SimulatedChip *>
 chipPtrs(const std::vector<SimulatedChip> &chips)

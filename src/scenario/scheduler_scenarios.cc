@@ -15,7 +15,9 @@
  * Determinism: every structured row is a pure function of
  * (seed, scale). The sweeps pin their own policy values, so --sched
  * does not change this scenario's output; the fleet sweep also pins
- * its shard count (4), so --shards does not either.
+ * its shard count (4), so --shards does not either. The module-step
+ * sweeps drain channels as campaign tasks but reduce per-channel
+ * results in index order, so --threads does not change output.
  */
 
 #include "scenario/builtin.h"
@@ -41,6 +43,12 @@ runAblationScheduler(RunContext &ctx)
 {
     const int64_t capacity_mb = ctx.options().capacityMbOr(256);
     const int channels = ctx.options().channelsOr(1);
+    // Channel-parallel stepping: with --channels > 1 the workload
+    // drains step each independent channel as an engine task. The
+    // per-channel results reduce in index order, so every structured
+    // row stays byte-identical at any --threads value (the scenario
+    // determinism suite pins this).
+    CampaignEngine engine(ctx.options().threads);
 
     // --- Sweep 1: drain watermarks vs data-bus turnarounds. ---
     {
@@ -49,12 +57,13 @@ runAblationScheduler(RunContext &ctx)
         for (const Point p : {Point{0, 0}, {25, 10}, {50, 20},
                               {75, 25}, {90, 10}}) {
             DramConfig cfg =
-                DramConfig::ddr3_1600(capacity_mb, channels);
+                moduleFor(ctx.options(), capacity_mb, channels);
             cfg.scheduler = SchedulerPolicy::preset("batched");
             cfg.scheduler.drain_high_pct = p.high;
             cfg.scheduler.drain_low_pct = p.low;
             DramSystem sys(cfg);
-            const Cycle done = runTurnaroundWorkload(sys, ops);
+            const Cycle done =
+                runTurnaroundWorkload(sys, ops, &engine);
             const CommandCounts counts = sys.totalCounts();
             ctx.row("write-drain watermarks vs bus turnarounds",
                     ResultRow()
@@ -82,11 +91,12 @@ runAblationScheduler(RunContext &ctx)
         const int64_t writes = static_cast<int64_t>(ctx.scaled(4000));
         for (const int batch : {1, 2, 4, 8, 16, 32}) {
             DramConfig cfg =
-                DramConfig::ddr3_1600(capacity_mb, channels);
+                moduleFor(ctx.options(), capacity_mb, channels);
             cfg.scheduler = SchedulerPolicy::preset("batched");
             cfg.scheduler.max_drain_batch = batch;
             DramSystem sys(cfg);
-            const Cycle done = runRowHitWorkload(sys, writes);
+            const Cycle done =
+                runRowHitWorkload(sys, writes, &engine);
             const CommandCounts counts = sys.totalCounts();
             ctx.row("row-hit drain batch vs activations",
                     ResultRow()
@@ -114,7 +124,7 @@ runAblationScheduler(RunContext &ctx)
         fc.population_seed = paperSeed(ctx.options(), 2026);
         fc.devices = static_cast<uint64_t>(ctx.scaled(300));
         fc.shards = 4; // Pinned: the sweep variable is replay_batch.
-        fc.dram = DramConfig::ddr3_1600(capacity_mb, channels);
+        fc.dram = moduleFor(ctx.options(), capacity_mb, channels);
         fc.dram.scheduler = SchedulerPolicy::preset("batched");
 
         TrafficConfig tc;

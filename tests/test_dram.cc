@@ -80,6 +80,56 @@ TEST(DramConfig, Ddr3_1333SlowerClock)
     EXPECT_EQ(cfg.timing.trcd, 9);
 }
 
+TEST(DramConfig, EveryNamedPresetValidatesAtAnyGeometry)
+{
+    for (const auto &name : DramConfig::presetNames()) {
+        SCOPED_TRACE(name);
+        const DramConfig cfg = DramConfig::preset(name, 2048, 2, 2);
+        cfg.validate();
+        EXPECT_EQ(cfg.channels, 2);
+        EXPECT_EQ(cfg.ranks, 2);
+        EXPECT_EQ(cfg.capacityBytes(), 2048ll << 20);
+        EXPECT_EQ(static_cast<int64_t>(cfg.columns) * cfg.burst_bytes,
+                  cfg.row_bytes);
+    }
+    EXPECT_THROW(DramConfig::preset("ddr5-6400", 64), FatalError);
+}
+
+TEST(DramConfig, Ddr4GradesHaveSixteenBanksAndFasterClocks)
+{
+    const DramConfig d24 = DramConfig::ddr4_2400(1024);
+    EXPECT_EQ(d24.banks, 16);
+    EXPECT_DOUBLE_EQ(d24.tck_ns, 0.833);
+    EXPECT_EQ(d24.timing.trcd, 17);
+    const DramConfig d32 = DramConfig::preset("ddr4-3200", 1024);
+    EXPECT_EQ(d32.banks, 16);
+    EXPECT_DOUBLE_EQ(d32.tck_ns, 0.625);
+    EXPECT_EQ(d32.timing.trcd, 22);
+    // The analog timings are fixed in nanoseconds, so their cycle
+    // counts grow with the clock rate: tRAS = 32 ns is 39 cycles at
+    // DDR4-2400 but 52 at DDR4-3200.
+    EXPECT_LT(d24.timing.tras, d32.timing.tras);
+    EXPECT_DOUBLE_EQ(d24.cyclesToNs(d24.nsToCycles(32.0)),
+                     d24.timing.tras * d24.tck_ns);
+    // 16 banks halve the rows-per-bank count at equal capacity.
+    EXPECT_EQ(d24.rows * 2, DramConfig::ddr3_1600(1024).rows);
+}
+
+TEST(DramConfig, Ddr4ModuleRunsTimedCommands)
+{
+    // The JEDEC checker must accept a full ACT/RD/WR/PRE/REF round
+    // trip under the DDR4 cycle counts (16-bank addressing included).
+    const DramConfig cfg = DramConfig::ddr4_3200(64);
+    DramChannel ch(cfg);
+    Cycle t = ch.issueAtEarliest(cmd(CommandType::Act, 15, 3), 0);
+    t = ch.issueAtEarliest(cmd(CommandType::Wr, 15, 3, 1), t);
+    t = ch.issueAtEarliest(cmd(CommandType::Rd, 15, 3, 2), t);
+    t = ch.issueAtEarliest(cmd(CommandType::Pre, 15, 3), t);
+    t = ch.issueAtEarliest(cmd(CommandType::Ref), t);
+    EXPECT_GT(t, cfg.timing.trcd + cfg.timing.tras);
+    EXPECT_EQ(ch.counts().ref, 1u);
+}
+
 // --- Basic command legality and the timing checker. ---
 
 TEST(Channel, ActThenReadRespectsTrcd)

@@ -68,6 +68,36 @@ TEST(Transaction, RetiredWritebackStillDrains)
     EXPECT_EQ(ch.counts().wr, 1u);
 }
 
+TEST(Transaction, MillionRetiredWritebacksStayBounded)
+{
+    // Fire-and-forget writeback streams retire() every ticket
+    // without resolving it; the record arena must recycle slots
+    // instead of growing with the stream. 10^6 writes is ~4 orders
+    // of magnitude beyond the queue depth, so any per-transaction
+    // leak shows up as an unbounded slot count.
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("batched");
+    DramChannel ch(c);
+    MemoryController mc(ch);
+    const int64_t row_bytes = c.row_bytes;
+    size_t max_tracked = 0;
+    for (int64_t i = 0; i < 1000000; ++i) {
+        const Ticket t = mc.submit(MemTransaction::makeWrite(
+            static_cast<uint64_t>((i % 1024) * row_bytes), i));
+        mc.retire(t);
+        max_tracked = std::max(max_tracked, mc.trackedTicketCount());
+    }
+    mc.drainAll();
+    EXPECT_EQ(mc.trackedTicketCount(), 0u);
+    EXPECT_EQ(mc.pendingWriteCount(), 0u);
+    // A retired ticket's record dies at retire(), so at most one
+    // record is ever live, and the arena never grows past its first
+    // slot - bounded by the queue scale, not the stream length.
+    EXPECT_LE(max_tracked, 1u);
+    EXPECT_LE(mc.recordSlotCount(), 64u);
+    EXPECT_EQ(ch.counts().wr, 1000000u);
+}
+
 TEST(Transaction, WriteTicketCompletionForcesItsDrain)
 {
     DramConfig c = cfg();

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Benchmark-trajectory report over the codic_run scenarios.
 
-Runs the fleet + scheduler + refresh scenarios, extracts their
-*modeled* metrics (makespan, latency percentiles, read-queue
-latencies, energy - all deterministic, machine-independent values)
-into a BENCH_PR5.json trajectory file, and gates on three
+Runs the bench_hotpath microbenchmark plus the fleet + scheduler +
+refresh scenarios, extracts the hot path's wall-clock throughput and
+the scenarios' *modeled* metrics (makespan, latency percentiles,
+read-queue latencies, energy - deterministic, machine-independent
+values) into a BENCH_PR6.json trajectory file, and gates on four
 conditions:
 
   1. No lower-is-better metric regresses more than --tolerance
@@ -19,16 +20,24 @@ conditions:
      mean read latency on the row-conflict stream by at least
      --min-read-window-improvement percent (default 20%) over
      strict arrival order.
+  4. bench_hotpath wall-clock throughput (transactions/sec, derived
+     here from the transaction count over the median of its
+     repeated wall_s samples) does not regress more than
+     --hotpath-tolerance (default 15%) below the pinned baseline's
+     txn_per_sec. Throughput is the one wall-clock metric gated on:
+     the baseline is pinned per runner class and the tolerance is
+     generous, so only a genuine hot-path slowdown trips it.
 
-Wall-clock values (wall_s) are recorded for telemetry when present
-but never gated on: only modeled values are comparable across
-machines.
+Scenario wall-clock values (wall_s) are still recorded for telemetry
+when present but never gated on: only modeled values are comparable
+across machines.
 
 Usage:
-  bench_report.py --build-dir build --out BENCH_PR5.json \
+  bench_report.py --build-dir build --out BENCH_PR6.json \
       [--baseline bench/BENCH_baseline.json] [--tolerance 0.15] \
-      [--min-improvement 20] [--min-read-window-improvement 20] \
-      [--write-baseline FILE]
+      [--hotpath-tolerance 0.15] [--min-improvement 20] \
+      [--min-read-window-improvement 20] [--write-baseline FILE] \
+      [--skip-hotpath]
 """
 
 import argparse
@@ -38,7 +47,17 @@ import subprocess
 import sys
 import tempfile
 
-SCHEMA = "codic-bench-trajectory-v1"
+SCHEMA = "codic-bench-trajectory-v2"
+
+# Hot-path throughput measured at the commit immediately before the
+# raw-speed overhaul (arena ticket records, SoA bank state, pow2
+# address decode), same machine and bench_hotpath defaults as the
+# numbers recorded under "hotpath" - the before/after pair the
+# overhaul's >= 2x replay-throughput acceptance was judged on.
+HOTPATH_PRE_PR6 = {
+    "closed_loop_txn_per_sec": 2892607.0,
+    "replay_txn_per_sec": 6798119.0,
+}
 
 # Scenario runs: name -> (codic_run args, extractor key).
 BENCH_SCALE = "0.25"
@@ -59,6 +78,49 @@ def run_codic(build_dir, args, timings):
             return json.load(f)
     finally:
         os.unlink(out_path)
+
+
+def run_hotpath(build_dir):
+    """Run bench_hotpath and derive txn_per_sec from its wall_s.
+
+    The binary reports its own median/txn_per_sec, but the gate
+    re-derives both from the raw wall_s samples so the gated number
+    is exactly transactions / median(wall_s) regardless of binary
+    version.
+    """
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
+        out_path = f.name
+    cmd = [os.path.join(build_dir, "bench_hotpath"),
+           "--out", out_path]
+    try:
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(out_path) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(out_path)
+    if doc.get("schema") != "codic-hotpath-v1":
+        raise SystemExit("bench_report: unexpected bench_hotpath "
+                         f"schema {doc.get('schema')!r}")
+    hotpath = {}
+    for name, loop in sorted(doc["loops"].items()):
+        wall = sorted(loop["wall_s"])
+        median_wall_s = wall[len(wall) // 2]
+        hotpath[name] = {
+            "transactions": loop["transactions"],
+            "wall_s": loop["wall_s"],
+            "median_wall_s": median_wall_s,
+            "txn_per_sec": loop["transactions"] / median_wall_s,
+        }
+    hotpath["pre_pr6_reference"] = dict(HOTPATH_PRE_PR6)
+    if "replay" in hotpath:
+        hotpath["pre_pr6_reference"]["replay_speedup_vs_pre"] = (
+            hotpath["replay"]["txn_per_sec"] /
+            HOTPATH_PRE_PR6["replay_txn_per_sec"])
+    if "closed_loop" in hotpath:
+        hotpath["pre_pr6_reference"]["closed_loop_speedup_vs_pre"] = (
+            hotpath["closed_loop"]["txn_per_sec"] /
+            HOTPATH_PRE_PR6["closed_loop_txn_per_sec"])
+    return hotpath
 
 
 def rows(doc, predicate):
@@ -149,8 +211,11 @@ def read_window_metrics(doc, window):
     }
 
 
-def collect(build_dir, timings):
-    report = {"schema": SCHEMA, "scenarios": {}, "derived": {}}
+def collect(build_dir, timings, skip_hotpath):
+    report = {"schema": SCHEMA, "scenarios": {}, "derived": {},
+              "hotpath": {}}
+    if not skip_hotpath:
+        report["hotpath"] = run_hotpath(build_dir)
     s = report["scenarios"]
 
     s["fleet_auth_load"] = latency_metrics(run_codic(
@@ -216,13 +281,42 @@ def check_regressions(report, baseline, tolerance):
     return failures
 
 
+def check_hotpath(report, baseline, tolerance):
+    """Wall-clock throughput gate: higher is better, so a loop fails
+    when its txn_per_sec drops more than `tolerance` below the pinned
+    baseline. Loops absent from the baseline are recorded only."""
+    failures = []
+    for name, base_loop in baseline.get("hotpath", {}).items():
+        if not isinstance(base_loop, dict):
+            continue
+        base = base_loop.get("txn_per_sec")
+        new_loop = report.get("hotpath", {}).get(name)
+        if base is None or new_loop is None:
+            continue
+        new = new_loop.get("txn_per_sec")
+        if new is None:
+            continue
+        if new < base * (1.0 - tolerance):
+            failures.append(
+                f"hotpath.{name}.txn_per_sec: {new:,.0f} regressed "
+                f">{tolerance:.0%} below baseline {base:,.0f}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR5.json")
+    ap.add_argument("--out", default="BENCH_PR6.json")
     ap.add_argument("--baseline", default=None,
                     help="committed baseline to gate against")
     ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--hotpath-tolerance", type=float, default=0.15,
+                    help="allowed wall-clock throughput drop of a "
+                         "bench_hotpath loop below the baseline's "
+                         "txn_per_sec")
+    ap.add_argument("--skip-hotpath", action="store_true",
+                    help="skip the bench_hotpath wall-clock runs "
+                         "(e.g. on sanitizer builds)")
     ap.add_argument("--min-improvement", type=float, default=20.0,
                     help="required batched-vs-eager fleet_scaling "
                          "makespan improvement (percent)")
@@ -239,11 +333,19 @@ def main():
                          "telemetry) as a new baseline file")
     args = ap.parse_args()
 
-    report = collect(args.build_dir, args.timings)
+    report = collect(args.build_dir, args.timings,
+                     args.skip_hotpath)
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"bench_report: wrote {args.out}")
+
+    for name in ("closed_loop", "replay"):
+        loop = report["hotpath"].get(name)
+        if loop:
+            print(f"bench_report: hotpath {name}: "
+                  f"{loop['txn_per_sec']:,.0f} txn/s "
+                  f"(median of {len(loop['wall_s'])})")
 
     improvement = report["derived"][
         "fleet_scaling_batched_improvement_pct"]
@@ -272,11 +374,22 @@ def main():
             baseline = json.load(f)
         failures += check_regressions(report, baseline,
                                       args.tolerance)
+        if not args.skip_hotpath:
+            failures += check_hotpath(report, baseline,
+                                      args.hotpath_tolerance)
 
     if args.write_baseline:
         clean = json.loads(json.dumps(report))
         for metrics in clean["scenarios"].values():
             metrics.pop("wall_s", None)
+        # The hotpath baseline keeps only the gated throughput (the
+        # raw samples are telemetry of one run, not a pin).
+        clean["hotpath"] = {
+            name: {"txn_per_sec": loop["txn_per_sec"],
+                   "transactions": loop["transactions"]}
+            for name, loop in clean.get("hotpath", {}).items()
+            if isinstance(loop, dict) and "txn_per_sec" in loop
+        }
         with open(args.write_baseline, "w") as f:
             json.dump(clean, f, indent=2, sort_keys=True)
             f.write("\n")

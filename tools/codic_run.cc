@@ -26,6 +26,12 @@
  *   --store FILE       Fleet enrollment-store file (written by
  *                      fleet_enroll, read by the traffic scenarios;
  *                      ".json" suffix selects the JSON format).
+ *   --preset NAME      DRAM speed grade (ddr3-1600 | ddr3-1333 |
+ *                      ddr4-2400 | ddr4-3200) applied wherever a
+ *                      scenario builds its DramConfig from the run
+ *                      options; default is each scenario's own grade
+ *                      (the paper's ddr3-1600 baseline). "--preset
+ *                      list" prints the accepted names.
  *   --sched SPEC       Memory-scheduler policy: a preset (eager |
  *                      batched | aggressive) optionally followed by
  *                      ":knob=value,..." overrides, e.g.
@@ -89,6 +95,7 @@ printUsage()
         "                 [--capacity-mb N] [--scale F] [--repeats N]\n"
         "                 [--devices N] [--shards N] [--requests N]\n"
         "                 [--zipf F] [--store FILE] [--sched NAME]\n"
+        "                 [--preset NAME]\n"
         "                 [--out FILE] [--csv FILE] [--timings]\n"
         "                 [--quiet]\n");
 }
@@ -260,6 +267,21 @@ main(int argc, char **argv)
                 return fail("--zipf must be >= 0 (0 = uniform)");
         } else if (arg == "--store") {
             options.store_path = next("--store");
+        } else if (arg == "--preset") {
+            options.dram_preset = next("--preset");
+            if (options.dram_preset == "help" ||
+                options.dram_preset == "list") {
+                for (const auto &n : DramConfig::presetNames())
+                    std::printf("%s\n", n.c_str());
+                return 0;
+            }
+            // Resolve a throwaway module now so an unknown grade
+            // fails before any scenario runs.
+            try {
+                DramConfig::preset(options.dram_preset, 64);
+            } catch (const std::exception &e) {
+                return fail(e.what());
+            }
         } else if (arg == "--sched") {
             options.sched = next("--sched");
             // "--sched help" / "--sched list" print the preset and
