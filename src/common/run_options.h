@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <thread>
 
@@ -116,6 +117,29 @@ struct RunOptions
      */
     std::string sched;
 
+    // --- Trace options (scenarios under src/trace) ---
+
+    /**
+     * Input trace file for trace scenarios ("" = the scenario's
+     * built-in synthetic fallback). Must exist and must differ from
+     * record_trace - replaying a file while recording over it would
+     * destroy the input mid-read.
+     */
+    std::string trace_path;
+
+    /**
+     * Output path for the DramSystem::submit recording tap ("" =
+     * recording off). See trace/recorder.h; multi-threaded runs
+     * record reproducibly but not byte-stably.
+     */
+    std::string record_trace;
+
+    /**
+     * Replay inter-arrival rescale: > 1 compresses the trace in
+     * time, < 1 stretches it. Must be finite and > 0.
+     */
+    double trace_speed = 1.0;
+
     /**
      * Reject out-of-contract values with a clear FatalError instead
      * of silently clamping or auto-correcting. Run this at every
@@ -146,6 +170,18 @@ struct RunOptions
         if ((!(zipf >= 0.0) && zipf != -1.0) || std::isinf(zipf))
             fatal("RunOptions: zipf must be finite and >= 0 (or -1 "
                   "for the scenario default), got ", zipf);
+        if (!(trace_speed > 0.0) || std::isinf(trace_speed))
+            fatal("RunOptions: trace_speed must be finite and > 0, "
+                  "got ", trace_speed);
+        if (!trace_path.empty() && trace_path == record_trace)
+            fatal("RunOptions: --trace and --record-trace name the "
+                  "same file (", trace_path,
+                  "); recording over the trace being replayed would "
+                  "destroy the input");
+        if (!trace_path.empty() &&
+            !std::ifstream(trace_path, std::ios::binary).good())
+            fatal("RunOptions: trace file does not exist or is not "
+                  "readable: ", trace_path);
     }
 
     /** Threads that will actually run (resolves 0 to the hardware). */

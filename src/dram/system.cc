@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "trace/recorder.h"
 
 namespace codic {
 
@@ -72,6 +73,8 @@ DramSystem::ticketLocal(Ticket ticket) const
 Ticket
 DramSystem::submit(const MemTransaction &txn)
 {
+    if (TraceRecorder::active())
+        TraceRecorder::tap(txn);
     // Decode once: the coordinates route the transaction AND ride
     // into the owning controller's queue entry.
     const Address addr = map_.decode(txn.addr);

@@ -22,6 +22,7 @@ void registerExtScenarios(ScenarioRegistry &registry);
 void registerFleetScenarios(ScenarioRegistry &registry);
 void registerSchedulerScenarios(ScenarioRegistry &registry);
 void registerRefreshScenarios(ScenarioRegistry &registry);
+void registerTraceScenarios(ScenarioRegistry &registry);
 
 } // namespace codic
 

@@ -54,6 +54,7 @@ ScenarioRegistry::instance()
         registerFleetScenarios(*r);
         registerSchedulerScenarios(*r);
         registerRefreshScenarios(*r);
+        registerTraceScenarios(*r);
         return r;
     }();
     return *registry;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cache-filtering front-end for trace ingestion: converts a raw
+ * CPU-level load/store/flush stream into the post-LLC miss trace a
+ * MemoryService actually schedules, using the same set-associative
+ * write-back cache model the trace-driven cores run on
+ * (sim/cache.h).
+ *
+ * This mirrors the phobos tracer architecture the ROADMAP names:
+ * the tracer records every user-level memory reference, and a
+ * cache-filter pass keeps only the references that miss a modeled
+ * LLC - plus the dirty writebacks those misses evict - so the DRAM
+ * trace is orders of magnitude smaller than the raw one and replays
+ * in DRAM time, not CPU time.
+ *
+ * Filter semantics (write-allocate, write-back):
+ *  - Load hit / store hit: absorbed (no DRAM traffic).
+ *  - Load or store miss: one DRAM Read at the record's tick (the
+ *    line fetch; stores dirty the line after the fetch).
+ *  - Dirty victim eviction: one DRAM Write of the victim line.
+ *  - Flush of a dirty line: one DRAM Write; clean or absent: no
+ *    traffic.
+ *  - Already-DRAM-level records (Read/Write/RowOp) pass through
+ *    unchanged, so a filtered trace can be filtered again
+ *    idempotently.
+ */
+
+#ifndef CODIC_TRACE_CACHE_FILTER_H
+#define CODIC_TRACE_CACHE_FILTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/trace.h"
+#include "trace/trace_format.h"
+
+namespace codic {
+
+class TraceCursor;
+class TraceWriter;
+
+/** Modeled LLC in front of the DRAM trace. */
+struct CacheFilterConfig
+{
+    uint64_t llc_bytes = 2ull << 20; //!< Capacity (paper: 2 MB LLC).
+    int ways = 16;
+    int line_bytes = 64;
+};
+
+/** Ingestion statistics of one filter pass. */
+struct CacheFilterStats
+{
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t flushes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;   //!< Dirty evictions + dirty flushes.
+    uint64_t passthrough = 0;  //!< DRAM-level records kept as-is.
+    uint64_t records_in = 0;
+    uint64_t records_out = 0;
+
+    /** Fraction of CPU-level accesses absorbed by the cache. */
+    double hitRate() const
+    {
+        const uint64_t accesses = loads + stores;
+        return accesses ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Streaming raw-trace -> DRAM-trace converter. */
+class CacheFilter
+{
+  public:
+    explicit CacheFilter(const CacheFilterConfig &config);
+
+    /**
+     * Filter one record: appends zero or more DRAM-level records to
+     * `out` (not cleared). Emitted records carry the input's tick
+     * and origin; a victim writeback carries the victim line's
+     * address.
+     */
+    void process(const TraceRecord &in, std::vector<TraceRecord> &out);
+
+    /** Run a whole trace stream through the filter into a writer. */
+    void run(TraceCursor &in, TraceWriter &out);
+
+    /** Filter an in-memory record vector. */
+    std::vector<TraceRecord>
+    filter(const std::vector<TraceRecord> &in);
+
+    const CacheFilterConfig &config() const { return config_; }
+    const CacheFilterStats &stats() const { return stats_; }
+
+  private:
+    CacheFilterConfig config_;
+    Cache llc_;
+    CacheFilterStats stats_;
+};
+
+/**
+ * Raw CPU-level records synthesized from a phased Workload
+ * (sim/workloads.h): Load/Store/Flush ops become records at a tick
+ * clock that advances one tick per memory op and `count` ticks per
+ * Compute op, offset by `addr_base` so multi-workload traces keep
+ * private regions; the workload's DeallocRegion ops are outside the
+ * load/store stream this front-end studies and only advance the
+ * clock. The record origin is `addr_base` (the convention
+ * InOrderCore uses for its transactions).
+ */
+std::vector<TraceRecord>
+rawTraceFromWorkload(const Workload &workload, uint64_t addr_base = 0);
+
+} // namespace codic
+
+#endif // CODIC_TRACE_CACHE_FILTER_H

@@ -50,6 +50,9 @@ TEST(ScenarioRegistry, CoversEveryPaperArtifactServedByABench)
         // stable scenario surface).
         "fleet_enroll",               "fleet_auth_load",
         "fleet_mixed",                "fleet_scaling",
+        // Trace subsystem (record/replay surface).
+        "trace_replay",               "trace_filter_ablation",
+        "trace_vs_synthetic",
     };
     auto &registry = ScenarioRegistry::instance();
     for (const char *name : required) {

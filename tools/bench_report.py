@@ -12,7 +12,8 @@ conditions:
      (default 15%) against the committed baseline. Metrics absent
      from the baseline (e.g. the ablation_refresh read-queue
      entries, which predate no baseline) are tolerated and simply
-     recorded.
+     recorded, and scenarios the baseline has never seen (e.g.
+     trace_replay@sample) are warned about, never a failure.
   2. The batched bank-parallel shard replay improves the 8-shard
      fleet_scaling makespan by at least --min-improvement percent
      (default 20%) over the eager single-request replay.
@@ -211,6 +212,30 @@ def read_window_metrics(doc, window):
     }
 
 
+def trace_replay_metrics(doc):
+    """Modeled metrics of a trace_replay run."""
+    pts = rows(doc, lambda r: "read_p99_us" in r and "records" in r)
+    if not pts:
+        raise SystemExit("bench_report: no trace-replay row emitted")
+    r = pts[0]
+    return {
+        "makespan_ms": r["makespan_ms"],
+        "total_service_ms": None,
+        "p50_us": r["read_p50_us"],
+        "p95_us": r["read_p95_us"],
+        "p99_us": r["read_p99_us"],
+        "energy_mj": None,
+        "records": r["records"],
+        "activations": r["activations"],
+    }
+
+
+# Committed sample trace replayed for the trajectory (relative to
+# the repository root, where CI invokes this script).
+SAMPLE_TRACE = os.path.join("bench", "traces",
+                            "ablation_scheduler_seed1.trace")
+
+
 def collect(build_dir, timings, skip_hotpath):
     report = {"schema": SCHEMA, "scenarios": {}, "derived": {},
               "hotpath": {}}
@@ -245,6 +270,17 @@ def collect(build_dir, timings, skip_hotpath):
         refresh_doc, 1)
     s["ablation_refresh@window8"] = read_window_metrics(
         refresh_doc, 8)
+    # Replay of the committed sample trace. A missing trace file is a
+    # warning, not an error: the metrics predate no baseline and the
+    # trajectory must keep working from a partial checkout.
+    if os.path.exists(SAMPLE_TRACE):
+        s["trace_replay@sample"] = trace_replay_metrics(run_codic(
+            build_dir, ["--scenario", "trace_replay", "--trace",
+                        SAMPLE_TRACE], timings))
+    else:
+        print(f"bench_report: WARNING: sample trace {SAMPLE_TRACE} "
+              "not found; skipping trace_replay metrics",
+              file=sys.stderr)
 
     eager = s["fleet_scaling@8shards:eager"]["makespan_ms"]
     batched = s["fleet_scaling@8shards:batched"]["makespan_ms"]
@@ -264,6 +300,15 @@ GATED = ("makespan_ms", "total_service_ms", "p50_us", "p95_us",
 
 def check_regressions(report, baseline, tolerance):
     failures = []
+    # Scenarios the report has but the baseline predates are
+    # recorded without gating - a warning, never a KeyError, so a
+    # new subsystem can add metrics before its first baseline
+    # refresh.
+    for name in sorted(report.get("scenarios", {})):
+        if name not in baseline.get("scenarios", {}):
+            print(f"bench_report: WARNING: scenario '{name}' is "
+                  "absent from the baseline; recorded without "
+                  "gating", file=sys.stderr)
     for name, base_metrics in baseline.get("scenarios", {}).items():
         new_metrics = report["scenarios"].get(name)
         if new_metrics is None:

@@ -43,6 +43,20 @@
  *                      default is batched; paper campaigns keep the
  *                      eager legacy policy their published numbers
  *                      were measured with).
+ *   --trace FILE       Input trace for the trace_* scenarios. With
+ *                      no --scenario/--all selection, implies
+ *                      "--scenario trace_replay". The file must
+ *                      exist and must differ from --record-trace.
+ *   --trace-speed F    Replay inter-arrival rescale (> 1 compresses
+ *                      the trace in time; default 1).
+ *   --record-trace FILE Record every DramSystem transaction the
+ *                      selected scenarios submit into FILE (the
+ *                      post-LLC DRAM-level trace; see
+ *                      trace/trace_format.h). Byte-deterministic at
+ *                      --threads 1.
+ *   --trace-info FILE  Print the header/provenance summary of a
+ *                      trace file (scenario, seed, format version,
+ *                      record/epoch counts, per-kind ops) and exit.
  *   --out FILE         Write machine-readable JSON ("-" = stdout).
  *   --csv FILE         Write long-format CSV ("-" = stdout).
  *   --timings          Include wall-clock values in JSON/CSV
@@ -79,6 +93,8 @@
 #include "common/result_sink.h"
 #include "dram/config.h"
 #include "scenario/registry.h"
+#include "trace/recorder.h"
+#include "trace/trace_io.h"
 
 namespace {
 
@@ -96,8 +112,11 @@ printUsage()
         "                 [--devices N] [--shards N] [--requests N]\n"
         "                 [--zipf F] [--store FILE] [--sched NAME]\n"
         "                 [--preset NAME]\n"
+        "                 [--trace FILE] [--trace-speed F]\n"
+        "                 [--record-trace FILE]\n"
         "                 [--out FILE] [--csv FILE] [--timings]\n"
-        "                 [--quiet]\n");
+        "                 [--quiet]\n"
+        "       codic_run --trace-info FILE\n");
 }
 
 void
@@ -298,6 +317,23 @@ main(int argc, char **argv)
             } catch (const std::exception &e) {
                 return fail(e.what());
             }
+        } else if (arg == "--trace") {
+            options.trace_path = next("--trace");
+        } else if (arg == "--trace-speed") {
+            options.trace_speed =
+                parseDouble("--trace-speed", next("--trace-speed"));
+            if (!(options.trace_speed > 0.0))
+                return fail("--trace-speed must be > 0");
+        } else if (arg == "--record-trace") {
+            options.record_trace = next("--record-trace");
+        } else if (arg == "--trace-info") {
+            const char *path = next("--trace-info");
+            try {
+                std::printf("%s", TraceReader(path).describe().c_str());
+            } catch (const std::exception &e) {
+                return fail(e.what());
+            }
+            return 0;
         } else if (arg == "--out") {
             out_path = next("--out");
         } else if (arg == "--csv") {
@@ -323,6 +359,9 @@ main(int argc, char **argv)
     auto &registry = ScenarioRegistry::instance();
     if (all)
         selected = registry.names();
+    // A bare `codic_run --trace FILE` means "replay this".
+    if (selected.empty() && !options.trace_path.empty())
+        selected.push_back("trace_replay");
     if (selected.empty()) {
         printUsage();
         return fail("nothing to run (use --scenario, --all, or "
@@ -379,6 +418,28 @@ main(int argc, char **argv)
         sink.addSink(csv.get());
     }
 
+    // Validate the option bundle (notably the trace-flag contract:
+    // --trace must exist, must differ from --record-trace, and
+    // --trace-speed must be positive) before the recorder creates
+    // its output file or any sink opens.
+    try {
+        options.validate();
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+    if (!options.record_trace.empty()) {
+        TraceMeta meta;
+        for (const auto &name : selected)
+            meta.scenario +=
+                (meta.scenario.empty() ? "" : ",") + name;
+        meta.seed = options.seed;
+        try {
+            TraceRecorder::start(options.record_trace, meta);
+        } catch (const std::exception &e) {
+            return fail(e.what());
+        }
+    }
+
     // A scenario failure must not abort the whole run: record it,
     // keep going, and report a per-scenario summary at the end.
     struct Failure
@@ -400,6 +461,19 @@ main(int argc, char **argv)
                              "codic_run: scenario '%s' failed: %s\n",
                              name.c_str(), e.what());
             }
+        }
+    }
+
+    if (!options.record_trace.empty()) {
+        try {
+            const uint64_t recorded = TraceRecorder::stop();
+            std::fprintf(stderr,
+                         "codic_run: recorded %llu transactions to "
+                         "%s\n",
+                         static_cast<unsigned long long>(recorded),
+                         options.record_trace.c_str());
+        } catch (const std::exception &e) {
+            return fail(e.what());
         }
     }
 
