@@ -140,6 +140,29 @@ struct RunOptions
      */
     double trace_speed = 1.0;
 
+    // --- Thermal / co-sim options (scenarios under src/thermal) ---
+
+    /**
+     * Ambient temperature (C) of the thermal feedback loop - the
+     * idle fixed point. The paper's static campaigns run at 30 C;
+     * values outside the chip model's calibrated -40..120 C range
+     * are rejected.
+     */
+    double ambient_c = 30.0;
+
+    /**
+     * Thermal/co-sim epoch length in microseconds (0 = the scenario
+     * default). Explicit values must be positive and finite.
+     */
+    double epoch_us = 0.0;
+
+    /**
+     * Core count for the multicore co-sim scenarios (0 = scenario
+     * default sweep). Like --devices, an explicit value must be
+     * >= 1 at the CLI; the sentinel 0 stays legal here.
+     */
+    int cores = 0;
+
     /**
      * Reject out-of-contract values with a clear FatalError instead
      * of silently clamping or auto-correcting. Run this at every
@@ -182,6 +205,16 @@ struct RunOptions
             !std::ifstream(trace_path, std::ios::binary).good())
             fatal("RunOptions: trace file does not exist or is not "
                   "readable: ", trace_path);
+        // Negated comparisons so NaN is rejected too.
+        if (!(ambient_c >= -40.0) || !(ambient_c <= 120.0))
+            fatal("RunOptions: ambient_c must be within the modeled "
+                  "-40..120 C range, got ", ambient_c);
+        if (!(epoch_us >= 0.0) || std::isinf(epoch_us))
+            fatal("RunOptions: epoch_us must be finite and >= 0 "
+                  "(0 = scenario default), got ", epoch_us);
+        if (cores < 0)
+            fatal("RunOptions: cores must be >= 0 (0 = scenario "
+                  "default), got ", cores);
     }
 
     /** Threads that will actually run (resolves 0 to the hardware). */
@@ -240,6 +273,18 @@ struct RunOptions
     double zipfOr(double fallback) const
     {
         return zipf < 0.0 ? fallback : zipf;
+    }
+
+    /** Apply the epoch-length override to a scenario default. */
+    double epochUsOr(double fallback) const
+    {
+        return epoch_us > 0.0 ? epoch_us : fallback;
+    }
+
+    /** Apply the core-count override to a scenario default. */
+    int coresOr(int fallback) const
+    {
+        return cores > 0 ? cores : fallback;
     }
 };
 

@@ -26,6 +26,12 @@ CommandCounts::operator+=(const CommandCounts &other)
     lisa_rbm += other.lisa_rbm;
     rd_wr_turnarounds += other.rd_wr_turnarounds;
     wr_rd_turnarounds += other.wr_rd_turnarounds;
+    // Channels may have distinct geometries in test sweeps: merge
+    // index-wise up to the larger bank set.
+    if (per_bank.size() < other.per_bank.size())
+        per_bank.resize(other.per_bank.size());
+    for (size_t i = 0; i < other.per_bank.size(); ++i)
+        per_bank[i] += other.per_bank[i];
     return *this;
 }
 
@@ -52,6 +58,9 @@ DramChannel::DramChannel(const DramConfig &config, int channel_id)
     bank_next_pre_.assign(banks, 0);
     bank_next_rdwr_.assign(banks, 0);
     bank_next_rowclone_.assign(banks, 0);
+    bank_open_cycles_.assign(banks, 0);
+    bank_open_since_.assign(banks, 0);
+    counts_.per_bank.assign(banks, BankCounts{});
     row_state_.assign(banks * static_cast<size_t>(config_.rows),
                       static_cast<uint8_t>(RowDataState::Unwritten));
     rank_next_act_.assign(ranks, 0);
@@ -263,6 +272,9 @@ DramChannel::apply(const Command &cmd, Cycle t)
     switch (cmd.type) {
       case CommandType::Act: {
         ++counts_.act;
+        ++counts_.per_bank[bi].act;
+        if (!bank_active_[bi])
+            bank_open_since_[bi] = t;
         bank_active_[bi] = 1;
         bank_open_row_[bi] = cmd.addr.row;
         bank_next_rdwr_[bi] = std::max(bank_next_rdwr_[bi],
@@ -285,6 +297,8 @@ DramChannel::apply(const Command &cmd, Cycle t)
       }
       case CommandType::Pre: {
         ++counts_.pre;
+        if (bank_active_[bi] && t > bank_open_since_[bi])
+            bank_open_cycles_[bi] += t - bank_open_since_[bi];
         bank_active_[bi] = 0;
         bank_open_row_[bi] = -1;
         bank_next_act_[bi] = std::max(bank_next_act_[bi], t + tt.trp);
@@ -295,6 +309,8 @@ DramChannel::apply(const Command &cmd, Cycle t)
         const size_t base = bankIdx(cmd.addr.rank, 0);
         for (int i = 0; i < config_.banks; ++i) {
             const size_t b = base + static_cast<size_t>(i);
+            if (bank_active_[b] && t > bank_open_since_[b])
+                bank_open_cycles_[b] += t - bank_open_since_[b];
             bank_active_[b] = 0;
             bank_open_row_[b] = -1;
             bank_next_act_[b] = std::max(bank_next_act_[b],
@@ -304,6 +320,7 @@ DramChannel::apply(const Command &cmd, Cycle t)
       }
       case CommandType::Rd: {
         ++counts_.rd;
+        ++counts_.per_bank[bi].rd;
         if (last_bus_dir_ == BusDir::Write)
             ++counts_.wr_rd_turnarounds;
         last_bus_dir_ = BusDir::Read;
@@ -318,6 +335,7 @@ DramChannel::apply(const Command &cmd, Cycle t)
       }
       case CommandType::Wr: {
         ++counts_.wr;
+        ++counts_.per_bank[bi].wr;
         if (last_bus_dir_ == BusDir::Read)
             ++counts_.rd_wr_turnarounds;
         last_bus_dir_ = BusDir::Write;
@@ -338,6 +356,10 @@ DramChannel::apply(const Command &cmd, Cycle t)
         const size_t base = bankIdx(cmd.addr.rank, 0);
         for (int i = 0; i < config_.banks; ++i) {
             const size_t b = base + static_cast<size_t>(i);
+            // A rank REF internally refreshes every bank: attribute
+            // one per-bank REF to each (the energy splits ref_nj
+            // evenly in the thermal model).
+            ++counts_.per_bank[b].ref;
             bank_next_act_[b] = std::max(bank_next_act_[b],
                                          t + tt.trfc);
         }
@@ -366,6 +388,8 @@ DramChannel::apply(const Command &cmd, Cycle t)
             // once the SA has sensed and amplified - i.e. the
             // variant's own sense_p start plus amplification time,
             // instead of the fixed worst-case tRCD.
+            if (!bank_active_[bi])
+                bank_open_since_[bi] = t;
             bank_active_[bi] = 1;
             bank_open_row_[bi] = cmd.addr.row;
             const auto sp = sched.pulse(Signal::SenseP);

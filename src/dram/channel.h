@@ -27,6 +27,27 @@
 
 namespace codic {
 
+/**
+ * Per-bank slice of the issue counters (thermal epoch accounting and
+ * the REFpb ablation): the commands whose energy is bank-local.
+ */
+struct BankCounts
+{
+    uint64_t act = 0;
+    uint64_t rd = 0;
+    uint64_t wr = 0;
+    uint64_t ref = 0; //!< Rank REFs attributed to each bank refreshed.
+
+    BankCounts &operator+=(const BankCounts &other)
+    {
+        act += other.act;
+        rd += other.rd;
+        wr += other.wr;
+        ref += other.ref;
+        return *this;
+    }
+};
+
 /** Issue counters for energy accounting and test assertions. */
 struct CommandCounts
 {
@@ -49,6 +70,15 @@ struct CommandCounts
      */
     uint64_t rd_wr_turnarounds = 0; //!< Bus switched read -> write.
     uint64_t wr_rd_turnarounds = 0; //!< Bus switched write -> read.
+
+    /**
+     * Per-bank ACT/RD/WR/REF breakdown, indexed by
+     * rank * banks + bank (a DramChannel sizes it at construction).
+     * Cumulative like every other counter; epoch deltas come from
+     * snapshot differencing (thermal/epoch_stats.h), so existing
+     * consumers of the scalar counters see no reset ever.
+     */
+    std::vector<BankCounts> per_bank;
 
     /** Commands issued (turnaround counters excluded). */
     uint64_t total() const;
@@ -161,6 +191,21 @@ class DramChannel
     /** Issue counters. */
     const CommandCounts &counts() const { return counts_; }
 
+    /**
+     * Cumulative cycles the bank has held a row open up to `now`
+     * (row-open residency: the static open-page power term of the
+     * thermal model). Monotone in `now`; epoch deltas come from
+     * snapshot differencing like the per-bank counters.
+     */
+    Cycle openResidency(int rank, int bank, Cycle now) const
+    {
+        const size_t bi = bankIdx(rank, bank);
+        Cycle r = bank_open_cycles_[bi];
+        if (bank_active_[bi] && now > bank_open_since_[bi])
+            r += now - bank_open_since_[bi];
+        return r;
+    }
+
     /** Largest issue time seen so far (campaign end time). */
     Cycle lastIssueCycle() const { return last_issue_; }
 
@@ -208,6 +253,10 @@ class DramChannel
     std::vector<Cycle> bank_next_pre_;
     std::vector<Cycle> bank_next_rdwr_;
     std::vector<Cycle> bank_next_rowclone_; //!< 2nd ACT of copy pair.
+    /** Accumulated closed-episode row-open cycles per bank. */
+    std::vector<Cycle> bank_open_cycles_;
+    /** Open timestamp of the current episode (valid while active). */
+    std::vector<Cycle> bank_open_since_;
     /** RowDataState per row, flat: [bankIdx * rows + row]. */
     std::vector<uint8_t> row_state_;
 

@@ -102,6 +102,18 @@ DramSystem::retire(Ticket ticket)
     controller(ticketChannel(ticket)).retire(ticketLocal(ticket));
 }
 
+void
+DramSystem::onComplete(Ticket ticket, CompletionCallback fn)
+{
+    // The consumer registered against the system ticket, so the
+    // channel-local firing re-translates before invoking.
+    controller(ticketChannel(ticket))
+        .onComplete(ticketLocal(ticket),
+                    [fn = std::move(fn), ticket](Ticket, Cycle done) {
+                        fn(ticket, done);
+                    });
+}
+
 size_t
 DramSystem::poll(Cycle now)
 {
@@ -201,6 +213,18 @@ DramSystem::perChannelCounts() const
     out.reserve(channels_.size());
     for (const auto &ch : channels_)
         out.push_back(ch->counts());
+    return out;
+}
+
+std::vector<BankCounts>
+DramSystem::perBankCounts() const
+{
+    std::vector<BankCounts> out;
+    out.reserve(channels_.size() *
+                static_cast<size_t>(config_.ranks * config_.banks));
+    for (const auto &ch : channels_)
+        for (const BankCounts &b : ch->counts().per_bank)
+            out.push_back(b);
     return out;
 }
 

@@ -75,6 +75,7 @@ class DramSystem : public MemoryService
     Cycle acceptedAt(Ticket ticket) const override;
     Cycle completionOf(Ticket ticket) override;
     void retire(Ticket ticket) override;
+    void onComplete(Ticket ticket, CompletionCallback fn) override;
 
     /** Advance every channel's scheduler to `now`. */
     size_t poll(Cycle now) override;
@@ -117,6 +118,13 @@ class DramSystem : public MemoryService
 
     /** Per-channel issue counters, indexed by channel. */
     std::vector<CommandCounts> perChannelCounts() const;
+
+    /**
+     * Per-bank ACT/RD/WR/REF counters concatenated across channels,
+     * indexed by (channel * ranks + rank) * banks + bank. Cumulative;
+     * epoch deltas come from snapshot differencing (EpochStats).
+     */
+    std::vector<BankCounts> perBankCounts() const;
 
     /** Aggregate counters across all channels. */
     CommandCounts totalCounts() const;

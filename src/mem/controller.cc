@@ -82,6 +82,54 @@ MemoryController::markCompleted(Ticket ticket, Cycle completion)
         return; // Retired fire-and-forget; nothing to record.
     rec->completed = true;
     rec->completion = completion;
+    if (!callbacks_.empty())
+        fireCallback(ticket, completion);
+}
+
+void
+MemoryController::fireCallback(Ticket ticket, Cycle completion)
+{
+    auto it = callbacks_.find(ticket);
+    if (it == callbacks_.end())
+        return;
+    // Move the callback out before invoking so the map mutation is
+    // done before user code runs; releasing this ticket's record
+    // never moves other live slots (SlotArena contract), so any
+    // servicing loop holding a different record stays valid.
+    CompletionCallback fn = std::move(it->second);
+    callbacks_.erase(it);
+    records_.release(ticket);
+#ifndef NDEBUG
+    in_callback_ = true;
+#endif
+    fn(ticket, completion);
+#ifndef NDEBUG
+    in_callback_ = false;
+#endif
+}
+
+void
+MemoryController::onComplete(Ticket ticket, CompletionCallback fn)
+{
+    CODIC_ASSERT(fn != nullptr, "onComplete: null callback");
+    TxnRecord *rec = records_.find(ticket);
+    CODIC_ASSERT(rec != nullptr,
+                 "onComplete: unknown or already-resolved ticket");
+    if (rec->completed) {
+        // Already serviced (e.g. an eager write drained during its
+        // own acceptance): fire immediately, same ownership rules.
+        const Cycle done = rec->completion;
+        records_.release(ticket);
+#ifndef NDEBUG
+        in_callback_ = true;
+#endif
+        fn(ticket, done);
+#ifndef NDEBUG
+        in_callback_ = false;
+#endif
+        return;
+    }
+    callbacks_.emplace(ticket, std::move(fn));
 }
 
 Cycle
@@ -417,6 +465,13 @@ Ticket
 MemoryController::submit(const MemTransaction &txn,
                          const Address &addr)
 {
+#ifndef NDEBUG
+    // A completion callback must not re-enter the service: allocate
+    // below may grow the record arena and invalidate the record
+    // pointer a servicing loop is holding (see onComplete contract).
+    CODIC_ASSERT(!in_callback_,
+                 "submit() called from inside a completion callback");
+#endif
     TxnRecord rec;
     rec.kind = txn.kind;
     rec.accepted = txn.arrival;
@@ -473,6 +528,11 @@ MemoryController::completionOf(Ticket ticket)
     TxnRecord *rec = records_.find(ticket);
     CODIC_ASSERT(rec != nullptr,
                  "completionOf: unknown or already-resolved ticket");
+    // A callback-owned ticket auto-retires when its callback fires;
+    // blocking on it too would read a released record.
+    CODIC_ASSERT(callbacks_.empty() ||
+                     callbacks_.find(ticket) == callbacks_.end(),
+                 "completionOf on a ticket owned by onComplete()");
     // Servicing below resolves other tickets but never allocates a
     // record, so `rec` stays valid across the loop.
     while (!rec->completed) {

@@ -44,6 +44,7 @@
 #define CODIC_MEM_CONTROLLER_H
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/pool.h"
@@ -105,6 +106,7 @@ class MemoryController : public MemoryService
     Cycle acceptedAt(Ticket ticket) const override;
     Cycle completionOf(Ticket ticket) override;
     void retire(Ticket ticket) override;
+    void onComplete(Ticket ticket, CompletionCallback fn) override;
     size_t poll(Cycle now) override;
     Cycle drainAll() override;
     size_t inFlightCount() const override
@@ -274,6 +276,9 @@ class MemoryController : public MemoryService
     /** Record a ticket's completion if it is still tracked. */
     void markCompleted(Ticket ticket, Cycle completion);
 
+    /** Fire and release a registered callback (see onComplete()). */
+    void fireCallback(Ticket ticket, Cycle completion);
+
     DramChannel &channel_;
     ControllerConfig config_;
     AddressMap map_;
@@ -308,9 +313,20 @@ class MemoryController : public MemoryService
      * assembly and issueRowBatch() never re-enter a drain or flush.
      */
     std::vector<PendingWrite> batch_scratch_;
+    /**
+     * Completion callbacks by ticket (co-sim consumers only). A side
+     * map rather than a TxnRecord field so the blocking hot path
+     * pays exactly one empty() branch per completion when no
+     * callback was ever registered.
+     */
+    std::unordered_map<Ticket, CompletionCallback> callbacks_;
     uint64_t accepted_writes_ = 0;
     /** Consecutive window bypasses of the current queue head. */
     int head_bypasses_ = 0;
+#ifndef NDEBUG
+    /** Re-entrancy guard: true while a callback is running. */
+    bool in_callback_ = false;
+#endif
 };
 
 } // namespace codic

@@ -45,6 +45,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "dram/config.h"
 #include "mem/transaction.h"
@@ -52,6 +53,13 @@
 namespace codic {
 
 class AddressMap;
+
+/**
+ * Completion notification for the co-simulation path: invoked with
+ * the ticket and its completion cycle when the transaction's command
+ * sequence finishes (see MemoryService::onComplete).
+ */
+using CompletionCallback = std::function<void(Ticket, Cycle)>;
 
 /** Transaction-level service over one channel or a whole system. */
 class MemoryService
@@ -81,6 +89,22 @@ class MemoryService
 
     /** Drop a ticket whose completion will never be queried. */
     virtual void retire(Ticket ticket) = 0;
+
+    /**
+     * Register a completion callback on a live ticket (the
+     * co-simulation path: a TickEngine producer submits without
+     * blocking and learns the completion when the scheduler services
+     * the transaction under poll()/drainAll()/another consumer's
+     * resolution). Registering transfers ticket ownership to the
+     * service: the ticket auto-retires when the callback fires, so
+     * the caller must not also call completionOf()/retire() on it.
+     * A ticket whose transaction already completed fires immediately
+     * (before this call returns). Callbacks observe a consistent
+     * scheduler: they must not re-enter the service (no submit /
+     * completionOf / poll from inside a callback) - record the event
+     * and act on the next producer tick, as dramsim3 frontends do.
+     */
+    virtual void onComplete(Ticket ticket, CompletionCallback fn) = 0;
 
     /**
      * Advance the scheduler to `now`: issue every queued read/row-op

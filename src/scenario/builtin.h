@@ -23,6 +23,7 @@ void registerFleetScenarios(ScenarioRegistry &registry);
 void registerSchedulerScenarios(ScenarioRegistry &registry);
 void registerRefreshScenarios(ScenarioRegistry &registry);
 void registerTraceScenarios(ScenarioRegistry &registry);
+void registerThermalScenarios(ScenarioRegistry &registry);
 
 } // namespace codic
 

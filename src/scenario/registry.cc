@@ -55,6 +55,7 @@ ScenarioRegistry::instance()
         registerSchedulerScenarios(*r);
         registerRefreshScenarios(*r);
         registerTraceScenarios(*r);
+        registerThermalScenarios(*r);
         return r;
     }();
     return *registry;

@@ -89,6 +89,9 @@ class InOrderCore
     /** Local time (ns). */
     double timeNs() const { return now_ns_; }
 
+    /** Local time in DRAM cycles (the TickEngine ordering key). */
+    Cycle nowCycles() const;
+
     /** Execute the next trace op. */
     void step();
 
@@ -98,7 +101,6 @@ class InOrderCore
     const CoreStats &stats() const { return stats_; }
 
   private:
-    Cycle nowCycles() const;
     void advanceTo(Cycle dram_cycle);
     void cpuCycles(double n);
     void doLoad(uint64_t addr);

@@ -1,0 +1,67 @@
+#include "thermal/epoch_stats.h"
+
+#include "common/logging.h"
+#include "dram/system.h"
+
+namespace codic {
+
+EpochStats::EpochStats(DramSystem &system) : system_(system)
+{
+    snap_ = snapshotAt(0);
+}
+
+std::vector<BankEpochActivity>
+EpochStats::snapshotAt(Cycle now) const
+{
+    const DramConfig &cfg = system_.config();
+    std::vector<BankEpochActivity> out;
+    out.reserve(static_cast<size_t>(system_.channelCount()) *
+                static_cast<size_t>(cfg.ranks * cfg.banks));
+    for (int c = 0; c < system_.channelCount(); ++c) {
+        const DramChannel &ch =
+            static_cast<const DramSystem &>(system_).channel(c);
+        const auto &per_bank = ch.counts().per_bank;
+        for (int r = 0; r < cfg.ranks; ++r) {
+            for (int b = 0; b < cfg.banks; ++b) {
+                const size_t bi =
+                    static_cast<size_t>(r * cfg.banks + b);
+                BankEpochActivity a;
+                a.channel = c;
+                a.rank = r;
+                a.bank = b;
+                a.act = per_bank[bi].act;
+                a.rd = per_bank[bi].rd;
+                a.wr = per_bank[bi].wr;
+                a.ref = per_bank[bi].ref;
+                a.open_cycles = ch.openResidency(r, b, now);
+                out.push_back(a);
+            }
+        }
+    }
+    return out;
+}
+
+void
+EpochStats::beginEpoch(Cycle now)
+{
+    snap_ = snapshotAt(now);
+}
+
+std::vector<BankEpochActivity>
+EpochStats::endEpoch(Cycle now)
+{
+    std::vector<BankEpochActivity> current = snapshotAt(now);
+    CODIC_ASSERT(current.size() == snap_.size());
+    std::vector<BankEpochActivity> delta = current;
+    for (size_t i = 0; i < delta.size(); ++i) {
+        delta[i].act -= snap_[i].act;
+        delta[i].rd -= snap_[i].rd;
+        delta[i].wr -= snap_[i].wr;
+        delta[i].ref -= snap_[i].ref;
+        delta[i].open_cycles -= snap_[i].open_cycles;
+    }
+    snap_ = std::move(current);
+    return delta;
+}
+
+} // namespace codic

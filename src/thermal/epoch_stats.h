@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-bank epoch activity accounting for the thermal feedback loop.
+ *
+ * The DRAM counters (CommandCounts::per_bank, DramChannel row-open
+ * residency) are cumulative and never reset - the golden outputs of
+ * the paper campaigns depend on that. Epoch semantics come from
+ * snapshot differencing instead: beginEpoch() snapshots the
+ * cumulative state, endEpoch() returns the delta and re-snapshots,
+ * so the same DramSystem serves blocking consumers and the thermal
+ * loop simultaneously with zero interference.
+ */
+
+#ifndef CODIC_THERMAL_EPOCH_STATS_H
+#define CODIC_THERMAL_EPOCH_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.h"
+
+namespace codic {
+
+class DramSystem;
+
+/** One bank's activity within one epoch. */
+struct BankEpochActivity
+{
+    int channel = 0;
+    int rank = 0;
+    int bank = 0;
+    uint64_t act = 0;
+    uint64_t rd = 0;
+    uint64_t wr = 0;
+    uint64_t ref = 0;
+    /** Row-open residency within the epoch, in DRAM cycles. */
+    Cycle open_cycles = 0;
+};
+
+/** Epoch-resettable view over a DramSystem's per-bank activity. */
+class EpochStats
+{
+  public:
+    /** Binds to the system and snapshots its current state. */
+    explicit EpochStats(DramSystem &system);
+
+    /** Banks tracked (channels * ranks * banks). */
+    size_t bankCount() const { return snap_.size(); }
+
+    /** Restart the epoch at `now` (drop activity since last snap). */
+    void beginEpoch(Cycle now);
+
+    /**
+     * Activity since the last begin/end, sampled at `now`; the next
+     * epoch starts here. Order: channel-major, then rank, then bank.
+     */
+    std::vector<BankEpochActivity> endEpoch(Cycle now);
+
+  private:
+    std::vector<BankEpochActivity> snapshotAt(Cycle now) const;
+
+    DramSystem &system_;
+    std::vector<BankEpochActivity> snap_;
+};
+
+} // namespace codic
+
+#endif // CODIC_THERMAL_EPOCH_STATS_H

@@ -53,6 +53,9 @@ TEST(ScenarioRegistry, CoversEveryPaperArtifactServedByABench)
         // Trace subsystem (record/replay surface).
         "trace_replay",               "trace_filter_ablation",
         "trace_vs_synthetic",
+        // Co-simulation / thermal subsystem (TickEngine surface).
+        "thermal_feedback",           "thermal_throttling",
+        "multicore_contention",
     };
     auto &registry = ScenarioRegistry::instance();
     for (const char *name : required) {

@@ -2,11 +2,13 @@
 """Benchmark-trajectory report over the codic_run scenarios.
 
 Runs the bench_hotpath microbenchmark plus the fleet + scheduler +
-refresh scenarios, extracts the hot path's wall-clock throughput and
-the scenarios' *modeled* metrics (makespan, latency percentiles,
-read-queue latencies, energy - deterministic, machine-independent
-values) into a BENCH_PR6.json trajectory file, and gates on four
-conditions:
+refresh + thermal/co-sim scenarios, extracts the hot path's
+wall-clock throughput and the scenarios' *modeled* metrics (makespan,
+latency percentiles, read-queue latencies, energy, thermal peaks,
+contention slowdowns - deterministic, machine-independent values)
+into a BENCH_PR8.json trajectory file, and gates on four conditions
+(plus the thermal closed-loop invariants, which are hard errors in
+the extractors themselves):
 
   1. No lower-is-better metric regresses more than --tolerance
      (default 15%) against the committed baseline. Metrics absent
@@ -34,7 +36,7 @@ when present but never gated on: only modeled values are comparable
 across machines.
 
 Usage:
-  bench_report.py --build-dir build --out BENCH_PR6.json \
+  bench_report.py --build-dir build --out BENCH_PR8.json \
       [--baseline bench/BENCH_baseline.json] [--tolerance 0.15] \
       [--hotpath-tolerance 0.15] [--min-improvement 20] \
       [--min-read-window-improvement 20] [--write-baseline FILE] \
@@ -212,6 +214,58 @@ def read_window_metrics(doc, window):
     }
 
 
+def thermal_metrics(doc):
+    """Closed-loop summary of a thermal_feedback run.
+
+    The idle-convergence and monotone-response invariants are hard
+    gates here (they are the subsystem's correctness contract, not a
+    performance trajectory); the peak temperature and flip response
+    are recorded as telemetry.
+    """
+    pts = rows(doc, lambda r: "idle_matches_static" in r)
+    if not pts:
+        raise SystemExit("bench_report: no thermal_feedback summary "
+                         "row emitted")
+    r = pts[0]
+    if not r["idle_matches_static"]:
+        raise SystemExit("bench_report: thermal_feedback idle epochs "
+                         "diverged from the static paper numbers")
+    if not (r["flip_response_nonzero"] and
+            r["flip_response_monotone"]):
+        raise SystemExit("bench_report: thermal_feedback storm did "
+                         "not produce a monotone nonzero flip "
+                         "response")
+    return {
+        "makespan_ms": None,
+        "total_service_ms": None,
+        "p50_us": None,
+        "p95_us": None,
+        "p99_us": None,
+        "energy_mj": None,
+        "storm_peak_temp_c": r["storm_peak_temp_c"],
+        "min_mean_jaccard": r["min_mean_jaccard"],
+    }
+
+
+def contention_metrics(doc, cores):
+    """Aggregate slowdown of one multicore_contention core count."""
+    pts = rows(doc, lambda r: r.get("cores") == cores and
+               "mean_slowdown" in r)
+    if not pts:
+        raise SystemExit(
+            f"bench_report: no contention summary for {cores} cores")
+    r = pts[0]
+    return {
+        "makespan_ms": r["makespan_us"] / 1e3,
+        "total_service_ms": None,
+        "p50_us": None,
+        "p95_us": None,
+        "p99_us": None,
+        "energy_mj": None,
+        "mean_slowdown": r["mean_slowdown"],
+    }
+
+
 def trace_replay_metrics(doc):
     """Modeled metrics of a trace_replay run."""
     pts = rows(doc, lambda r: "read_p99_us" in r and "records" in r)
@@ -282,6 +336,16 @@ def collect(build_dir, timings, skip_hotpath):
               "not found; skipping trace_replay metrics",
               file=sys.stderr)
 
+    # Co-sim / thermal scenarios: deterministic modeled metrics with
+    # the closed-loop invariants as hard gates. Absent from older
+    # baselines; check_regressions records them with a warning.
+    s["thermal_feedback"] = thermal_metrics(run_codic(
+        build_dir, ["--scenario", "thermal_feedback", "--scale",
+                    BENCH_SCALE], timings))
+    s["multicore_contention@8cores"] = contention_metrics(run_codic(
+        build_dir, ["--scenario", "multicore_contention", "--scale",
+                    BENCH_SCALE, "--cores", "8"], timings), 8)
+
     eager = s["fleet_scaling@8shards:eager"]["makespan_ms"]
     batched = s["fleet_scaling@8shards:batched"]["makespan_ms"]
     report["derived"]["fleet_scaling_batched_improvement_pct"] = (
@@ -351,7 +415,7 @@ def check_hotpath(report, baseline, tolerance):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR6.json")
+    ap.add_argument("--out", default="BENCH_PR8.json")
     ap.add_argument("--baseline", default=None,
                     help="committed baseline to gate against")
     ap.add_argument("--tolerance", type=float, default=0.15)

@@ -9,7 +9,8 @@
  *   codic_run --all --scale 0.01 --out results.json --csv results.csv
  *
  * Options:
- *   --list             List registered scenarios and exit.
+ *   --list             List registered scenarios (grouped by name
+ *                      prefix) and exit.
  *   --scenario NAME    Run one scenario (repeatable).
  *   --all              Run every registered scenario.
  *   --seed N           Campaign seed (default 1: the paper seeds).
@@ -49,6 +50,14 @@
  *                      exist and must differ from --record-trace.
  *   --trace-speed F    Replay inter-arrival rescale (> 1 compresses
  *                      the trace in time; default 1).
+ *   --ambient F        Ambient temperature (C) of the thermal
+ *                      feedback loop (thermal_* scenarios; default
+ *                      30, the paper's static campaign temperature;
+ *                      modeled range -40..120).
+ *   --epoch-us F       Thermal/co-sim epoch length in microseconds
+ *                      (default: each scenario's own, normally 100).
+ *   --cores N          Core count for multicore_contention (default:
+ *                      the scenario's 2/4/8 sweep).
  *   --record-trace FILE Record every DramSystem transaction the
  *                      selected scenarios submit into FILE (the
  *                      post-LLC DRAM-level trace; see
@@ -114,22 +123,39 @@ printUsage()
         "                 [--preset NAME]\n"
         "                 [--trace FILE] [--trace-speed F]\n"
         "                 [--record-trace FILE]\n"
+        "                 [--ambient F] [--epoch-us F] [--cores N]\n"
         "                 [--out FILE] [--csv FILE] [--timings]\n"
         "                 [--quiet]\n"
         "       codic_run --trace-info FILE\n");
+}
+
+/** Group key of a scenario name: the part before the first '_'. */
+std::string
+listGroupOf(const std::string &name)
+{
+    return name.substr(0, name.find('_'));
 }
 
 void
 printList()
 {
     const auto scenarios = ScenarioRegistry::instance().scenarios();
-    std::printf("%zu registered scenarios:\n\n", scenarios.size());
+    std::printf("%zu registered scenarios:\n", scenarios.size());
     size_t width = 0;
     for (const Scenario *s : scenarios)
         width = std::max(width, s->name().size());
-    for (const Scenario *s : scenarios)
+    // scenarios() is name-sorted, so each prefix group is contiguous:
+    // emit a blank line + header whenever the prefix changes.
+    std::string group;
+    for (const Scenario *s : scenarios) {
+        const std::string g = listGroupOf(s->name());
+        if (g != group) {
+            group = g;
+            std::printf("\n%s:\n", group.c_str());
+        }
         std::printf("  %-*s  %s\n", static_cast<int>(width),
                     s->name().c_str(), s->describe().c_str());
+    }
 }
 
 int
@@ -324,6 +350,22 @@ main(int argc, char **argv)
                 parseDouble("--trace-speed", next("--trace-speed"));
             if (!(options.trace_speed > 0.0))
                 return fail("--trace-speed must be > 0");
+        } else if (arg == "--ambient") {
+            options.ambient_c =
+                parseDouble("--ambient", next("--ambient"));
+            if (!(options.ambient_c >= -40.0) ||
+                !(options.ambient_c <= 120.0))
+                return fail("--ambient must be within the modeled "
+                            "-40..120 C range");
+        } else if (arg == "--epoch-us") {
+            options.epoch_us =
+                parseDouble("--epoch-us", next("--epoch-us"));
+            if (!(options.epoch_us > 0.0))
+                return fail("--epoch-us must be > 0");
+        } else if (arg == "--cores") {
+            options.cores = parseIntArg("--cores", next("--cores"));
+            if (options.cores < 1)
+                return fail("--cores must be >= 1");
         } else if (arg == "--record-trace") {
             options.record_trace = next("--record-trace");
         } else if (arg == "--trace-info") {
