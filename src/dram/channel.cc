@@ -9,7 +9,8 @@ namespace codic {
 uint64_t
 CommandCounts::total() const
 {
-    return act + pre + rd + wr + ref + mrs + codic + rowclone + lisa_rbm;
+    return act + pre + rd + wr + ref + refpb + mrs + codic +
+           rowclone + lisa_rbm;
 }
 
 CommandCounts &
@@ -20,12 +21,14 @@ CommandCounts::operator+=(const CommandCounts &other)
     rd += other.rd;
     wr += other.wr;
     ref += other.ref;
+    refpb += other.refpb;
     mrs += other.mrs;
     codic += other.codic;
     rowclone += other.rowclone;
     lisa_rbm += other.lisa_rbm;
     rd_wr_turnarounds += other.rd_wr_turnarounds;
     wr_rd_turnarounds += other.wr_rd_turnarounds;
+    refresh_overlap_cycles += other.refresh_overlap_cycles;
     // Channels may have distinct geometries in test sweeps: merge
     // index-wise up to the larger bank set.
     if (per_bank.size() < other.per_bank.size())
@@ -187,6 +190,16 @@ DramChannel::earliest(const Command &cmd) const
             when = std::max(when, bank_next_act_[b]);
         }
         return when;
+      }
+      case CommandType::RefPb: {
+        // REFpb occupies only the target bank: it must be precharged
+        // (the controller precharges it first, like the rank REF
+        // path), but sibling banks may keep rows open and keep
+        // serving column traffic - that is the whole point of the
+        // per-bank mode.
+        if (bank_active_[bi])
+            panic("REFPB with bank ", cmd.addr.bank, " still active");
+        return std::max(bank_next_act_[bi], rank_next_any_[r]);
       }
       case CommandType::Mrs:
         return rank_next_any_[r];
@@ -360,10 +373,31 @@ DramChannel::apply(const Command &cmd, Cycle t)
             // one per-bank REF to each (the energy splits ref_nj
             // evenly in the thermal model).
             ++counts_.per_bank[b].ref;
+            counts_.per_bank[b].refresh_cycles +=
+                static_cast<uint64_t>(tt.trfc);
             bank_next_act_[b] = std::max(bank_next_act_[b],
                                          t + tt.trfc);
         }
         return t + tt.trfc;
+      }
+      case CommandType::RefPb: {
+        ++counts_.refpb;
+        ++counts_.per_bank[bi].refpb;
+        counts_.per_bank[bi].refresh_cycles +=
+            static_cast<uint64_t>(tt.trfcpb);
+        // Overlap stat: every sibling bank that keeps a row open
+        // through this refresh is bank-parallelism an all-bank REF
+        // would have forfeited.
+        const size_t base = bankIdx(cmd.addr.rank, 0);
+        for (int i = 0; i < config_.banks; ++i) {
+            const size_t b = base + static_cast<size_t>(i);
+            if (b != bi && bank_active_[b])
+                counts_.refresh_overlap_cycles +=
+                    static_cast<uint64_t>(tt.trfcpb);
+        }
+        bank_next_act_[bi] = std::max(bank_next_act_[bi],
+                                      t + tt.trfcpb);
+        return t + tt.trfcpb;
       }
       case CommandType::Mrs: {
         ++counts_.mrs;

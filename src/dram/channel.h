@@ -37,6 +37,14 @@ struct BankCounts
     uint64_t rd = 0;
     uint64_t wr = 0;
     uint64_t ref = 0; //!< Rank REFs attributed to each bank refreshed.
+    uint64_t refpb = 0; //!< Per-bank REFpb commands issued to the bank.
+
+    /**
+     * Cycles the bank spent locked out under refresh (tRFC per rank
+     * REF attributed to it, tRFCpb per REFpb) - the ramulator-style
+     * per-node refresh-cycle stat the REFpb ablation reads.
+     */
+    uint64_t refresh_cycles = 0;
 
     BankCounts &operator+=(const BankCounts &other)
     {
@@ -44,6 +52,8 @@ struct BankCounts
         rd += other.rd;
         wr += other.wr;
         ref += other.ref;
+        refpb += other.refpb;
+        refresh_cycles += other.refresh_cycles;
         return *this;
     }
 };
@@ -56,6 +66,7 @@ struct CommandCounts
     uint64_t rd = 0;
     uint64_t wr = 0;
     uint64_t ref = 0;
+    uint64_t refpb = 0; //!< Per-bank refresh commands (REFpb mode).
     uint64_t mrs = 0;
     uint64_t codic = 0;
     uint64_t rowclone = 0;
@@ -70,6 +81,17 @@ struct CommandCounts
      */
     uint64_t rd_wr_turnarounds = 0; //!< Bus switched read -> write.
     uint64_t wr_rd_turnarounds = 0; //!< Bus switched write -> read.
+
+    /**
+     * Cycles a refresh overlapped with other banks of the same rank
+     * staying active (ramulator's refresh/active-overlap stat, not a
+     * command so excluded from total()): each REFpb contributes
+     * tRFCpb per sibling bank that stayed open through it. An
+     * all-bank REF can never overlap (it requires the whole rank
+     * idle), so this counter is exactly the bank-parallelism REFpb
+     * reclaims.
+     */
+    uint64_t refresh_overlap_cycles = 0;
 
     /**
      * Per-bank ACT/RD/WR/REF breakdown, indexed by

@@ -16,6 +16,7 @@ commandName(CommandType t)
       case CommandType::Rd: return "RD";
       case CommandType::Wr: return "WR";
       case CommandType::Ref: return "REF";
+      case CommandType::RefPb: return "REFPB";
       case CommandType::Mrs: return "MRS";
       case CommandType::Codic: return "CODIC";
       case CommandType::RowClone: return "ROWCLONE";

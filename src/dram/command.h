@@ -21,7 +21,8 @@ enum class CommandType : uint8_t
     PreAll,   //!< Precharge all banks in a rank.
     Rd,       //!< Column read burst.
     Wr,       //!< Column write burst.
-    Ref,      //!< Auto-refresh.
+    Ref,      //!< Auto-refresh (all banks of a rank).
+    RefPb,    //!< Per-bank refresh (REFpb): one bank for tRFCpb.
     Mrs,      //!< Mode-register set (programs CODIC registers too).
     Codic,    //!< The new CODIC command (same format as ACT).
     RowClone, //!< In-DRAM row copy via back-to-back activation

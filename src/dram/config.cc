@@ -41,6 +41,11 @@ SchedulerPolicy::validate() const
         fatal("SchedulerPolicy: refresh_postpone must be in [0, 8] "
               "(JEDEC DDR3 allows at most 8 deferred REFs), got ",
               refresh_postpone);
+    if (per_bank_refresh && !auto_refresh)
+        fatal("SchedulerPolicy: per_bank_refresh requires "
+              "auto_refresh; select it via refresh=per-bank (which "
+              "turns both on) instead of combining refresh=off with "
+              "per-bank mode");
 }
 
 SchedulerPolicy
@@ -58,6 +63,21 @@ SchedulerPolicy::preset(const std::string &name)
         p.read_window = 16;
         p.bank_drain_high = 8;
         p.bank_drain_low = 2;
+        return p;
+    }
+    if (name == "serving") {
+        // QoS preset for mixed fleet traffic: batched-style drains
+        // with higher watermarks (writes buffer longer, so urgent
+        // reads see a clear bus), a wide read window for priority
+        // selection to work in, refresh on with mild postponement,
+        // and priority-aware scheduling enabled.
+        SchedulerPolicy p{85, 35, 16, 8};
+        p.read_window = 16;
+        p.bank_drain_high = 8;
+        p.bank_drain_low = 2;
+        p.auto_refresh = true;
+        p.refresh_postpone = 4;
+        p.priority_sched = true;
         return p;
     }
     std::string known;
@@ -95,13 +115,29 @@ SchedulerPolicy::parse(const std::string &spec)
         const std::string key = item.substr(0, eq);
         const std::string value = item.substr(eq + 1);
         if (key == "refresh") {
-            if (value == "auto")
+            if (value == "auto") {
                 policy.auto_refresh = true;
-            else if (value == "off")
+                policy.per_bank_refresh = false;
+            } else if (value == "per-bank") {
+                policy.auto_refresh = true;
+                policy.per_bank_refresh = true;
+            } else if (value == "off") {
                 policy.auto_refresh = false;
+                policy.per_bank_refresh = false;
+            } else {
+                fatal("SchedulerPolicy: refresh must be 'off', "
+                      "'auto', or 'per-bank', got '", value, "'");
+            }
+            continue;
+        }
+        if (key == "priority") {
+            if (value == "on")
+                policy.priority_sched = true;
+            else if (value == "off")
+                policy.priority_sched = false;
             else
-                fatal("SchedulerPolicy: refresh must be 'off' or "
-                      "'auto', got '", value, "'");
+                fatal("SchedulerPolicy: priority must be 'off' or "
+                      "'on', got '", value, "'");
             continue;
         }
         char *end = nullptr;
@@ -143,7 +179,7 @@ SchedulerPolicy::parse(const std::string &spec)
 std::vector<std::string>
 SchedulerPolicy::presetNames()
 {
-    return {"eager", "batched", "aggressive"};
+    return {"eager", "batched", "aggressive", "serving"};
 }
 
 std::string
@@ -160,6 +196,11 @@ SchedulerPolicy::describeKnobs()
         "  aggressive  90/10 watermarks, 32-deep row-hit batches,\n"
         "              16-deep replay slices, 16-wide read window,\n"
         "              8/2 per-bank drain watermarks\n"
+        "  serving     QoS preset for mixed fleet traffic: 85/35\n"
+        "              watermarks, 16-wide read window, 8/2 per-bank\n"
+        "              watermarks, refresh=auto with postpone 4, and\n"
+        "              priority=on (urgent reads preempt background\n"
+        "              traffic within the 16-bypass starvation bound)\n"
         "\n"
         "knob overrides (appended as :knob=value,knob=value):\n"
         "  drain_high_pct=N    write-queue % occupancy starting a drain\n"
@@ -172,9 +213,21 @@ SchedulerPolicy::describeKnobs()
         "  bank_drain_high=N   per-bank pending writes triggering a\n"
         "                      bank-local drain (0 = disabled)\n"
         "  bank_drain_low=N    per-bank occupancy where that drain stops\n"
-        "  refresh=off|auto    controller-injected REF every tREFI\n"
+        "  refresh=off|auto|per-bank\n"
+        "                      controller-injected refresh: 'auto' = one\n"
+        "                      all-bank REF per rank every tREFI;\n"
+        "                      'per-bank' = REFpb every tREFIpb\n"
+        "                      (tREFI/banks), round-robin over the banks,\n"
+        "                      occupying only the target bank for tRFCpb\n"
         "  refresh_postpone=N  due REFs deferrable while work is pending\n"
         "                      (JEDEC DDR3: at most 8)\n"
+        "  priority=off|on     priority-aware scheduling: arrived requests\n"
+        "                      of a more urgent class (lower\n"
+        "                      MemTransaction::priority) are scheduled\n"
+        "                      first within the read window, and urgent\n"
+        "                      reads (priority < 0) jump between\n"
+        "                      write-drain batches; head bypasses still\n"
+        "                      age out after 16, bounding starvation\n"
         "\n"
         "example: --sched batched:refresh=auto,refresh_postpone=4\n";
 }
@@ -231,6 +284,15 @@ DramConfig::validate() const
               timing.trfc, "; a REF must occupy the rank for a "
               "positive refresh cycle time (4 Gb DDR3 default: 208 = "
               "260 ns)");
+    if (timing.trfcpb <= 0 || timing.trfcpb > timing.trfc)
+        fatal("DramConfig '", name, "': tRFCpb must be in (0, tRFC], "
+              "got ", timing.trfcpb, " (tRFC ", timing.trfc,
+              "); a per-bank refresh is strictly cheaper than the "
+              "all-bank REF of the same density class");
+    if (scheduler.per_bank_refresh && timing.trefi / banks <= 0)
+        fatal("DramConfig '", name, "': per-bank refresh needs "
+              "tREFIpb = tREFI / banks >= 1 cycle, got tREFI ",
+              timing.trefi, " over ", banks, " banks");
     scheduler.validate();
 }
 
@@ -271,6 +333,10 @@ sizeModule(DramConfig &cfg, int64_t capacity_mb, int channels,
                            (static_cast<int64_t>(channels) * ranks * 8) /
                            (1 << 30) * 8.0;
     cfg.timing.trfc = cfg.nsToCycles(trfcNsForChipGb(chip_gb));
+    // JEDEC per-bank grades pin tRFCpb at roughly half the all-bank
+    // tRFC of the same density class.
+    cfg.timing.trfcpb =
+        cfg.nsToCycles(trfcNsForChipGb(chip_gb) * 0.5);
     cfg.validate();
 }
 

@@ -102,6 +102,32 @@ struct SchedulerPolicy
      */
     int refresh_postpone = 8;
 
+    /**
+     * With auto_refresh on: refresh one bank at a time (REFpb, the
+     * LPDDR/DDR4 fine-granularity mode) instead of the whole rank.
+     * REFpb commands issue every tREFIpb = tREFI / banks, rotating
+     * round-robin over the banks, and occupy only the target bank
+     * for tRFCpb - the other banks keep serving reads and writes, so
+     * refresh stops landing in the latency tail. Selected via the
+     * "refresh=per-bank" knob value (which also turns auto_refresh
+     * on); requires auto_refresh.
+     */
+    bool per_bank_refresh = false;
+
+    /**
+     * Priority-aware scheduling ("priority=on"): within the FR-FCFS
+     * read-reordering window, an arrived request of a more urgent
+     * class (lower MemTransaction::priority value) is scheduled
+     * before less urgent ones, and urgent reads (priority < 0) jump
+     * between write-drain batches instead of waiting for the episode
+     * to finish. Starvation stays bounded: bypassing the queue head
+     * - for row hits or for priority - counts against the same
+     * 16-bypass aging rule, after which the head is force-scheduled
+     * regardless of class. Off by default and in every pre-existing
+     * preset, so priority tags stay inert unless asked for.
+     */
+    bool priority_sched = false;
+
     /** Reject inconsistent knob values with a FatalError. */
     void validate() const;
 
@@ -109,8 +135,11 @@ struct SchedulerPolicy
      * Named preset: "eager" (the legacy zero-value default above),
      * "batched" (75/25 watermarks, 16-deep row-hit batches, 8-deep
      * replay slices, 8-wide read window - the serving-stack
-     * default), or "aggressive" (90/10, 32, 16, 16-wide window,
-     * 8/2 per-bank watermarks). Unknown names are fatal.
+     * default), "aggressive" (90/10, 32, 16, 16-wide window,
+     * 8/2 per-bank watermarks), or "serving" (the QoS preset:
+     * batched watermarks tuned to 85/35, 16-wide window, per-bank
+     * watermarks, refresh=auto with postpone 4, priority scheduling
+     * on). Unknown names are fatal.
      */
     static SchedulerPolicy preset(const std::string &name);
 
@@ -118,7 +147,8 @@ struct SchedulerPolicy
      * Resolve a full --sched spec: a preset name optionally followed
      * by ":knob=value,knob=value" overrides, e.g.
      * "batched:read_window=16,refresh=auto,refresh_postpone=4".
-     * Knob keys are the field names above (plus "refresh=off|auto").
+     * Knob keys are the field names above (plus
+     * "refresh=off|auto|per-bank" and "priority=off|on").
      * Unknown presets, knobs, or malformed values are fatal;
      * the assembled policy is validate()d before returning.
      */
@@ -152,6 +182,14 @@ struct TimingParams
     Cycle trtp = 6;   //!< RD to PRE (7.5 ns).
     Cycle trefi = 6240; //!< Average refresh interval (7.8 us).
     Cycle trfc = 208; //!< Refresh cycle time (260 ns for 4 Gb).
+    /**
+     * Per-bank refresh cycle time (REFpb, used when
+     * SchedulerPolicy::per_bank_refresh is on). JEDEC's
+     * fine-granularity / per-bank grades pin tRFCpb at roughly half
+     * the all-bank tRFC of the same density class; the per-bank
+     * average interval tREFIpb is derived as tREFI / banks.
+     */
+    Cycle trfcpb = 104;
     Cycle tmrd = 4;   //!< MRS to any command.
     Cycle txp = 5;    //!< Power-down / self-refresh exit to command.
 

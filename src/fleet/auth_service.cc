@@ -264,6 +264,15 @@ struct ReplayCursor
     Kind kind = Kind::None;
     uint64_t base = 0;     //!< Device's base physical address.
     uint64_t origin = 0;   //!< Device id (transaction origin tag).
+    /**
+     * Priority stamped on every footprint transaction. Authenticate
+     * evaluations are tagged urgent (-1) unconditionally - the tag
+     * is inert unless the scheduler runs with priority_sched (the
+     * serving preset), so priority-blind presets keep their replay
+     * byte-identical.
+     */
+    int priority = 0;
+    size_t slot = 0;       //!< Stream index (replay latency slot).
     int bursts = 0;        //!< Eval: read bursts per pass.
     int passes_left = 0;   //!< Eval: passes still to run.
     int reads_left = 0;    //!< Eval: bursts left in current pass.
@@ -294,7 +303,8 @@ struct ReplayCursor
                 // Pass boundary: the CODIC row command that launches
                 // the next filtered evaluation pass.
                 in_flight = sys.submit(MemTransaction::makeRowOp(
-                    base, now, RowOpMechanism::CodicDet, 0, origin));
+                    base, now, RowOpMechanism::CodicDet, 0, origin,
+                    priority));
                 --passes_left;
                 reads_left = bursts;
                 read_idx = 0;
@@ -304,7 +314,7 @@ struct ReplayCursor
             in_flight = sys.submit(MemTransaction::makeRead(
                 base + static_cast<uint64_t>(read_idx) *
                            static_cast<uint64_t>(burst_bytes),
-                now, origin));
+                now, origin, priority));
             ++read_idx;
             --reads_left;
             return;
@@ -434,6 +444,8 @@ struct RequestResult
 {
     double service_ns = 0;
     double energy_nj = 0;
+    /** Replay latency: slice start to footprint completion (ns). */
+    double replay_ns = 0;
     bool accepted = false;
     bool rejected = false;
     bool unknown = false;
@@ -515,8 +527,10 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
             ReplayCursor cur;
             cur.now = start;
             cur.origin = req.device_id;
+            cur.slot = i;
             switch (req.kind) {
               case RequestKind::Authenticate: {
+                cur.priority = -1; // Urgent class (serving preset).
                 const auto golden = store_.lookup(req.device_id);
                 if (!golden) {
                     res.unknown = true;
@@ -735,8 +749,17 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
                     next->submitNext(sys);
             }
             Cycle slice_end = slice_start;
-            for (const auto &c : cursors)
+            for (const auto &c : cursors) {
+                // Replay latency of the request: every cursor of the
+                // slice started at slice_start (re-stamped for the
+                // carried cursor), so its clock delta is how long its
+                // footprint took on the shared channel - the number
+                // the QoS ablation's auth percentiles are built from.
+                if (c.kind != ReplayCursor::Kind::None)
+                    results[c.slot].replay_ns =
+                        fc.dram.cyclesToNs(c.now - slice_start);
                 slice_end = std::max(slice_end, c.now);
+            }
             slice_start = slice_end;
         }
         shard_busy[shard] = fc.dram.cyclesToNs(sys.lastIssueCycle());
@@ -773,9 +796,13 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
     report.open_loop = open_loop;
     std::vector<double> latencies;
     latencies.reserve(stream.size());
+    std::vector<double> auth_replays;
     double wait_sum = 0.0;
     for (size_t i = 0; i < stream.size(); ++i) {
         const RequestResult &res = results[i];
+        if (stream[i].kind == RequestKind::Authenticate &&
+            !res.unknown)
+            auth_replays.push_back(res.replay_ns);
         ++report.by_kind[static_cast<int>(stream[i].kind)];
         report.accepted += res.accepted;
         report.rejected += res.rejected;
@@ -807,6 +834,18 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         report.wait_p95_ns = percentile(waits, 95.0);
         report.wait_max_ns =
             *std::max_element(waits.begin(), waits.end());
+    }
+    if (!auth_replays.empty()) {
+        report.auth_replayed = auth_replays.size();
+        double sum = 0.0;
+        for (double r : auth_replays)
+            sum += r;
+        report.auth_replay_mean_ns =
+            sum / static_cast<double>(auth_replays.size());
+        report.auth_replay_p50_ns = percentile(auth_replays, 50.0);
+        report.auth_replay_p99_ns = percentile(auth_replays, 99.0);
+        report.auth_replay_max_ns = *std::max_element(
+            auth_replays.begin(), auth_replays.end());
     }
     report.shard_busy_ns = std::move(shard_busy);
     report.wall_seconds =

@@ -251,6 +251,22 @@ struct LoadReport
     double total_energy_nj = 0;
 
     /**
+     * Replay-measured authenticate latency: slice start to footprint
+     * completion on the shard's DramSystem, over authenticate
+     * requests that replayed a footprint (known devices). Unlike the
+     * modeled latency above this sees the scheduler - it is what the
+     * serving preset's priority tag and the QoS ablation's >= 20%
+     * p99 gate measure. Depends on the shard count like
+     * shard_busy_ns: report it only where the shard count is pinned
+     * (ablation_qos runs 1 shard) or is the study input.
+     */
+    uint64_t auth_replayed = 0;
+    double auth_replay_mean_ns = 0;
+    double auth_replay_p50_ns = 0;
+    double auth_replay_p99_ns = 0;
+    double auth_replay_max_ns = 0;
+
+    /**
      * Per-shard replay: busy time (ns) of each shard's DramSystem
      * after re-issuing its batch footprints. Depends on the shard
      * count by construction - report it only where the shard count

@@ -182,8 +182,15 @@ Cycle
 MemoryController::drainPendingTo(size_t target, Cycle not_before)
 {
     Cycle done = 0;
-    while (pending_writes_.size() > target)
+    while (pending_writes_.size() > target) {
+        // Urgent reads jump in between batches (their forwarding
+        // flush may itself shrink the pending queue, hence the
+        // re-check before the next batch).
+        serviceUrgentReads(not_before);
+        if (pending_writes_.size() <= target)
+            break;
         done = std::max(done, drainOneBatch(not_before));
+    }
     return done;
 }
 
@@ -196,6 +203,9 @@ MemoryController::drainBankTo(int rank, int bank, size_t target,
                           static_cast<size_t>(channel_.config().banks) +
                       static_cast<size_t>(bank);
     while (bank_pending_[bi] > target) {
+        serviceUrgentReads(not_before);
+        if (bank_pending_[bi] <= target)
+            break;
         // Oldest pending write of the bank anchors the next batch.
         size_t oldest = pending_writes_.size();
         for (size_t i = 0; i < pending_writes_.size(); ++i) {
@@ -232,6 +242,10 @@ MemoryController::catchUpRefresh(int rank, Cycle t)
 {
     if (!sched_.auto_refresh)
         return;
+    if (sched_.per_bank_refresh) {
+        catchUpRefreshPerBank(rank, t);
+        return;
+    }
     const Cycle trefi = channel_.config().timing.trefi;
     const Cycle trfc = channel_.config().timing.trfc;
     auto &issued = refs_issued_[static_cast<size_t>(rank)];
@@ -265,6 +279,49 @@ MemoryController::catchUpRefresh(int rank, Cycle t)
         ref.type = CommandType::Ref;
         ref.addr.channel = channel_.channelId();
         ref.addr.rank = rank;
+        channel_.issueAtEarliest(ref, due);
+        ++issued;
+    }
+}
+
+void
+MemoryController::catchUpRefreshPerBank(int rank, Cycle t)
+{
+    const int banks = channel_.config().banks;
+    const Cycle trefipb = std::max<Cycle>(
+        1, channel_.config().timing.trefi / static_cast<Cycle>(banks));
+    const Cycle trfcpb = channel_.config().timing.trfcpb;
+    auto &issued = refs_issued_[static_cast<size_t>(rank)];
+    // REFpb k is due at cycle k * tREFIpb and targets bank k % banks:
+    // the round-robin rotation still refreshes every bank once per
+    // tREFI (same retention guarantee as all-bank REF), but each
+    // command locks out only its target bank, and for the shorter
+    // tRFCpb. The fits-idle and postponement logic mirrors the
+    // all-bank engine above (JEDEC LPDDR allows postponing up to 8
+    // REFpb commands).
+    while (t / trefipb - issued > 0) {
+        const Cycle due = (issued + 1) * trefipb;
+        const bool fits_idle =
+            std::max(due, channel_.lastIssueCycle()) + trfcpb <= t;
+        if (!fits_idle &&
+            t / trefipb - issued <=
+                static_cast<int64_t>(sched_.refresh_postpone))
+            break; // Busy: defer within the allowance.
+        const int bank = static_cast<int>(
+            static_cast<uint64_t>(issued) %
+            static_cast<uint64_t>(banks));
+        Address a;
+        a.channel = channel_.channelId();
+        a.rank = rank;
+        a.bank = bank;
+        // Only the target bank needs precharging - the sibling banks
+        // keep their rows open, which is exactly the parallelism
+        // REFpb reclaims (counted by refresh_overlap_cycles).
+        if (channel_.bankActive(rank, bank)) {
+            Command pre{CommandType::Pre, a, 0};
+            channel_.issueAtEarliest(pre, due);
+        }
+        Command ref{CommandType::RefPb, a, 0};
         channel_.issueAtEarliest(ref, due);
         ++issued;
     }
@@ -342,6 +399,26 @@ MemoryController::pickRequestIndex(Cycle arrival_bound) const
         static_cast<size_t>(std::max(1, sched_.read_window)));
     if (window <= 1 || head_bypasses_ >= kReadStarvationLimit)
         return 0;
+
+    // Priority scheduling: the most urgent class (lowest priority
+    // value) among arrived requests in the window is served first;
+    // row hits are preferred within the class only. With
+    // priority_sched off every request is in the head's class and
+    // this reduces to plain FR-FCFS row-hit-first.
+    int best_priority = read_q_.front().txn.priority;
+    if (sched_.priority_sched) {
+        for (size_t i = 0; i < window; ++i) {
+            const QueuedRequest &e = read_q_[i];
+            if (e.txn.kind == TxnKind::RowOp)
+                break;
+            if (e.txn.arrival > arrival_bound)
+                continue;
+            best_priority = std::min(best_priority, e.txn.priority);
+        }
+    }
+
+    size_t oldest_in_class = 0;
+    bool have_class_pick = false;
     for (size_t i = 0; i < window; ++i) {
         const QueuedRequest &e = read_q_[i];
         // A row op is a destructive barrier: nothing bypasses it and
@@ -354,10 +431,9 @@ MemoryController::pickRequestIndex(Cycle arrival_bound) const
         // arrival cycle and penalize every already-arrived read.
         if (e.txn.arrival > arrival_bound)
             continue;
+        if (sched_.priority_sched && e.txn.priority != best_priority)
+            continue;
         const Address &a = e.addr;
-        if (!channel_.bankActive(a.rank, a.bank) ||
-            channel_.openRow(a.rank, a.bank) != a.row)
-            continue; // Not a row hit right now.
         // Never bypass an older request to the same row (it would
         // reorder same-address reads around each other and around
         // the forwarding flush the older one triggers).
@@ -370,9 +446,21 @@ MemoryController::pickRequestIndex(Cycle arrival_bound) const
                 break;
             }
         }
-        if (!older_same_row)
-            return i;
+        if (older_same_row)
+            continue;
+        if (!have_class_pick) {
+            oldest_in_class = i;
+            have_class_pick = true;
+        }
+        if (channel_.bankActive(a.rank, a.bank) &&
+            channel_.openRow(a.rank, a.bank) == a.row)
+            return i; // Row hit within the most urgent class.
     }
+    // No row hit: a priority front-end still pulls the oldest
+    // request of the most urgent class ahead of a less urgent head;
+    // FR-FCFS without priorities falls back to the head.
+    if (sched_.priority_sched && have_class_pick)
+        return oldest_in_class;
     return 0;
 }
 
@@ -399,8 +487,67 @@ MemoryController::serviceOneRequest(Cycle arrival_bound)
     const Cycle done = req.txn.kind == TxnKind::Read
                            ? issueRead(req.txn, req.addr)
                            : issueRowOp(req.txn, req.addr);
+    OriginCounts &oc = originSlot(req.txn.origin);
+    if (req.txn.kind == TxnKind::Read) {
+        ++oc.reads;
+        const Cycle latency = done - req.txn.arrival;
+        oc.read_latency_cycles += static_cast<uint64_t>(latency);
+        oc.max_read_latency = std::max(oc.max_read_latency, latency);
+    } else {
+        ++oc.rowops;
+        oc.rowop_latency_cycles +=
+            static_cast<uint64_t>(done - req.txn.arrival);
+    }
     markCompleted(req.ticket, done);
     return done;
+}
+
+OriginCounts &
+MemoryController::originSlot(uint64_t origin)
+{
+    auto it = std::lower_bound(
+        origin_counts_.begin(), origin_counts_.end(), origin,
+        [](const OriginCounts &c, uint64_t o) { return c.origin < o; });
+    if (it == origin_counts_.end() || it->origin != origin) {
+        OriginCounts fresh;
+        fresh.origin = origin;
+        it = origin_counts_.insert(it, fresh);
+    }
+    return *it;
+}
+
+bool
+MemoryController::hasArrivedUrgentRead(Cycle bound) const
+{
+    const size_t window = std::min(
+        read_q_.size(),
+        static_cast<size_t>(std::max(1, sched_.read_window)));
+    for (size_t i = 0; i < window; ++i) {
+        const QueuedRequest &e = read_q_[i];
+        if (e.txn.kind == TxnKind::RowOp)
+            break; // Barrier: nothing jumps a row op.
+        if (e.txn.arrival <= bound && e.txn.priority < 0)
+            return true;
+    }
+    return false;
+}
+
+void
+MemoryController::serviceUrgentReads(Cycle not_before)
+{
+    if (!sched_.priority_sched)
+        return;
+    // Each iteration erases one queue entry (serviceOneRequest may
+    // force the aged head instead of the urgent read itself - the
+    // starvation bound applies to drain jumping too), so this loop
+    // terminates.
+    while (!read_q_.empty()) {
+        const Cycle bound =
+            std::max(not_before, channel_.lastIssueCycle());
+        if (!hasArrivedUrgentRead(bound))
+            return;
+        serviceOneRequest(bound);
+    }
 }
 
 Cycle
@@ -507,6 +654,7 @@ MemoryController::submit(const MemTransaction &txn,
         // have moved; re-find rather than caching across the call
         // anyway (the arena may compact in the future).
         records_.find(ticket)->accepted = accepted;
+        ++originSlot(txn.origin).writes;
         break;
       }
     }

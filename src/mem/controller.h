@@ -34,15 +34,29 @@
  *
  * With SchedulerPolicy::auto_refresh on, the controller injects REF
  * per rank every tREFI, postponing up to refresh_postpone due REFs
- * (JEDEC DDR3: at most 8) while read/write work is pending. The
- * paper campaigns keep refresh off (they legally run at power-on
- * before refresh starts), so the eager preset reproduces the
- * published numbers byte-for-byte.
+ * (JEDEC DDR3: at most 8) while read/write work is pending. With
+ * refresh=per-bank the cadence becomes one REFpb every
+ * tREFIpb = tREFI / banks, rotating round-robin over the banks, so
+ * each bank is still refreshed every tREFI but only the target bank
+ * is locked out (for the shorter tRFCpb) per refresh. The paper
+ * campaigns keep refresh off (they legally run at power-on before
+ * refresh starts), so the eager preset reproduces the published
+ * numbers byte-for-byte.
+ *
+ * With SchedulerPolicy::priority_sched on, the read window becomes
+ * priority-aware: among arrived requests in the window the most
+ * urgent class (lowest MemTransaction::priority) is scheduled first
+ * (row hits preferred within the class), and urgent reads
+ * (priority < 0) jump in between write-drain batches. Both bypass
+ * forms count against the same kReadStarvationLimit aging rule, so a
+ * best-effort head is force-scheduled after at most 16 bypasses -
+ * the explicit starvation bound of the QoS mode.
  */
 
 #ifndef CODIC_MEM_CONTROLLER_H
 #define CODIC_MEM_CONTROLLER_H
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -60,6 +74,45 @@ struct ControllerConfig
     int read_queue_entries = 64;
     int write_queue_entries = 64;
     MapScheme map_scheme = MapScheme::RowBankColumn;
+};
+
+/**
+ * Per-origin command and latency roll-up (QoS accounting). DRAM bus
+ * commands carry no origin, so the controller - which still holds
+ * the submitting MemTransaction - maintains these next to the
+ * channel's CommandCounts; DramSystem::perOriginCounts() merges them
+ * across channels so every scenario can break out e.g. auth-critical
+ * traffic from background streams through its ResultSink rows.
+ */
+struct OriginCounts
+{
+    uint64_t origin = 0; //!< MemTransaction::origin tag.
+
+    uint64_t reads = 0;  //!< Reads serviced for this origin.
+    uint64_t writes = 0; //!< Writes accepted for this origin.
+    uint64_t rowops = 0; //!< Row ops serviced for this origin.
+
+    /** Sum over serviced reads of (completion - arrival) cycles. */
+    uint64_t read_latency_cycles = 0;
+
+    /** Sum over serviced row ops of (completion - arrival) cycles. */
+    uint64_t rowop_latency_cycles = 0;
+
+    /** Largest single read latency seen (cycles). */
+    Cycle max_read_latency = 0;
+
+    /** Merge another origin's roll-up (same origin tag expected). */
+    OriginCounts &operator+=(const OriginCounts &other)
+    {
+        reads += other.reads;
+        writes += other.writes;
+        rowops += other.rowops;
+        read_latency_cycles += other.read_latency_cycles;
+        rowop_latency_cycles += other.rowop_latency_cycles;
+        max_read_latency =
+            std::max(max_read_latency, other.max_read_latency);
+        return *this;
+    }
 };
 
 /**
@@ -141,8 +194,21 @@ class MemoryController : public MemoryService
     /** Reads/row ops queued but not yet issued. */
     size_t pendingReadCount() const { return read_q_.size(); }
 
-    /** REF commands injected so far (auto_refresh accounting). */
+    /**
+     * Refresh commands injected so far (auto_refresh accounting):
+     * rank REFs in all-bank mode, REFpb commands in per-bank mode.
+     */
     uint64_t refreshesIssued() const;
+
+    /**
+     * Per-origin roll-ups, sorted by origin tag (deterministic
+     * iteration regardless of submission interleaving). Reads and
+     * row ops are accounted when serviced, writes when accepted.
+     */
+    const std::vector<OriginCounts> &originCounts() const
+    {
+        return origin_counts_;
+    }
 
     /**
      * Tickets with live bookkeeping (submitted, neither resolved nor
@@ -269,9 +335,30 @@ class MemoryController : public MemoryService
 
     /**
      * Issue REFs to `rank` until its debt at cycle `t` is within the
-     * postponement allowance (no-op unless auto_refresh).
+     * postponement allowance (no-op unless auto_refresh). Dispatches
+     * to the per-bank cadence when refresh=per-bank.
      */
     void catchUpRefresh(int rank, Cycle t);
+
+    /** The REFpb cadence: one bank every tREFIpb, round-robin. */
+    void catchUpRefreshPerBank(int rank, Cycle t);
+
+    /**
+     * True if an urgent read (priority < 0) has arrived by `bound`
+     * within the read window (up to the row-op barrier).
+     */
+    bool hasArrivedUrgentRead(Cycle bound) const;
+
+    /**
+     * Service arrived urgent reads ahead of further write draining
+     * (no-op unless priority_sched). Called between drain batches so
+     * an authenticate-class read never waits out a whole drain
+     * episode behind background writes.
+     */
+    void serviceUrgentReads(Cycle not_before);
+
+    /** Roll-up slot for `origin`, inserted sorted on first use. */
+    OriginCounts &originSlot(uint64_t origin);
 
     /** Record a ticket's completion if it is still tracked. */
     void markCompleted(Ticket ticket, Cycle completion);
@@ -304,8 +391,14 @@ class MemoryController : public MemoryService
      * slots through the free list instead of churning map nodes.
      */
     SlotArena<TxnRecord> records_;
-    /** REFs injected per rank (auto_refresh). */
+    /** Refresh commands injected per rank (REF or REFpb cadence). */
     std::vector<int64_t> refs_issued_;
+    /**
+     * Per-origin roll-ups, kept sorted by origin tag. Origins are
+     * few (a handful of traffic classes), so the per-transaction
+     * lower_bound is a short probe over a hot vector.
+     */
+    std::vector<OriginCounts> origin_counts_;
     /** Pending (unissued) writes per bank, indexed by bankIndex(). */
     std::vector<uint32_t> bank_pending_;
     /**

@@ -55,11 +55,14 @@ struct MemTransaction
     Cycle arrival = 0;
 
     /**
-     * Scheduling priority (lower = more urgent). The FR-FCFS
-     * front-end currently schedules by (arrival, row-hit window)
-     * and ignores this field; it is part of the submission contract
-     * so priority-aware schedulers can be added without another API
-     * change.
+     * Scheduling priority (lower = more urgent; 0 = the default
+     * best-effort class, negative values are the urgent classes).
+     * Inert unless SchedulerPolicy::priority_sched is on; then the
+     * FR-FCFS front-end schedules arrived requests of the most
+     * urgent class present in its read window first, and urgent
+     * reads (priority < 0) jump between write-drain batches. The
+     * 16-bypass aging rule bounds how long any class can be held
+     * back (see MemoryController).
      */
     int priority = 0;
 
@@ -77,13 +80,15 @@ struct MemTransaction
     int64_t reserved_row = 0;
 
     static MemTransaction makeRead(uint64_t addr, Cycle arrival,
-                                   uint64_t origin = 0)
+                                   uint64_t origin = 0,
+                                   int priority = 0)
     {
         MemTransaction t;
         t.kind = TxnKind::Read;
         t.addr = addr;
         t.arrival = arrival;
         t.origin = origin;
+        t.priority = priority;
         return t;
     }
 
@@ -101,7 +106,8 @@ struct MemTransaction
     static MemTransaction makeRowOp(uint64_t addr, Cycle arrival,
                                     RowOpMechanism mech,
                                     int64_t reserved_row = 0,
-                                    uint64_t origin = 0)
+                                    uint64_t origin = 0,
+                                    int priority = 0)
     {
         MemTransaction t;
         t.kind = TxnKind::RowOp;
@@ -110,6 +116,7 @@ struct MemTransaction
         t.mech = mech;
         t.reserved_row = reserved_row;
         t.origin = origin;
+        t.priority = priority;
         return t;
     }
 };

@@ -27,11 +27,13 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "dram/system.h"
 #include "fleet/auth_service.h"
 #include "fleet/device_fleet.h"
 #include "fleet/enrollment_store.h"
 #include "scenario/registry.h"
 #include "scenario/scenario_util.h"
+#include "scenario/scheduler_workloads.h"
 
 namespace codic {
 
@@ -431,6 +433,190 @@ runFleetScaling(RunContext &ctx)
              "state on one shard).");
 }
 
+/**
+ * QoS ablation: priority-blind vs priority-aware vs REFpb scheduling
+ * under fleet-storm traffic, in two complementary halves.
+ *
+ * Half 1 replays the fleet_mixed request storm (shards pinned to 1
+ * so the replay latency is comparable across variants and
+ * independent of --shards/--threads) and reports the replay-measured
+ * authenticate latency percentiles per scheduler variant.
+ *
+ * Half 2 drives the canonical mixed-priority storm straight at one
+ * DramSystem per variant: background write storms and best-effort
+ * read sweeps against one authenticate-class urgent read per wave
+ * (the same priority tag AuthService stamps). This half exposes the
+ * write-drain jumping path the fleet replay cannot reach (footprint
+ * replays carry no writes) and the per-origin roll-ups.
+ *
+ * The priority-blind baseline is the batched preset with the serving
+ * preset's refresh settings matched (refresh=auto, postpone 4), so
+ * the serving-vs-blind delta isolates priority scheduling instead of
+ * mixing in refresh-off-vs-on.
+ */
+void
+runAblationQos(RunContext &ctx)
+{
+    struct Variant
+    {
+        const char *name;
+        const char *spec;
+    };
+    const Variant variants[] = {
+        {"batched_blind", "batched:refresh=auto,refresh_postpone=4"},
+        {"serving", "serving"},
+        {"serving_refpb", "serving:refresh=per-bank"},
+    };
+
+    // --- Half 1: fleet_mixed storm, replayed per variant. ---------
+    const TrafficConfig tc = mixedTraffic(ctx, ctx.scaled(6000));
+    std::string store_snapshot;
+    FleetConfig proto_config;
+    {
+        TrafficSetup setup = setupEnrolledFleet(
+            ctx, static_cast<int64_t>(ctx.scaled(400)));
+        DeviceFleet fleet(setup.fleet_config);
+        AuthService service(fleet, setup.store, authConfigFor(ctx));
+        finishSetup(setup, service);
+        proto_config = setup.fleet_config;
+        std::ostringstream bytes;
+        setup.store.saveBinary(bytes);
+        store_snapshot = bytes.str();
+    }
+    proto_config.shards = 1;
+
+    double fleet_p99_blind_us = 0.0;
+    double fleet_p99_serving_us = 0.0;
+    for (const Variant &v : variants) {
+        FleetConfig fc = proto_config;
+        fc.dram.scheduler = SchedulerPolicy::parse(v.spec);
+        std::istringstream bytes(store_snapshot);
+        EnrollmentStore store = EnrollmentStore::loadBinary(bytes);
+        const std::vector<uint64_t> targets = store.deviceIds();
+        DeviceFleet fleet(fc);
+        AuthService service(fleet, store, authConfigFor(ctx));
+        const RequestGenerator gen(tc, targets);
+        const LoadReport report = service.execute(gen.generate());
+
+        const double p99_us = report.auth_replay_p99_ns / 1e3;
+        if (std::string(v.name) == "batched_blind")
+            fleet_p99_blind_us = p99_us;
+        else if (std::string(v.name) == "serving")
+            fleet_p99_serving_us = p99_us;
+        ctx.row("fleet storm auth replay latency",
+                ResultRow()
+                    .add("sched", v.name)
+                    .add("auth_replayed", report.auth_replayed)
+                    .add("auth_mean_us",
+                         report.auth_replay_mean_ns / 1e3)
+                    .add("auth_p50_us", report.auth_replay_p50_ns / 1e3)
+                    .add("auth_p99_us", p99_us)
+                    .add("auth_max_us", report.auth_replay_max_ns / 1e3)
+                    .add("makespan_ms", report.makespanNs() / 1e6)
+                    .addTiming("wall_s", report.wall_seconds));
+    }
+
+    // --- Half 2: controller-level mixed-priority storm. -----------
+    const int64_t waves = static_cast<int64_t>(ctx.scaled(300));
+    double storm_p99_blind_us = 0.0;
+    double storm_p99_serving_us = 0.0;
+    for (const Variant &v : variants) {
+        DramConfig cfg =
+            moduleFor(ctx.options(), /*capacity_mb=*/64,
+                      /*channels=*/1);
+        cfg.scheduler = SchedulerPolicy::parse(v.spec);
+        DramSystem sys(cfg);
+        std::vector<Cycle> urgent_lat;
+        std::vector<Cycle> bg_lat;
+        runPriorityStormWorkload(sys, waves, /*background_writes=*/48,
+                                 /*background_reads=*/12, &urgent_lat,
+                                 &bg_lat);
+
+        std::vector<double> urgent_us;
+        urgent_us.reserve(urgent_lat.size());
+        for (Cycle c : urgent_lat)
+            urgent_us.push_back(cfg.cyclesToNs(c) / 1e3);
+        std::vector<double> bg_us;
+        bg_us.reserve(bg_lat.size());
+        for (Cycle c : bg_lat)
+            bg_us.push_back(cfg.cyclesToNs(c) / 1e3);
+
+        const double p99_us =
+            urgent_us.empty() ? 0.0 : percentile(urgent_us, 99.0);
+        if (std::string(v.name) == "batched_blind")
+            storm_p99_blind_us = p99_us;
+        else if (std::string(v.name) == "serving")
+            storm_p99_serving_us = p99_us;
+
+        const CommandCounts counts = sys.totalCounts();
+        ctx.row("priority storm (urgent=authenticate class)",
+                ResultRow()
+                    .add("sched", v.name)
+                    .add("waves", static_cast<uint64_t>(waves))
+                    .add("urgent_p50_us",
+                         urgent_us.empty()
+                             ? 0.0
+                             : percentile(urgent_us, 50.0))
+                    .add("urgent_p99_us", p99_us)
+                    .add("bg_p99_us",
+                         bg_us.empty() ? 0.0
+                                       : percentile(bg_us, 99.0))
+                    .add("ref", counts.ref)
+                    .add("refpb", counts.refpb)
+                    .add("refresh_overlap_kcycles",
+                         static_cast<double>(
+                             counts.refresh_overlap_cycles) /
+                             1e3));
+
+        // Per-origin roll-ups straight off the DramSystem: origin 1
+        // is the authenticate-class urgent stream, origin 0 the
+        // background storm.
+        for (const OriginCounts &oc : sys.perOriginCounts()) {
+            ctx.row("per-origin accounting",
+                    ResultRow()
+                        .add("sched", v.name)
+                        .add("origin", oc.origin)
+                        .add("reads", oc.reads)
+                        .add("writes", oc.writes)
+                        .add("rowops", oc.rowops)
+                        .add("read_mean_us",
+                             oc.reads
+                                 ? cfg.cyclesToNs(
+                                       static_cast<Cycle>(
+                                           oc.read_latency_cycles /
+                                           oc.reads)) /
+                                       1e3
+                                 : 0.0)
+                        .add("read_max_us",
+                             cfg.cyclesToNs(oc.max_read_latency) /
+                                 1e3));
+        }
+    }
+
+    const auto improvement = [](double blind, double with) {
+        return blind > 0.0 ? (blind - with) / blind * 100.0 : 0.0;
+    };
+    ctx.row("qos improvement (serving vs priority-blind)",
+            ResultRow()
+                .add("storm_p99_blind_us", storm_p99_blind_us)
+                .add("storm_p99_serving_us", storm_p99_serving_us)
+                .add("storm_p99_improvement_pct",
+                     improvement(storm_p99_blind_us,
+                                 storm_p99_serving_us))
+                .add("fleet_p99_blind_us", fleet_p99_blind_us)
+                .add("fleet_p99_serving_us", fleet_p99_serving_us)
+                .add("fleet_p99_improvement_pct",
+                     improvement(fleet_p99_blind_us,
+                                 fleet_p99_serving_us)));
+    ctx.note("The serving preset's priority scheduling pulls "
+             "authenticate-class reads ahead of best-effort traffic "
+             "in the FR-FCFS window and between write-drain batches; "
+             "the 16-bypass aging rule bounds background starvation. "
+             "The REFpb variant trades the all-bank REF lockout for "
+             "per-bank refreshes that overlap with sibling-bank "
+             "work.");
+}
+
 } // namespace
 
 void
@@ -456,6 +642,11 @@ registerFleetScenarios(ScenarioRegistry &registry)
         "Fleet: shard-count sweep of the replayed DRAM makespan "
         "(--shards above 8 extends the sweep)",
         runFleetScaling));
+    registry.add(makeScenario(
+        "ablation_qos",
+        "QoS: priority-blind vs serving vs REFpb scheduling under a "
+        "fleet_mixed storm, with per-origin accounting",
+        runAblationQos));
 }
 
 } // namespace codic

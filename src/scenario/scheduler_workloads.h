@@ -162,6 +162,86 @@ runReadWindowWorkload(DramSystem &sys, int64_t waves, int wave_size,
     return last;
 }
 
+/**
+ * Mixed-priority storm for the QoS ablation and tests. Each wave,
+ * stamped at one arrival cycle: background writes (origin 0) walk
+ * rows of banks 0..3 until the drain watermark must trip, background
+ * reads (origin 0, priority 0) sweep row-missing addresses of banks
+ * 4..7, and one urgent read (origin 1, priority -1) to another row
+ * of bank 4 is submitted LAST - so under a priority-blind policy it
+ * waits out every older same-arrival read plus any write-drain
+ * episode, while priority_sched pulls it to the front of the window
+ * and jumps it between drain batches. Urgent and background read
+ * latencies (completion - arrival) append to the out-vectors;
+ * returns the final drain completion cycle.
+ */
+inline Cycle
+runPriorityStormWorkload(DramSystem &sys, int64_t waves,
+                         int background_writes, int background_reads,
+                         std::vector<Cycle> *urgent_latencies = nullptr,
+                         std::vector<Cycle> *bg_latencies = nullptr)
+{
+    const DramConfig &cfg = sys.config();
+    const int64_t row_bytes = cfg.row_bytes;
+    Cycle wave_start = 0;
+    Cycle last = 0;
+    std::vector<Ticket> bg_tickets;
+    for (int64_t w = 0; w < waves; ++w) {
+        bg_tickets.clear();
+        // Background writes: 4 rows x banks 0..3, rows varying per
+        // wave so drains never coalesce across waves.
+        const auto writeAt = [&](int i) {
+            const int64_t row = (w * 4 + i / 4) % cfg.rows;
+            const int64_t bank = i % 4;
+            sys.write(static_cast<uint64_t>(
+                          (row * cfg.banks + bank) * row_bytes),
+                      wave_start, /*origin=*/0);
+        };
+        const int pre_writes = background_writes / 2;
+        for (int i = 0; i < pre_writes; ++i)
+            writeAt(i);
+        // Background reads: distinct rows of banks 4..7 (all row
+        // misses), best-effort class.
+        for (int i = 0; i < background_reads; ++i) {
+            const int64_t row =
+                (w * background_reads + i) % cfg.rows;
+            const int64_t bank = 4 + i % 4;
+            bg_tickets.push_back(sys.submit(MemTransaction::makeRead(
+                static_cast<uint64_t>(
+                    (row * cfg.banks + bank) * row_bytes),
+                wave_start, /*origin=*/0, /*priority=*/0)));
+        }
+        // The urgent read, submitted after the background reads:
+        // same arrival cycle, so only priority scheduling can move
+        // it ahead in the window.
+        const int64_t urgent_row =
+            (w + cfg.rows / 2) % cfg.rows;
+        const Ticket urgent = sys.submit(MemTransaction::makeRead(
+            static_cast<uint64_t>(
+                (urgent_row * cfg.banks + 4) * row_bytes),
+            wave_start, /*origin=*/1, /*priority=*/-1));
+        // The rest of the write storm lands while the urgent read is
+        // queued: a watermark drain episode triggered here services
+        // the urgent read between batches under priority_sched, and
+        // makes it wait the episode out when priority-blind.
+        for (int i = pre_writes; i < background_writes; ++i)
+            writeAt(i);
+        const Cycle urgent_done = sys.completionOf(urgent);
+        if (urgent_latencies)
+            urgent_latencies->push_back(urgent_done - wave_start);
+        last = std::max(last, urgent_done);
+        for (const Ticket t : bg_tickets) {
+            const Cycle done = sys.completionOf(t);
+            last = std::max(last, done);
+            if (bg_latencies)
+                bg_latencies->push_back(done - wave_start);
+        }
+        last = std::max(last, sys.drainWrites());
+        wave_start = last + 32;
+    }
+    return last;
+}
+
 } // namespace codic
 
 #endif // CODIC_SCENARIO_SCHEDULER_WORKLOADS_H

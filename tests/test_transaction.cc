@@ -445,8 +445,205 @@ TEST(Transaction, SchedSpecParsesPresetAndKnobOverrides)
     for (const char *knob :
          {"drain_high_pct", "drain_low_pct", "max_drain_batch",
           "replay_batch", "read_window", "bank_drain_high",
-          "bank_drain_low", "refresh", "refresh_postpone"})
+          "bank_drain_low", "refresh", "refresh_postpone",
+          "priority", "per-bank", "serving"})
         EXPECT_NE(help.find(knob), std::string::npos) << knob;
+}
+
+// --- QoS: priority scheduling, per-origin accounting, REFpb. ---
+
+TEST(Transaction, ServingPresetAndQosSpecParsing)
+{
+    const SchedulerPolicy s = SchedulerPolicy::preset("serving");
+    EXPECT_EQ(s.drain_high_pct, 85);
+    EXPECT_EQ(s.drain_low_pct, 35);
+    EXPECT_EQ(s.read_window, 16);
+    EXPECT_EQ(s.bank_drain_high, 8);
+    EXPECT_EQ(s.bank_drain_low, 2);
+    EXPECT_TRUE(s.auto_refresh);
+    EXPECT_EQ(s.refresh_postpone, 4);
+    EXPECT_TRUE(s.priority_sched);
+    EXPECT_FALSE(s.per_bank_refresh);
+
+    const SchedulerPolicy pb =
+        SchedulerPolicy::parse("serving:refresh=per-bank");
+    EXPECT_TRUE(pb.per_bank_refresh);
+    EXPECT_TRUE(pb.auto_refresh); // per-bank implies the engine on.
+    EXPECT_TRUE(
+        SchedulerPolicy::parse("batched:priority=on").priority_sched);
+    EXPECT_FALSE(
+        SchedulerPolicy::parse("serving:priority=off").priority_sched);
+    EXPECT_FALSE(
+        SchedulerPolicy::parse("serving:refresh=off").auto_refresh);
+    EXPECT_FALSE(SchedulerPolicy::parse("serving:refresh=off")
+                     .per_bank_refresh);
+
+    EXPECT_THROW(SchedulerPolicy::parse("serving:priority=maybe"),
+                 FatalError);
+    EXPECT_THROW(SchedulerPolicy::parse("serving:refresh=bank"),
+                 FatalError);
+    // per_bank_refresh without the refresh engine is inconsistent.
+    SchedulerPolicy p;
+    p.per_bank_refresh = true;
+    p.auto_refresh = false;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Transaction, DramConfigRejectsBadPerBankRefreshTimings)
+{
+    DramConfig c = cfg();
+    c.timing.trfcpb = 0;
+    EXPECT_THROW(c.validate(), FatalError);
+    c = cfg();
+    c.timing.trfcpb = c.timing.trfc + 1; // REFpb beyond all-bank REF.
+    EXPECT_THROW(c.validate(), FatalError);
+    // The sized module derives tRFCpb ~ tRFC / 2.
+    c = cfg();
+    EXPECT_GT(c.timing.trfcpb, 0);
+    EXPECT_LE(c.timing.trfcpb, c.timing.trfc);
+}
+
+TEST(Transaction, PrioritySchedulingImprovesUrgentTailLatency)
+{
+    // The same storm, priority-blind vs the serving preset (the
+    // blind baseline matches serving's refresh settings so the delta
+    // isolates priority scheduling). The urgent read of each wave is
+    // submitted last at the same arrival cycle, so only priority
+    // selection and drain jumping can move it ahead.
+    const auto urgentP99 = [](const char *spec) {
+        DramConfig c = cfg();
+        c.scheduler = SchedulerPolicy::parse(spec);
+        DramSystem sys(c);
+        std::vector<Cycle> urgent;
+        runPriorityStormWorkload(sys, 40, 48, 12, &urgent, nullptr);
+        std::sort(urgent.begin(), urgent.end());
+        return urgent[urgent.size() * 99 / 100];
+    };
+    const Cycle blind =
+        urgentP99("batched:refresh=auto,refresh_postpone=4");
+    const Cycle serving = urgentP99("serving");
+    // The CI bench gate demands >= 20%; the controller-level
+    // improvement is far larger - assert a conservative >= 50%.
+    EXPECT_LE(serving * 2, blind);
+}
+
+TEST(Transaction, AgingPromotionBoundsBestEffortStarvation)
+{
+    // One best-effort read at the queue head against a stream of
+    // urgent reads at the same arrival: priority scheduling bypasses
+    // the head exactly kReadStarvationLimit times, then the aging
+    // rule force-schedules it.
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::parse("serving:read_window=48");
+    DramChannel ch(c);
+    MemoryController mc(ch);
+    const int64_t row_bytes = c.row_bytes;
+    const auto addrOf = [&](int64_t row, int64_t bank) {
+        return static_cast<uint64_t>((row * c.banks + bank) *
+                                     row_bytes);
+    };
+    const Ticket bg = mc.submit(
+        MemTransaction::makeRead(addrOf(0, 0), 0, 0, 0));
+    std::vector<Ticket> urgent;
+    for (int i = 0; i < 40; ++i)
+        urgent.push_back(mc.submit(MemTransaction::makeRead(
+            addrOf(1 + i, 1 + i % 7), 0, 1, -1)));
+    std::vector<Cycle> urgent_done;
+    for (const Ticket t : urgent)
+        urgent_done.push_back(mc.completionOf(t));
+    const Cycle bg_done = mc.completionOf(bg);
+    int bypassed = 0;
+    for (const Cycle d : urgent_done)
+        bypassed += d < bg_done;
+    EXPECT_EQ(bypassed, MemoryController::kReadStarvationLimit);
+}
+
+TEST(Transaction, PerOriginCountsSumToChannelTotals)
+{
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::preset("serving");
+    DramSystem sys(c);
+    std::vector<Cycle> urgent;
+    runPriorityStormWorkload(sys, 20, 48, 12, &urgent, nullptr);
+    const CommandCounts counts = sys.totalCounts();
+    const std::vector<OriginCounts> origins = sys.perOriginCounts();
+    ASSERT_EQ(origins.size(), 2u); // Background 0, urgent 1.
+    EXPECT_EQ(origins[0].origin, 0u);
+    EXPECT_EQ(origins[1].origin, 1u);
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t rowops = 0;
+    for (const OriginCounts &oc : origins) {
+        reads += oc.reads;
+        writes += oc.writes;
+        rowops += oc.rowops;
+    }
+    // Every read issues exactly one RD burst and every write one WR
+    // burst (all drained by the workload), so the origin roll-ups
+    // must sum to the channel command totals.
+    EXPECT_EQ(reads, counts.rd);
+    EXPECT_EQ(writes, counts.wr);
+    EXPECT_EQ(rowops, 0u);
+    EXPECT_EQ(reads, 20u * 13u);  // 12 background + 1 urgent / wave.
+    EXPECT_EQ(writes, 20u * 48u);
+    EXPECT_EQ(origins[1].reads, 20u);
+    EXPECT_GT(origins[1].read_latency_cycles, 0u);
+    EXPECT_GE(origins[1].max_read_latency,
+              origins[1].read_latency_cycles / origins[1].reads);
+}
+
+TEST(Transaction, PerBankRefreshTracksTrefipbPerBank)
+{
+    DramConfig c = cfg();
+    c.scheduler = SchedulerPolicy::parse("batched:refresh=per-bank");
+    DramSystem sys(c);
+    const Cycle done = runRefreshReadWorkload(sys, 4, 1200, 8,
+                                              3 * c.timing.trefi);
+    sys.poll(done);
+    const CommandCounts counts = sys.totalCounts();
+    const Cycle trefipb = c.timing.trefi / c.banks;
+    const int64_t due = static_cast<int64_t>(done / trefipb);
+    const int64_t refpb = static_cast<int64_t>(counts.refpb);
+    // Per-bank mode issues REFpb only, at ~ elapsed / tREFIpb. The
+    // lazy catch-up trails the final completion by up to one tREFI,
+    // which is `banks` tREFIpb intervals.
+    EXPECT_EQ(counts.ref, 0u);
+    EXPECT_GE(refpb, due - c.banks - 1);
+    EXPECT_LE(refpb, due + 1);
+    // Round-robin rotation: every bank refreshed ~ elapsed / tREFI,
+    // spread within one command of its siblings, with tRFCpb cycles
+    // of lockout accounted per REFpb.
+    const std::vector<BankCounts> banks = sys.perBankCounts();
+    uint64_t min_refpb = ~0ull;
+    uint64_t max_refpb = 0;
+    for (const BankCounts &b : banks) {
+        min_refpb = std::min(min_refpb, b.refpb);
+        max_refpb = std::max(max_refpb, b.refpb);
+        EXPECT_EQ(b.refresh_cycles,
+                  b.refpb * static_cast<uint64_t>(c.timing.trfcpb));
+    }
+    EXPECT_LE(max_refpb - min_refpb, 1u);
+    const int64_t per_bank_due =
+        static_cast<int64_t>(done / c.timing.trefi);
+    EXPECT_GE(static_cast<int64_t>(min_refpb), per_bank_due - 2);
+    EXPECT_LE(static_cast<int64_t>(max_refpb), per_bank_due + 1);
+}
+
+TEST(Transaction, RefreshOverlapOnlyAccruesInPerBankMode)
+{
+    const auto run = [](const char *spec) {
+        DramConfig c = cfg();
+        c.scheduler = SchedulerPolicy::parse(spec);
+        DramSystem sys(c);
+        std::vector<Cycle> urgent;
+        runPriorityStormWorkload(sys, 30, 48, 12, &urgent, nullptr);
+        return sys.totalCounts();
+    };
+    // All-bank REF requires the whole rank idle: overlap impossible.
+    EXPECT_EQ(run("serving").refresh_overlap_cycles, 0u);
+    // REFpb refreshes one bank while siblings stay open.
+    EXPECT_GT(run("serving:refresh=per-bank").refresh_overlap_cycles,
+              0u);
 }
 
 } // namespace

@@ -2,11 +2,11 @@
 """Benchmark-trajectory report over the codic_run scenarios.
 
 Runs the bench_hotpath microbenchmark plus the fleet + scheduler +
-refresh + thermal/co-sim scenarios, extracts the hot path's
+refresh + QoS + thermal/co-sim scenarios, extracts the hot path's
 wall-clock throughput and the scenarios' *modeled* metrics (makespan,
 latency percentiles, read-queue latencies, energy, thermal peaks,
 contention slowdowns - deterministic, machine-independent values)
-into a BENCH_PR8.json trajectory file, and gates on four conditions
+into a BENCH_PR9.json trajectory file, and gates on five conditions
 (plus the thermal closed-loop invariants, which are hard errors in
 the extractors themselves):
 
@@ -30,16 +30,21 @@ the extractors themselves):
      txn_per_sec. Throughput is the one wall-clock metric gated on:
      the baseline is pinned per runner class and the tolerance is
      generous, so only a genuine hot-path slowdown trips it.
+  5. The serving preset improves p99 latency of the urgent
+     (authenticate-class) reads of the ablation_qos priority storm
+     by at least --min-qos-improvement percent (default 20%) over
+     the refresh-matched priority-blind batched policy.
 
 Scenario wall-clock values (wall_s) are still recorded for telemetry
 when present but never gated on: only modeled values are comparable
 across machines.
 
 Usage:
-  bench_report.py --build-dir build --out BENCH_PR8.json \
+  bench_report.py --build-dir build --out BENCH_PR9.json \
       [--baseline bench/BENCH_baseline.json] [--tolerance 0.15] \
       [--hotpath-tolerance 0.15] [--min-improvement 20] \
-      [--min-read-window-improvement 20] [--write-baseline FILE] \
+      [--min-read-window-improvement 20] \
+      [--min-qos-improvement 20] [--write-baseline FILE] \
       [--skip-hotpath]
 """
 
@@ -266,6 +271,31 @@ def contention_metrics(doc, cores):
     }
 
 
+def qos_metrics(doc):
+    """QoS summary of an ablation_qos run: urgent-read p99 of the
+    priority storm under the serving preset (gated lower-is-better as
+    p99_us) plus the improvement percentages the >= 20% gate and the
+    trajectory record."""
+    pts = rows(doc, lambda r: "storm_p99_improvement_pct" in r)
+    if not pts:
+        raise SystemExit("bench_report: no ablation_qos improvement "
+                         "row emitted")
+    r = pts[0]
+    return {
+        "makespan_ms": None,
+        "total_service_ms": None,
+        "p50_us": None,
+        "p95_us": None,
+        "p99_us": r["storm_p99_serving_us"],
+        "energy_mj": None,
+        "storm_p99_blind_us": r["storm_p99_blind_us"],
+        "storm_p99_improvement_pct": r["storm_p99_improvement_pct"],
+        "fleet_p99_blind_us": r["fleet_p99_blind_us"],
+        "fleet_p99_serving_us": r["fleet_p99_serving_us"],
+        "fleet_p99_improvement_pct": r["fleet_p99_improvement_pct"],
+    }
+
+
 def trace_replay_metrics(doc):
     """Modeled metrics of a trace_replay run."""
     pts = rows(doc, lambda r: "read_p99_us" in r and "records" in r)
@@ -346,6 +376,13 @@ def collect(build_dir, timings, skip_hotpath):
         build_dir, ["--scenario", "multicore_contention", "--scale",
                     BENCH_SCALE, "--cores", "8"], timings), 8)
 
+    # QoS ablation: serving-preset priority scheduling against the
+    # refresh-matched priority-blind baseline. Absent from older
+    # baselines; check_regressions records it with a warning.
+    s["ablation_qos"] = qos_metrics(run_codic(
+        build_dir, ["--scenario", "ablation_qos", "--scale",
+                    BENCH_SCALE], timings))
+
     eager = s["fleet_scaling@8shards:eager"]["makespan_ms"]
     batched = s["fleet_scaling@8shards:batched"]["makespan_ms"]
     report["derived"]["fleet_scaling_batched_improvement_pct"] = (
@@ -354,6 +391,8 @@ def collect(build_dir, timings, skip_hotpath):
     w8 = s["ablation_refresh@window8"]["read_mean_us"]
     report["derived"]["read_window_mean_latency_improvement_pct"] = (
         100.0 * (1.0 - w8 / w1))
+    report["derived"]["qos_storm_p99_improvement_pct"] = (
+        s["ablation_qos"]["storm_p99_improvement_pct"])
     return report
 
 
@@ -415,7 +454,7 @@ def check_hotpath(report, baseline, tolerance):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR8.json")
+    ap.add_argument("--out", default="BENCH_PR9.json")
     ap.add_argument("--baseline", default=None,
                     help="committed baseline to gate against")
     ap.add_argument("--tolerance", type=float, default=0.15)
@@ -434,6 +473,12 @@ def main():
                     help="required mean read-latency improvement of "
                          "the batched preset's read-reordering "
                          "window over strict arrival order "
+                         "(percent)")
+    ap.add_argument("--min-qos-improvement", type=float,
+                    default=20.0,
+                    help="required urgent-read p99 improvement of "
+                         "the serving preset over the priority-blind "
+                         "baseline in the ablation_qos storm "
                          "(percent)")
     ap.add_argument("--timings", action="store_true",
                     help="record wall-clock telemetry in the report")
@@ -467,6 +512,12 @@ def main():
           f"(window 8 vs 1, batched preset): "
           f"{window_improvement:.1f}%")
 
+    qos_improvement = report["derived"][
+        "qos_storm_p99_improvement_pct"]
+    print(f"bench_report: serving vs priority-blind urgent-read p99 "
+          f"improvement (ablation_qos storm): "
+          f"{qos_improvement:.1f}%")
+
     failures = []
     if improvement < args.min_improvement:
         failures.append(
@@ -477,6 +528,11 @@ def main():
             f"read-window latency improvement "
             f"{window_improvement:.1f}% is below the required "
             f"{args.min_read_window_improvement:.0f}%")
+    if qos_improvement < args.min_qos_improvement:
+        failures.append(
+            f"QoS urgent-read p99 improvement "
+            f"{qos_improvement:.1f}% is below the required "
+            f"{args.min_qos_improvement:.0f}%")
 
     if args.baseline:
         with open(args.baseline) as f:

@@ -11,6 +11,9 @@
  * Options:
  *   --list             List registered scenarios (grouped by name
  *                      prefix) and exit.
+ *   --list-md          Emit the scenario catalog as a markdown
+ *                      document (docs/SCENARIOS.md is generated from
+ *                      this, and CI fails if it drifts) and exit.
  *   --scenario NAME    Run one scenario (repeatable).
  *   --all              Run every registered scenario.
  *   --seed N           Campaign seed (default 1: the paper seeds).
@@ -34,9 +37,10 @@
  *                      (the paper's ddr3-1600 baseline). "--preset
  *                      list" prints the accepted names.
  *   --sched SPEC       Memory-scheduler policy: a preset (eager |
- *                      batched | aggressive) optionally followed by
- *                      ":knob=value,..." overrides, e.g.
- *                      "batched:refresh=auto,read_window=16".
+ *                      batched | aggressive | serving) optionally
+ *                      followed by ":knob=value,..." overrides, e.g.
+ *                      "batched:refresh=auto,read_window=16" or
+ *                      "serving:refresh=per-bank".
  *                      "--sched help" (or "--sched list") prints the
  *                      preset table and every knob. Applies wherever
  *                      a scenario builds its DramConfig from the run
@@ -114,7 +118,7 @@ printUsage()
 {
     std::fprintf(
         stderr,
-        "usage: codic_run --list\n"
+        "usage: codic_run --list | --list-md\n"
         "       codic_run (--scenario NAME)... | --all\n"
         "                 [--seed N] [--threads N] [--channels N]\n"
         "                 [--capacity-mb N] [--scale F] [--repeats N]\n"
@@ -126,7 +130,8 @@ printUsage()
         "                 [--ambient F] [--epoch-us F] [--cores N]\n"
         "                 [--out FILE] [--csv FILE] [--timings]\n"
         "                 [--quiet]\n"
-        "       codic_run --trace-info FILE\n");
+        "       codic_run --trace-info FILE\n"
+        "       codic_run --help\n");
 }
 
 /** Group key of a scenario name: the part before the first '_'. */
@@ -155,6 +160,44 @@ printList()
         }
         std::printf("  %-*s  %s\n", static_cast<int>(width),
                     s->name().c_str(), s->describe().c_str());
+    }
+}
+
+/**
+ * The markdown scenario catalog (docs/SCENARIOS.md). CI regenerates
+ * it and fails on any diff, so the document can never drift from the
+ * registry. Output depends only on the registered scenarios.
+ */
+void
+printListMarkdown()
+{
+    const auto scenarios = ScenarioRegistry::instance().scenarios();
+    std::printf("# Scenario catalog\n"
+                "\n"
+                "<!-- Generated by `codic_run --list-md`. Do not "
+                "edit by hand: CI\n"
+                "     regenerates this file and fails on any "
+                "diff. -->\n"
+                "\n"
+                "%zu registered scenarios. Run one with "
+                "`codic_run --scenario NAME`\n"
+                "(repeatable), or everything with `codic_run --all`. "
+                "See\n"
+                "[CLI.md](CLI.md) for the full flag reference and\n"
+                "[SCHEDULING.md](SCHEDULING.md) for the `--sched` "
+                "policy presets.\n",
+                scenarios.size());
+    std::string group;
+    for (const Scenario *s : scenarios) {
+        const std::string g = listGroupOf(s->name());
+        if (g != group) {
+            group = g;
+            std::printf("\n## %s\n\n", group.c_str());
+            std::printf("| scenario | description |\n"
+                        "| --- | --- |\n");
+        }
+        std::printf("| `%s` | %s |\n", s->name().c_str(),
+                    s->describe().c_str());
     }
 }
 
@@ -265,6 +308,9 @@ main(int argc, char **argv)
         };
         if (arg == "--list") {
             list = true;
+        } else if (arg == "--list-md") {
+            printListMarkdown();
+            return 0;
         } else if (arg == "--scenario") {
             selected.push_back(next("--scenario"));
         } else if (arg == "--all") {
