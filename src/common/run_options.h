@@ -99,6 +99,29 @@ struct RunOptions
     std::string store_path;
 
     /**
+     * Serve the --store file through the mmap-backed read path
+     * (store_mmap.h) instead of decoding it into heap: flat
+     * per-request memory at any store size. Requires a binary
+     * --store path (the JSON mirror has no record index).
+     */
+    bool store_mmap = false;
+
+    /**
+     * Serving regions for the multi-region fleet scenarios (0 =
+     * scenario default). Each region gets its own population,
+     * traffic mix and arrival process on the shared engine.
+     */
+    int regions = 0;
+
+    /**
+     * Admission-control capacity in requests/s for fleet scenarios:
+     * -1 = scenario default (fleet_overload derives it from the
+     * cost model; other scenarios leave admission off), 0 =
+     * admission off, > 0 = explicit token-bucket refill rate.
+     */
+    double shed = -1.0;
+
+    /**
      * DRAM speed-grade preset ("" = the scenario default, normally
      * the paper's ddr3-1600 baseline): resolved by
      * DramConfig::preset() where a scenario builds its DramConfig
@@ -188,6 +211,23 @@ struct RunOptions
             fatal("RunOptions: shards must be >= 0, got ", shards);
         if (requests < 0)
             fatal("RunOptions: requests must be >= 0, got ", requests);
+        if (regions < 0)
+            fatal("RunOptions: regions must be >= 0 (0 = scenario "
+                  "default), got ", regions);
+        // Negated comparison so NaN is rejected too.
+        if ((!(shed >= 0.0) && shed != -1.0) || std::isinf(shed))
+            fatal("RunOptions: shed must be finite and >= 0 "
+                  "requests/s (or -1 for the scenario default), "
+                  "got ", shed);
+        if (store_mmap && store_path.empty())
+            fatal("RunOptions: --store-mmap needs a --store file to "
+                  "map");
+        if (store_mmap && store_path.size() >= 5 &&
+            store_path.compare(store_path.size() - 5, 5, ".json") ==
+                0)
+            fatal("RunOptions: --store-mmap needs the binary store "
+                  "format; the JSON mirror (", store_path,
+                  ") has no record index to map");
         // Negated comparison so NaN is rejected too; infinity would
         // make the Zipf sampler's rejection loop spin forever.
         if ((!(zipf >= 0.0) && zipf != -1.0) || std::isinf(zipf))
@@ -273,6 +313,18 @@ struct RunOptions
     double zipfOr(double fallback) const
     {
         return zipf < 0.0 ? fallback : zipf;
+    }
+
+    /** Apply the region-count override to a scenario default. */
+    int regionsOr(int fallback) const
+    {
+        return regions > 0 ? regions : fallback;
+    }
+
+    /** Apply the admission-capacity override to a scenario default. */
+    double shedOr(double fallback) const
+    {
+        return shed < 0.0 ? fallback : shed;
     }
 
     /** Apply the epoch-length override to a scenario default. */

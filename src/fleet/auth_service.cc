@@ -25,6 +25,14 @@ requestKindName(RequestKind kind)
     panic("unknown request kind");
 }
 
+AdmissionClass
+admissionClassOf(RequestKind kind)
+{
+    return kind == RequestKind::Authenticate
+               ? AdmissionClass::Urgent
+               : AdmissionClass::BestEffort;
+}
+
 // --- ZipfRankSampler ---------------------------------------------------------
 
 namespace {
@@ -414,7 +422,7 @@ LoadReport::makespanNs() const
     return worst;
 }
 
-AuthService::AuthService(DeviceFleet &fleet, EnrollmentStore &store,
+AuthService::AuthService(DeviceFleet &fleet, EnrollmentBackend &store,
                          const AuthConfig &config)
     : fleet_(fleet), store_(store), config_(config),
       cost_model_(buildFleetCostModel(
@@ -437,47 +445,133 @@ AuthService::enrollAll()
         });
 }
 
-namespace {
-
-/** Per-request execution result, written into its stream slot. */
-struct RequestResult
+double
+AuthService::modeledCapacityRps() const
 {
-    double service_ns = 0;
-    double energy_nj = 0;
-    /** Replay latency: slice start to footprint completion (ns). */
-    double replay_ns = 0;
-    bool accepted = false;
-    bool rejected = false;
-    bool unknown = false;
-    bool reenrolled = false;
-    bool trng_failure = false;
-    uint32_t trng_bits = 0;
-    uint32_t dealloc_rows = 0;
-};
+    const double auth_ns =
+        cost_model_.sig_eval_ns + config_.store_miss_ns;
+    return static_cast<double>(std::max(1, config_.service_lanes)) *
+           1e9 / auth_ns;
+}
 
-/**
- * Sequential LRU plan over the stream: which store accesses hit the
- * decode cache. Purely order-based, so the modeled store latency is
- * independent of shard/thread scheduling. The plan runs the same
- * LruIndex that backs the store's real decode cache, at the store's
- * real capacity, and mirrors its semantics: failed lookups of
- * unknown devices are never cached (and take no cache capacity),
- * and a re-enrollment both makes the device known and invalidates
- * any cached decode.
- */
-std::vector<bool>
-planCacheHits(const std::vector<FleetRequest> &stream,
-              const EnrollmentStore &store)
+double
+AuthService::trngEstNsPerBit()
 {
-    LruIndex plan(store.cacheCapacity());
+    if (trng_est_ns_per_bit_ < 0.0) {
+        // A reference TRNG of this population (fixed domain tag, not
+        // any real device): its whitened throughput stands in for
+        // the per-device rate the controller cannot know without
+        // materializing the device - which a shed request never
+        // does. <= 0 when even the reference scan found no sources.
+        TrngConfig cfg;
+        cfg.run.seed =
+            fleet_.config().population_seed ^ 0x7E57AE5Eull;
+        cfg.segment_bits = fleet_.config().trng_segment_bits;
+        cfg.harvest_latency_ns =
+            fleet_.config().trng_harvest_latency_ns;
+        const CodicTrng ref(cfg);
+        trng_est_ns_per_bit_ =
+            ref.sources().empty()
+                ? 0.0
+                : 1e9 / ref.whitenedThroughputBitsPerSec();
+    }
+    return trng_est_ns_per_bit_;
+}
+
+double
+AuthService::estimateServiceNs(const FleetRequest &req, bool known,
+                               bool hit)
+{
+    switch (req.kind) {
+      case RequestKind::Authenticate:
+        if (!known)
+            return config_.store_miss_ns;
+        return (hit ? config_.store_hit_ns : config_.store_miss_ns) +
+               cost_model_.sig_eval_ns;
+      case RequestKind::Reenroll:
+        return cost_model_.sig_eval_ns + config_.store_write_ns;
+      case RequestKind::TrngDraw: {
+        const double per_bit = trngEstNsPerBit();
+        // Sourceless populations fail the draw after one scan pass.
+        return per_bit > 0.0
+                   ? static_cast<double>(req.payload) * per_bit
+                   : cost_model_.sig_eval_ns;
+      }
+      case RequestKind::SecureDealloc:
+        return static_cast<double>(req.payload) *
+               cost_model_.rowop_ns;
+    }
+    panic("unknown request kind");
+}
+
+AuthService::Execution
+AuthService::prepare(std::vector<FleetRequest> stream)
+{
+    Execution exec;
+    exec.wall_start = std::chrono::steady_clock::now();
+    exec.stream = std::move(stream);
+    const size_t n = exec.stream.size();
+    exec.hit.assign(n, false);
+    exec.admitted.assign(n, true);
+    exec.wait_ns.assign(n, 0.0);
+
+    for (const FleetRequest &req : exec.stream)
+        exec.open_loop = exec.open_loop || req.arrival_us > 0.0;
+    exec.admission_on =
+        exec.open_loop && config_.admission.enabled();
+
+    /*
+     * Unified sequential plan over the stream: the LRU cache plan
+     * and the admission decisions advance together, so the cache
+     * plan never sees a shed request (it is never served) and the
+     * controller's store-latency estimate agrees exactly with the
+     * hit the serving path will charge (LruIndex::contains peeks
+     * what touch() would return). The plan runs the same LruIndex
+     * that backs the store's real decode cache, at the store's real
+     * capacity, and mirrors its semantics: failed lookups of
+     * unknown devices are never cached (and take no capacity), and
+     * a re-enrollment both makes the device known and invalidates
+     * any cached decode. Purely order-based, so the modeled store
+     * latency is independent of shard/thread scheduling; with
+     * admission off the hit plan is exactly the plain LRU pass.
+     */
+    std::unique_ptr<AdmissionController> ctrl;
+    if (exec.admission_on)
+        ctrl = std::make_unique<AdmissionController>(
+            config_.admission, std::max(1, config_.service_lanes),
+            cost_model_.sig_eval_ns + config_.store_miss_ns);
+
+    LruIndex plan(store_.cacheCapacity());
     std::unordered_set<uint64_t> enrolled_in_stream;
-    std::vector<bool> hit(stream.size(), false);
-    for (size_t i = 0; i < stream.size(); ++i) {
-        const FleetRequest &req = stream[i];
+    for (size_t i = 0; i < n; ++i) {
+        const FleetRequest &req = exec.stream[i];
+        const bool known =
+            req.kind == RequestKind::Authenticate &&
+            (store_.contains(req.device_id) ||
+             enrolled_in_stream.count(req.device_id) != 0);
+        if (ctrl) {
+            const bool hit_if_served =
+                known && plan.contains(req.device_id);
+            const AdmissionController::Decision d = ctrl->offer(
+                admissionClassOf(req.kind), req.device_id,
+                req.arrival_us * 1e3,
+                estimateServiceNs(req, known, hit_if_served));
+            if (!d.admitted) {
+                exec.admitted[i] = false;
+                const bool urgent = admissionClassOf(req.kind) ==
+                                    AdmissionClass::Urgent;
+                exec.shed_urgent += urgent;
+                exec.shed_best_effort += !urgent;
+                exec.shed_deadline += d.deadline_shed;
+                exec.shed_queue += d.queue_shed;
+                exec.shed_bucket += d.bucket_shed;
+                continue; // Never served: no cache/lane effects.
+            }
+            exec.wait_ns[i] = d.wait_ns;
+        }
         if (req.kind == RequestKind::Authenticate) {
-            if (store.contains(req.device_id) ||
-                enrolled_in_stream.count(req.device_id)) {
-                hit[i] = plan.touch(req.device_id);
+            if (known) {
+                exec.hit[i] = plan.touch(req.device_id);
                 while (plan.evictIfOver()) {
                 }
             }
@@ -486,34 +580,29 @@ planCacheHits(const std::vector<FleetRequest> &stream,
             plan.erase(req.device_id);
         }
     }
-    return hit;
+
+    // Batch the admitted requests per shard, preserving stream order
+    // inside each batch.
+    exec.batches.assign(static_cast<size_t>(fleet_.shards()), {});
+    for (size_t i = 0; i < n; ++i)
+        if (exec.admitted[i])
+            exec.batches[static_cast<size_t>(fleet_.shardOf(
+                             exec.stream[i].device_id))]
+                .push_back(i);
+    exec.results.assign(n, RequestResult{});
+    exec.shard_busy_ns.assign(static_cast<size_t>(fleet_.shards()),
+                              0.0);
+    return exec;
 }
 
-} // namespace
-
-LoadReport
-AuthService::execute(const std::vector<FleetRequest> &stream)
+void
+AuthService::runShard(Execution &exec, size_t shard)
 {
-    const auto wall_start = std::chrono::steady_clock::now();
-    const std::vector<bool> planned_hit =
-        planCacheHits(stream, store_);
-
-    // Batch the stream per shard, preserving stream order inside
-    // each batch.
-    const int shards = fleet_.shards();
-    std::vector<std::vector<size_t>> batches(
-        static_cast<size_t>(shards));
-    for (size_t i = 0; i < stream.size(); ++i)
-        batches[static_cast<size_t>(
-                    fleet_.shardOf(stream[i].device_id))]
-            .push_back(i);
-
-    std::vector<RequestResult> results(stream.size());
-    std::vector<double> shard_busy(static_cast<size_t>(shards), 0.0);
+    const std::vector<FleetRequest> &stream = exec.stream;
+    const std::vector<bool> &planned_hit = exec.hit;
+    std::vector<RequestResult> &results = exec.results;
     const FleetConfig &fc = fleet_.config();
-
-    CampaignEngine engine(config_.threads);
-    engine.forEach(static_cast<size_t>(shards), [&](size_t shard) {
+    {
         // Fresh replay system per batch: created on the executing
         // worker (single-thread ownership) with pristine timing
         // state, so the replay depends only on the batch content.
@@ -666,7 +755,7 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         // overlapping across banks and channels while the JEDEC
         // checker serializes genuinely shared resources. The next
         // slice starts at the slowest cursor's completion.
-        const auto &batch = batches[shard];
+        const auto &batch = exec.batches[shard];
         const size_t slice = static_cast<size_t>(
             std::max(1, fc.dram.scheduler.replay_batch));
         Cycle slice_start = 0;
@@ -762,8 +851,16 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
             }
             slice_start = slice_end;
         }
-        shard_busy[shard] = fc.dram.cyclesToNs(sys.lastIssueCycle());
-    });
+        exec.shard_busy_ns[shard] =
+            fc.dram.cyclesToNs(sys.lastIssueCycle());
+    }
+}
+
+LoadReport
+AuthService::finalize(Execution &exec) const
+{
+    const std::vector<FleetRequest> &stream = exec.stream;
+    const std::vector<RequestResult> &results = exec.results;
 
     // Queueing model over the arrival stamps: device -> logical lane
     // (a fixed modeled deployment, never the execution shard count),
@@ -771,12 +868,12 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
     // a request waits while its lane is busy past its arrival. Pure
     // sequential plan over the stream: deterministic at any
     // shard/thread count. Closed-loop streams carry no arrival
-    // stamps - their arrivals are service-driven, so no wait.
-    std::vector<double> waits(stream.size(), 0.0);
-    bool open_loop = false;
-    for (const FleetRequest &req : stream)
-        open_loop = open_loop || req.arrival_us > 0.0;
-    if (open_loop) {
+    // stamps - their arrivals are service-driven, so no wait. With
+    // admission on the waits were already planned (the controller's
+    // lane model IS the queueing model, advanced by its service
+    // estimates); with it off, backfill them here from the executed
+    // service times - the legacy model, bit for bit.
+    if (exec.open_loop && !exec.admission_on) {
         const size_t lanes = static_cast<size_t>(
             std::max(1, config_.service_lanes));
         std::vector<double> lane_free_ns(lanes, 0.0);
@@ -785,25 +882,40 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
             const double arrival_ns = stream[i].arrival_us * 1e3;
             const double begin =
                 std::max(arrival_ns, lane_free_ns[lane]);
-            waits[i] = begin - arrival_ns;
+            exec.wait_ns[i] = begin - arrival_ns;
             lane_free_ns[lane] = begin + results[i].service_ns;
         }
     }
 
-    // Sequential aggregation in stream order: deterministic.
+    // Sequential aggregation in stream order: deterministic. Shed
+    // requests count into the arrival mix (by_kind) and the shed
+    // telemetry only - they never executed, so every latency, wait,
+    // outcome and energy figure covers admitted requests alone.
     LoadReport report;
     report.requests = stream.size();
-    report.open_loop = open_loop;
+    report.open_loop = exec.open_loop;
+    report.admission_on = exec.admission_on;
+    report.shed_urgent = exec.shed_urgent;
+    report.shed_best_effort = exec.shed_best_effort;
+    report.shed_deadline = exec.shed_deadline;
+    report.shed_queue = exec.shed_queue;
+    report.shed_bucket = exec.shed_bucket;
     std::vector<double> latencies;
     latencies.reserve(stream.size());
+    std::vector<double> waits;
+    waits.reserve(stream.size());
     std::vector<double> auth_replays;
+    std::vector<double> urgent_latencies;
     double wait_sum = 0.0;
     for (size_t i = 0; i < stream.size(); ++i) {
+        ++report.by_kind[static_cast<int>(stream[i].kind)];
+        if (!exec.admitted[i])
+            continue;
+        ++report.admitted;
         const RequestResult &res = results[i];
         if (stream[i].kind == RequestKind::Authenticate &&
             !res.unknown)
             auth_replays.push_back(res.replay_ns);
-        ++report.by_kind[static_cast<int>(stream[i].kind)];
         report.accepted += res.accepted;
         report.rejected += res.rejected;
         report.unknown_device += res.unknown;
@@ -813,14 +925,24 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         report.dealloc_rows_cleared += res.dealloc_rows;
         if (stream[i].kind == RequestKind::Authenticate &&
             !res.unknown) {
-            report.planned_cache_hits += planned_hit[i];
-            report.planned_cache_misses += !planned_hit[i];
+            report.planned_cache_hits += exec.hit[i];
+            report.planned_cache_misses += !exec.hit[i];
         }
         report.total_service_ns += res.service_ns;
         report.total_energy_nj += res.energy_nj;
-        wait_sum += waits[i];
-        latencies.push_back(waits[i] + res.service_ns);
+        wait_sum += exec.wait_ns[i];
+        waits.push_back(exec.wait_ns[i]);
+        latencies.push_back(exec.wait_ns[i] + res.service_ns);
+        if (stream[i].kind == RequestKind::Authenticate)
+            urgent_latencies.push_back(exec.wait_ns[i] +
+                                       res.service_ns);
     }
+    report.shed = report.requests - report.admitted;
+    report.shed_rate =
+        report.requests > 0
+            ? static_cast<double>(report.shed) /
+                  static_cast<double>(report.requests)
+            : 0.0;
     if (!latencies.empty()) {
         const double n = static_cast<double>(latencies.size());
         report.latency_mean_ns =
@@ -835,6 +957,12 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         report.wait_max_ns =
             *std::max_element(waits.begin(), waits.end());
     }
+    if (!urgent_latencies.empty()) {
+        report.admitted_urgent_p50_ns =
+            percentile(urgent_latencies, 50.0);
+        report.admitted_urgent_p99_ns =
+            percentile(urgent_latencies, 99.0);
+    }
     if (!auth_replays.empty()) {
         report.auth_replayed = auth_replays.size();
         double sum = 0.0;
@@ -847,12 +975,32 @@ AuthService::execute(const std::vector<FleetRequest> &stream)
         report.auth_replay_max_ns = *std::max_element(
             auth_replays.begin(), auth_replays.end());
     }
-    report.shard_busy_ns = std::move(shard_busy);
+    report.shard_busy_ns = std::move(exec.shard_busy_ns);
     report.wall_seconds =
         std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - wall_start)
+            std::chrono::steady_clock::now() - exec.wall_start)
             .count();
     return report;
+}
+
+void
+AuthService::appendAdmittedLatencies(const Execution &exec,
+                                     std::vector<double> &out) const
+{
+    for (size_t i = 0; i < exec.stream.size(); ++i)
+        if (exec.admitted[i])
+            out.push_back(exec.wait_ns[i] +
+                          exec.results[i].service_ns);
+}
+
+LoadReport
+AuthService::execute(const std::vector<FleetRequest> &stream)
+{
+    Execution exec = prepare(stream);
+    CampaignEngine engine(config_.threads);
+    engine.forEach(exec.batches.size(),
+                   [&](size_t shard) { runShard(exec, shard); });
+    return finalize(exec);
 }
 
 } // namespace codic

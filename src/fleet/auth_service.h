@@ -37,11 +37,13 @@
 #ifndef CODIC_FLEET_AUTH_SERVICE_H
 #define CODIC_FLEET_AUTH_SERVICE_H
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "dram/channel.h"
+#include "fleet/admission.h"
 #include "fleet/device_fleet.h"
 #include "fleet/enrollment_store.h"
 #include "power/energy_model.h"
@@ -61,6 +63,13 @@ constexpr int kRequestKinds = 4;
 
 /** Display name of a RequestKind. */
 const char *requestKindName(RequestKind kind);
+
+/**
+ * Admission priority of a request kind: authentication is urgent
+ * (a device is waiting to be trusted), everything else is
+ * best-effort maintenance the controller sheds first.
+ */
+AdmissionClass admissionClassOf(RequestKind kind);
 
 /** One synthesized fleet request. */
 struct FleetRequest
@@ -204,6 +213,14 @@ struct AuthConfig
      */
     int service_lanes = 8;
 
+    /**
+     * Admission control / load shedding (admission.h). Disabled by
+     * default; only open-loop streams can shed (a closed-loop
+     * stream's arrivals are service-driven and can never outrun the
+     * service).
+     */
+    AdmissionConfig admission;
+
     EnergyParams energy;
 };
 
@@ -247,6 +264,32 @@ struct LoadReport
     /** True if the stream carried open-loop arrival stamps. */
     bool open_loop = false;
 
+    /**
+     * Admission control / load shedding. When admission is active
+     * (an open-loop stream and AdmissionConfig::capacity_rps set),
+     * the latency/wait statistics above cover ADMITTED requests
+     * only - shed requests never execute, never replay, and are
+     * accounted here instead. When admission is off, admitted ==
+     * requests and every shed counter is zero.
+     */
+    bool admission_on = false;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t shed_urgent = 0;      //!< Shed authenticate requests.
+    uint64_t shed_best_effort = 0; //!< Shed maintenance requests.
+    uint64_t shed_deadline = 0; //!< Wait projected past deadline.
+    uint64_t shed_queue = 0;    //!< Lane queue full at arrival.
+    uint64_t shed_bucket = 0;   //!< Token bucket empty/reserved.
+    double shed_rate = 0;       //!< shed / requests.
+
+    /**
+     * Latency of admitted urgent (authenticate) requests: the tail
+     * the admission deadline bounds under overload. Equal to the
+     * plain authenticate latency when admission is off.
+     */
+    double admitted_urgent_p50_ns = 0;
+    double admitted_urgent_p99_ns = 0;
+
     double total_service_ns = 0; //!< Service time only, summed.
     double total_energy_nj = 0;
 
@@ -281,11 +324,31 @@ struct LoadReport
     double wall_seconds = 0;
 };
 
+/** Per-request execution result, written into its stream slot. */
+struct RequestResult
+{
+    double service_ns = 0;
+    double energy_nj = 0;
+    /** Replay latency: slice start to footprint completion (ns). */
+    double replay_ns = 0;
+    bool accepted = false;
+    bool rejected = false;
+    bool unknown = false;
+    bool reenrolled = false;
+    bool trng_failure = false;
+    uint32_t trng_bits = 0;
+    uint32_t dealloc_rows = 0;
+};
+
 /** The request-level frontend: executes streams against a fleet. */
 class AuthService
 {
   public:
-    AuthService(DeviceFleet &fleet, EnrollmentStore &store,
+    /**
+     * Serve `store` (in-memory EnrollmentStore or mmap-backed
+     * MmapEnrollmentStore; both outlive the service).
+     */
+    AuthService(DeviceFleet &fleet, EnrollmentBackend &store,
                 const AuthConfig &config = {});
 
     /**
@@ -295,16 +358,92 @@ class AuthService
      */
     void enrollAll();
 
+    /**
+     * One prepared stream's execution state: the sequential plans
+     * (cache hits, admission decisions, per-shard batches) plus the
+     * per-request results the shard workers fill in. The region
+     * layer (region.h) holds one per region so a shared engine can
+     * interleave shard tasks of several services; plain callers use
+     * execute() and never see it.
+     */
+    struct Execution
+    {
+        std::vector<FleetRequest> stream;
+        // Sequential plans (pure functions of stream + config).
+        std::vector<bool> hit;       //!< Planned LRU decode hits.
+        std::vector<bool> admitted;  //!< Admission decisions.
+        std::vector<double> wait_ns; //!< Queueing waits (admitted).
+        bool open_loop = false;
+        bool admission_on = false;
+        uint64_t shed_urgent = 0;
+        uint64_t shed_best_effort = 0;
+        uint64_t shed_deadline = 0;
+        uint64_t shed_queue = 0;
+        uint64_t shed_bucket = 0;
+        // Execution workspace.
+        std::vector<std::vector<size_t>> batches; //!< Per shard.
+        std::vector<RequestResult> results;
+        std::vector<double> shard_busy_ns;
+        std::chrono::steady_clock::time_point wall_start;
+    };
+
+    /**
+     * Plan one stream: cache-hit plan, admission decisions, waits,
+     * per-shard batches of the admitted requests.
+     */
+    Execution prepare(std::vector<FleetRequest> stream);
+
+    /**
+     * Replay one shard's batch (safe to run concurrently for
+     * distinct shards, as engine tasks).
+     */
+    void runShard(Execution &exec, size_t shard);
+
+    /**
+     * Aggregate an executed stream into a report; also backfills
+     * exec.wait_ns for the legacy (admission-off) queueing model,
+     * so admittedLatencies() works on the finalized state.
+     */
+    LoadReport finalize(Execution &exec) const;
+
+    /**
+     * Append the modeled latency (wait + service) of every admitted
+     * request, in stream order - what the region layer merges into
+     * fleet-global percentiles. Call after finalize().
+     */
+    void appendAdmittedLatencies(const Execution &exec,
+                                 std::vector<double> &out) const;
+
     /** Execute one synthesized stream batched per shard. */
     LoadReport execute(const std::vector<FleetRequest> &stream);
 
     const FleetCostModel &costModel() const { return cost_model_; }
 
+    /**
+     * Derived admission capacity (requests/s): service_lanes over
+     * the modeled authenticate service time. What scenarios sweep
+     * offered load against when no explicit capacity is configured.
+     */
+    double modeledCapacityRps() const;
+
   private:
+    /**
+     * The admission controller's service-time estimate. Exact for
+     * authenticate / re-enroll / dealloc (their modeled service is
+     * a pure function of the plan); TRNG draws use a reference
+     * device's whitened throughput (the per-device rate is only
+     * known after materializing the device, which shed requests
+     * never do).
+     */
+    double estimateServiceNs(const FleetRequest &req, bool known,
+                             bool hit);
+    double trngEstNsPerBit();
+
     DeviceFleet &fleet_;
-    EnrollmentStore &store_;
+    EnrollmentBackend &store_;
     AuthConfig config_;
     FleetCostModel cost_model_;
+    double trng_est_ns_per_bit_ = -1.0; //!< Lazy (reference device).
 };
 
 } // namespace codic

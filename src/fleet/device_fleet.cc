@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fleet/region.h"
 
 namespace codic {
 
@@ -25,6 +26,20 @@ DeviceFleet::DeviceFleet(const FleetConfig &config)
     CODIC_ASSERT(config_.trng_segment_bits > 0);
     config_.dram.validate();
     shards_.resize(static_cast<size_t>(config_.shards));
+}
+
+int
+DeviceFleet::shardOf(uint64_t device_id) const
+{
+    if (config_.shard_selector) {
+        const int shard = config_.shard_selector->shardOf(
+            device_id, config_.shards);
+        CODIC_ASSERT(shard >= 0 && shard < config_.shards,
+                     "shard selector out of range");
+        return shard;
+    }
+    return static_cast<int>(device_id %
+                            static_cast<uint64_t>(config_.shards));
 }
 
 uint64_t
@@ -134,6 +149,14 @@ DeviceFleet::shardDeviceIds(int shard) const
 {
     CODIC_ASSERT(shard >= 0 && shard < config_.shards);
     std::vector<uint64_t> ids;
+    if (config_.shard_selector) {
+        // Arbitrary placement: filter the population. O(devices)
+        // per shard, only paid when a non-default policy is set.
+        for (uint64_t id = 0; id < config_.devices; ++id)
+            if (shardOf(id) == shard)
+                ids.push_back(id);
+        return ids;
+    }
     for (uint64_t id = static_cast<uint64_t>(shard);
          id < config_.devices;
          id += static_cast<uint64_t>(config_.shards))

@@ -37,6 +37,8 @@
 
 namespace codic {
 
+class ShardSelector; // region.h
+
 /** Fleet population parameters. */
 struct FleetConfig
 {
@@ -51,6 +53,18 @@ struct FleetConfig
      * RunOptions::threads): results are identical at any value.
      */
     int shards = 4;
+
+    /**
+     * Device -> shard placement policy (region.h). Null keeps the
+     * historical modulo placement (id % shards) bit for bit;
+     * ShardSelector::create("hash") spreads sequential id ranges,
+     * and rebalancedSelector() packs a measured stream's hot
+     * devices across shards. Placement changes which worker replays
+     * a device - the structured report stays byte-identical; only
+     * per-shard replay telemetry (shard_busy_ns, makespan)
+     * legitimately moves.
+     */
+    std::shared_ptr<const ShardSelector> shard_selector;
 
     /**
      * DRAM module each shard's replay system simulates. The serving
@@ -100,12 +114,12 @@ class DeviceFleet
     uint64_t devices() const { return config_.devices; }
     int shards() const { return config_.shards; }
 
-    /** Shard serving a device (stable id -> shard mapping). */
-    int shardOf(uint64_t device_id) const
-    {
-        return static_cast<int>(
-            device_id % static_cast<uint64_t>(config_.shards));
-    }
+    /**
+     * Shard serving a device: the configured ShardSelector policy,
+     * or the historical id % shards when none is set. Stable per
+     * fleet (a pure function of the id and the config).
+     */
+    int shardOf(uint64_t device_id) const;
 
     /** Device-identity seed: pure function of (population, id). */
     uint64_t deviceSeed(uint64_t device_id) const;

@@ -130,9 +130,9 @@ EnrollmentStore::operator=(EnrollmentStore &&other) noexcept
     return *this;
 }
 
-void
-EnrollmentStore::put(uint64_t device_id, const Challenge &challenge,
-                     const Response &signature)
+EnrollmentRecord
+EnrollmentStore::encode(uint64_t device_id, const Challenge &challenge,
+                        const Response &signature)
 {
     EnrollmentRecord rec;
     rec.device_id = device_id;
@@ -140,6 +140,14 @@ EnrollmentStore::put(uint64_t device_id, const Challenge &challenge,
     rec.segment_bits = static_cast<uint32_t>(challenge.segment_bits);
     rec.cell_count = static_cast<uint32_t>(signature.cells.size());
     rec.blob = encodeCells(signature.cells);
+    return rec;
+}
+
+void
+EnrollmentStore::put(uint64_t device_id, const Challenge &challenge,
+                     const Response &signature)
+{
+    EnrollmentRecord rec = encode(device_id, challenge, signature);
 
     std::lock_guard<std::mutex> lock(mutex_);
     records_[device_id] = std::move(rec);
@@ -238,20 +246,39 @@ EnrollmentStore::deviceIds() const
 //   u32      reserved flags (0)
 //   u64      population seed
 //   u64      record count
+//   u64      index offset             (v2+; v1 headers stop above)
 //   records, sorted by device id:
 //     u64 device_id, u64 segment_id, u32 segment_bits,
 //     u32 cell_count, u32 blob_len, u8[blob_len] blob
+//   index (v2+), at the index offset, sorted by device id:
+//     record count x (u64 device_id, u64 record offset)
+//
+// The index makes the file directly servable: the mmap read path
+// (store_mmap.cc) binary-searches it in place, so a lookup touches
+// O(log n) index pages plus the record's own bytes and never decodes
+// the store into heap.
 
 void
 EnrollmentStore::saveBinary(std::ostream &out) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    const auto sorted = sortedRecords(records_);
+    const uint64_t header_bytes = sizeof(kMagic) + 4 + 4 + 8 + 8 + 8;
+    uint64_t index_offset = header_bytes;
+    for (const EnrollmentRecord *rec : sorted)
+        index_offset += 8 + 8 + 4 + 4 + 4 + rec->blob.size();
+
     out.write(kMagic, sizeof(kMagic));
     putLe<uint32_t>(out, kFormatVersion);
     putLe<uint32_t>(out, 0);
     putLe<uint64_t>(out, population_seed_);
     putLe<uint64_t>(out, records_.size());
-    for (const EnrollmentRecord *rec : sortedRecords(records_)) {
+    putLe<uint64_t>(out, index_offset);
+    uint64_t offset = header_bytes;
+    std::vector<uint64_t> offsets;
+    offsets.reserve(sorted.size());
+    for (const EnrollmentRecord *rec : sorted) {
+        offsets.push_back(offset);
         putLe<uint64_t>(out, rec->device_id);
         putLe<uint64_t>(out, rec->segment_id);
         putLe<uint32_t>(out, rec->segment_bits);
@@ -259,6 +286,11 @@ EnrollmentStore::saveBinary(std::ostream &out) const
         putLe<uint32_t>(out, static_cast<uint32_t>(rec->blob.size()));
         out.write(reinterpret_cast<const char *>(rec->blob.data()),
                   static_cast<std::streamsize>(rec->blob.size()));
+        offset += 8 + 8 + 4 + 4 + 4 + rec->blob.size();
+    }
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        putLe<uint64_t>(out, sorted[i]->device_id);
+        putLe<uint64_t>(out, offsets[i]);
     }
     if (!out)
         fatal("enrollment store: write failed");
@@ -268,9 +300,9 @@ size_t
 EnrollmentStore::binarySizeBytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    size_t bytes = sizeof(kMagic) + 4 + 4 + 8 + 8;
+    size_t bytes = sizeof(kMagic) + 4 + 4 + 8 + 8 + 8;
     for (const auto &[id, rec] : records_)
-        bytes += 8 + 8 + 4 + 4 + 4 + rec.blob.size();
+        bytes += 8 + 8 + 4 + 4 + 4 + rec.blob.size() + 16;
     return bytes;
 }
 
@@ -283,14 +315,58 @@ EnrollmentStore::loadBinary(std::istream &in, size_t cache_capacity)
         fatal("enrollment store: bad magic (not a CODIC enrollment "
               "store)");
     const uint32_t version = getLe<uint32_t>(in);
-    if (version != kFormatVersion)
+    if (version < 1 || version > kFormatVersion)
         fatal("enrollment store: format version mismatch (file v",
-              version, ", supported v", kFormatVersion, ")");
+              version, ", supported v1..v", kFormatVersion, ")");
     getLe<uint32_t>(in); // reserved flags
     const uint64_t seed = getLe<uint64_t>(in);
     const uint64_t count = getLe<uint64_t>(in);
+    const uint64_t index_offset =
+        version >= 2 ? getLe<uint64_t>(in) : 0;
+    const uint64_t header_bytes =
+        sizeof(kMagic) + 4 + 4 + 8 + 8 + (version >= 2 ? 8 : 0);
+
+    // Seek-to-end size check before touching any record: a short
+    // file fails here with the byte counts, not mid-record with a
+    // generic stream error. Unseekable streams skip the pre-check
+    // and keep the per-record guards below.
+    uint64_t file_bytes = 0;
+    bool seekable = false;
+    {
+        const std::istream::pos_type here = in.tellg();
+        if (here != std::istream::pos_type(-1)) {
+            in.seekg(0, std::ios::end);
+            const std::istream::pos_type end = in.tellg();
+            if (end != std::istream::pos_type(-1)) {
+                seekable = true;
+                file_bytes = static_cast<uint64_t>(end);
+            }
+            in.seekg(here);
+        }
+    }
+    // Record bytes end where the index starts (v2) or at EOF (v1).
+    constexpr uint64_t kRecordFixedBytes = 8 + 8 + 4 + 4 + 4;
+    if (seekable) {
+        const uint64_t min_bytes =
+            header_bytes + count * kRecordFixedBytes +
+            (version >= 2 ? count * 16 : 0);
+        if (file_bytes < min_bytes)
+            fatal("enrollment store: truncated file (", file_bytes,
+                  " bytes, but ", count, " records need at least ",
+                  min_bytes, ")");
+        if (version >= 2 &&
+            (index_offset < header_bytes + count * kRecordFixedBytes ||
+             index_offset + count * 16 != file_bytes))
+            fatal("enrollment store: corrupt index offset ",
+                  index_offset, " (file is ", file_bytes,
+                  " bytes, ", count, " records)");
+    }
 
     EnrollmentStore store(seed, cache_capacity);
+    uint64_t offset = header_bytes;
+    const uint64_t records_end =
+        version >= 2 ? index_offset
+                     : (seekable ? file_bytes : UINT64_MAX);
     for (uint64_t i = 0; i < count; ++i) {
         EnrollmentRecord rec;
         rec.device_id = getLe<uint64_t>(in);
@@ -306,11 +382,41 @@ EnrollmentStore::loadBinary(std::istream &in, size_t cache_capacity)
             fatal("enrollment store: corrupt record ", i,
                   " (cell count ", rec.cell_count, ", blob length ",
                   blob_len, ")");
+        offset += kRecordFixedBytes;
+        if (offset + blob_len > records_end)
+            fatal("enrollment store: truncated record ", i,
+                  " (record bytes end at ", records_end,
+                  ", record needs ", offset + blob_len, ")");
         rec.blob.resize(blob_len);
         in.read(reinterpret_cast<char *>(rec.blob.data()), blob_len);
         if (!in)
             fatal("enrollment store: truncated record ", i);
+        offset += blob_len;
         store.records_[rec.device_id] = std::move(rec);
+    }
+    if (version >= 2) {
+        if (offset != index_offset)
+            fatal("enrollment store: index offset ", index_offset,
+                  " does not follow the records (which end at ",
+                  offset, ")");
+        // Validate the index against the records just read: sorted,
+        // in-range offsets, every id enrolled.
+        uint64_t prev_id = 0;
+        for (uint64_t i = 0; i < count; ++i) {
+            const uint64_t id = getLe<uint64_t>(in);
+            const uint64_t rec_offset = getLe<uint64_t>(in);
+            if (i > 0 && id <= prev_id)
+                fatal("enrollment store: index entry ", i,
+                      " is not sorted by device id");
+            prev_id = id;
+            if (store.records_.count(id) == 0)
+                fatal("enrollment store: index entry ", i,
+                      " names unknown device ", id);
+            if (rec_offset < header_bytes ||
+                rec_offset >= index_offset)
+                fatal("enrollment store: index entry ", i,
+                      " has out-of-range record offset ", rec_offset);
+        }
     }
     // The format is end-exact: bytes after the declared record
     // count mean corruption (or concatenated files), not padding.
@@ -495,9 +601,11 @@ EnrollmentStore::loadJson(std::istream &in, size_t cache_capacity)
 
     if (!format_seen)
         fatal("enrollment store: JSON missing format field");
-    if (version != kFormatVersion)
+    // The JSON layout is unchanged since v1; the version bump to v2
+    // only added the binary record index.
+    if (version < 1 || version > kFormatVersion)
         fatal("enrollment store: format version mismatch (file v",
-              version, ", supported v", kFormatVersion, ")");
+              version, ", supported v1..v", kFormatVersion, ")");
 
     EnrollmentStore store(seed, cache_capacity);
     for (auto &rec : records) {

@@ -12,11 +12,16 @@
  *  - binary (magic "CODICENR" + format version): the compact wire
  *    format, written with records sorted by device id so a store
  *    built by a parallel enrollment campaign serializes
- *    byte-identically at any shard/thread count;
- *  - JSON: interoperable mirror of the same fields.
- * Loading either format rejects a version mismatch with a clear
- * FatalError instead of misparsing - enrollment written by one run
- * can be trusted by a later run.
+ *    byte-identically at any shard/thread count. Format v2 appends
+ *    a sorted (device id, record offset) index after the records,
+ *    which the mmap read path (store_mmap.h) binary-searches to
+ *    serve lookups without decoding the store into heap;
+ *  - JSON: interoperable mirror of the same fields (no index - the
+ *    JSON mirror exists for interop, not for serving).
+ * Loading either format rejects a bad magic, an unsupported format
+ * version, or a truncated file with a clear FatalError instead of
+ * misparsing - enrollment written by one run can be trusted by a
+ * later run.
  */
 
 #ifndef CODIC_FLEET_ENROLLMENT_STORE_H
@@ -81,6 +86,13 @@ class LruIndex
         return victim;
     }
 
+    /** Is the id indexed? Pure peek: recency is not updated. */
+    bool
+    contains(uint64_t id) const
+    {
+        return pos_.count(id) != 0;
+    }
+
     /** Drop an id (invalidation); true when it was present. */
     bool
     erase(uint64_t id)
@@ -109,12 +121,58 @@ struct EnrollmentRecord
     std::vector<uint8_t> blob; //!< Varint delta-encoded positions.
 };
 
-/** Golden-signature database with an LRU decode cache. */
-class EnrollmentStore
+/**
+ * What AuthService needs from a golden-signature database. Two
+ * implementations: the in-memory EnrollmentStore below, and the
+ * mmap-backed MmapEnrollmentStore (store_mmap.h) that serves a
+ * 10^7-device store file with flat per-request memory. Every method
+ * is thread-safe and deterministic: outcomes depend only on store
+ * content and call order per device, never on scheduling.
+ */
+class EnrollmentBackend
 {
   public:
-    /** Current on-disk format version (binary and JSON). */
-    static constexpr uint32_t kFormatVersion = 1;
+    virtual ~EnrollmentBackend() = default;
+
+    /** Population the signatures were enrolled from. */
+    virtual uint64_t populationSeed() const = 0;
+
+    /** Enrolled devices. */
+    virtual size_t size() const = 0;
+
+    /** Insert or replace a device's golden signature. */
+    virtual void put(uint64_t device_id, const Challenge &challenge,
+                     const Response &signature) = 0;
+
+    /** Is the device enrolled? */
+    virtual bool contains(uint64_t device_id) const = 0;
+
+    /**
+     * Decoded golden signature through the LRU decode cache, or
+     * nullptr when the device is unknown. The shared_ptr stays
+     * valid after eviction.
+     */
+    virtual std::shared_ptr<const Response>
+    lookup(uint64_t device_id) const = 0;
+
+    /** Decode-cache capacity (what AuthService's LRU plan models). */
+    virtual size_t cacheCapacity() const = 0;
+
+    /** Decode-cache telemetry (scheduling-dependent; timings only). */
+    virtual uint64_t cacheHits() const = 0;
+    virtual uint64_t cacheMisses() const = 0;
+};
+
+/** Golden-signature database with an LRU decode cache. */
+class EnrollmentStore : public EnrollmentBackend
+{
+  public:
+    /**
+     * Current on-disk format version (binary and JSON). v2 added
+     * the sorted record index after the binary records; v1 files
+     * (no index) still load.
+     */
+    static constexpr uint32_t kFormatVersion = 2;
 
     /** @param cache_capacity Decoded signatures kept hot (>= 1). */
     explicit EnrollmentStore(uint64_t population_seed = 0,
@@ -131,10 +189,13 @@ class EnrollmentStore
     EnrollmentStore &operator=(const EnrollmentStore &) = delete;
 
     /** Population the signatures were enrolled from. */
-    uint64_t populationSeed() const { return population_seed_; }
+    uint64_t populationSeed() const override
+    {
+        return population_seed_;
+    }
 
     /** Enrolled devices. Thread-safe. */
-    size_t size() const;
+    size_t size() const override;
 
     /**
      * Insert or replace a device's golden signature. Thread-safe;
@@ -142,10 +203,10 @@ class EnrollmentStore
      * write, never on cross-device interleaving.
      */
     void put(uint64_t device_id, const Challenge &challenge,
-             const Response &signature);
+             const Response &signature) override;
 
     /** O(1): is the device enrolled? Thread-safe. */
-    bool contains(uint64_t device_id) const;
+    bool contains(uint64_t device_id) const override;
 
     /**
      * Encoded record, or nullptr when the device is unknown.
@@ -160,17 +221,18 @@ class EnrollmentStore
      * when the device is unknown. Thread-safe; the shared_ptr stays
      * valid after eviction.
      */
-    std::shared_ptr<const Response> lookup(uint64_t device_id) const;
+    std::shared_ptr<const Response>
+    lookup(uint64_t device_id) const override;
 
     /** Enrolled device ids, ascending (deterministic iteration). */
     std::vector<uint64_t> deviceIds() const;
 
     /** Decode-cache capacity (what AuthService's LRU plan models). */
-    size_t cacheCapacity() const { return cache_capacity_; }
+    size_t cacheCapacity() const override { return cache_capacity_; }
 
     /** Decode-cache telemetry (scheduling-dependent; timings only). */
-    uint64_t cacheHits() const { return hits_; }
-    uint64_t cacheMisses() const { return misses_; }
+    uint64_t cacheHits() const override { return hits_; }
+    uint64_t cacheMisses() const override { return misses_; }
 
     // --- Serialization ---
 
@@ -206,6 +268,11 @@ class EnrollmentStore
 
     /** Decode one record's blob into a Response (cache bypass). */
     static Response decode(const EnrollmentRecord &record);
+
+    /** Encode one signature into a record (varint delta cells). */
+    static EnrollmentRecord encode(uint64_t device_id,
+                                   const Challenge &challenge,
+                                   const Response &signature);
 
   private:
     uint64_t population_seed_;

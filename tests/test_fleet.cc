@@ -186,9 +186,9 @@ TEST(EnrollmentStore, BinaryRejectsImplausibleRecordSizes)
     std::ostringstream out;
     makeStore().saveBinary(out);
     std::string bytes = out.str();
-    // First record's cell_count field (header is 32 bytes; the
+    // First record's cell_count field (the v2 header is 40 bytes; the
     // record starts with u64 id, u64 segment, u32 segment_bits).
-    for (size_t i = 52; i < 56; ++i)
+    for (size_t i = 60; i < 64; ++i)
         bytes[i] = static_cast<char>(0xFF);
     std::istringstream in(bytes);
     EXPECT_THROW(EnrollmentStore::loadBinary(in), FatalError);
@@ -218,9 +218,9 @@ TEST(EnrollmentStore, JsonRejectsVersionMismatch)
     std::ostringstream out;
     makeStore().saveJson(out);
     std::string text = out.str();
-    const auto pos = text.find("\"version\":1");
+    const auto pos = text.find("\"version\":2");
     ASSERT_NE(pos, std::string::npos);
-    text.replace(pos, 11, "\"version\":2");
+    text.replace(pos, 11, "\"version\":9");
     std::istringstream in(text);
     EXPECT_THROW(EnrollmentStore::loadJson(in), FatalError);
 }

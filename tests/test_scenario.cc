@@ -50,6 +50,7 @@ TEST(ScenarioRegistry, CoversEveryPaperArtifactServedByABench)
         // stable scenario surface).
         "fleet_enroll",               "fleet_auth_load",
         "fleet_mixed",                "fleet_scaling",
+        "fleet_overload",             "fleet_region_serving",
         // Trace subsystem (record/replay surface).
         "trace_replay",               "trace_filter_ablation",
         "trace_vs_synthetic",

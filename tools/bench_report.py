@@ -6,7 +6,7 @@ refresh + QoS + thermal/co-sim scenarios, extracts the hot path's
 wall-clock throughput and the scenarios' *modeled* metrics (makespan,
 latency percentiles, read-queue latencies, energy, thermal peaks,
 contention slowdowns - deterministic, machine-independent values)
-into a BENCH_PR9.json trajectory file, and gates on five conditions
+into a BENCH_PR10.json trajectory file, and gates on five conditions
 (plus the thermal closed-loop invariants, which are hard errors in
 the extractors themselves):
 
@@ -40,7 +40,7 @@ when present but never gated on: only modeled values are comparable
 across machines.
 
 Usage:
-  bench_report.py --build-dir build --out BENCH_PR9.json \
+  bench_report.py --build-dir build --out BENCH_PR10.json \
       [--baseline bench/BENCH_baseline.json] [--tolerance 0.15] \
       [--hotpath-tolerance 0.15] [--min-improvement 20] \
       [--min-read-window-improvement 20] \
@@ -296,6 +296,67 @@ def qos_metrics(doc):
     }
 
 
+def overload_metrics(doc):
+    """Serving gates of a fleet_overload sweep: the bounded-p99 /
+    monotone-shed / urgent-protection properties are hard gates here
+    (they are the admission controller's contract, not a performance
+    trajectory); the worst admitted urgent p99 over the sweep is
+    gated lower-is-better as p99_us."""
+    pts = rows(doc, lambda r: "p99_bounded" in r)
+    if not pts:
+        raise SystemExit("bench_report: no fleet_overload summary "
+                         "row emitted")
+    r = pts[0]
+    if not r["p99_bounded"]:
+        raise SystemExit("bench_report: fleet_overload admitted "
+                         "urgent p99 exceeded 2x its in-capacity "
+                         "value")
+    if not r["shed_monotone"]:
+        raise SystemExit("bench_report: fleet_overload shed rate "
+                         "did not rise monotonically with offered "
+                         "load")
+    if not r["urgent_protected"]:
+        raise SystemExit("bench_report: fleet_overload shed urgent "
+                         "traffic ahead of best-effort")
+    sweep = rows(doc, lambda r: "offered_over_capacity" in r)
+    out = {
+        "makespan_ms": None,
+        "total_service_ms": None,
+        "p50_us": None,
+        "p95_us": None,
+        "p99_us": r["worst_urgent_p99_us"],
+        "energy_mj": None,
+        "capacity_krps": r["capacity_krps"],
+        "in_capacity_urgent_p99_us": r["in_capacity_urgent_p99_us"],
+        "shed_rate_curve": [p["shed_rate"] for p in sweep],
+    }
+    return out
+
+
+def region_metrics(doc):
+    """Global roll-up of a fleet_region_serving storm: fleet-wide
+    modeled percentiles and energy over every region's admitted
+    requests (gated lower-is-better), plus the global shed rate."""
+    pts = rows(doc, lambda r: "regions" in r and "latency_p99_us" in r)
+    if not pts:
+        raise SystemExit("bench_report: no fleet_region_serving "
+                         "global roll-up row emitted")
+    r = pts[0]
+    out = {
+        "makespan_ms": None,
+        "total_service_ms": None,
+        "p50_us": r["latency_p50_us"],
+        "p95_us": r["latency_p95_us"],
+        "p99_us": r["latency_p99_us"],
+        "energy_mj": r["energy_mj"],
+        "regions": r["regions"],
+        "shed_rate": r["shed_rate"],
+    }
+    if "wall_s" in r:
+        out["wall_s"] = r["wall_s"]
+    return out
+
+
 def trace_replay_metrics(doc):
     """Modeled metrics of a trace_replay run."""
     pts = rows(doc, lambda r: "read_p99_us" in r and "records" in r)
@@ -383,6 +444,18 @@ def collect(build_dir, timings, skip_hotpath):
         build_dir, ["--scenario", "ablation_qos", "--scale",
                     BENCH_SCALE], timings))
 
+    # Serving-layer scenarios: admission-control overload sweep and
+    # the multi-region storm, with the serving contracts (bounded
+    # admitted p99, monotone shed, urgent protection) as hard gates
+    # in the extractors. Absent from older baselines;
+    # check_regressions records them with a warning.
+    s["fleet_overload"] = overload_metrics(run_codic(
+        build_dir, ["--scenario", "fleet_overload", "--scale",
+                    BENCH_SCALE], timings))
+    s["fleet_region_serving"] = region_metrics(run_codic(
+        build_dir, ["--scenario", "fleet_region_serving", "--scale",
+                    BENCH_SCALE], timings))
+
     eager = s["fleet_scaling@8shards:eager"]["makespan_ms"]
     batched = s["fleet_scaling@8shards:batched"]["makespan_ms"]
     report["derived"]["fleet_scaling_batched_improvement_pct"] = (
@@ -454,7 +527,7 @@ def check_hotpath(report, baseline, tolerance):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR9.json")
+    ap.add_argument("--out", default="BENCH_PR10.json")
     ap.add_argument("--baseline", default=None,
                     help="committed baseline to gate against")
     ap.add_argument("--tolerance", type=float, default=0.15)

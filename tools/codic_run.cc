@@ -30,6 +30,20 @@
  *   --store FILE       Fleet enrollment-store file (written by
  *                      fleet_enroll, read by the traffic scenarios;
  *                      ".json" suffix selects the JSON format).
+ *   --store-mmap       Serve the --store file through the
+ *                      mmap-backed read path (flat per-request
+ *                      memory at any store size; binary format
+ *                      only - the JSON mirror has no record index).
+ *   --regions N        Serving regions for the multi-region fleet
+ *                      scenarios (default: the scenario's own,
+ *                      normally 3). Each region gets its own
+ *                      population, mix, and arrival process on the
+ *                      shared engine.
+ *   --shed RPS         Admission-control capacity in requests/s for
+ *                      the fleet scenarios: 0 disables admission
+ *                      (the default outside fleet_overload);
+ *                      fleet_overload derives its default from the
+ *                      cost model.
  *   --preset NAME      DRAM speed grade (ddr3-1600 | ddr3-1333 |
  *                      ddr4-2400 | ddr4-3200) applied wherever a
  *                      scenario builds its DramConfig from the run
@@ -123,7 +137,8 @@ printUsage()
         "                 [--seed N] [--threads N] [--channels N]\n"
         "                 [--capacity-mb N] [--scale F] [--repeats N]\n"
         "                 [--devices N] [--shards N] [--requests N]\n"
-        "                 [--zipf F] [--store FILE] [--sched NAME]\n"
+        "                 [--zipf F] [--store FILE] [--store-mmap]\n"
+        "                 [--regions N] [--shed RPS] [--sched NAME]\n"
         "                 [--preset NAME]\n"
         "                 [--trace FILE] [--trace-speed F]\n"
         "                 [--record-trace FILE]\n"
@@ -358,6 +373,17 @@ main(int argc, char **argv)
                 return fail("--zipf must be >= 0 (0 = uniform)");
         } else if (arg == "--store") {
             options.store_path = next("--store");
+        } else if (arg == "--store-mmap") {
+            options.store_mmap = true;
+        } else if (arg == "--regions") {
+            options.regions = parseIntArg("--regions", next("--regions"));
+            if (options.regions < 1)
+                return fail("--regions must be >= 1");
+        } else if (arg == "--shed") {
+            options.shed = parseDouble("--shed", next("--shed"));
+            if (!(options.shed >= 0.0)) // Rejects NaN too.
+                return fail("--shed must be >= 0 requests/s "
+                            "(0 = admission off)");
         } else if (arg == "--preset") {
             options.dram_preset = next("--preset");
             if (options.dram_preset == "help" ||
